@@ -1,0 +1,62 @@
+//! Detector scaling: chain length, chaining window, and the effect of
+//! the branch-and-bound pruning floor (the paper's Section 5 search).
+
+use asip_chains::{DetectorConfig, SequenceDetector};
+use asip_opt::{OptLevel, Optimizer, ScheduleGraph};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn pipelined_graph(name: &str) -> ScheduleGraph {
+    let reg = asip_benchmarks::registry();
+    let b = reg.find(name).expect("built-in");
+    let program = b.compile().expect("compiles");
+    let profile = b.profile(&program).expect("simulates");
+    Optimizer::new(OptLevel::Pipelined).run(&program, &profile)
+}
+
+fn bench_chain_length(c: &mut Criterion) {
+    let graph = pipelined_graph("edge");
+    let mut g = c.benchmark_group("detector/max_len");
+    for len in [2usize, 3, 4, 5] {
+        g.bench_with_input(BenchmarkId::from_parameter(len), &len, |bench, &len| {
+            let det = SequenceDetector::new(DetectorConfig {
+                min_len: 2,
+                max_len: len,
+                ..DetectorConfig::default()
+            });
+            bench.iter(|| det.occurrences(std::hint::black_box(&graph)).len());
+        });
+    }
+    g.finish();
+}
+
+fn bench_window(c: &mut Criterion) {
+    let graph = pipelined_graph("edge");
+    let mut g = c.benchmark_group("detector/window");
+    for w in [0usize, 1, 2, 3] {
+        g.bench_with_input(BenchmarkId::from_parameter(w), &w, |bench, &w| {
+            let det = SequenceDetector::new(DetectorConfig::default().with_window(w));
+            bench.iter(|| det.occurrences(std::hint::black_box(&graph)).len());
+        });
+    }
+    g.finish();
+}
+
+fn bench_prune_floor(c: &mut Criterion) {
+    let graph = pipelined_graph("pse");
+    let mut g = c.benchmark_group("detector/prune_floor");
+    for floor in [0.0f64, 1.0, 5.0] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(floor),
+            &floor,
+            |bench, &floor| {
+                let det =
+                    SequenceDetector::new(DetectorConfig::default().with_prune_floor(floor));
+                bench.iter(|| det.occurrences(std::hint::black_box(&graph)).len());
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_chain_length, bench_window, bench_prune_floor);
+criterion_main!(benches);

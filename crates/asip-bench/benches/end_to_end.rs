@@ -1,0 +1,42 @@
+//! End-to-end experiment cost: one full paper-pipeline pass (compile →
+//! profile → optimize → detect) per benchmark, and the iterative
+//! coverage study.
+
+use asip_chains::{CoverageAnalyzer, DetectorConfig, SequenceDetector};
+use asip_opt::{OptLevel, Optimizer};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end/pipeline");
+    g.sample_size(10);
+    for name in ["sewha", "fir", "edge"] {
+        let reg = asip_benchmarks::registry();
+        let b = reg.find(name).copied().expect("built-in");
+        g.bench_with_input(BenchmarkId::from_parameter(name), &name, |bench, _| {
+            bench.iter(|| {
+                let program = b.compile().expect("compiles");
+                let profile = b.profile(&program).expect("simulates");
+                let graph = Optimizer::new(OptLevel::Pipelined).run(&program, &profile);
+                SequenceDetector::new(DetectorConfig::default())
+                    .analyze(&graph)
+                    .len()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_coverage(c: &mut Criterion) {
+    let reg = asip_benchmarks::registry();
+    let b = reg.find("edge").expect("built-in");
+    let program = b.compile().expect("compiles");
+    let profile = b.profile(&program).expect("simulates");
+    let graph = Optimizer::new(OptLevel::Pipelined).run(&program, &profile);
+    c.bench_function("end_to_end/coverage_study", |bench| {
+        let analyzer = CoverageAnalyzer::new(DetectorConfig::default());
+        bench.iter(|| analyzer.analyze(std::hint::black_box(&graph)).coverage());
+    });
+}
+
+criterion_group!(benches, bench_full_pipeline, bench_coverage);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Optimizer throughput per level, plus the pipelining/renaming
+//! ablations (which pass exposes which cost).
+
+use asip_opt::{OptConfig, OptLevel, Optimizer};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_levels(c: &mut Criterion) {
+    let reg = asip_benchmarks::registry();
+    let b = reg.find("pse").expect("built-in");
+    let program = b.compile().expect("compiles");
+    let profile = b.profile(&program).expect("simulates");
+    let mut g = c.benchmark_group("optimizer/level");
+    for level in OptLevel::all() {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(level.number()),
+            &level,
+            |bench, &level| {
+                let opt = Optimizer::new(level);
+                bench.iter(|| {
+                    opt.run(std::hint::black_box(&program), std::hint::black_box(&profile))
+                        .node_count()
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_unroll(c: &mut Criterion) {
+    let reg = asip_benchmarks::registry();
+    let b = reg.find("fir").expect("built-in");
+    let program = b.compile().expect("compiles");
+    let profile = b.profile(&program).expect("simulates");
+    let mut g = c.benchmark_group("optimizer/unroll");
+    for unroll in [2usize, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(unroll),
+            &unroll,
+            |bench, &unroll| {
+                let opt = Optimizer::new(OptLevel::Pipelined).with_config(OptConfig {
+                    unroll,
+                    ..OptConfig::default()
+                });
+                bench.iter(|| opt.run(&program, &profile).node_count());
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_width(c: &mut Criterion) {
+    let reg = asip_benchmarks::registry();
+    let b = reg.find("fir").expect("built-in");
+    let program = b.compile().expect("compiles");
+    let profile = b.profile(&program).expect("simulates");
+    let mut g = c.benchmark_group("optimizer/width");
+    for width in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(width),
+            &width,
+            |bench, &width| {
+                let opt = Optimizer::new(OptLevel::Pipelined).with_config(OptConfig {
+                    width,
+                    ..OptConfig::default()
+                });
+                bench.iter(|| opt.run(&program, &profile).weighted_cycles());
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_levels, bench_unroll, bench_width);
+criterion_main!(benches);

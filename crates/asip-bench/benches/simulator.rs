@@ -1,0 +1,50 @@
+//! Profiling-simulator throughput (ops interpreted per second) and the
+//! front-end compile cost for each benchmark class.
+
+use asip_sim::Simulator;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator/run");
+    for name in ["sewha", "edge", "pse"] {
+        let reg = asip_benchmarks::registry();
+        let b = reg.find(name).expect("built-in");
+        let program = b.compile().expect("compiles");
+        let data = b.dataset();
+        let ops = Simulator::new(&program)
+            .run(&data)
+            .expect("runs")
+            .profile
+            .total_ops();
+        g.throughput(Throughput::Elements(ops));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &name, |bench, _| {
+            bench.iter(|| {
+                Simulator::new(&program)
+                    .run(std::hint::black_box(&data))
+                    .expect("runs")
+                    .profile
+                    .total_ops()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontend/compile");
+    for name in ["bspline", "intfft"] {
+        let reg = asip_benchmarks::registry();
+        let b = reg.find(name).copied().expect("built-in");
+        g.bench_with_input(BenchmarkId::from_parameter(name), &name, |bench, _| {
+            bench.iter(|| {
+                asip_frontend::compile(b.name, std::hint::black_box(b.source))
+                    .expect("compiles")
+                    .inst_count()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulation, bench_compile);
+criterion_main!(benches);

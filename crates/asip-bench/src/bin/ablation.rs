@@ -1,0 +1,87 @@
+//! Ablation sweeps for the design choices called out in DESIGN.md:
+//!
+//! - chaining window `W ∈ {0,1,2,3}` vs detected coverage;
+//! - pipelining unroll factor vs `add-multiply` exposure;
+//! - issue width vs schedule length (weighted cycles);
+//! - branch-and-bound prune floor vs surviving occurrence count.
+//!
+//! `cargo run --release -p asip-bench --bin ablation`
+
+use asip_chains::{CoverageAnalyzer, DetectorConfig, SequenceDetector, Signature};
+use asip_opt::{OptConfig, OptLevel, Optimizer};
+
+fn main() {
+    let reg = asip_benchmarks::registry();
+    let bench = reg.find("sewha").expect("built-in");
+    let program = bench.compile().expect("compiles");
+    let profile = bench.profile(&program).expect("simulates");
+
+    println!("== chaining window vs coverage (sewha, level 0) ==");
+    let g0 = Optimizer::new(OptLevel::None).run(&program, &profile);
+    for w in 0..=3 {
+        let cov = CoverageAnalyzer::new(DetectorConfig::default().with_window(w))
+            .analyze(&g0)
+            .coverage();
+        println!("  window {w}: coverage {cov:6.2}%");
+    }
+
+    println!();
+    println!("== unroll factor vs add-multiply exposure (sewha, level 1) ==");
+    let am: Signature = "add-multiply".parse().expect("parses");
+    for unroll in [1usize, 2, 3, 4] {
+        let g = Optimizer::new(OptLevel::Pipelined)
+            .with_config(OptConfig {
+                unroll,
+                ..OptConfig::default()
+            })
+            .run(&program, &profile);
+        let f = SequenceDetector::new(DetectorConfig::default())
+            .analyze(&g)
+            .frequency_of(&am);
+        println!("  unroll {unroll}: add-multiply {f:6.2}%");
+    }
+
+    println!();
+    println!("== issue width vs weighted schedule cycles (sewha, level 1) ==");
+    let base_cycles = g0.weighted_cycles();
+    println!("  sequential: {base_cycles:10.0} cycles");
+    for width in [1usize, 2, 4, 8] {
+        let g = Optimizer::new(OptLevel::Pipelined)
+            .with_config(OptConfig {
+                width,
+                ..OptConfig::default()
+            })
+            .run(&program, &profile);
+        println!(
+            "  width {width}: {:10.0} cycles ({:.2}x vs sequential)",
+            g.weighted_cycles(),
+            base_cycles / g.weighted_cycles()
+        );
+    }
+
+    println!();
+    println!("== hoist passes vs detected sequence count (edge, level 1) ==");
+    let edge = reg.find("edge").expect("built-in");
+    let eprog = edge.compile().expect("compiles");
+    let eprof = edge.profile(&eprog).expect("simulates");
+    for hoist_passes in [0usize, 1, 2, 4] {
+        let g = Optimizer::new(OptLevel::Pipelined)
+            .with_config(OptConfig {
+                hoist_passes,
+                ..OptConfig::default()
+            })
+            .run(&eprog, &eprof);
+        let n = SequenceDetector::new(DetectorConfig::default()).analyze(&g).len();
+        println!("  hoist {hoist_passes}: {n} distinct sequences");
+    }
+
+    println!();
+    println!("== prune floor vs surviving occurrences (sewha, level 1) ==");
+    let g1 = Optimizer::new(OptLevel::Pipelined).run(&program, &profile);
+    for floor in [0.0, 1.0, 2.0, 5.0, 10.0] {
+        let n = SequenceDetector::new(DetectorConfig::default().with_prune_floor(floor))
+            .occurrences(&g1)
+            .len();
+        println!("  floor {floor:4.1}%: {n} occurrences enumerated");
+    }
+}

@@ -1,0 +1,81 @@
+//! The closed design loop of the paper's **Figure 1**, which the paper
+//! describes but does not evaluate: compiler feedback chooses chained
+//! ISA extensions, the code is rewritten to use them, and the ASIP's
+//! cycle count is measured against the base processor.
+//!
+//! `cargo run --release -p asip-bench --bin design_loop`
+
+use asip_synth::{evaluate, AsipDesigner, DesignConstraints};
+
+fn main() {
+    let constraints = DesignConstraints::default();
+    let designer = AsipDesigner::new(constraints);
+    println!(
+        "Design loop: area budget {:.0}, clock {:.0} ns, max {} extensions, feedback level: {}",
+        constraints.area_budget,
+        constraints.clock_ns,
+        constraints.max_extensions,
+        constraints.opt_level
+    );
+    println!();
+    println!(
+        "{:10} {:>9} {:>11} {:>11} {:>9} {:>7}  extensions",
+        "benchmark", "area", "base cyc", "asip cyc", "speedup", "chains"
+    );
+    println!("{:-^100}", "");
+
+    let mut speedups = Vec::new();
+    for b in asip_benchmarks::registry().iter() {
+        let program = b.compile().expect("built-ins compile");
+        let profile = b.profile(&program).expect("built-ins simulate");
+        let design = designer.design_for(&program, &profile);
+        let eval = evaluate(&program, &design, &b.dataset()).expect("evaluates");
+        let exts: Vec<String> = design
+            .extensions
+            .iter()
+            .map(|e| e.signature.to_string())
+            .collect();
+        println!(
+            "{:10} {:>9.0} {:>11} {:>11} {:>8.3}x {:>7}  {}",
+            b.name,
+            design.extension_area,
+            eval.base_cycles,
+            eval.asip_cycles,
+            eval.speedup,
+            eval.fused_chains,
+            exts.join(", ")
+        );
+        speedups.push(eval.speedup);
+    }
+    println!("{:-^100}", "");
+    let geo: f64 = speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64;
+    println!("geometric-mean speedup (per-benchmark designs): {:.3}x", geo.exp());
+
+    // the paper's real scenario: ONE ASIP tuned to the whole suite
+    println!();
+    println!("one shared ASIP for the whole suite:");
+    let compiled: Vec<_> = asip_benchmarks::registry()
+        .iter()
+        .map(|b| {
+            let program = b.compile().expect("compiles");
+            let profile = b.profile(&program).expect("simulates");
+            (*b, program, profile)
+        })
+        .collect();
+    let refs: Vec<(&asip_ir::Program, &asip_sim::Profile)> =
+        compiled.iter().map(|(_, p, pr)| (p, pr)).collect();
+    let shared = designer.design_for_suite(&refs);
+    print!(
+        "{}",
+        asip_synth::DesignReport::new(&shared, constraints.clock_ns)
+    );
+    let mut shared_speedups = Vec::new();
+    for (b, program, _) in &compiled {
+        let eval = evaluate(program, &shared, &b.dataset()).expect("evaluates");
+        shared_speedups.push(eval.speedup);
+        println!("  {:10} {:>8.3}x ({} chains fused)", b.name, eval.speedup, eval.fused_chains);
+    }
+    let geo: f64 =
+        shared_speedups.iter().map(|s| s.ln()).sum::<f64>() / shared_speedups.len() as f64;
+    println!("geometric-mean speedup (shared design): {:.3}x", geo.exp());
+}

@@ -1,0 +1,61 @@
+//! Inspection tool: dump a benchmark's 3-address code, its scheduled
+//! program graph at any optimization level, or its dynamic op-class mix.
+//!
+//! ```text
+//! cargo run -p asip-bench --bin dump -- fir            # 3-address code
+//! cargo run -p asip-bench --bin dump -- fir --level 1  # schedule graph
+//! cargo run -p asip-bench --bin dump -- fir --mix      # dynamic class mix
+//! ```
+
+use asip_opt::{OptLevel, Optimizer};
+use asip_sim::{ClassMix, Simulator};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("fir");
+    let reg = asip_benchmarks::registry();
+    let Some(bench) = reg.find(name) else {
+        eprintln!(
+            "unknown benchmark `{name}`; available: {}",
+            reg.iter().map(|b| b.name).collect::<Vec<_>>().join(", ")
+        );
+        std::process::exit(2);
+    };
+    let program = bench.compile().expect("built-ins compile");
+
+    if args.iter().any(|a| a == "--mix") {
+        let mut mix = ClassMix::for_program(&program);
+        Simulator::new(&program)
+            .run_traced(&bench.dataset(), &mut mix)
+            .expect("built-ins simulate");
+        let total: u64 = mix.counts().values().sum();
+        println!("dynamic op-class mix for {name} ({total} ops):");
+        let mut rows: Vec<_> = mix.counts().iter().collect();
+        rows.sort_by_key(|(_, &c)| std::cmp::Reverse(c));
+        for (class, count) in rows {
+            println!(
+                "  {class:12} {count:>10}  ({:5.2}%)",
+                100.0 * *count as f64 / total as f64
+            );
+        }
+        return;
+    }
+
+    let level = args
+        .windows(2)
+        .find(|w| w[0] == "--level")
+        .and_then(|w| w[1].parse::<u8>().ok());
+    match level {
+        None => print!("{program}"),
+        Some(n) => {
+            let level = match n {
+                0 => OptLevel::None,
+                1 => OptLevel::Pipelined,
+                _ => OptLevel::PipelinedRenamed,
+            };
+            let profile = bench.profile(&program).expect("built-ins simulate");
+            let graph = Optimizer::new(level).run(&program, &profile);
+            print!("{graph}");
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Export every figure/table series as CSV under `figures/`, so the
+//! paper's plots can be regenerated with any plotting tool.
+//!
+//! `cargo run --release -p asip-bench --bin export_csv [-- --out DIR]`
+//!
+//! Files written:
+//! - `fig3_len2.csv`, `fig4_len4.csv` — combined sorted series per level;
+//! - `fig5_len2.csv`, `fig6_len4.csv` — per-benchmark sequences ≥ 5%;
+//! - `table2.csv` — the example-sequence rows at levels 0/1/2;
+//! - `table3.csv` — coverage entries per benchmark, with/without opt.
+
+use asip_bench::{analyze_suite, combined_reports};
+use asip_chains::{CoverageAnalyzer, DetectorConfig};
+use asip_opt::{OptLevel, Optimizer};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn out_dir() -> PathBuf {
+    let args: Vec<String> = std::env::args().collect();
+    let dir = args
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "figures".to_string());
+    PathBuf::from(dir)
+}
+
+fn main() -> std::io::Result<()> {
+    let dir = out_dir();
+    std::fs::create_dir_all(&dir)?;
+
+    // Figures 3/4 + Table 2 share the suite analysis
+    for (len, fig) in [(2usize, "fig3_len2"), (4, "fig4_len4")] {
+        let suite = analyze_suite(DetectorConfig::default().with_length(len));
+        let combined = combined_reports(&suite);
+        let mut csv = String::from("sequence,level0,level1,level2\n");
+        let mut sigs: Vec<_> = combined[1].of_length(len).map(|(s, _)| s.clone()).collect();
+        for r in [&combined[0], &combined[2]] {
+            for (s, _) in r.of_length(len) {
+                if !sigs.contains(s) {
+                    sigs.push(s.clone());
+                }
+            }
+        }
+        for sig in sigs {
+            writeln!(
+                csv,
+                "{sig},{:.4},{:.4},{:.4}",
+                combined[0].frequency_of(&sig),
+                combined[1].frequency_of(&sig),
+                combined[2].frequency_of(&sig)
+            )
+            .expect("string write");
+        }
+        std::fs::write(dir.join(format!("{fig}.csv")), csv)?;
+
+        // per-benchmark ≥5% (figures 5/6)
+        let mut csv = String::from("benchmark,sequence,frequency\n");
+        for a in &suite {
+            for (sig, st) in a.reports[1].at_least(5.0) {
+                writeln!(csv, "{},{sig},{:.4}", a.bench.name, st.frequency)
+                    .expect("string write");
+            }
+        }
+        let name = if len == 2 { "fig5_len2" } else { "fig6_len4" };
+        std::fs::write(dir.join(format!("{name}.csv")), csv)?;
+    }
+
+    // Table 2
+    {
+        let suite = analyze_suite(DetectorConfig::default());
+        let combined = combined_reports(&suite);
+        let mut csv = String::from("sequence,level0,level1,level2\n");
+        for row in [
+            "multiply-add",
+            "add-multiply",
+            "add-add",
+            "add-multiply-add",
+            "multiply-add-add",
+        ] {
+            let sig = row.parse().expect("parses");
+            writeln!(
+                csv,
+                "{row},{:.4},{:.4},{:.4}",
+                combined[0].frequency_of(&sig),
+                combined[1].frequency_of(&sig),
+                combined[2].frequency_of(&sig)
+            )
+            .expect("string write");
+        }
+        std::fs::write(dir.join("table2.csv"), csv)?;
+    }
+
+    // Table 3
+    {
+        let analyzer = CoverageAnalyzer::new(DetectorConfig::default());
+        let mut csv = String::from("benchmark,optimized,sequence,frequency\n");
+        for b in asip_benchmarks::registry().iter() {
+            let program = b.compile().expect("compiles");
+            let profile = b.profile(&program).expect("simulates");
+            for (label, level) in [("yes", OptLevel::Pipelined), ("no", OptLevel::None)] {
+                let report =
+                    analyzer.analyze(&Optimizer::new(level).run(&program, &profile));
+                for e in &report.entries {
+                    writeln!(csv, "{},{label},{},{:.4}", b.name, e.signature, e.frequency)
+                        .expect("string write");
+                }
+            }
+        }
+        std::fs::write(dir.join("table3.csv"), csv)?;
+    }
+
+    println!("wrote figure data to {}", dir.display());
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! Regenerates the paper's **Figure 5** (length-2) and **Figure 6**
+//! (length-4): per-benchmark detected chainable sequences with dynamic
+//! frequency at least 5%, at optimization level 1.
+//!
+//! `cargo run --release -p asip-bench --bin fig5_6 -- --length 2`
+//! `cargo run --release -p asip-bench --bin fig5_6 -- --length 4`
+
+use asip_bench::{analyze_suite, bar, length_arg};
+use asip_chains::DetectorConfig;
+
+/// The paper reports only sequences at or above this frequency.
+const FLOOR: f64 = 5.0;
+
+fn main() {
+    let length = length_arg();
+    let suite = analyze_suite(DetectorConfig::default().with_length(length));
+
+    println!(
+        "Figure {}: Detected chainable sequences of length {length} (>= {FLOOR}%, Pipelined)",
+        if length == 2 { "5" } else { "6" }
+    );
+    println!();
+
+    let max = suite
+        .iter()
+        .flat_map(|a| a.reports[1].at_least(FLOOR).map(|(_, st)| st.frequency))
+        .fold(0.0_f64, f64::max);
+
+    for a in &suite {
+        let entries: Vec<_> = a.reports[1].at_least(FLOOR).collect();
+        println!("{}:", a.bench.name);
+        if entries.is_empty() {
+            println!("    (no length-{length} sequence reaches {FLOOR}%)");
+        }
+        for (sig, st) in entries {
+            println!(
+                "    {:34} {:>6.2}%  {}",
+                sig.to_string(),
+                st.frequency,
+                bar(st.frequency, max, 30)
+            );
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! The paper's stated future work, implemented: characterize the
+//! instruction-level parallelism of the application suite using the
+//! compiler optimizations, as feedback for a *multiple-issue* ASIP.
+//!
+//! For each benchmark: schedule at issue widths 1/2/4/8/16 (level 1),
+//! report achieved ops/cycle and speedup over scalar issue, and
+//! recommend the width at the 95%-of-peak knee.
+//!
+//! `cargo run --release -p asip-bench --bin ilp`
+
+use asip_opt::{characterize, OptLevel};
+
+const WIDTHS: &[usize] = &[1, 2, 4, 8, 16];
+
+fn main() {
+    println!("ILP characterization (Pipelined schedules, widths 1/2/4/8/16)");
+    println!();
+    println!(
+        "{:10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>9}",
+        "benchmark", "w=1", "w=2", "w=4", "w=8", "w=16", "peak ILP", "rec. w"
+    );
+    println!("{:-^90}", "");
+    let mut recommended = Vec::new();
+    for b in asip_benchmarks::registry().iter() {
+        let program = b.compile().expect("built-ins compile");
+        let profile = b.profile(&program).expect("built-ins simulate");
+        let report = characterize(&program, &profile, OptLevel::Pipelined, WIDTHS);
+        let speedups: Vec<String> = report
+            .points
+            .iter()
+            .map(|p| format!("{:.2}x", p.speedup_vs_scalar))
+            .collect();
+        let rec = report.recommended_width(0.95);
+        recommended.push(rec);
+        println!(
+            "{:10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10.2} {:>9}",
+            b.name,
+            speedups[0],
+            speedups[1],
+            speedups[2],
+            speedups[3],
+            speedups[4],
+            report.peak_ilp(),
+            rec
+        );
+    }
+    println!("{:-^90}", "");
+    let mut hist = std::collections::BTreeMap::new();
+    for r in recommended {
+        *hist.entry(r).or_insert(0usize) += 1;
+    }
+    println!("recommended-width histogram (95%-of-peak knee): {hist:?}");
+    println!("feedback to the designer: build the width most of the suite saturates at.");
+}

@@ -1,0 +1,45 @@
+//! One-screen overview of the whole suite: static/dynamic sizes, peak
+//! ILP, coverage at each level, and the closed-loop speedup — the
+//! "dashboard" a designer would look at first.
+//!
+//! `cargo run --release -p asip-bench --bin suite_summary`
+
+use asip_chains::{CoverageAnalyzer, DetectorConfig};
+use asip_opt::{characterize, OptLevel, Optimizer};
+use asip_synth::{evaluate, AsipDesigner, DesignConstraints};
+
+fn main() {
+    println!(
+        "{:10} {:>6} {:>10} {:>6} {:>8} {:>8} {:>8} {:>9}",
+        "benchmark", "insts", "dyn ops", "ILP", "cov L0", "cov L1", "cov L2", "speedup"
+    );
+    println!("{:-^75}", "");
+    let analyzer = CoverageAnalyzer::new(DetectorConfig::default());
+    let designer = AsipDesigner::new(DesignConstraints::default());
+    for b in asip_benchmarks::registry().iter() {
+        let program = b.compile().expect("built-ins compile");
+        let profile = b.profile(&program).expect("built-ins simulate");
+        let ilp = characterize(&program, &profile, OptLevel::Pipelined, &[8]).peak_ilp();
+        let cov: Vec<f64> = OptLevel::all()
+            .into_iter()
+            .map(|l| {
+                analyzer
+                    .analyze(&Optimizer::new(l).run(&program, &profile))
+                    .coverage()
+            })
+            .collect();
+        let design = designer.design_for(&program, &profile);
+        let eval = evaluate(&program, &design, &b.dataset()).expect("evaluates");
+        println!(
+            "{:10} {:>6} {:>10} {:>6.2} {:>7.1}% {:>7.1}% {:>7.1}% {:>8.3}x",
+            b.name,
+            program.inst_count(),
+            profile.total_ops(),
+            ilp,
+            cov[0],
+            cov[1],
+            cov[2],
+            eval.speedup
+        );
+    }
+}

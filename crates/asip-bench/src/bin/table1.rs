@@ -1,0 +1,26 @@
+//! Regenerates the paper's **Table 1**: the benchmark inventory.
+//!
+//! `cargo run -p asip-bench --bin table1`
+
+fn main() {
+    println!("Table 1 : Benchmark Descriptions");
+    println!(
+        "{:-^100}",
+        ""
+    );
+    println!(
+        "{:10} {:>8} {:8}  {:44} Data Input",
+        "Benchmark", "Lines C", "(ours)", "Description"
+    );
+    println!("{:-^100}", "");
+    for b in asip_benchmarks::registry().iter() {
+        let ours = b.source.lines().count();
+        println!(
+            "{:10} {:>8} {:>8}  {:44} {}",
+            b.name, b.paper_lines, ours, b.description, b.data_description
+        );
+    }
+    println!("{:-^100}", "");
+    println!("\"Lines C\" is the count the paper reports for its C sources;");
+    println!("\"(ours)\" counts the mini-C re-implementation in this repository.");
+}

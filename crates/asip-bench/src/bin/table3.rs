@@ -1,0 +1,70 @@
+//! Regenerates the paper's **Table 3**: iterative greedy sequence
+//! coverage with and without the parallelizing optimizations, for the
+//! benchmarks the paper reports (sewha, feowf, bspline, edge, iir).
+//!
+//! `cargo run --release -p asip-bench --bin table3`
+//! Pass `--all` to cover the whole suite.
+
+use asip_chains::{CoverageAnalyzer, DetectorConfig};
+use asip_opt::{OptLevel, Optimizer};
+
+/// Paper Table 3 coverage totals, for side-by-side reference.
+const PAPER: &[(&str, f64, f64)] = &[
+    ("sewha", 91.31, 31.99),
+    ("feowf", 97.15, 75.66),
+    ("bspline", 97.76, 33.33),
+    ("edge", 85.35, 66.39),
+    ("iir", 60.6, 38.59),
+];
+
+fn main() {
+    let all = std::env::args().any(|a| a == "--all");
+    let reg = asip_benchmarks::registry();
+    let names: Vec<&str> = if all {
+        reg.iter().map(|b| b.name).collect()
+    } else {
+        PAPER.iter().map(|(n, _, _)| *n).collect()
+    };
+
+    println!("Table 3 - Sequence Coverage");
+    println!();
+    let analyzer = CoverageAnalyzer::new(DetectorConfig::default());
+    for name in names {
+        let b = reg.find(name).expect("benchmark exists");
+        let program = b.compile().expect("built-ins compile");
+        let profile = b.profile(&program).expect("built-ins simulate");
+        let paper = PAPER.iter().find(|(n, _, _)| *n == name);
+        for (label, level) in [("yes", OptLevel::Pipelined), ("no", OptLevel::None)] {
+            let graph = Optimizer::new(level).run(&program, &profile);
+            let report = analyzer.analyze(&graph);
+            let paper_cov = paper.map(|(_, y, n)| if label == "yes" { *y } else { *n });
+            print!("{name:8} opt={label:3} coverage {:6.2}%", report.coverage());
+            if let Some(pc) = paper_cov {
+                print!("   (paper: {pc:5.2}%)");
+            }
+            println!();
+            for e in &report.entries {
+                println!("             {:34} {:>6.2}%", e.signature.to_string(), e.frequency);
+            }
+        }
+        println!();
+    }
+
+    println!("shape check: optimized coverage >= unoptimized for the paper's benchmarks:");
+    for (name, _, _) in PAPER {
+        let b = reg.find(name).expect("exists");
+        let program = b.compile().expect("compiles");
+        let profile = b.profile(&program).expect("simulates");
+        let cov = |level| {
+            analyzer
+                .analyze(&Optimizer::new(level).run(&program, &profile))
+                .coverage()
+        };
+        let yes = cov(OptLevel::Pipelined);
+        let no = cov(OptLevel::None);
+        println!(
+            "  [{}] {name}: {yes:.2}% vs {no:.2}%",
+            if yes >= no - 1e-9 { "ok" } else { "!!" }
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! # asip-bench
+//!
+//! The experiment harness: shared driver code used by the binaries that
+//! regenerate every table and figure of the paper, and by the Criterion
+//! benches.
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `table1` | Table 1 (benchmark inventory) |
+//! | `fig3_4 -- --length 2|3|4|5` | Figures 3–4 (combined sorted frequency series per opt level) |
+//! | `fig5_6 -- --length 2|4` | Figures 5–6 (per-benchmark sequences ≥ 5%) |
+//! | `table2` | Table 2 (example sequences at levels 0/1/2) |
+//! | `table3` | Table 3 (iterative greedy coverage, with/without optimization) |
+//! | `design_loop` | the Figure-1 closed loop (extension selection → rewrite → speedup) |
+//! | `ablation` | design-choice sweeps: window, unroll, issue width, prune floor |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use asip_benchmarks::Benchmark;
+use asip_chains::{DetectorConfig, SequenceDetector, SequenceReport};
+use asip_ir::Program;
+use asip_opt::{OptLevel, Optimizer, ScheduleGraph};
+use asip_sim::Profile;
+
+/// A fully analyzed benchmark: program, profile and one schedule graph
+/// plus sequence report per optimization level (paper order 0/1/2).
+pub struct AnalyzedBenchmark {
+    /// The benchmark metadata.
+    pub bench: Benchmark,
+    /// Compiled 3-address code.
+    pub program: Program,
+    /// Profiled execution counts.
+    pub profile: Profile,
+    /// Schedule graphs, indexed by `OptLevel::number()`.
+    pub graphs: [ScheduleGraph; 3],
+    /// Sequence reports, indexed by `OptLevel::number()`.
+    pub reports: [SequenceReport; 3],
+}
+
+/// Compile, profile and analyze one benchmark at all three levels.
+///
+/// # Panics
+///
+/// Panics if a built-in benchmark fails to compile or simulate — that is
+/// a bug in this repository, not an input condition.
+pub fn analyze_benchmark(bench: &Benchmark, config: DetectorConfig) -> AnalyzedBenchmark {
+    let program = bench
+        .compile()
+        .unwrap_or_else(|e| panic!("{} failed to compile: {e}", bench.name));
+    let profile = bench
+        .profile(&program)
+        .unwrap_or_else(|e| panic!("{} failed to simulate: {e}", bench.name));
+    let detector = SequenceDetector::new(config);
+    let graphs = OptLevel::all().map(|l| Optimizer::new(l).run(&program, &profile));
+    let reports = [
+        detector.analyze(&graphs[0]),
+        detector.analyze(&graphs[1]),
+        detector.analyze(&graphs[2]),
+    ];
+    AnalyzedBenchmark {
+        bench: *bench,
+        program,
+        profile,
+        graphs,
+        reports,
+    }
+}
+
+/// Analyze the whole Table-1 suite.
+pub fn analyze_suite(config: DetectorConfig) -> Vec<AnalyzedBenchmark> {
+    asip_benchmarks::registry()
+        .iter()
+        .map(|b| analyze_benchmark(b, config))
+        .collect()
+}
+
+/// Combined (suite-averaged) reports per level from an analyzed suite.
+pub fn combined_reports(suite: &[AnalyzedBenchmark]) -> [SequenceReport; 3] {
+    let per_level = |k: usize| {
+        let rs: Vec<SequenceReport> = suite.iter().map(|a| a.reports[k].clone()).collect();
+        asip_chains::combine(&rs)
+    };
+    [per_level(0), per_level(1), per_level(2)]
+}
+
+/// Render an ASCII bar for figure-style output.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "#".repeat(n.min(width))
+}
+
+/// Parse a `--length N` argument (default 2).
+pub fn length_arg() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == "--length")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyze_one_benchmark_all_levels() {
+        let reg = asip_benchmarks::registry();
+        let b = reg.find("bspline").expect("built-in");
+        let a = analyze_benchmark(b, DetectorConfig::default());
+        assert_eq!(a.bench.name, "bspline");
+        for g in &a.graphs {
+            g.check_invariants().expect("invariants");
+        }
+        assert!(!a.reports[1].is_empty());
+        // levels share the frequency denominator
+        assert_eq!(
+            a.reports[0].total_profile_ops,
+            a.reports[2].total_profile_ops
+        );
+    }
+
+    #[test]
+    fn bar_rendering() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(10.0, 10.0, 10), "##########");
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+        assert_eq!(bar(20.0, 10.0, 10), "##########", "clamped at width");
+    }
+}

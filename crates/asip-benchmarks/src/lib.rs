@@ -1,0 +1,490 @@
+//! # asip-benchmarks
+//!
+//! The twelve DSP benchmarks of the paper's Table 1, re-implemented in
+//! mini-C from their descriptions (several descend from Embree & Kimble,
+//! *C Language Algorithms for Digital Signal Processing*, 1991). Each
+//! benchmark carries its Table-1 metadata and knows how to generate the
+//! paper-specified input data deterministically.
+//!
+//! | name | description | input data |
+//! |---|---|---|
+//! | `fir` | 35-point lowpass fp FIR filter (cutoff 0.2) | 100 random floats |
+//! | `iir` | IIR filter — 3-section, 1 dB passband ripple | 100 random floats |
+//! | `pse` | power spectral estimation using FFT | 256 random floats |
+//! | `intfft` | interpolate 2:1 using FFT and inverse FFT | 100 random floats |
+//! | `compress` | discrete cosine transformation (4:1 comp) | 24×24 8-bit image |
+//! | `flatten` | histogram flattening (gray level mod.) | 24×24 8-bit image |
+//! | `smooth` | 3×3 Gaussian blur lowpass filter | 24×24 8-bit image |
+//! | `edge` | edge detection using 2-D convolution | 24×24 8-bit image |
+//! | `sewha` | Sewha's (FIR) filter | stream of 100 random integers |
+//! | `dft` | discrete fast Fourier transform | stream of 256 random integers |
+//! | `bspline` | B-spline (FIR) filter | stream of 256 random integers |
+//! | `feowf` | fifth-order elliptic wave filter | stream of 256 random integers |
+//!
+//! ## Example
+//!
+//! ```
+//! let benches = asip_benchmarks::registry();
+//! let bench = benches.find("fir").expect("built-in");
+//! let program = bench.compile()?;
+//! let profile = bench.profile(&program)?;
+//! assert!(profile.total_ops() > 1000);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use asip_ir::Program;
+use asip_sim::{DataGen, DataSet, Profile, Simulator};
+
+/// Default experiment seed (the publication year, for tradition).
+pub const DEFAULT_SEED: u64 = 1995;
+
+/// How a benchmark's input arrays are generated (Table 1's "Data Input").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataSpec {
+    /// `n` uniform floats in [-1, 1) bound to array `name`.
+    Floats {
+        /// Input array name.
+        name: &'static str,
+        /// Element count.
+        n: usize,
+    },
+    /// `n` uniform integers in [-128, 127] bound to array `name`.
+    Ints {
+        /// Input array name.
+        name: &'static str,
+        /// Element count.
+        n: usize,
+    },
+    /// A `w`×`h` 8-bit image bound to array `name`.
+    Image {
+        /// Input array name.
+        name: &'static str,
+        /// Width.
+        w: usize,
+        /// Height.
+        h: usize,
+    },
+}
+
+/// One benchmark: Table-1 metadata plus mini-C source and data spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Benchmark {
+    /// Short name (Table 1 column 1).
+    pub name: &'static str,
+    /// Description (Table 1 column 3).
+    pub description: &'static str,
+    /// Approximate C line count reported in Table 1.
+    pub paper_lines: usize,
+    /// Data description (Table 1 column 4).
+    pub data_description: &'static str,
+    /// The mini-C source.
+    pub source: &'static str,
+    /// Input data specification.
+    pub data: DataSpec,
+}
+
+impl Benchmark {
+    /// Compile the benchmark to 3-address code.
+    ///
+    /// # Errors
+    ///
+    /// Propagates front-end errors (none occur for the built-in sources;
+    /// the test suite compiles all twelve).
+    pub fn compile(&self) -> Result<Program, asip_frontend::FrontendError> {
+        asip_frontend::compile(self.name, self.source)
+    }
+
+    /// Generate the paper-specified input data with the default seed.
+    pub fn dataset(&self) -> DataSet {
+        self.dataset_with_seed(DEFAULT_SEED)
+    }
+
+    /// Generate input data with an explicit seed.
+    pub fn dataset_with_seed(&self, seed: u64) -> DataSet {
+        let mut gen = DataGen::new(seed);
+        let mut ds = DataSet::new();
+        match self.data {
+            DataSpec::Floats { name, n } => {
+                ds.bind_floats(name, gen.floats(n, -1.0, 1.0));
+            }
+            DataSpec::Ints { name, n } => {
+                ds.bind_ints(name, gen.ints(n, -128, 127));
+            }
+            DataSpec::Image { name, w, h } => {
+                ds.bind_ints(name, gen.image(w, h));
+            }
+        }
+        ds
+    }
+
+    /// Run the profiling simulation (paper Figure 2, step 2) with the
+    /// default seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (unbound inputs, runaway execution).
+    pub fn profile(&self, program: &Program) -> Result<Profile, asip_sim::SimError> {
+        Ok(Simulator::new(program).run(&self.dataset())?.profile)
+    }
+}
+
+/// The benchmark registry.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    benches: Vec<Benchmark>,
+}
+
+impl Registry {
+    /// Find a benchmark by name.
+    pub fn find(&self, name: &str) -> Option<&Benchmark> {
+        self.benches.iter().find(|b| b.name == name)
+    }
+
+    /// Iterate in Table-1 order.
+    pub fn iter(&self) -> impl Iterator<Item = &Benchmark> {
+        self.benches.iter()
+    }
+
+    /// Number of benchmarks (twelve).
+    pub fn len(&self) -> usize {
+        self.benches.len()
+    }
+
+    /// Never true — the registry is the fixed Table-1 suite.
+    pub fn is_empty(&self) -> bool {
+        self.benches.is_empty()
+    }
+}
+
+/// The twelve Table-1 benchmarks.
+pub fn registry() -> Registry {
+    Registry {
+        benches: vec![
+            Benchmark {
+                name: "fir",
+                description: "35-point lowpass fp FIR filter (cutoff 0.2)",
+                paper_lines: 85,
+                data_description: "Random array of 100 floating point values",
+                source: include_str!("programs/fir.mc"),
+                data: DataSpec::Floats { name: "x", n: 100 },
+            },
+            Benchmark {
+                name: "iir",
+                description: "IIR filter - 3-section, 1dB passband ripple",
+                paper_lines: 65,
+                data_description: "Random array of 100 floating point values",
+                source: include_str!("programs/iir.mc"),
+                data: DataSpec::Floats { name: "x", n: 100 },
+            },
+            Benchmark {
+                name: "pse",
+                description: "Power spectral estimation using FFT",
+                paper_lines: 220,
+                data_description: "Random array of 256 floating point values",
+                source: include_str!("programs/pse.mc"),
+                data: DataSpec::Floats { name: "x", n: 256 },
+            },
+            Benchmark {
+                name: "intfft",
+                description: "Interpolate 2:1 using FFT and inverse FFT",
+                paper_lines: 280,
+                data_description: "Random array of 100 floating point values",
+                source: include_str!("programs/intfft.mc"),
+                data: DataSpec::Floats { name: "x", n: 100 },
+            },
+            Benchmark {
+                name: "compress",
+                description: "Discrete cosine transformation (4:1 comp)",
+                paper_lines: 190,
+                data_description: "24x24 8-bit image",
+                source: include_str!("programs/compress.mc"),
+                data: DataSpec::Image {
+                    name: "img",
+                    w: 24,
+                    h: 24,
+                },
+            },
+            Benchmark {
+                name: "flatten",
+                description: "Histogram flattening (gray level mod.)",
+                paper_lines: 195,
+                data_description: "24x24 8-bit image",
+                source: include_str!("programs/flatten.mc"),
+                data: DataSpec::Image {
+                    name: "img",
+                    w: 24,
+                    h: 24,
+                },
+            },
+            Benchmark {
+                name: "smooth",
+                description: "3x3 Gaussian blur lowpass filter",
+                paper_lines: 130,
+                data_description: "24x24 8-bit image",
+                source: include_str!("programs/smooth.mc"),
+                data: DataSpec::Image {
+                    name: "img",
+                    w: 24,
+                    h: 24,
+                },
+            },
+            Benchmark {
+                name: "edge",
+                description: "Edge detection using 2D convolution",
+                paper_lines: 280,
+                data_description: "24x24 8-bit image",
+                source: include_str!("programs/edge.mc"),
+                data: DataSpec::Image {
+                    name: "img",
+                    w: 24,
+                    h: 24,
+                },
+            },
+            Benchmark {
+                name: "sewha",
+                description: "Sewha's (FIR) filter",
+                paper_lines: 36,
+                data_description: "Stream of 100 random integer values",
+                source: include_str!("programs/sewha.mc"),
+                data: DataSpec::Ints { name: "x", n: 100 },
+            },
+            Benchmark {
+                name: "dft",
+                description: "Discrete fast fourier transform",
+                paper_lines: 15,
+                data_description: "Stream of 256 random integer values",
+                source: include_str!("programs/dft.mc"),
+                data: DataSpec::Ints { name: "x", n: 256 },
+            },
+            Benchmark {
+                name: "bspline",
+                description: "B Spline (FIR) filter",
+                paper_lines: 30,
+                data_description: "Stream of 256 random integer values",
+                source: include_str!("programs/bspline.mc"),
+                data: DataSpec::Ints { name: "x", n: 256 },
+            },
+            Benchmark {
+                name: "feowf",
+                description: "Fifth order elliptic wave filter",
+                paper_lines: 32,
+                data_description: "Stream of 256 random integer values",
+                source: include_str!("programs/feowf.mc"),
+                data: DataSpec::Ints { name: "x", n: 256 },
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asip_ir::Value;
+
+    #[test]
+    fn registry_has_twelve_in_table_order() {
+        let r = registry();
+        assert_eq!(r.len(), 12);
+        assert!(!r.is_empty());
+        let names: Vec<_> = r.iter().map(|b| b.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "fir", "iir", "pse", "intfft", "compress", "flatten", "smooth", "edge",
+                "sewha", "dft", "bspline", "feowf"
+            ]
+        );
+        assert!(r.find("fir").is_some());
+        assert!(r.find("nope").is_none());
+    }
+
+    #[test]
+    fn all_benchmarks_compile_and_run() {
+        for b in registry().iter() {
+            let program = b
+                .compile()
+                .unwrap_or_else(|e| panic!("{} failed to compile: {e}", b.name));
+            program
+                .validate()
+                .unwrap_or_else(|e| panic!("{} produced invalid IR: {e}", b.name));
+            let profile = b
+                .profile(&program)
+                .unwrap_or_else(|e| panic!("{} failed to simulate: {e}", b.name));
+            assert!(
+                profile.total_ops() > 500,
+                "{} did too little work: {} ops",
+                b.name,
+                profile.total_ops()
+            );
+        }
+    }
+
+    #[test]
+    fn profiles_are_deterministic() {
+        let b = registry().find("sewha").copied().expect("exists");
+        let p = b.compile().expect("compiles");
+        let p1 = b.profile(&p).expect("runs");
+        let p2 = b.profile(&p).expect("runs");
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn different_seeds_change_float_data_not_structure() {
+        let b = registry().find("fir").copied().expect("exists");
+        let d1 = b.dataset_with_seed(1);
+        let d2 = b.dataset_with_seed(2);
+        assert_ne!(d1.get("x"), d2.get("x"));
+        assert_eq!(d1.get("x").expect("bound").len(), 100);
+    }
+
+    #[test]
+    fn fir_filters_lowpass() {
+        let b = registry().find("fir").copied().expect("exists");
+        let program = b.compile().expect("compiles");
+        let exec = Simulator::new(&program).run(&b.dataset()).expect("runs");
+        let y = exec.array(&program, "y").expect("output bound");
+        assert_eq!(y.len(), 100);
+        assert!(y.iter().all(|v| matches!(v, Value::Float(f) if f.is_finite())));
+        assert!(y.iter().any(|v| v.as_float().abs() > 1e-9));
+    }
+
+    #[test]
+    fn flatten_preserves_pixel_count_and_range() {
+        let b = registry().find("flatten").copied().expect("exists");
+        let program = b.compile().expect("compiles");
+        let exec = Simulator::new(&program).run(&b.dataset()).expect("runs");
+        let out = exec.array(&program, "out").expect("output");
+        assert_eq!(out.len(), 576);
+        assert!(out.iter().all(|v| (0..=255).contains(&v.as_int())));
+        assert!(out.iter().map(|v| v.as_int()).max().expect("nonempty") >= 250);
+    }
+
+    #[test]
+    fn smooth_output_in_pixel_range() {
+        let b = registry().find("smooth").copied().expect("exists");
+        let program = b.compile().expect("compiles");
+        let exec = Simulator::new(&program).run(&b.dataset()).expect("runs");
+        let out = exec.array(&program, "out").expect("output");
+        assert!(out.iter().all(|v| (0..=255).contains(&v.as_int())));
+    }
+
+    #[test]
+    fn edge_detects_gradient_structure() {
+        let b = registry().find("edge").copied().expect("exists");
+        let program = b.compile().expect("compiles");
+        let exec = Simulator::new(&program).run(&b.dataset()).expect("runs");
+        let out = exec.array(&program, "out").expect("output");
+        assert_eq!(out[0].as_int(), 0);
+        assert!(out.iter().any(|v| v.as_int() > 0));
+        assert!(out.iter().all(|v| (0..=255).contains(&v.as_int())));
+    }
+
+    #[test]
+    fn pse_produces_nonnegative_power() {
+        let b = registry().find("pse").copied().expect("exists");
+        let program = b.compile().expect("compiles");
+        let exec = Simulator::new(&program).run(&b.dataset()).expect("runs");
+        let psd = exec.array(&program, "psd").expect("output");
+        assert_eq!(psd.len(), 128);
+        assert!(psd.iter().all(|v| v.as_float() >= 0.0));
+        assert!(psd.iter().any(|v| v.as_float() > 0.0));
+    }
+
+    #[test]
+    fn dft_satisfies_parseval() {
+        let b = registry().find("dft").copied().expect("exists");
+        let program = b.compile().expect("compiles");
+        let exec = Simulator::new(&program).run(&b.dataset()).expect("runs");
+        let re = exec.array(&program, "xre").expect("output");
+        let im = exec.array(&program, "xim").expect("output");
+        let spec_energy: f64 = re
+            .iter()
+            .zip(im)
+            .map(|(r, i)| r.as_float() * r.as_float() + i.as_float() * i.as_float())
+            .sum();
+        let input = b.dataset();
+        let sig_energy: f64 = input
+            .get("x")
+            .expect("bound")
+            .iter()
+            .map(|v| v.as_float() * v.as_float())
+            .sum();
+        let ratio = spec_energy / (256.0 * sig_energy);
+        assert!(
+            (ratio - 1.0).abs() < 1e-6,
+            "Parseval ratio {ratio} should be 1"
+        );
+    }
+
+    #[test]
+    fn intfft_interpolation_tracks_input() {
+        let b = registry().find("intfft").copied().expect("exists");
+        let program = b.compile().expect("compiles");
+        let exec = Simulator::new(&program).run(&b.dataset()).expect("runs");
+        let y = exec.array(&program, "y").expect("output");
+        assert_eq!(y.len(), 256);
+        assert!(y.iter().all(|v| v.as_float().is_finite()));
+        let d = b.dataset();
+        let x = d.get("x").expect("bound");
+        let mut dot = 0.0;
+        let mut nx = 0.0;
+        let mut ny = 0.0;
+        for i in 0..100 {
+            let a = x[i].as_float();
+            let bb = y[2 * i].as_float();
+            dot += a * bb;
+            nx += a * a;
+            ny += bb * bb;
+        }
+        let corr = dot / (nx.sqrt() * ny.sqrt());
+        assert!(corr > 0.9, "interpolation correlation too low: {corr}");
+    }
+
+    #[test]
+    fn feowf_is_stable() {
+        let b = registry().find("feowf").copied().expect("exists");
+        let program = b.compile().expect("compiles");
+        let exec = Simulator::new(&program).run(&b.dataset()).expect("runs");
+        let y = exec.array(&program, "y").expect("output");
+        assert!(y.iter().all(|v| v.as_int().abs() < 1 << 24));
+        assert!(y.iter().any(|v| v.as_int() != 0));
+    }
+
+    #[test]
+    fn bspline_smooths() {
+        let b = registry().find("bspline").copied().expect("exists");
+        let program = b.compile().expect("compiles");
+        let exec = Simulator::new(&program).run(&b.dataset()).expect("runs");
+        let y = exec.array(&program, "y").expect("output");
+        let d = b.dataset();
+        let x = d.get("x").expect("bound");
+        let tv = |v: &[Value]| -> i64 {
+            v.windows(2)
+                .map(|w| (w[1].as_int() - w[0].as_int()).abs())
+                .sum()
+        };
+        assert!(tv(y) < tv(x));
+    }
+
+    #[test]
+    fn sewha_output_scaled_into_range() {
+        let b = registry().find("sewha").copied().expect("exists");
+        let program = b.compile().expect("compiles");
+        let exec = Simulator::new(&program).run(&b.dataset()).expect("runs");
+        let y = exec.array(&program, "y").expect("output");
+        assert!(y.iter().all(|v| v.as_int().abs() < 1 << 15));
+    }
+
+    #[test]
+    fn table1_metadata_is_complete() {
+        for b in registry().iter() {
+            assert!(!b.description.is_empty());
+            assert!(!b.data_description.is_empty());
+            assert!(b.paper_lines > 0);
+            assert!(!b.source.is_empty());
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Cross-benchmark pooling (the paper's Section 6.1: "combining the
+//! results of all the benchmarks together").
+
+use crate::report::{SeqStats, SequenceReport};
+use crate::signature::Signature;
+use std::collections::BTreeMap;
+
+/// A combined report across several benchmarks.
+pub type CombinedReport = SequenceReport;
+
+/// Combine per-benchmark reports by *averaging percentages* — every
+/// benchmark contributes equally, as a tuning suite should (otherwise a
+/// single O(N²) kernel like `dft` would decide the whole ASIP). This is
+/// the reading consistent with the magnitudes in the paper's combined
+/// figures and Table 2.
+///
+/// # Panics
+///
+/// Panics if `reports` is empty — there is nothing to combine.
+pub fn combine(reports: &[SequenceReport]) -> CombinedReport {
+    assert!(!reports.is_empty(), "cannot combine zero reports");
+    let n = reports.len() as f64;
+    let suite_total: u64 = reports.iter().map(|r| r.total_profile_ops).sum();
+    let mut avg: BTreeMap<Signature, SeqStats> = BTreeMap::new();
+    for r in reports {
+        for (sig, stats) in r.entries() {
+            let e = avg.entry(sig.clone()).or_insert(SeqStats {
+                frequency: 0.0,
+                occurrences: 0,
+            });
+            e.frequency += stats.frequency / n;
+            e.occurrences += stats.occurrences;
+        }
+    }
+    SequenceReport::from_parts(
+        "combined".to_string(),
+        avg.into_iter().collect(),
+        suite_total,
+    )
+}
+
+/// Combine by pooling dynamic weight instead: a signature's combined
+/// frequency is its covered dynamic ops across the suite divided by the
+/// suite's total dynamic ops, as if the benchmarks were one long
+/// program. Long-running kernels dominate; exposed for the ablation
+/// benches.
+///
+/// # Panics
+///
+/// Panics if `reports` is empty.
+pub fn combine_pooled(reports: &[SequenceReport]) -> CombinedReport {
+    assert!(!reports.is_empty(), "cannot combine zero reports");
+    let suite_total: u64 = reports.iter().map(|r| r.total_profile_ops).sum();
+    let mut pooled: BTreeMap<Signature, SeqStats> = BTreeMap::new();
+    for r in reports {
+        for (sig, stats) in r.entries() {
+            let ops = stats.frequency / 100.0 * r.total_profile_ops as f64;
+            let e = pooled.entry(sig.clone()).or_insert(SeqStats {
+                frequency: 0.0,
+                occurrences: 0,
+            });
+            e.frequency += if suite_total == 0 {
+                0.0
+            } else {
+                100.0 * ops / suite_total as f64
+            };
+            e.occurrences += stats.occurrences;
+        }
+    }
+    SequenceReport::from_parts(
+        "combined-pooled".to_string(),
+        pooled.into_iter().collect(),
+        suite_total,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(name: &str, total: u64, entries: Vec<(&str, f64, usize)>) -> SequenceReport {
+        SequenceReport::from_parts(
+            name.to_string(),
+            entries
+                .into_iter()
+                .map(|(s, f, n)| {
+                    (
+                        s.parse::<Signature>().expect("valid signature"),
+                        SeqStats {
+                            frequency: f,
+                            occurrences: n,
+                        },
+                    )
+                })
+                .collect(),
+            total,
+        )
+    }
+
+    #[test]
+    fn averaging_weights_benchmarks_equally() {
+        // bench A: 10% multiply-add; bench B: 1% — mean = 5.5% regardless
+        // of how long each benchmark ran
+        let a = report("a", 1000, vec![("multiply-add", 10.0, 5)]);
+        let b = report("b", 9000, vec![("multiply-add", 1.0, 3)]);
+        let c = combine(&[a, b]);
+        let mac: Signature = "multiply-add".parse().expect("ok");
+        assert!((c.frequency_of(&mac) - 5.5).abs() < 1e-9);
+        assert_eq!(c.total_profile_ops, 10000);
+        assert_eq!(c.entries()[0].1.occurrences, 8);
+    }
+
+    #[test]
+    fn pooling_weights_by_benchmark_size() {
+        // bench A: 10% multiply-add over 1000 ops = 100 ops
+        // bench B: 1% multiply-add over 9000 ops = 90 ops
+        // pooled: 190 / 10000 = 1.9%
+        let a = report("a", 1000, vec![("multiply-add", 10.0, 5)]);
+        let b = report("b", 9000, vec![("multiply-add", 1.0, 3)]);
+        let c = combine_pooled(&[a, b]);
+        let mac: Signature = "multiply-add".parse().expect("ok");
+        assert!((c.frequency_of(&mac) - 1.9).abs() < 1e-9);
+        assert_eq!(c.total_profile_ops, 10000);
+        assert_eq!(c.entries()[0].1.occurrences, 8);
+    }
+
+    #[test]
+    fn distinct_signatures_kept_separate() {
+        let a = report("a", 100, vec![("multiply-add", 10.0, 1)]);
+        let b = report("b", 100, vec![("add-add", 20.0, 2)]);
+        let c = combine(&[a, b]);
+        assert_eq!(c.len(), 2);
+        // add-add pools to 10%, multiply-add to 5%
+        assert!((c.frequency_of(&"add-add".parse().expect("ok")) - 10.0).abs() < 1e-9);
+        assert!((c.frequency_of(&"multiply-add".parse().expect("ok")) - 5.0).abs() < 1e-9);
+        // sorted: add-add first
+        assert_eq!(c.entries()[0].0.to_string(), "add-add");
+    }
+
+    #[test]
+    fn single_report_is_identity() {
+        let a = report("a", 500, vec![("multiply-add", 7.5, 2), ("add-add", 3.0, 1)]);
+        let c = combine(std::slice::from_ref(&a));
+        assert!((c.frequency_of(&"multiply-add".parse().expect("ok")) - 7.5).abs() < 1e-9);
+        assert!((c.frequency_of(&"add-add".parse().expect("ok")) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot combine")]
+    fn empty_combination_panics() {
+        let _ = combine(&[]);
+    }
+}

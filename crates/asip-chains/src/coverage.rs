@@ -1,0 +1,268 @@
+//! Iterative greedy coverage analysis (the paper's Section 7 / Table 3).
+//!
+//! "Once the sequence with the highest frequency was found for a given
+//! benchmark, the sequence detection analyzer tool was run again, this
+//! time ignoring any occurrences of the high-frequency sequence already
+//! found. This process continued iteratively until no sequences of any
+//! significant percentage were left."
+
+use crate::detect::{DetectorConfig, Occurrence, OpRef, SequenceDetector};
+use crate::signature::Signature;
+use asip_opt::ScheduleGraph;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// One selected sequence in a coverage study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverageEntry {
+    /// The selected signature.
+    pub signature: Signature,
+    /// The dynamic frequency its non-overlapping occurrences cover, in
+    /// percent of total execution.
+    pub frequency: f64,
+}
+
+/// Result of a coverage study: the chosen sequences and the total
+/// coverage (the paper reports both per benchmark).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverageReport {
+    /// Benchmark name.
+    pub name: String,
+    /// Selected sequences in selection order (highest frequency first).
+    pub entries: Vec<CoverageEntry>,
+}
+
+impl CoverageReport {
+    /// Total coverage: the sum of the selected sequences' frequencies
+    /// (Table 3's "Coverage" column).
+    pub fn coverage(&self) -> f64 {
+        self.entries.iter().map(|e| e.frequency).sum::<f64>().max(0.0)
+    }
+}
+
+/// Iterative greedy coverage analyzer.
+#[derive(Debug, Clone, Copy)]
+pub struct CoverageAnalyzer {
+    config: DetectorConfig,
+    /// Stop when the best remaining sequence covers less than this
+    /// (percent). The paper stops at "no significant percentage";
+    /// its tables bottom out around 4–5%.
+    significance_floor: f64,
+    /// Safety cap on selection rounds.
+    max_sequences: usize,
+}
+
+impl CoverageAnalyzer {
+    /// Create an analyzer with the given detector configuration and a
+    /// 4% significance floor.
+    pub fn new(config: DetectorConfig) -> Self {
+        CoverageAnalyzer {
+            config,
+            significance_floor: 4.0,
+            max_sequences: 8,
+        }
+    }
+
+    /// Override the significance floor (percent).
+    pub fn with_floor(mut self, floor: f64) -> Self {
+        self.significance_floor = floor;
+        self
+    }
+
+    /// Override the maximum number of selected sequences.
+    pub fn with_max_sequences(mut self, max: usize) -> Self {
+        self.max_sequences = max;
+        self
+    }
+
+    /// Run the iterative study on a scheduled graph.
+    pub fn analyze(&self, graph: &ScheduleGraph) -> CoverageReport {
+        let detector = SequenceDetector::new(self.config);
+        let mut consumed: HashSet<OpRef> = HashSet::new();
+        let mut chosen: HashSet<Signature> = HashSet::new();
+        let mut entries = Vec::new();
+
+        for _round in 0..self.max_sequences {
+            let occurrences =
+                detector.occurrences_filtered(graph, |r| consumed.contains(&r));
+            let candidates: Vec<Occurrence> = occurrences
+                .into_iter()
+                .filter(|o| !chosen.contains(&o.signature))
+                .collect();
+            let Some((signature, freq, selected)) =
+                best_signature(graph, &candidates, &consumed)
+            else {
+                break;
+            };
+            chosen.insert(signature.clone());
+            if freq < self.significance_floor {
+                break;
+            }
+            for occ in &selected {
+                consumed.extend(occ.ops.iter().copied());
+            }
+            entries.push(CoverageEntry {
+                signature,
+                frequency: freq,
+            });
+        }
+        CoverageReport {
+            name: graph.name.clone(),
+            entries,
+        }
+    }
+}
+
+/// Pick the signature whose non-overlapping occurrence set covers the
+/// most dynamic frequency; returns the signature, its coverage, and the
+/// selected (mutually disjoint) occurrences.
+fn best_signature(
+    graph: &ScheduleGraph,
+    occurrences: &[Occurrence],
+    consumed: &HashSet<OpRef>,
+) -> Option<(Signature, f64, Vec<Occurrence>)> {
+    use std::collections::BTreeMap;
+    let mut by_sig: BTreeMap<&Signature, Vec<&Occurrence>> = BTreeMap::new();
+    for o in occurrences {
+        by_sig.entry(&o.signature).or_default().push(o);
+    }
+    let mut best: Option<(Signature, f64, Vec<Occurrence>)> = None;
+    for (sig, occs) in by_sig {
+        let (freq, selected) =
+            crate::detect::select_non_overlapping(graph, &occs, consumed);
+        let better = match &best {
+            None => true,
+            Some((_, bf, _)) => freq > *bf,
+        };
+        if better && freq > 0.0 {
+            best = Some((sig.clone(), freq, selected));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asip_opt::{OptLevel, Optimizer};
+    use asip_sim::{DataSet, Simulator};
+
+    fn graph_for(src: &str, level: OptLevel) -> ScheduleGraph {
+        let program = asip_frontend::compile("cov", src).expect("compiles");
+        let mut data = DataSet::new();
+        for a in &program.arrays {
+            if a.kind == asip_ir::ArrayKind::Input {
+                match a.ty {
+                    asip_ir::Ty::Int => {
+                        data.bind_ints(a.name.clone(), (1..=a.len as i64).collect());
+                    }
+                    asip_ir::Ty::Float => {
+                        data.bind_floats(
+                            a.name.clone(),
+                            (0..a.len).map(|k| 0.1 * k as f64 + 0.3).collect(),
+                        );
+                    }
+                }
+            }
+        }
+        let exec = Simulator::new(&program).run(&data).expect("runs");
+        Optimizer::new(level).run(&program, &exec.profile)
+    }
+
+    const FILTER_SRC: &str = r#"
+        input int x[64]; output int y[64];
+        void main() {
+            int i;
+            for (i = 0; i < 64; i = i + 1) {
+                y[i] = x[i] * 5 + x[(i + 63) % 64] * 2;
+            }
+        }
+    "#;
+
+    #[test]
+    fn coverage_is_bounded_and_positive() {
+        let g = graph_for(FILTER_SRC, OptLevel::Pipelined);
+        let report = CoverageAnalyzer::new(DetectorConfig::default()).analyze(&g);
+        assert!(!report.entries.is_empty());
+        let cov = report.coverage();
+        assert!(cov > 0.0, "some coverage found");
+        assert!(cov <= 100.0 + 1e-9, "no double counting: {cov}");
+    }
+
+    #[test]
+    fn entries_are_selected_greedily() {
+        let g = graph_for(FILTER_SRC, OptLevel::Pipelined);
+        let report = CoverageAnalyzer::new(DetectorConfig::default())
+            .with_floor(0.5)
+            .analyze(&g);
+        // each later round can only find <= the previous round's frequency?
+        // (not strictly guaranteed because consumed ops interact, but the
+        // first entry must be the global maximum)
+        assert!(report.entries.len() >= 2);
+        let first = report.entries[0].frequency;
+        for e in &report.entries[1..] {
+            assert!(e.frequency <= first + 1e-9);
+        }
+    }
+
+    #[test]
+    fn optimized_coverage_beats_unoptimized_on_sewha() {
+        // the paper's headline Table 3 result, on the same benchmark it
+        // reports first (sewha: 91.31% optimized vs 31.99% without)
+        let reg = asip_benchmarks::registry();
+        let b = reg.find("sewha").expect("built-in");
+        let program = b.compile().expect("compiles");
+        let profile = b.profile(&program).expect("runs");
+        let g0 = Optimizer::new(OptLevel::None).run(&program, &profile);
+        let g1 = Optimizer::new(OptLevel::Pipelined).run(&program, &profile);
+        let analyzer = CoverageAnalyzer::new(DetectorConfig::default());
+        let c0 = analyzer.analyze(&g0).coverage();
+        let c1 = analyzer.analyze(&g1).coverage();
+        assert!(
+            c1 > c0,
+            "optimized coverage ({c1:.1}%) must beat unoptimized ({c0:.1}%)"
+        );
+    }
+
+    #[test]
+    fn floor_controls_entry_count() {
+        let g = graph_for(FILTER_SRC, OptLevel::Pipelined);
+        let low = CoverageAnalyzer::new(DetectorConfig::default())
+            .with_floor(0.1)
+            .analyze(&g);
+        let high = CoverageAnalyzer::new(DetectorConfig::default())
+            .with_floor(20.0)
+            .analyze(&g);
+        assert!(low.entries.len() >= high.entries.len());
+        for e in &high.entries {
+            assert!(e.frequency >= 20.0);
+        }
+    }
+
+    #[test]
+    fn max_sequences_caps_rounds() {
+        let g = graph_for(FILTER_SRC, OptLevel::Pipelined);
+        let capped = CoverageAnalyzer::new(DetectorConfig::default())
+            .with_floor(0.01)
+            .with_max_sequences(2)
+            .analyze(&g);
+        assert!(capped.entries.len() <= 2);
+    }
+
+    #[test]
+    fn rounds_do_not_reuse_ops() {
+        let g = graph_for(FILTER_SRC, OptLevel::Pipelined);
+        let report = CoverageAnalyzer::new(DetectorConfig::default())
+            .with_floor(0.5)
+            .analyze(&g);
+        // distinct signatures per round
+        let mut seen = HashSet::new();
+        for e in &report.entries {
+            assert!(
+                seen.insert(e.signature.clone()),
+                "round repeated signature {}",
+                e.signature
+            );
+        }
+    }
+}

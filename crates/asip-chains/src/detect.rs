@@ -1,0 +1,681 @@
+//! The branch-and-bound sequence detector.
+
+use crate::signature::Signature;
+use asip_opt::{NodeId, ScheduleGraph};
+use std::collections::HashSet;
+
+/// A reference to one scheduled op instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpRef {
+    /// Containing node.
+    pub node: NodeId,
+    /// Index within the node's op list.
+    pub index: usize,
+}
+
+/// One concrete occurrence of a chainable sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Occurrence {
+    /// The chained op instances, head first.
+    pub ops: Vec<OpRef>,
+    /// The signature (op classes of the ops).
+    pub signature: Signature,
+    /// The limiting dynamic count: the minimum weight along the chain
+    /// (consecutive ops in a loop share their weight; a chain spanning a
+    /// guard executes only as often as its rarest member).
+    pub min_weight: f64,
+}
+
+impl Occurrence {
+    /// Dynamic frequency in percent of the run's total operations:
+    /// `min_weight × length / total × 100`.
+    pub fn frequency(&self, total_profile_ops: u64) -> f64 {
+        if total_profile_ops == 0 {
+            return 0.0;
+        }
+        100.0 * self.min_weight * self.ops.len() as f64 / total_profile_ops as f64
+    }
+}
+
+/// Which op classes may participate in a chain.
+///
+/// The default matches the paper's candidate set: arithmetic, shifts,
+/// logic, compares, loads and stores — in both integer and float
+/// flavors. Register copies (`move`), int/float conversions and math
+/// intrinsics (library calls in 3-address code) are *not* candidates:
+/// a chained functional unit fuses datapath operations, not calls.
+pub fn default_chainable(class: asip_ir::OpClass) -> bool {
+    use asip_ir::OpClass as C;
+    matches!(
+        class,
+        C::Add
+            | C::Sub
+            | C::Mul
+            | C::Div
+            | C::Shift
+            | C::Logic
+            | C::Compare
+            | C::Load
+            | C::Store
+            | C::FAdd
+            | C::FSub
+            | C::FMul
+            | C::FDiv
+            | C::FLoad
+            | C::FStore
+    )
+}
+
+/// Detector parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectorConfig {
+    /// Minimum chain length reported (paper: 2).
+    pub min_len: usize,
+    /// Maximum chain length searched (paper: 5).
+    pub max_len: usize,
+    /// Chaining window: the maximum number of schedule edges between
+    /// consecutive chain members. `0` = same node only; `1` (default) =
+    /// same or adjacent node, i.e. the value could be forwarded without a
+    /// register-file round trip.
+    pub window: usize,
+    /// Branch-and-bound pruning floor, in percent: partial chains whose
+    /// best achievable *occurrence* frequency is below this are
+    /// abandoned. Pruning operates per occurrence, so a signature whose
+    /// total comes from many small occurrences may report a lower
+    /// aggregate under a non-zero floor; use `0.0` (the default) when
+    /// exact tables are needed and a floor when only the headline
+    /// sequences matter (the paper's analyzer does the latter).
+    pub prune_floor: f64,
+    /// Which classes are chain candidates (see [`default_chainable`]).
+    pub chainable: fn(asip_ir::OpClass) -> bool,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            min_len: 2,
+            max_len: 5,
+            window: 1,
+            prune_floor: 0.0,
+            chainable: default_chainable,
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// Restrict to a single length.
+    pub fn with_length(mut self, len: usize) -> Self {
+        self.min_len = len;
+        self.max_len = len;
+        self
+    }
+
+    /// Set the chaining window.
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Set the branch-and-bound pruning floor (percent).
+    pub fn with_prune_floor(mut self, floor: f64) -> Self {
+        self.prune_floor = floor;
+        self
+    }
+
+    /// Override the chain-candidate class policy.
+    pub fn with_chainable(mut self, chainable: fn(asip_ir::OpClass) -> bool) -> Self {
+        self.chainable = chainable;
+        self
+    }
+}
+
+/// Select a maximal-weight set of mutually non-overlapping occurrences
+/// (heaviest first), skipping those touching `consumed` ops; returns the
+/// selected occurrences and their total frequency. Used both for report
+/// aggregation (a sequence's frequency never counts one op twice) and by
+/// the coverage analyzer.
+pub fn select_non_overlapping(
+    graph: &ScheduleGraph,
+    occurrences: &[&Occurrence],
+    consumed: &HashSet<OpRef>,
+) -> (f64, Vec<Occurrence>) {
+    let mut order: Vec<&&Occurrence> = occurrences.iter().collect();
+    order.sort_by(|a, b| {
+        b.min_weight
+            .partial_cmp(&a.min_weight)
+            .expect("weights finite")
+            .then_with(|| a.ops.cmp(&b.ops))
+    });
+    let mut taken: HashSet<OpRef> = HashSet::new();
+    let mut freq = 0.0;
+    let mut selected = Vec::new();
+    for o in order {
+        if o.ops
+            .iter()
+            .any(|r| taken.contains(r) || consumed.contains(r))
+        {
+            continue;
+        }
+        taken.extend(o.ops.iter().copied());
+        freq += o.frequency(graph.total_profile_ops);
+        selected.push((**o).clone());
+    }
+    (freq, selected)
+}
+
+/// The sequence detection analyzer.
+///
+/// See the crate docs for the chain model. The search enumerates, for
+/// each chainable op, every data-flow successor within the chaining
+/// window, depth-first up to `max_len`, pruning partial chains that can
+/// no longer reach `prune_floor` (branch and bound, as in the paper's
+/// Section 5).
+#[derive(Debug, Clone, Copy)]
+pub struct SequenceDetector {
+    config: DetectorConfig,
+}
+
+impl SequenceDetector {
+    /// Create a detector.
+    pub fn new(config: DetectorConfig) -> Self {
+        SequenceDetector { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Detect all occurrences and aggregate them into a report.
+    pub fn analyze(&self, graph: &ScheduleGraph) -> crate::report::SequenceReport {
+        let occurrences = self.occurrences(graph);
+        crate::report::SequenceReport::from_occurrences(graph, &occurrences, &self.config)
+    }
+
+    /// Enumerate every chain occurrence (unaggregated).
+    pub fn occurrences(&self, graph: &ScheduleGraph) -> Vec<Occurrence> {
+        self.occurrences_filtered(graph, |_| false)
+    }
+
+    /// Enumerate occurrences, skipping any chain that touches an op for
+    /// which `consumed` returns true (used by the coverage analyzer).
+    pub fn occurrences_filtered(
+        &self,
+        graph: &ScheduleGraph,
+        consumed: impl Fn(OpRef) -> bool,
+    ) -> Vec<Occurrence> {
+        let mut out = Vec::new();
+        for (ni, node) in graph.nodes.iter().enumerate() {
+            for (oi, op) in node.ops.iter().enumerate() {
+                let head = OpRef {
+                    node: NodeId(ni as u32),
+                    index: oi,
+                };
+                if consumed(head) {
+                    continue;
+                }
+                if !(self.config.chainable)(graph.class_of(op)) {
+                    continue;
+                }
+                let mut chain = vec![head];
+                let mut classes = vec![graph.class_of(op)];
+                self.extend(
+                    graph,
+                    &mut chain,
+                    &mut classes,
+                    op.weight,
+                    &consumed,
+                    &mut out,
+                );
+            }
+        }
+        out
+    }
+
+    fn extend(
+        &self,
+        graph: &ScheduleGraph,
+        chain: &mut Vec<OpRef>,
+        classes: &mut Vec<asip_ir::OpClass>,
+        min_weight: f64,
+        consumed: &impl Fn(OpRef) -> bool,
+        out: &mut Vec<Occurrence>,
+    ) {
+        if chain.len() >= self.config.min_len {
+            out.push(Occurrence {
+                ops: chain.clone(),
+                signature: Signature::new(classes.clone()),
+                min_weight,
+            });
+        }
+        if chain.len() >= self.config.max_len {
+            return;
+        }
+        // branch and bound: even extended to max_len with the current
+        // limiting weight, can this chain still clear the floor?
+        if self.config.prune_floor > 0.0 && graph.total_profile_ops > 0 {
+            let best = 100.0 * min_weight * self.config.max_len as f64
+                / graph.total_profile_ops as f64;
+            if best < self.config.prune_floor {
+                return;
+            }
+        }
+        let last = *chain.last().expect("chain non-empty");
+        for succ in self.flow_succs(graph, last) {
+            if chain.contains(&succ) || consumed(succ) {
+                continue;
+            }
+            let op = &graph.node(succ.node).ops[succ.index];
+            let class = graph.class_of(op);
+            if !(self.config.chainable)(class) {
+                continue;
+            }
+            chain.push(succ);
+            classes.push(class);
+            self.extend(
+                graph,
+                chain,
+                classes,
+                min_weight.min(op.weight),
+                consumed,
+                out,
+            );
+            chain.pop();
+            classes.pop();
+        }
+    }
+
+    /// Data-flow successors of `from`: ops whose operands read `from`'s
+    /// destination register, reachable without the value being redefined,
+    /// and close enough to chain.
+    ///
+    /// "Close enough" depends on the graph: in an optimized graph
+    /// ([`ScheduleGraph::region_chaining`]) percolation can co-schedule
+    /// any two flow-dependent ops of one block region, so every in-region
+    /// consumer qualifies ("search a much broader set of possibilities");
+    /// across region boundaries — and everywhere in a sequential graph —
+    /// consumers must lie within `window` schedule edges.
+    pub fn flow_succs(&self, graph: &ScheduleGraph, from: OpRef) -> Vec<OpRef> {
+        let src = &graph.node(from.node).ops[from.index];
+        let Some(d) = src.inst.dst() else {
+            return Vec::new();
+        };
+        let mut found: Vec<OpRef> = Vec::new();
+        let mut seen: HashSet<OpRef> = HashSet::new();
+
+        // same node: same issue cycle, direct forwarding
+        for (i, op) in graph.node(from.node).ops.iter().enumerate() {
+            if i != from.index && op.inst.uses().contains(&d) {
+                let r = OpRef {
+                    node: from.node,
+                    index: i,
+                };
+                if seen.insert(r) {
+                    found.push(r);
+                }
+            }
+        }
+
+        // region chaining: walk the rest of this block's node sequence
+        // (a block's nodes are consecutive by construction); stop past a
+        // node that redefines d
+        if graph.region_chaining {
+            let block = graph.node(from.node).block;
+            let mut n = from.node.index() + 1;
+            while n < graph.nodes.len() && graph.nodes[n].block == block {
+                for (i, op) in graph.nodes[n].ops.iter().enumerate() {
+                    if op.inst.uses().contains(&d) {
+                        let r = OpRef {
+                            node: NodeId(n as u32),
+                            index: i,
+                        };
+                        if seen.insert(r) {
+                            found.push(r);
+                        }
+                    }
+                }
+                if graph.nodes[n]
+                    .ops
+                    .iter()
+                    .any(|op| op.inst.dst() == Some(d))
+                {
+                    break;
+                }
+                n += 1;
+            }
+        }
+
+        // nodes within `window` edges, via DFS over node paths; a path is
+        // cut when some op on an intermediate node redefines `d`
+        let mut stack: Vec<(NodeId, usize)> = vec![(from.node, 0)];
+        let mut visited_at: Vec<(NodeId, usize)> = Vec::new();
+        while let Some((n, depth)) = stack.pop() {
+            if depth >= self.config.window {
+                continue;
+            }
+            for &s in &graph.node(n).succs {
+                // collect consumers in s
+                for (i, op) in graph.node(s).ops.iter().enumerate() {
+                    if (s != from.node || i != from.index) && op.inst.uses().contains(&d) {
+                        let r = OpRef { node: s, index: i };
+                        if seen.insert(r) {
+                            found.push(r);
+                        }
+                    }
+                }
+                // extend the path unless s redefines d (value killed past s)
+                let kills = graph
+                    .node(s)
+                    .ops
+                    .iter()
+                    .any(|op| op.inst.dst() == Some(d));
+                if !kills && !visited_at.contains(&(s, depth + 1)) {
+                    visited_at.push((s, depth + 1));
+                    stack.push((s, depth + 1));
+                }
+            }
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asip_opt::{OptLevel, Optimizer};
+    use asip_sim::{DataSet, Simulator};
+
+    fn analyze_src(src: &str, level: OptLevel) -> (ScheduleGraph, Vec<Occurrence>) {
+        let program = asip_frontend::compile("t", src).expect("compiles");
+        let mut data = DataSet::new();
+        for a in &program.arrays {
+            if a.kind == asip_ir::ArrayKind::Input {
+                match a.ty {
+                    asip_ir::Ty::Int => {
+                        data.bind_ints(a.name.clone(), (0..a.len as i64).collect());
+                    }
+                    asip_ir::Ty::Float => {
+                        data.bind_floats(
+                            a.name.clone(),
+                            (0..a.len).map(|k| k as f64 * 0.25 + 0.5).collect(),
+                        );
+                    }
+                }
+            }
+        }
+        let exec = Simulator::new(&program).run(&data).expect("runs");
+        let graph = Optimizer::new(level).run(&program, &exec.profile);
+        let occ = SequenceDetector::new(DetectorConfig::default()).occurrences(&graph);
+        (graph, occ)
+    }
+
+    const MAC_SRC: &str = r#"
+        input int x[32]; output int y[32];
+        void main() {
+            int i;
+            for (i = 0; i < 32; i = i + 1) { y[i] = x[i] * 3 + 1; }
+        }
+    "#;
+
+    #[test]
+    fn finds_multiply_add_at_level0() {
+        let (graph, occ) = analyze_src(MAC_SRC, OptLevel::None);
+        let mac: Signature = "multiply-add".parse().expect("ok");
+        let hit = occ
+            .iter()
+            .find(|o| o.signature == mac)
+            .expect("multiply-add detected in sequential code");
+        assert!(hit.frequency(graph.total_profile_ops) > 5.0);
+    }
+
+    #[test]
+    fn finds_load_multiply_chain() {
+        let (_, occ) = analyze_src(MAC_SRC, OptLevel::None);
+        let lm: Signature = "load-multiply".parse().expect("ok");
+        assert!(occ.iter().any(|o| o.signature == lm));
+        let lma: Signature = "load-multiply-add".parse().expect("ok");
+        assert!(occ.iter().any(|o| o.signature == lma));
+    }
+
+    #[test]
+    fn pipelining_exposes_cross_iteration_add_chains() {
+        // `i = i + 1` feeds the *next* iteration's address-scaling
+        // multiply (`i * 4`): the add-multiply pair only becomes visible
+        // once the kernel overlaps iterations — the paper's Section 6
+        // observation
+        let src = r#"
+            input int x[32]; output int y[32];
+            void main() {
+                int i;
+                for (i = 0; i < 32; i = i + 1) { y[i] = x[i] + 7; }
+            }
+        "#;
+        let freq_of = |level| {
+            let (graph, occ) = analyze_src(src, level);
+            occ.iter()
+                .filter(|o| o.signature == "add-multiply".parse().expect("ok"))
+                .map(|o| o.frequency(graph.total_profile_ops))
+                .sum::<f64>()
+        };
+        let f0 = freq_of(OptLevel::None);
+        let f1 = freq_of(OptLevel::Pipelined);
+        assert!(
+            f1 > f0,
+            "pipelined add-multiply {f1:.2}% must exceed sequential {f0:.2}%"
+        );
+    }
+
+    #[test]
+    fn window_zero_restricts_to_same_node() {
+        let (graph, _) = analyze_src(MAC_SRC, OptLevel::None);
+        let det = SequenceDetector::new(DetectorConfig::default().with_window(0));
+        // level 0 has one op per node: nothing can chain in-window
+        assert!(det.occurrences(&graph).is_empty());
+    }
+
+    #[test]
+    fn wider_window_finds_superset() {
+        let (graph, _) = analyze_src(MAC_SRC, OptLevel::Pipelined);
+        let n1 = SequenceDetector::new(DetectorConfig::default().with_window(1))
+            .occurrences(&graph)
+            .len();
+        let n2 = SequenceDetector::new(DetectorConfig::default().with_window(2))
+            .occurrences(&graph)
+            .len();
+        assert!(n2 >= n1);
+    }
+
+    #[test]
+    fn pruning_floor_discards_rare_chains_only() {
+        let (graph, _) = analyze_src(MAC_SRC, OptLevel::Pipelined);
+        let all = SequenceDetector::new(DetectorConfig::default()).occurrences(&graph);
+        let pruned = SequenceDetector::new(DetectorConfig::default().with_prune_floor(5.0))
+            .occurrences(&graph);
+        assert!(pruned.len() <= all.len());
+        // every surviving chain could reach the floor
+        for o in &pruned {
+            let best = 100.0 * o.min_weight * 5.0 / graph.total_profile_ops as f64;
+            assert!(best >= 5.0);
+        }
+        // high-frequency chains survive
+        assert!(pruned
+            .iter()
+            .any(|o| o.signature == "multiply-add".parse().expect("ok")));
+    }
+
+    #[test]
+    fn kill_breaks_chains() {
+        // r gets redefined between producer and consumer: no chain
+        use asip_ir::{BinOp, Operand, ProgramBuilder, Ty};
+        let mut b = ProgramBuilder::new("kill");
+        let entry = b.entry_block();
+        b.select_block(entry);
+        let t = b.new_reg(Ty::Int);
+        b.binary_to(t, BinOp::Mul, Operand::imm_int(2), Operand::imm_int(3));
+        b.binary_to(t, BinOp::Add, Operand::imm_int(0), Operand::imm_int(0)); // kills t
+        let _u = b.binary(BinOp::Add, t.into(), Operand::imm_int(1));
+        b.ret(None);
+        let p = b.finish().expect("valid");
+        let profile = Simulator::new(&p).run(&DataSet::new()).expect("runs").profile;
+        let graph = Optimizer::new(OptLevel::None).run(&p, &profile);
+        let det = SequenceDetector::new(DetectorConfig::default().with_window(2));
+        let occ = det.occurrences(&graph);
+        // multiply's value is dead: mul must not chain into the final add
+        assert!(
+            !occ.iter()
+                .any(|o| o.signature == "multiply-add".parse().expect("ok")),
+            "killed value must not chain"
+        );
+        // but the redefining add chains into the final add
+        assert!(occ
+            .iter()
+            .any(|o| o.signature == "add-add".parse().expect("ok")));
+    }
+
+    #[test]
+    fn region_chaining_sees_distant_in_block_flow() {
+        // producer and consumer separated by several schedule cycles in
+        // one region: invisible at level 0 (window 1), chainable in the
+        // optimized graph (percolation could bring them together)
+        let src = r#"
+            input int a[16]; input int b[16]; output int y[16];
+            void main() {
+                int i; int t1; int t2; int u2;
+                for (i = 0; i < 16; i = i + 1) {
+                    t1 = a[i] + 1;
+                    t2 = b[i] + 2;
+                    u2 = t2 * 5;
+                    y[i] = t1 * u2;
+                }
+            }
+        "#;
+        // t1's consumer (the final multiply) is far from its producer in
+        // sequential order (b-address math, load, add, mul in between)
+        let am: Signature = "add-multiply".parse().expect("ok");
+        let find = |level| {
+            let (graph, occ) = analyze_src(src, level);
+            occ.iter()
+                .filter(|o| o.signature == am)
+                .map(|o| o.frequency(graph.total_profile_ops))
+                .sum::<f64>()
+        };
+        let f0 = find(OptLevel::None);
+        let f1 = find(OptLevel::Pipelined);
+        assert!(f1 > f0, "region chaining must find more: {f0:.2} vs {f1:.2}");
+    }
+
+    #[test]
+    fn region_chaining_respects_kills() {
+        // in the optimized graph, a redefinition between producer and
+        // consumer still breaks the chain even within one region
+        use asip_ir::{BinOp, Operand, ProgramBuilder, Ty};
+        let mut b = ProgramBuilder::new("rk");
+        let y = b.output_array("y", Ty::Int, 1);
+        let entry = b.entry_block();
+        b.select_block(entry);
+        let t = b.new_reg(Ty::Int);
+        // mul defines t; an unrelated add then KILLS t (output dep only,
+        // never reads it); the final add consumes the killer's value
+        b.binary_to(t, BinOp::Mul, Operand::imm_int(2), Operand::imm_int(3));
+        b.binary_to(t, BinOp::Add, Operand::imm_int(5), Operand::imm_int(5));
+        let fin = b.binary(BinOp::Add, t.into(), Operand::imm_int(1));
+        b.store(y, Operand::imm_int(0), fin.into());
+        b.ret(None);
+        let p = b.finish().expect("valid");
+        let profile = Simulator::new(&p).run(&DataSet::new()).expect("runs").profile;
+        let graph = Optimizer::new(OptLevel::Pipelined).run(&p, &profile);
+        assert!(graph.region_chaining);
+        let det = SequenceDetector::new(DetectorConfig::default());
+        let occ = det.occurrences(&graph);
+        // the multiply's value is dead past the kill: no multiply-add
+        // chain may exist anywhere in this program
+        let ma: Signature = "multiply-add".parse().expect("ok");
+        assert!(
+            !occ.iter().any(|o| o.signature == ma),
+            "killed multiply result must not chain"
+        );
+        // the killer's add chains into the final add as usual
+        let aa: Signature = "add-add".parse().expect("ok");
+        assert!(occ.iter().any(|o| o.signature == aa));
+    }
+
+    #[test]
+    fn region_chaining_stays_inside_the_block() {
+        // flow into a *different* block region is still window-limited:
+        // a value defined early in the entry and consumed deep inside
+        // the loop body does not chain across the region boundary
+        let src = r#"
+            input int a[4]; output int y[16];
+            void main() {
+                int k; int i;
+                k = a[0] * 7;
+                for (i = 0; i < 16; i = i + 1) {
+                    y[i] = i + i + i + k;
+                }
+            }
+        "#;
+        let (graph, occ) = analyze_src(src, OptLevel::Pipelined);
+        // the k-producing multiply sits in the entry region; the consumer
+        // add is several nodes deep in the loop region. A chain may only
+        // reach it within the cross-block window (1), and the consumer is
+        // deeper than that, so no multiply-add occurrence has the
+        // k-multiply as head with weight 1 and consumer weight 8.
+        let cross: Vec<_> = occ
+            .iter()
+            .filter(|o| {
+                o.signature == "multiply-add".parse().expect("ok")
+                    && (o.min_weight - 1.0).abs() < 1e-9
+            })
+            .collect();
+        // the only weight-1 multiplies are in the entry (k and the
+        // address math); their in-entry chains are fine, but none may
+        // reach the loop's deep adds
+        for o in &cross {
+            let head_block = graph.node(o.ops[0].node).block;
+            let tail_block = graph.node(o.ops[1].node).block;
+            if head_block != tail_block {
+                // cross-region chains must respect the window: head must
+                // be in the last node of its region
+                let head_node = o.ops[0].node;
+                let next_same_block = graph
+                    .nodes
+                    .get(head_node.index() + 1)
+                    .map(|n| n.block == head_block)
+                    .unwrap_or(false);
+                assert!(
+                    !next_same_block,
+                    "cross-region chain must start at its region's last node"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn occurrence_frequency_formula() {
+        let occ = Occurrence {
+            ops: vec![
+                OpRef {
+                    node: NodeId(0),
+                    index: 0,
+                },
+                OpRef {
+                    node: NodeId(1),
+                    index: 0,
+                },
+            ],
+            signature: "multiply-add".parse().expect("ok"),
+            min_weight: 10.0,
+        };
+        assert!((occ.frequency(200) - 10.0).abs() < 1e-12); // 10*2/200 = 10%
+        assert_eq!(occ.frequency(0), 0.0);
+    }
+
+    #[test]
+    fn lengths_respect_config() {
+        let (graph, _) = analyze_src(MAC_SRC, OptLevel::Pipelined);
+        let det = SequenceDetector::new(DetectorConfig::default().with_length(3));
+        let occ = det.occurrences(&graph);
+        assert!(!occ.is_empty());
+        assert!(occ.iter().all(|o| o.ops.len() == 3));
+    }
+}

@@ -1,0 +1,117 @@
+//! Detector properties checked across the real benchmark suite:
+//! monotonicity in the chaining window, soundness of branch-and-bound
+//! pruning, and coverage bounds.
+
+use asip_chains::{CoverageAnalyzer, DetectorConfig, SequenceDetector};
+use asip_opt::{OptLevel, Optimizer, ScheduleGraph};
+
+fn graphs_for(name: &str) -> Vec<ScheduleGraph> {
+    let reg = asip_benchmarks::registry();
+    let b = reg.find(name).expect("built-in");
+    let program = b.compile().expect("compiles");
+    let profile = b.profile(&program).expect("simulates");
+    OptLevel::all()
+        .into_iter()
+        .map(|l| Optimizer::new(l).run(&program, &profile))
+        .collect()
+}
+
+const SAMPLE: &[&str] = &["sewha", "bspline", "iir", "edge", "feowf"];
+
+#[test]
+fn window_growth_is_monotone() {
+    for name in SAMPLE {
+        for graph in graphs_for(name) {
+            let mut prev = 0;
+            for w in 0..=2 {
+                let n = SequenceDetector::new(DetectorConfig::default().with_window(w))
+                    .occurrences(&graph)
+                    .len();
+                assert!(
+                    n >= prev,
+                    "{name}: window {w} found {n} < window {} found {prev}",
+                    w - 1
+                );
+                prev = n;
+            }
+        }
+    }
+}
+
+#[test]
+fn pruning_is_sound_at_occurrence_granularity() {
+    // branch-and-bound prunes *partial chains* whose best achievable
+    // occurrence frequency is below the floor. Consequences we can
+    // check: (a) pruning never invents or inflates anything — every
+    // pruned signature frequency is bounded by the unpruned one;
+    // (b) every individual occurrence clearing the floor survives, so a
+    // signature with a strong occurrence still appears.
+    for name in SAMPLE {
+        for graph in graphs_for(name) {
+            let floor = 5.0;
+            let det_full = SequenceDetector::new(DetectorConfig::default());
+            let det_pruned =
+                SequenceDetector::new(DetectorConfig::default().with_prune_floor(floor));
+            let full = det_full.analyze(&graph);
+            let pruned = det_pruned.analyze(&graph);
+            for (sig, stats) in pruned.entries() {
+                assert!(
+                    stats.frequency <= full.frequency_of(sig) + 1e-9,
+                    "{name}: pruning inflated {sig}"
+                );
+            }
+            let strong: std::collections::HashSet<String> = det_full
+                .occurrences(&graph)
+                .into_iter()
+                .filter(|o| o.frequency(graph.total_profile_ops) >= floor)
+                .map(|o| o.signature.to_string())
+                .collect();
+            for sig in strong {
+                assert!(
+                    pruned
+                        .entries()
+                        .iter()
+                        .any(|(s, _)| s.to_string() == sig),
+                    "{name}: {sig} has a >= {floor}% occurrence but was pruned away"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn coverage_never_exceeds_chainable_fraction() {
+    for name in SAMPLE {
+        for graph in graphs_for(name) {
+            let cov = CoverageAnalyzer::new(DetectorConfig::default())
+                .with_floor(0.1)
+                .with_max_sequences(32)
+                .analyze(&graph)
+                .coverage();
+            let chainable_pct =
+                100.0 * graph.chainable_weight() / graph.total_profile_ops as f64;
+            assert!(
+                cov <= chainable_pct + 1e-6,
+                "{name}: coverage {cov:.2}% exceeds chainable fraction {chainable_pct:.2}%"
+            );
+        }
+    }
+}
+
+#[test]
+fn longer_chains_never_beat_their_own_prefix_budget() {
+    // an occurrence of length k contributes k * min_weight; its length-2
+    // prefix contributes 2 * (a weight at least as large). Sanity: the
+    // sum of all length-2 frequencies bounds any single length-2
+    // signature's frequency, and per-signature frequencies are positive.
+    for name in SAMPLE {
+        for graph in graphs_for(name) {
+            let report = SequenceDetector::new(DetectorConfig::default()).analyze(&graph);
+            let total2: f64 = report.of_length(2).map(|(_, st)| st.frequency).sum();
+            for (sig, stats) in report.of_length(2) {
+                assert!(stats.frequency <= total2 + 1e-9, "{name}: {sig}");
+                assert!(stats.frequency > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Abstract syntax tree for mini-C.
+
+use crate::error::Pos;
+
+/// Scalar types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarTy {
+    /// `int`
+    Int,
+    /// `float`
+    Float,
+}
+
+impl ScalarTy {
+    /// Corresponding IR type.
+    pub fn ir(self) -> asip_ir::Ty {
+        match self {
+            ScalarTy::Int => asip_ir::Ty::Int,
+            ScalarTy::Float => asip_ir::Ty::Float,
+        }
+    }
+}
+
+/// Storage class of a global array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Storage {
+    /// `input` — bound from experiment data.
+    Input,
+    /// `output` — written by the program.
+    Output,
+    /// No storage keyword — internal scratch.
+    Internal,
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Unit {
+    /// Global array declarations, in source order.
+    pub arrays: Vec<ArrayDef>,
+    /// Global scalar declarations, in source order.
+    pub globals: Vec<GlobalDef>,
+    /// Function definitions, in source order. Must include `main`.
+    pub functions: Vec<FuncDef>,
+}
+
+impl Unit {
+    /// Look up a function by name.
+    pub fn function(&self, name: &str) -> Option<&FuncDef> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+/// A global array definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayDef {
+    /// Name.
+    pub name: String,
+    /// Element type.
+    pub ty: ScalarTy,
+    /// Length (constant).
+    pub len: usize,
+    /// Storage class.
+    pub storage: Storage,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A global scalar definition (zero-initialized).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDef {
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: ScalarTy,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    /// Name.
+    pub name: String,
+    /// Return type, or `None` for `void`.
+    pub ret: Option<ScalarTy>,
+    /// Parameters (scalars only).
+    pub params: Vec<(String, ScalarTy)>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local scalar declaration with optional initializer.
+    Decl {
+        /// Name.
+        name: String,
+        /// Type.
+        ty: ScalarTy,
+        /// Optional initializer.
+        init: Option<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// Assignment to a scalar variable.
+    Assign {
+        /// Variable name.
+        name: String,
+        /// Value.
+        value: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+    /// Assignment to an array element.
+    AssignIndex {
+        /// Array name.
+        name: String,
+        /// Index expression.
+        index: Expr,
+        /// Value.
+        value: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `if (cond) then_body else else_body`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        else_body: Vec<Stmt>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `while (cond) body`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `for (init; cond; step) body` — init/step are assignments.
+    For {
+        /// Loop initialization (run once).
+        init: Box<Stmt>,
+        /// Continuation condition.
+        cond: Expr,
+        /// Step statement (run after each iteration).
+        step: Box<Stmt>,
+        /// Body.
+        body: Vec<Stmt>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `return;` or `return expr;`
+    Return {
+        /// Returned value.
+        value: Option<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// An expression evaluated for effect (a call).
+    Expr(Expr),
+}
+
+/// Binary operators at the AST level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `&&` (numeric)
+    LogAnd,
+    /// `||` (numeric)
+    LogOr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl BinaryOp {
+    /// True for the six comparison operators.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge | BinaryOp::Eq | BinaryOp::Ne
+        )
+    }
+
+    /// True for operators that only accept integers.
+    pub fn int_only(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Rem
+                | BinaryOp::Shl
+                | BinaryOp::Shr
+                | BinaryOp::BitAnd
+                | BinaryOp::BitOr
+                | BinaryOp::BitXor
+        )
+    }
+}
+
+/// Unary operators at the AST level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// `-`
+    Neg,
+    /// `!` (numeric: 1 if operand is zero)
+    Not,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit(i64, Pos),
+    /// Float literal.
+    FloatLit(f64, Pos),
+    /// Scalar variable reference.
+    Var(String, Pos),
+    /// Array element read.
+    Index {
+        /// Array name.
+        name: String,
+        /// Index expression.
+        index: Box<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        operand: Box<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// Explicit cast `(int)` / `(float)`.
+    Cast {
+        /// Target type.
+        to: ScalarTy,
+        /// Operand.
+        operand: Box<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// Function or intrinsic call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+}
+
+impl Expr {
+    /// Source position of the expression.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::IntLit(_, p)
+            | Expr::FloatLit(_, p)
+            | Expr::Var(_, p)
+            | Expr::Index { pos: p, .. }
+            | Expr::Binary { pos: p, .. }
+            | Expr::Unary { pos: p, .. }
+            | Expr::Cast { pos: p, .. }
+            | Expr::Call { pos: p, .. } => *p,
+        }
+    }
+}
+
+/// The math intrinsics callable from mini-C.
+pub fn intrinsic(name: &str) -> Option<asip_ir::MathFn> {
+    asip_ir::MathFn::all().iter().copied().find(|m| m.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_predicates() {
+        assert!(BinaryOp::Lt.is_comparison());
+        assert!(!BinaryOp::Add.is_comparison());
+        assert!(BinaryOp::Shl.int_only());
+        assert!(!BinaryOp::Mul.int_only());
+    }
+
+    #[test]
+    fn intrinsics_resolve() {
+        assert_eq!(intrinsic("sin"), Some(asip_ir::MathFn::Sin));
+        assert_eq!(intrinsic("sqrt"), Some(asip_ir::MathFn::Sqrt));
+        assert_eq!(intrinsic("main"), None);
+    }
+
+    #[test]
+    fn scalar_ty_maps_to_ir() {
+        assert_eq!(ScalarTy::Int.ir(), asip_ir::Ty::Int);
+        assert_eq!(ScalarTy::Float.ir(), asip_ir::Ty::Float);
+    }
+
+    #[test]
+    fn expr_positions() {
+        let p = Pos { line: 2, col: 5 };
+        assert_eq!(Expr::IntLit(1, p).pos(), p);
+        assert_eq!(Expr::Var("x".into(), p).pos(), p);
+    }
+}

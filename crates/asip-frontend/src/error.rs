@@ -1,0 +1,112 @@
+//! Frontend error type.
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.col)
+    }
+}
+
+/// Errors produced by the mini-C front end.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrontendError {
+    /// Lexical error (bad character, malformed literal).
+    Lex {
+        /// Where the problem was found.
+        pos: Pos,
+        /// Explanation.
+        detail: String,
+    },
+    /// Syntax error.
+    Parse {
+        /// Where the problem was found.
+        pos: Pos,
+        /// Explanation.
+        detail: String,
+    },
+    /// Semantic error (types, undeclared names, recursion, ...).
+    Sema {
+        /// Where the problem was found.
+        pos: Pos,
+        /// Explanation.
+        detail: String,
+    },
+    /// Lowering produced IR the validator rejected (an internal bug).
+    Lowering(asip_ir::IrError),
+}
+
+impl FrontendError {
+    pub(crate) fn lex(pos: Pos, detail: impl Into<String>) -> Self {
+        FrontendError::Lex {
+            pos,
+            detail: detail.into(),
+        }
+    }
+
+    pub(crate) fn parse(pos: Pos, detail: impl Into<String>) -> Self {
+        FrontendError::Parse {
+            pos,
+            detail: detail.into(),
+        }
+    }
+
+    pub(crate) fn sema(pos: Pos, detail: impl Into<String>) -> Self {
+        FrontendError::Sema {
+            pos,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrontendError::Lex { pos, detail } => write!(f, "lexical error at {pos}: {detail}"),
+            FrontendError::Parse { pos, detail } => write!(f, "syntax error at {pos}: {detail}"),
+            FrontendError::Sema { pos, detail } => write!(f, "semantic error at {pos}: {detail}"),
+            FrontendError::Lowering(e) => write!(f, "internal lowering error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrontendError::Lowering(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<asip_ir::IrError> for FrontendError {
+    fn from(e: asip_ir::IrError) -> Self {
+        FrontendError::Lowering(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_include_positions() {
+        let e = FrontendError::parse(Pos { line: 3, col: 9 }, "expected `;`");
+        assert_eq!(e.to_string(), "syntax error at line 3, column 9: expected `;`");
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_bounds<T: std::error::Error + Send + Sync>() {}
+        assert_bounds::<FrontendError>();
+    }
+}

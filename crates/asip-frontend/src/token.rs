@@ -1,0 +1,244 @@
+//! Token definitions for mini-C.
+
+use crate::error::Pos;
+use std::fmt;
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token payload.
+    pub kind: TokenKind,
+    /// Source position of the first character.
+    pub pos: Pos,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier.
+    Ident(String),
+    /// Integer literal.
+    IntLit(i64),
+    /// Floating-point literal.
+    FloatLit(f64),
+    /// A keyword (`int`, `float`, `void`, `if`, ...).
+    Keyword(Keyword),
+    /// Punctuation or operator.
+    Punct(Punct),
+    /// End of input.
+    Eof,
+}
+
+/// Reserved words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    /// `int`
+    Int,
+    /// `float`
+    Float,
+    /// `void`
+    Void,
+    /// `input` (array storage class)
+    Input,
+    /// `output` (array storage class)
+    Output,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `return`
+    Return,
+}
+
+impl Keyword {
+    /// Source spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Keyword::Int => "int",
+            Keyword::Float => "float",
+            Keyword::Void => "void",
+            Keyword::Input => "input",
+            Keyword::Output => "output",
+            Keyword::If => "if",
+            Keyword::Else => "else",
+            Keyword::While => "while",
+            Keyword::For => "for",
+            Keyword::Return => "return",
+        }
+    }
+
+    /// Parse a keyword from an identifier spelling.
+    #[allow(clippy::should_implement_trait)] // fallible lookup, not a FromStr impl
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "int" => Keyword::Int,
+            "float" => Keyword::Float,
+            "void" => Keyword::Void,
+            "input" => Keyword::Input,
+            "output" => Keyword::Output,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "while" => Keyword::While,
+            "for" => Keyword::For,
+            "return" => Keyword::Return,
+            _ => return None,
+        })
+    }
+}
+
+/// Operators and punctuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Punct {
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `&&`
+    AmpAmp,
+    /// `||`
+    PipePipe,
+    /// `!`
+    Bang,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `*=`
+    StarAssign,
+    /// `/=`
+    SlashAssign,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+}
+
+impl fmt::Display for Punct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Punct::Plus => "+",
+            Punct::Minus => "-",
+            Punct::Star => "*",
+            Punct::Slash => "/",
+            Punct::Percent => "%",
+            Punct::Shl => "<<",
+            Punct::Shr => ">>",
+            Punct::Amp => "&",
+            Punct::Pipe => "|",
+            Punct::Caret => "^",
+            Punct::AmpAmp => "&&",
+            Punct::PipePipe => "||",
+            Punct::Bang => "!",
+            Punct::Lt => "<",
+            Punct::Le => "<=",
+            Punct::Gt => ">",
+            Punct::Ge => ">=",
+            Punct::EqEq => "==",
+            Punct::Ne => "!=",
+            Punct::Assign => "=",
+            Punct::PlusAssign => "+=",
+            Punct::MinusAssign => "-=",
+            Punct::StarAssign => "*=",
+            Punct::SlashAssign => "/=",
+            Punct::LParen => "(",
+            Punct::RParen => ")",
+            Punct::LBracket => "[",
+            Punct::RBracket => "]",
+            Punct::LBrace => "{",
+            Punct::RBrace => "}",
+            Punct::Comma => ",",
+            Punct::Semi => ";",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::IntLit(v) => write!(f, "integer literal `{v}`"),
+            TokenKind::FloatLit(v) => write!(f, "float literal `{v}`"),
+            TokenKind::Keyword(k) => write!(f, "keyword `{}`", k.as_str()),
+            TokenKind::Punct(p) => write!(f, "`{p}`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trip() {
+        for kw in [
+            Keyword::Int,
+            Keyword::Float,
+            Keyword::Void,
+            Keyword::Input,
+            Keyword::Output,
+            Keyword::If,
+            Keyword::Else,
+            Keyword::While,
+            Keyword::For,
+            Keyword::Return,
+        ] {
+            assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
+        }
+        assert_eq!(Keyword::from_str("main"), None);
+    }
+
+    #[test]
+    fn token_display() {
+        assert_eq!(TokenKind::Punct(Punct::Le).to_string(), "`<=`");
+        assert_eq!(TokenKind::Ident("x".into()).to_string(), "identifier `x`");
+        assert_eq!(TokenKind::Eof.to_string(), "end of input");
+    }
+}

@@ -1,0 +1,292 @@
+//! Control-flow graph queries: successors, predecessors, orders, dominators.
+
+use crate::program::Program;
+use crate::types::BlockId;
+
+/// Precomputed CFG adjacency and traversal orders for a [`Program`].
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Successor lists per block.
+    succs: Vec<Vec<BlockId>>,
+    /// Predecessor lists per block.
+    preds: Vec<Vec<BlockId>>,
+    /// Blocks in reverse postorder from the entry (unreachable blocks are
+    /// excluded).
+    rpo: Vec<BlockId>,
+    /// Position of each block in `rpo`, or `usize::MAX` if unreachable.
+    rpo_pos: Vec<usize>,
+    entry: BlockId,
+}
+
+impl Cfg {
+    /// Build the CFG for a program.
+    pub fn new(program: &Program) -> Self {
+        let n = program.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for block in &program.blocks {
+            for s in block.successors() {
+                succs[block.id.index()].push(s);
+                preds[s.index()].push(block.id);
+            }
+        }
+        // iterative postorder DFS
+        let mut post = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+        let mut stack = vec![(program.entry, 0usize)];
+        state[program.entry.index()] = 1;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let ss = &succs[b.index()];
+            if *next < ss.len() {
+                let s = ss[*next];
+                *next += 1;
+                if state[s.index()] == 0 {
+                    state[s.index()] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b.index()] = 2;
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockId> = post.into_iter().rev().collect();
+        let mut rpo_pos = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_pos[b.index()] = i;
+        }
+        Cfg {
+            succs,
+            preds,
+            rpo,
+            rpo_pos,
+            entry: program.entry,
+        }
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// Successors of a block.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Predecessors of a block.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Blocks in reverse postorder (entry first; unreachable excluded).
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Position of a block in reverse postorder.
+    pub fn rpo_position(&self, b: BlockId) -> Option<usize> {
+        let p = self.rpo_pos[b.index()];
+        (p != usize::MAX).then_some(p)
+    }
+
+    /// True if the block is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_pos[b.index()] != usize::MAX
+    }
+
+    /// Number of blocks in the underlying program.
+    pub fn block_count(&self) -> usize {
+        self.succs.len()
+    }
+}
+
+/// Immediate-dominator tree, computed with the Cooper–Harvey–Kennedy
+/// iterative algorithm over reverse postorder.
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// `idom[b]` = immediate dominator of `b`; entry's idom is itself.
+    idom: Vec<Option<BlockId>>,
+}
+
+impl Dominators {
+    /// Compute dominators from a CFG.
+    pub fn new(cfg: &Cfg) -> Self {
+        let n = cfg.block_count();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[cfg.entry().index()] = Some(cfg.entry());
+
+        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+            // walk up by RPO position
+            loop {
+                let pa = cfg.rpo_position(a).expect("reachable");
+                let pb = cfg.rpo_position(b).expect("reachable");
+                if pa == pb {
+                    return a;
+                }
+                if pa > pb {
+                    a = idom[a.index()].expect("processed");
+                } else {
+                    b = idom[b.index()].expect("processed");
+                }
+            }
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo().iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if !cfg.is_reachable(p) || idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Dominators { idom }
+    }
+
+    /// The immediate dominator of `b` (entry dominates itself).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.index()]
+    }
+
+    /// True if `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::op::BinOp;
+    use crate::types::{Operand, Ty};
+
+    /// Diamond: entry -> {left, right} -> join -> exit(ret)
+    fn diamond() -> Program {
+        let mut b = ProgramBuilder::new("diamond");
+        let entry = b.entry_block();
+        let left = b.new_block();
+        let right = b.new_block();
+        let join = b.new_block();
+        let c = b.new_reg(Ty::Int);
+
+        b.select_block(entry);
+        b.binary_to(c, BinOp::CmpLt, Operand::imm_int(1), Operand::imm_int(2));
+        b.branch(c.into(), left, right);
+        b.select_block(left);
+        b.jump(join);
+        b.select_block(right);
+        b.jump(join);
+        b.select_block(join);
+        b.ret(None);
+        b.finish().expect("valid")
+    }
+
+    use crate::program::Program;
+
+    #[test]
+    fn adjacency() {
+        let p = diamond();
+        let cfg = Cfg::new(&p);
+        assert_eq!(cfg.succs(BlockId(0)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds(BlockId(3)).len(), 2);
+        assert!(cfg.preds(BlockId(0)).is_empty());
+        assert_eq!(cfg.block_count(), 4);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let p = diamond();
+        let cfg = Cfg::new(&p);
+        assert_eq!(cfg.rpo()[0], BlockId(0));
+        assert_eq!(cfg.rpo().len(), 4);
+        assert_eq!(cfg.rpo_position(BlockId(0)), Some(0));
+        // join must come after both branches
+        let join_pos = cfg.rpo_position(BlockId(3)).unwrap();
+        assert!(join_pos > cfg.rpo_position(BlockId(1)).unwrap());
+        assert!(join_pos > cfg.rpo_position(BlockId(2)).unwrap());
+    }
+
+    #[test]
+    fn unreachable_blocks_excluded() {
+        let mut b = ProgramBuilder::new("unreach");
+        let entry = b.entry_block();
+        let dead = b.new_block();
+        b.select_block(entry);
+        b.ret(None);
+        b.select_block(dead);
+        b.ret(None);
+        let p = b.finish().expect("valid");
+        let cfg = Cfg::new(&p);
+        assert!(cfg.is_reachable(entry));
+        assert!(!cfg.is_reachable(dead));
+        assert_eq!(cfg.rpo().len(), 1);
+        assert_eq!(cfg.rpo_position(dead), None);
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        let p = diamond();
+        let cfg = Cfg::new(&p);
+        let dom = Dominators::new(&cfg);
+        assert_eq!(dom.idom(BlockId(0)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(2)), Some(BlockId(0)));
+        // join's idom is the entry, not either branch
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(0)));
+        assert!(dom.dominates(BlockId(0), BlockId(3)));
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+        assert!(dom.dominates(BlockId(3), BlockId(3)));
+    }
+
+    #[test]
+    fn dominators_of_loop() {
+        // entry -> header; header -> body | exit; body -> header
+        let mut b = ProgramBuilder::new("loop");
+        let entry = b.entry_block();
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let c = b.new_reg(Ty::Int);
+        b.select_block(entry);
+        b.jump(header);
+        b.select_block(header);
+        b.binary_to(c, BinOp::CmpLt, Operand::imm_int(0), Operand::imm_int(1));
+        b.branch(c.into(), body, exit);
+        b.select_block(body);
+        b.jump(header);
+        b.select_block(exit);
+        b.ret(None);
+        let p = b.finish().expect("valid");
+        let cfg = Cfg::new(&p);
+        let dom = Dominators::new(&cfg);
+        assert_eq!(dom.idom(header), Some(entry));
+        assert_eq!(dom.idom(body), Some(header));
+        assert_eq!(dom.idom(exit), Some(header));
+        assert!(dom.dominates(header, body));
+        assert!(!dom.dominates(body, exit));
+    }
+}

@@ -1,0 +1,238 @@
+//! Natural-loop detection.
+//!
+//! Loop pipelining (paper optimization level 1) operates on innermost
+//! natural loops; this module finds them via dominator-identified back
+//! edges.
+
+use crate::cfg::{Cfg, Dominators};
+use crate::types::BlockId;
+use std::collections::BTreeSet;
+
+/// A natural loop: a header plus the set of blocks that can reach the back
+/// edge's source without leaving through the header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Loop {
+    /// The loop header (target of the back edge; dominates the body).
+    pub header: BlockId,
+    /// Sources of back edges into the header (usually one: the latch).
+    pub latches: Vec<BlockId>,
+    /// All blocks in the loop, including the header.
+    pub blocks: BTreeSet<BlockId>,
+    /// Loop nesting depth (1 = outermost).
+    pub depth: usize,
+}
+
+impl Loop {
+    /// True if the given block belongs to this loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.contains(&b)
+    }
+
+    /// True if `other` is strictly nested inside this loop.
+    pub fn encloses(&self, other: &Loop) -> bool {
+        other.header != self.header && self.blocks.contains(&other.header)
+    }
+}
+
+/// All natural loops of a program, with nesting depths.
+#[derive(Debug, Clone)]
+pub struct LoopForest {
+    loops: Vec<Loop>,
+}
+
+impl LoopForest {
+    /// Find natural loops from CFG + dominators.
+    ///
+    /// Back edges `latch -> header` (where `header` dominates `latch`) are
+    /// grouped by header; each group's bodies are merged into one loop.
+    /// Irreducible edges (target does not dominate source) are ignored,
+    /// matching what a 1995-era VLIW compiler would pipeline.
+    pub fn new(cfg: &Cfg, dom: &Dominators) -> Self {
+        use std::collections::BTreeMap;
+        let mut by_header: BTreeMap<BlockId, (Vec<BlockId>, BTreeSet<BlockId>)> = BTreeMap::new();
+
+        for &b in cfg.rpo() {
+            for &s in cfg.succs(b) {
+                if dom.dominates(s, b) {
+                    // back edge b -> s
+                    let entry = by_header.entry(s).or_default();
+                    entry.0.push(b);
+                    // collect body: reverse reachability from latch to header
+                    let mut body = BTreeSet::new();
+                    body.insert(s);
+                    let mut stack = vec![b];
+                    while let Some(x) = stack.pop() {
+                        if body.insert(x) {
+                            for &p in cfg.preds(x) {
+                                if cfg.is_reachable(p) {
+                                    stack.push(p);
+                                }
+                            }
+                        }
+                    }
+                    entry.1.extend(body);
+                }
+            }
+        }
+
+        let mut loops: Vec<Loop> = by_header
+            .into_iter()
+            .map(|(header, (latches, blocks))| Loop {
+                header,
+                latches,
+                blocks,
+                depth: 1,
+            })
+            .collect();
+
+        // nesting depth = number of loops whose body contains this header
+        let depths: Vec<usize> = loops
+            .iter()
+            .map(|l| {
+                1 + loops
+                    .iter()
+                    .filter(|outer| outer.encloses(l))
+                    .count()
+            })
+            .collect();
+        for (l, d) in loops.iter_mut().zip(depths) {
+            l.depth = d;
+        }
+        // deterministic order: outermost first, then by header id
+        loops.sort_by_key(|l| (l.depth, l.header));
+        LoopForest { loops }
+    }
+
+    /// All loops, outermost first.
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// Innermost loops only (those that enclose no other loop).
+    pub fn innermost(&self) -> Vec<&Loop> {
+        self.loops
+            .iter()
+            .filter(|l| !self.loops.iter().any(|o| l.encloses(o)))
+            .collect()
+    }
+
+    /// The innermost loop containing a block, if any.
+    pub fn innermost_containing(&self, b: BlockId) -> Option<&Loop> {
+        self.loops
+            .iter()
+            .filter(|l| l.contains(b))
+            .max_by_key(|l| l.depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::op::BinOp;
+    use crate::program::Program;
+    use crate::types::{Operand, Ty};
+
+    fn single_loop() -> Program {
+        let mut b = ProgramBuilder::new("loop1");
+        let entry = b.entry_block();
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let c = b.new_reg(Ty::Int);
+        b.select_block(entry);
+        b.jump(header);
+        b.select_block(header);
+        b.binary_to(c, BinOp::CmpLt, Operand::imm_int(0), Operand::imm_int(1));
+        b.branch(c.into(), body, exit);
+        b.select_block(body);
+        b.jump(header);
+        b.select_block(exit);
+        b.ret(None);
+        b.finish().expect("valid")
+    }
+
+    fn nested_loops() -> Program {
+        // entry -> oh; oh -> ih | exit; ih -> ibody | olatch; ibody -> ih;
+        // olatch -> oh
+        let mut b = ProgramBuilder::new("nest");
+        let entry = b.entry_block();
+        let oh = b.new_block();
+        let ih = b.new_block();
+        let ibody = b.new_block();
+        let olatch = b.new_block();
+        let exit = b.new_block();
+        let c = b.new_reg(Ty::Int);
+        b.select_block(entry);
+        b.jump(oh);
+        b.select_block(oh);
+        b.binary_to(c, BinOp::CmpLt, Operand::imm_int(0), Operand::imm_int(1));
+        b.branch(c.into(), ih, exit);
+        b.select_block(ih);
+        b.branch(c.into(), ibody, olatch);
+        b.select_block(ibody);
+        b.jump(ih);
+        b.select_block(olatch);
+        b.jump(oh);
+        b.select_block(exit);
+        b.ret(None);
+        b.finish().expect("valid")
+    }
+
+    fn analyze(p: &Program) -> LoopForest {
+        let cfg = Cfg::new(p);
+        let dom = Dominators::new(&cfg);
+        LoopForest::new(&cfg, &dom)
+    }
+
+    #[test]
+    fn finds_single_loop() {
+        let p = single_loop();
+        let f = analyze(&p);
+        assert_eq!(f.loops().len(), 1);
+        let l = &f.loops()[0];
+        assert_eq!(l.header, BlockId(1));
+        assert_eq!(l.latches, vec![BlockId(2)]);
+        assert!(l.contains(BlockId(1)));
+        assert!(l.contains(BlockId(2)));
+        assert!(!l.contains(BlockId(0)));
+        assert!(!l.contains(BlockId(3)));
+        assert_eq!(l.depth, 1);
+    }
+
+    #[test]
+    fn finds_nested_loops_with_depths() {
+        let p = nested_loops();
+        let f = analyze(&p);
+        assert_eq!(f.loops().len(), 2);
+        let outer = &f.loops()[0];
+        let inner = &f.loops()[1];
+        assert_eq!(outer.depth, 1);
+        assert_eq!(inner.depth, 2);
+        assert!(outer.encloses(inner));
+        assert!(!inner.encloses(outer));
+        let innermost = f.innermost();
+        assert_eq!(innermost.len(), 1);
+        assert_eq!(innermost[0].header, inner.header);
+    }
+
+    #[test]
+    fn innermost_containing_picks_deepest() {
+        let p = nested_loops();
+        let f = analyze(&p);
+        let inner_header = f.loops()[1].header;
+        let hit = f.innermost_containing(inner_header).expect("in a loop");
+        assert_eq!(hit.depth, 2);
+        assert!(f.innermost_containing(BlockId(0)).is_none());
+    }
+
+    #[test]
+    fn straight_line_program_has_no_loops() {
+        let mut b = ProgramBuilder::new("straight");
+        let entry = b.entry_block();
+        b.select_block(entry);
+        b.ret(None);
+        let p = b.finish().expect("valid");
+        assert!(analyze(&p).loops().is_empty());
+    }
+}

@@ -1,0 +1,447 @@
+//! Parser for the textual IR format emitted by [`crate::print`].
+//!
+//! The grammar is line-oriented; see the module-level docs on
+//! [`crate::print`] for the emitted shape. Chained super-instructions are
+//! print-only (they are synthesized by the design stage, never written by
+//! hand), so the parser rejects them.
+
+use crate::block::Block;
+use crate::error::{IrError, Result};
+use crate::inst::{Inst, InstKind};
+use crate::program::{ArrayDecl, ArrayKind, Program};
+use crate::types::{ArrayId, BlockId, InstId, Operand, Reg, Ty};
+
+/// Parse a program from its textual form.
+///
+/// # Errors
+///
+/// Returns [`IrError::Parse`] with a line number on any syntax error, and
+/// any validation error the assembled program would raise.
+///
+/// ```
+/// use asip_ir::parse_program;
+///
+/// let src = r#"
+/// program "t" {
+///   entry bb0
+///   reg r0: int
+///   bb0:
+///     i0: r0 = add 1, 2
+///     i1: ret r0
+/// }
+/// "#;
+/// let p = parse_program(src).expect("parses");
+/// assert_eq!(p.name, "t");
+/// assert_eq!(p.inst_count(), 2);
+/// ```
+pub fn parse_program(text: &str) -> Result<Program> {
+    Parser::new(text).parse()
+}
+
+struct Parser<'a> {
+    lines: Vec<(usize, &'a str)>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        let lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, strip_comment(l).trim()))
+            .filter(|(_, l)| !l.is_empty())
+            .collect();
+        Parser { lines, pos: 0 }
+    }
+
+    fn err(&self, line: usize, detail: impl Into<String>) -> IrError {
+        IrError::Parse {
+            line,
+            detail: detail.into(),
+        }
+    }
+
+    fn next_line(&mut self) -> Option<(usize, &'a str)> {
+        let l = self.lines.get(self.pos).copied();
+        if l.is_some() {
+            self.pos += 1;
+        }
+        l
+    }
+
+    fn peek_line(&self) -> Option<(usize, &'a str)> {
+        self.lines.get(self.pos).copied()
+    }
+
+    fn parse(mut self) -> Result<Program> {
+        let (ln, header) = self
+            .next_line()
+            .ok_or_else(|| self.err(0, "empty input"))?;
+        let name = parse_header(header).ok_or_else(|| {
+            self.err(ln, "expected `program \"name\" {`")
+        })?;
+
+        let mut program = Program {
+            name,
+            reg_types: Vec::new(),
+            arrays: Vec::new(),
+            blocks: Vec::new(),
+            entry: BlockId(0),
+            next_inst_id: 0,
+        };
+        let mut max_inst_id = 0u32;
+
+        while let Some((ln, line)) = self.next_line() {
+            if line == "}" {
+                program.next_inst_id = max_inst_id;
+                program.validate()?;
+                return Ok(program);
+            }
+            if let Some(rest) = line.strip_prefix("entry ") {
+                program.entry = parse_block_ref(rest.trim())
+                    .ok_or_else(|| self.err(ln, "bad entry block"))?;
+            } else if let Some(rest) = line.strip_prefix("reg ") {
+                let (reg, ty) = parse_reg_decl(rest)
+                    .ok_or_else(|| self.err(ln, "bad register declaration"))?;
+                if reg.index() != program.reg_types.len() {
+                    return Err(self.err(ln, "register declarations must be dense and in order"));
+                }
+                program.reg_types.push(ty);
+            } else if let Some(decl) = parse_array_decl(line) {
+                let (id, decl) = decl;
+                if id.index() != program.arrays.len() {
+                    return Err(self.err(ln, "array declarations must be dense and in order"));
+                }
+                program.arrays.push(decl);
+            } else if let Some((id, label)) = parse_block_header(line) {
+                if id.index() != program.blocks.len() {
+                    return Err(self.err(ln, "block declarations must be dense and in order"));
+                }
+                let mut block = Block::new(id);
+                block.label = label;
+                // parse instructions until next block header or `}`
+                while let Some((iln, il)) = self.peek_line() {
+                    if il == "}" || parse_block_header(il).is_some() {
+                        break;
+                    }
+                    self.next_line();
+                    let inst = parse_inst(il).ok_or_else(|| {
+                        self.err(iln, format!("unrecognized instruction `{il}`"))
+                    })?;
+                    max_inst_id = max_inst_id.max(inst.id.0 + 1);
+                    block.insts.push(inst);
+                }
+                program.blocks.push(block);
+            } else {
+                return Err(self.err(ln, format!("unrecognized line `{line}`")));
+            }
+        }
+        Err(self.err(0, "missing closing `}`"))
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find(';') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn parse_header(line: &str) -> Option<String> {
+    let rest = line.strip_prefix("program ")?.trim().strip_suffix('{')?;
+    let rest = rest.trim();
+    let name = rest.strip_prefix('"')?.strip_suffix('"')?;
+    Some(name.to_string())
+}
+
+fn parse_reg_ref(tok: &str) -> Option<Reg> {
+    tok.strip_prefix('r')?.parse().ok().map(Reg)
+}
+
+fn parse_block_ref(tok: &str) -> Option<BlockId> {
+    tok.strip_prefix("bb")?.parse().ok().map(BlockId)
+}
+
+fn parse_array_ref(tok: &str) -> Option<ArrayId> {
+    tok.strip_prefix('@')?.parse().ok().map(ArrayId)
+}
+
+fn parse_ty(tok: &str) -> Option<Ty> {
+    match tok {
+        "int" => Some(Ty::Int),
+        "float" => Some(Ty::Float),
+        _ => None,
+    }
+}
+
+fn parse_reg_decl(rest: &str) -> Option<(Reg, Ty)> {
+    // `r0: int`
+    let (r, t) = rest.split_once(':')?;
+    Some((parse_reg_ref(r.trim())?, parse_ty(t.trim())?))
+}
+
+fn parse_array_decl(line: &str) -> Option<(ArrayId, ArrayDecl)> {
+    // `input @0 "x": float[100]` or `... float[100] at 4096 step 4`
+    let kind = if line.starts_with("input ") {
+        ArrayKind::Input
+    } else if line.starts_with("output ") {
+        ArrayKind::Output
+    } else if line.starts_with("internal ") {
+        ArrayKind::Internal
+    } else {
+        return None;
+    };
+    let rest = line.split_once(' ')?.1.trim();
+    let (id_name, ty_rest) = rest.split_once(':')?;
+    let id_name = id_name.trim();
+    let (id_tok, name_tok) = id_name.split_once(' ')?;
+    let id = parse_array_ref(id_tok.trim())?;
+    let name = name_tok.trim().strip_prefix('"')?.strip_suffix('"')?;
+    let ty_rest = ty_rest.trim();
+    // optional layout suffix
+    let (ty_len, base, elem_size) = match ty_rest.split_once(" at ") {
+        Some((head, layout)) => {
+            let (b, s) = layout.split_once(" step ")?;
+            (
+                head.trim(),
+                b.trim().parse::<i64>().ok()?,
+                s.trim().parse::<i64>().ok()?,
+            )
+        }
+        None => (ty_rest, 0, 1),
+    };
+    let ty_len = ty_len.strip_suffix(']')?;
+    let (ty_tok, len_tok) = ty_len.split_once('[')?;
+    Some((
+        id,
+        ArrayDecl {
+            name: name.to_string(),
+            ty: parse_ty(ty_tok.trim())?,
+            len: len_tok.trim().parse().ok()?,
+            kind,
+            base,
+            elem_size,
+        },
+    ))
+}
+
+fn parse_block_header(line: &str) -> Option<(BlockId, Option<String>)> {
+    // `bb0:` or `bb0 "label":`
+    let rest = line.strip_suffix(':')?;
+    match rest.split_once(' ') {
+        None => Some((parse_block_ref(rest.trim())?, None)),
+        Some((id, label)) => {
+            let label = label.trim().strip_prefix('"')?.strip_suffix('"')?;
+            Some((parse_block_ref(id.trim())?, Some(label.to_string())))
+        }
+    }
+}
+
+fn parse_operand(tok: &str) -> Option<Operand> {
+    let tok = tok.trim();
+    if let Some(r) = parse_reg_ref(tok) {
+        return Some(Operand::Reg(r));
+    }
+    if let Ok(v) = tok.parse::<i64>() {
+        return Some(Operand::ImmInt(v));
+    }
+    if let Ok(v) = tok.parse::<f64>() {
+        return Some(Operand::ImmFloat(v));
+    }
+    None
+}
+
+fn parse_inst(line: &str) -> Option<Inst> {
+    // `iN: <payload>`
+    let (id_tok, payload) = line.split_once(':')?;
+    let id = InstId(id_tok.trim().strip_prefix('i')?.parse().ok()?);
+    let payload = payload.trim();
+
+    // terminators and store have no `=`
+    if let Some(rest) = payload.strip_prefix("store ") {
+        // `store @1[r0], r3`
+        let (addr, value) = rest.rsplit_once(',')?;
+        let addr = addr.trim().strip_suffix(']')?;
+        let (arr, idx) = addr.split_once('[')?;
+        return Some(Inst::new(
+            id,
+            InstKind::Store {
+                array: parse_array_ref(arr.trim())?,
+                index: parse_operand(idx)?,
+                value: parse_operand(value)?,
+            },
+        ));
+    }
+    if let Some(rest) = payload.strip_prefix("br ") {
+        let mut parts = rest.split(',');
+        let cond = parse_operand(parts.next()?)?;
+        let then_target = parse_block_ref(parts.next()?.trim())?;
+        let else_target = parse_block_ref(parts.next()?.trim())?;
+        if parts.next().is_some() {
+            return None;
+        }
+        return Some(Inst::new(
+            id,
+            InstKind::Branch {
+                cond,
+                then_target,
+                else_target,
+            },
+        ));
+    }
+    if let Some(rest) = payload.strip_prefix("jmp ") {
+        return Some(Inst::new(
+            id,
+            InstKind::Jump {
+                target: parse_block_ref(rest.trim())?,
+            },
+        ));
+    }
+    if payload == "ret" {
+        return Some(Inst::new(id, InstKind::Ret { value: None }));
+    }
+    if let Some(rest) = payload.strip_prefix("ret ") {
+        return Some(Inst::new(
+            id,
+            InstKind::Ret {
+                value: Some(parse_operand(rest)?),
+            },
+        ));
+    }
+
+    // assignments: `rD = ...`
+    let (dst_tok, rhs) = payload.split_once('=')?;
+    let dst = parse_reg_ref(dst_tok.trim())?;
+    let rhs = rhs.trim();
+
+    if let Some(rest) = rhs.strip_prefix("load ") {
+        let rest = rest.trim().strip_suffix(']')?;
+        let (arr, idx) = rest.split_once('[')?;
+        return Some(Inst::new(
+            id,
+            InstKind::Load {
+                dst,
+                array: parse_array_ref(arr.trim())?,
+                index: parse_operand(idx)?,
+            },
+        ));
+    }
+    if rhs.starts_with("chained#") {
+        return None; // print-only form
+    }
+
+    let (mnemonic, args) = match rhs.split_once(' ') {
+        Some((m, a)) => (m, a),
+        None => return None,
+    };
+    if let Some((lhs_tok, rhs_tok)) = args.split_once(',') {
+        let op: crate::op::BinOp = mnemonic.parse().ok()?;
+        return Some(Inst::new(
+            id,
+            InstKind::Binary {
+                op,
+                dst,
+                lhs: parse_operand(lhs_tok)?,
+                rhs: parse_operand(rhs_tok)?,
+            },
+        ));
+    }
+    let op: crate::op::UnOp = mnemonic.parse().ok()?;
+    Some(Inst::new(
+        id,
+        InstKind::Unary {
+            op,
+            dst,
+            src: parse_operand(args)?,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::op::{BinOp, UnOp};
+
+    #[test]
+    fn round_trips_representative_program() {
+        let mut b = ProgramBuilder::new("rt");
+        let x = b.input_array("x", Ty::Float, 100);
+        let y = b.output_array("y", Ty::Float, 100);
+        let entry = b.entry_block();
+        let header = b.new_labeled_block("header");
+        let body = b.new_block();
+        let exit = b.new_block();
+        let i = b.new_reg(Ty::Int);
+        b.select_block(entry);
+        b.mov_to(i, Operand::imm_int(0));
+        b.jump(header);
+        b.select_block(header);
+        let c = b.binary(BinOp::CmpLt, i.into(), Operand::imm_int(100));
+        b.branch(c.into(), body, exit);
+        b.select_block(body);
+        let v = b.load(x, i.into());
+        let w = b.binary(BinOp::FMul, v.into(), Operand::imm_float(0.5));
+        let w2 = b.binary(BinOp::FAdd, w.into(), Operand::imm_float(1.25));
+        b.store(y, i.into(), w2.into());
+        let fi = b.unary(UnOp::IntToFloat, i.into());
+        let _ = b.unary(UnOp::Math(crate::op::MathFn::Sin), fi.into());
+        let ni = b.binary(BinOp::Add, i.into(), Operand::imm_int(1));
+        b.mov_to(i, ni.into());
+        b.jump(header);
+        b.select_block(exit);
+        b.ret(None);
+        let p = b.finish().expect("valid");
+
+        let text = p.to_string();
+        let q = parse_program(&text).expect("parses back");
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn parses_doc_example() {
+        let src = r#"
+; a comment
+program "t" {
+  entry bb0
+  reg r0: int
+  bb0:
+    i0: r0 = add 1, 2   ; trailing comment
+    i1: ret r0
+}
+"#;
+        let p = parse_program(src).expect("parses");
+        assert_eq!(p.inst_count(), 2);
+        assert_eq!(p.reg_types.len(), 1);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_program("nonsense").is_err());
+        assert!(parse_program("program \"x\" {\n").is_err()); // missing }
+        let bad_inst = "program \"x\" {\n entry bb0\n bb0:\n i0: r0 = frobnicate 1\n}\n";
+        assert!(parse_program(bad_inst).is_err());
+    }
+
+    #[test]
+    fn rejects_sparse_declarations() {
+        let sparse_reg = "program \"x\" {\n entry bb0\n reg r1: int\n bb0:\n i0: ret\n}\n";
+        assert!(parse_program(sparse_reg).is_err());
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let src = "program \"x\" {\n  entry bb0\n  bb0:\n    i0: r0 = add ?, 2\n}\n";
+        match parse_program(src) {
+            Err(IrError::Parse { line, .. }) => assert_eq!(line, 4),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validation_runs_after_parse() {
+        // references r5 which is never declared
+        let src = "program \"x\" {\n entry bb0\n bb0:\n i0: ret r5\n}\n";
+        assert!(matches!(parse_program(src), Err(IrError::UnknownReg(5))));
+    }
+}

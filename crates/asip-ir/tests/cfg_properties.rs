@@ -1,0 +1,138 @@
+//! Property tests for the CFG analyses on randomly shaped graphs:
+//! dominator-tree axioms, liveness sanity, and loop-forest consistency.
+
+use asip_ir::{
+    BinOp, BlockId, Cfg, Dominators, Liveness, LoopForest, Operand, Program, ProgramBuilder, Ty,
+};
+use proptest::prelude::*;
+
+/// Build a random (but valid) CFG: `n` blocks, each ending in a branch
+/// or jump to targets chosen by the recipe, with a little arithmetic in
+/// each block so liveness has something to chew on.
+fn build_cfg(n: usize, edges: &[(u8, u8)], rets: u8) -> Program {
+    let mut b = ProgramBuilder::new("cfgprop");
+    let blocks: Vec<BlockId> = (0..n).map(|_| b.new_block()).collect();
+    // make block 0 the entry by construction order
+    let r = b.new_reg(Ty::Int);
+    for (i, &blk) in blocks.iter().enumerate() {
+        b.select_block(blk);
+        b.binary_to(r, BinOp::Add, r.into(), Operand::imm_int(i as i64 + 1));
+        let (t1, t2) = edges[i % edges.len()];
+        let t1 = BlockId((t1 as usize % n) as u32);
+        let t2 = BlockId((t2 as usize % n) as u32);
+        // some blocks return instead of branching, guaranteeing at least
+        // one exit when `rets` selects this block
+        if i == (rets as usize % n) {
+            b.ret(Some(r.into()));
+        } else if t1 == t2 {
+            b.jump(t1);
+        } else {
+            let c = b.binary(BinOp::CmpLt, r.into(), Operand::imm_int(3));
+            b.branch(c.into(), t1, t2);
+        }
+    }
+    // entry is block 0 because it was created first
+    b.finish_unchecked()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dominator_axioms(
+        n in 2usize..12,
+        edges in prop::collection::vec((any::<u8>(), any::<u8>()), 1..12),
+        rets in any::<u8>(),
+    ) {
+        let p = build_cfg(n, &edges, rets);
+        prop_assert!(p.validate().is_ok(), "generated CFG is structurally valid");
+        let cfg = Cfg::new(&p);
+        let dom = Dominators::new(&cfg);
+        let entry = p.entry;
+
+        // the entry dominates every reachable block
+        for &blk in cfg.rpo() {
+            prop_assert!(dom.dominates(entry, blk));
+            // dominance is reflexive
+            prop_assert!(dom.dominates(blk, blk));
+        }
+        // the immediate dominator of a non-entry reachable block is a
+        // strict dominator and is itself reachable
+        for &blk in cfg.rpo().iter().skip(1) {
+            let idom = dom.idom(blk).expect("reachable blocks have idoms");
+            prop_assert!(idom != blk);
+            prop_assert!(dom.dominates(idom, blk));
+            prop_assert!(cfg.is_reachable(idom));
+        }
+        // every CFG edge u->v: idom(v) dominates u (standard lemma:
+        // a block's idom dominates all its predecessors... only when v
+        // has multiple preds it's the common dominator; the safe axiom:
+        // idom(v) dominates every reachable pred of v OR v == entry)
+        for &v in cfg.rpo().iter().skip(1) {
+            let idom = dom.idom(v).expect("reachable");
+            for &u in cfg.preds(v) {
+                if cfg.is_reachable(u) {
+                    prop_assert!(
+                        dom.dominates(idom, u),
+                        "idom({v}) = {idom} must dominate pred {u}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn loop_forest_is_consistent(
+        n in 2usize..12,
+        edges in prop::collection::vec((any::<u8>(), any::<u8>()), 1..12),
+        rets in any::<u8>(),
+    ) {
+        let p = build_cfg(n, &edges, rets);
+        let cfg = Cfg::new(&p);
+        let dom = Dominators::new(&cfg);
+        let forest = LoopForest::new(&cfg, &dom);
+        for l in forest.loops() {
+            // the header is in the loop and dominates every member
+            prop_assert!(l.contains(l.header));
+            for &blk in &l.blocks {
+                prop_assert!(dom.dominates(l.header, blk),
+                    "header {} must dominate member {}", l.header, blk);
+            }
+            // every latch is a member with an edge to the header
+            for &latch in &l.latches {
+                prop_assert!(l.contains(latch));
+                prop_assert!(cfg.succs(latch).contains(&l.header));
+            }
+            prop_assert!(l.depth >= 1);
+        }
+        // innermost loops enclose nothing
+        for inner in forest.innermost() {
+            for other in forest.loops() {
+                prop_assert!(!inner.encloses(other));
+            }
+        }
+    }
+
+    #[test]
+    fn liveness_is_a_fixpoint(
+        n in 2usize..10,
+        edges in prop::collection::vec((any::<u8>(), any::<u8>()), 1..10),
+        rets in any::<u8>(),
+    ) {
+        let p = build_cfg(n, &edges, rets);
+        let cfg = Cfg::new(&p);
+        let lv = Liveness::new(&p, &cfg);
+        // live-out of a reachable block is the union of successors'
+        // live-in (liveness is computed over the reachable subgraph)
+        for block in p.blocks() {
+            if !cfg.is_reachable(block.id) {
+                continue;
+            }
+            let mut expect: std::collections::HashSet<_> = Default::default();
+            for &s in cfg.succs(block.id) {
+                expect.extend(lv.live_in(s).iter().copied());
+            }
+            prop_assert_eq!(lv.live_out(block.id), &expect);
+        }
+    }
+}

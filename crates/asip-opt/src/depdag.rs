@@ -1,0 +1,190 @@
+//! Dependence DAG and ASAP levels over a straight-line op region.
+//!
+//! Percolation-style compaction reduces, inside a block, to: build the
+//! dependence DAG, then issue every op at its earliest dependence-legal
+//! cycle (ASAP). Anti-dependences allow same-cycle issue (the consumer
+//! reads the old value while the new one is written at end of cycle),
+//! which is the standard VLIW register-file semantics.
+
+use crate::graph::ScheduledOp;
+use asip_ir::{DepKind, Dependence};
+
+/// The dependence DAG of one region.
+#[derive(Debug, Clone)]
+pub struct DepDag {
+    /// `edges[i]` = list of `(j, latency)` with `j > i` depending on `i`.
+    edges: Vec<Vec<(usize, u32)>>,
+    n: usize,
+}
+
+impl DepDag {
+    /// Build the DAG for `ops` (program order).
+    pub fn new(ops: &[ScheduledOp]) -> Self {
+        let n = ops.len();
+        let mut edges = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let kinds = Dependence::between(&ops[i].inst, &ops[j].inst);
+                if kinds.is_empty() {
+                    continue;
+                }
+                let latency = kinds
+                    .iter()
+                    .map(|k| match k {
+                        DepKind::Flow | DepKind::Output | DepKind::Memory => 1,
+                        // anti: consumer reads the old value, same-cycle ok;
+                        // control: a branch may issue alongside independent
+                        // ops (its condition still arrives via a flow dep)
+                        DepKind::Anti | DepKind::Control => 0,
+                    })
+                    .max()
+                    .expect("non-empty");
+                edges[i].push((j, latency));
+            }
+        }
+        DepDag { edges, n }
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Dependence edges out of op `i` as `(successor, latency)`.
+    pub fn succs(&self, i: usize) -> &[(usize, u32)] {
+        &self.edges[i]
+    }
+
+    /// ASAP issue cycle per op: every op issues at the earliest cycle
+    /// permitted by its incoming dependence latencies.
+    pub fn asap_levels(&self) -> Vec<u32> {
+        let mut level = vec![0u32; self.n];
+        for i in 0..self.n {
+            for &(j, lat) in &self.edges[i] {
+                level[j] = level[j].max(level[i] + lat);
+            }
+        }
+        level
+    }
+
+    /// The critical-path length in cycles (max level + 1), 0 if empty.
+    pub fn critical_path(&self) -> u32 {
+        if self.n == 0 {
+            0
+        } else {
+            self.asap_levels().into_iter().max().unwrap_or(0) + 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asip_ir::{BinOp, Inst, InstId, InstKind, Operand, Reg};
+
+    fn op(id: u32, dst: u32, lhs: Operand, rhs: Operand) -> ScheduledOp {
+        ScheduledOp {
+            inst: Inst::new(
+                InstId(id),
+                InstKind::Binary {
+                    op: BinOp::Add,
+                    dst: Reg(dst),
+                    lhs,
+                    rhs,
+                },
+            ),
+            orig: InstId(id),
+            weight: 1.0,
+        }
+    }
+
+    #[test]
+    fn independent_ops_share_level_zero() {
+        let ops = vec![
+            op(0, 0, Operand::imm_int(1), Operand::imm_int(2)),
+            op(1, 1, Operand::imm_int(3), Operand::imm_int(4)),
+            op(2, 2, Operand::imm_int(5), Operand::imm_int(6)),
+        ];
+        let dag = DepDag::new(&ops);
+        assert_eq!(dag.asap_levels(), vec![0, 0, 0]);
+        assert_eq!(dag.critical_path(), 1);
+    }
+
+    #[test]
+    fn flow_chain_serializes() {
+        let ops = vec![
+            op(0, 1, Operand::imm_int(1), Operand::imm_int(2)),
+            op(1, 2, Reg(1).into(), Operand::imm_int(1)),
+            op(2, 3, Reg(2).into(), Operand::imm_int(1)),
+        ];
+        let dag = DepDag::new(&ops);
+        assert_eq!(dag.asap_levels(), vec![0, 1, 2]);
+        assert_eq!(dag.critical_path(), 3);
+    }
+
+    #[test]
+    fn anti_dependence_allows_same_cycle() {
+        // op0 reads r5; op1 writes r5 — may issue together
+        let ops = vec![
+            op(0, 1, Reg(5).into(), Operand::imm_int(1)),
+            op(1, 5, Operand::imm_int(2), Operand::imm_int(3)),
+        ];
+        let dag = DepDag::new(&ops);
+        assert_eq!(dag.asap_levels(), vec![0, 0]);
+    }
+
+    #[test]
+    fn output_dependence_serializes() {
+        let ops = vec![
+            op(0, 7, Operand::imm_int(1), Operand::imm_int(2)),
+            op(1, 7, Operand::imm_int(3), Operand::imm_int(4)),
+        ];
+        let dag = DepDag::new(&ops);
+        assert_eq!(dag.asap_levels(), vec![0, 1]);
+    }
+
+    #[test]
+    fn recurrence_levels_grow_linearly() {
+        // i = i + 1, four times: flow chain through r0
+        let ops: Vec<ScheduledOp> = (0..4)
+            .map(|k| op(k, 0, Reg(0).into(), Operand::imm_int(1)))
+            .collect();
+        let dag = DepDag::new(&ops);
+        assert_eq!(dag.asap_levels(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn memory_dependence_orders_store_load() {
+        let st = ScheduledOp {
+            inst: Inst::new(
+                InstId(0),
+                InstKind::Store {
+                    array: asip_ir::ArrayId(0),
+                    index: Reg(0).into(),
+                    value: Reg(1).into(),
+                },
+            ),
+            orig: InstId(0),
+            weight: 1.0,
+        };
+        let ld = ScheduledOp {
+            inst: Inst::new(
+                InstId(1),
+                InstKind::Load {
+                    dst: Reg(2),
+                    array: asip_ir::ArrayId(0),
+                    index: Reg(3).into(),
+                },
+            ),
+            orig: InstId(1),
+            weight: 1.0,
+        };
+        let dag = DepDag::new(&[st, ld]);
+        assert_eq!(dag.asap_levels(), vec![0, 1]);
+    }
+}

@@ -1,0 +1,316 @@
+//! If-conversion: percolation scheduling's `move_test` effect.
+//!
+//! Percolation moves operations above conditionals (speculation) and
+//! unifies short branch arms into their parent node, so the analyzer
+//! sees the dataflow of both paths in one region. We model the
+//! *analysis-relevant* outcome: a diamond or triangle whose arms are
+//! short, pure (no stores, no further control flow) single-entry blocks
+//! is folded into its parent block. Each absorbed op keeps its own
+//! measured execution count, so an arm taken 10% of the time weighs
+//! exactly what the profile says — the schedule graph is an analysis
+//! artifact, never executed, so this is speculation accounting, not a
+//! semantic rewrite.
+//!
+//! This is what lets a loop body like `edge`'s
+//! `if (gx < 0) gx = -gx;` collapse into a single-block natural loop
+//! that the pipeliner can kernel-form.
+
+use crate::work::Work;
+use asip_ir::{BlockId, InstKind};
+
+/// Result of the if-conversion pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IfConvertReport {
+    /// Diamonds/triangles folded.
+    pub converted: usize,
+}
+
+/// Fold convertible conditionals until none remain (bounded).
+///
+/// `max_arm_ops` caps how large an arm may be (speculating a huge arm
+/// into the main path is not what a 1995 compiler would do).
+pub fn if_convert(work: &mut Work, max_arm_ops: usize) -> IfConvertReport {
+    let mut report = IfConvertReport::default();
+    // bounded fixpoint: each conversion removes one branch
+    for _ in 0..work.blocks.len() * 2 {
+        let Some(p) = find_convertible(work, max_arm_ops) else {
+            break;
+        };
+        convert(work, p);
+        report.converted += 1;
+    }
+    report
+}
+
+/// A block `p` is convertible when it ends in `br c, t, f` and:
+/// - triangle: `t` is a pure arm from `p` to `f`; or
+/// - diamond: `t` and `f` are pure arms from `p` to a common join.
+fn find_convertible(work: &Work, max_arm_ops: usize) -> Option<BlockId> {
+    for p in &work.blocks {
+        if p.ops.is_empty() {
+            continue;
+        }
+        let Some(term) = p.ops.last() else { continue };
+        let InstKind::Branch {
+            then_target,
+            else_target,
+            ..
+        } = term.inst.kind
+        else {
+            continue;
+        };
+        if then_target == else_target {
+            continue;
+        }
+        let t_arm = is_pure_arm(work, p.id, then_target, max_arm_ops);
+        let f_arm = is_pure_arm(work, p.id, else_target, max_arm_ops);
+        let convertible = match (t_arm, f_arm) {
+            // diamond: both arms join at the same block
+            (Some(tj), Some(fj)) => tj == fj,
+            // triangle: one arm falls through to the other side
+            (Some(tj), None) => tj == else_target,
+            (None, Some(fj)) => fj == then_target,
+            (None, None) => false,
+        };
+        if convertible {
+            return Some(p.id);
+        }
+    }
+    None
+}
+
+/// An arm is a block with `parent` as its only predecessor, a single
+/// jump successor, no stores and no other side effects; returns its
+/// join target.
+fn is_pure_arm(work: &Work, parent: BlockId, arm: BlockId, max_arm_ops: usize) -> Option<BlockId> {
+    if arm == parent {
+        return None;
+    }
+    let b = &work.blocks[arm.index()];
+    if b.ops.is_empty() || b.preds != [parent] {
+        return None;
+    }
+    let term = b.ops.last()?;
+    let InstKind::Jump { target } = term.inst.kind else {
+        return None;
+    };
+    let body = &b.ops[..b.ops.len() - 1];
+    if body.len() > max_arm_ops {
+        return None;
+    }
+    if body
+        .iter()
+        .any(|o| o.inst.is_terminator() || matches!(o.inst.kind, InstKind::Store { .. }))
+    {
+        return None;
+    }
+    Some(target)
+}
+
+/// Fold the conditional at `p`: absorb the arm bodies (keeping their
+/// weights), retarget `p` to the join with an unconditional jump, and
+/// empty the arm blocks.
+fn convert(work: &mut Work, p: BlockId) {
+    let term = work.blocks[p.index()]
+        .ops
+        .last()
+        .expect("checked")
+        .clone();
+    let InstKind::Branch {
+        then_target,
+        else_target,
+        ..
+    } = term.inst.kind
+    else {
+        unreachable!("checked by find_convertible");
+    };
+    let max_arm = usize::MAX; // re-validated below via is_pure_arm
+    let t_arm = is_pure_arm(work, p, then_target, max_arm);
+    let f_arm = is_pure_arm(work, p, else_target, max_arm);
+
+    let (arms, join) = match (t_arm, f_arm) {
+        (Some(tj), Some(fj)) if tj == fj => (vec![then_target, else_target], tj),
+        (Some(tj), _) if tj == else_target => (vec![then_target], else_target),
+        (_, Some(fj)) if fj == then_target => (vec![else_target], then_target),
+        _ => unreachable!("find_convertible verified the shape"),
+    };
+
+    // absorb arm bodies into p, in arm order, before the terminator slot
+    let mut absorbed = Vec::new();
+    let mut union_live_out = work.blocks[p.index()].live_out.clone();
+    for &a in &arms {
+        let ab = &mut work.blocks[a.index()];
+        let mut body: Vec<_> = ab.ops.drain(..).collect();
+        body.pop(); // the arm's jump
+        absorbed.extend(body);
+        union_live_out.extend(ab.live_out.iter().copied());
+        ab.succs.clear();
+        ab.preds.clear();
+    }
+    let pb = &mut work.blocks[p.index()];
+    let branch = pb.ops.pop().expect("terminator present");
+    pb.ops.extend(absorbed);
+    // the branch becomes an unconditional jump to the join, keeping the
+    // branch's dynamic weight (it still executes as a control transfer)
+    pb.ops.push(crate::graph::ScheduledOp {
+        inst: asip_ir::Inst::new(
+            branch.inst.id,
+            InstKind::Jump { target: join },
+        ),
+        orig: branch.orig,
+        weight: branch.weight,
+    });
+    pb.succs = vec![join];
+    pb.live_out = union_live_out;
+
+    // rewire the join's preds: p replaces the absorbed arms
+    let jb = &mut work.blocks[join.index()];
+    jb.preds.retain(|pr| !arms.contains(pr) && *pr != p);
+    jb.preds.push(p);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asip_ir::{BinOp, Operand, Program, ProgramBuilder, Ty, UnOp};
+    use asip_sim::{DataSet, Simulator};
+
+    /// The edge-detector abs idiom: loop body with `if (g < 0) g = -g;`.
+    fn abs_loop() -> (Program, asip_sim::Profile) {
+        let program = asip_frontend::compile(
+            "absloop",
+            r#"
+            input int x[16]; output int y[16];
+            void main() {
+                int i; int g;
+                for (i = 0; i < 16; i = i + 1) {
+                    g = x[i] - 8;
+                    if (g < 0) { g = -g; }
+                    y[i] = g;
+                }
+            }
+            "#,
+        )
+        .expect("compiles");
+        let mut d = DataSet::new();
+        d.bind_ints("x", (0..16).collect());
+        let profile = Simulator::new(&program).run(&d).expect("runs").profile;
+        (program, profile)
+    }
+
+    #[test]
+    fn triangle_folds_and_enables_pipelining() {
+        let (p, profile) = abs_loop();
+        let mut w = Work::new(&p, &profile);
+        w.merge_jump_chains();
+        let report = if_convert(&mut w, 8);
+        w.merge_jump_chains(); // folding leaves a jump chain, as the driver knows
+        assert!(report.converted >= 1, "the abs triangle must fold");
+        // after folding, some block self-loops (the whole body is one
+        // region) — exactly the shape the pipeliner wants
+        assert!(
+            w.blocks
+                .iter()
+                .any(|b| !b.ops.is_empty() && b.succs.contains(&b.id)),
+            "folded loop body should be a single-block natural loop"
+        );
+        // the negated-g op kept its measured (partial) execution count:
+        // fewer than the 16 iterations, more than zero
+        let neg = w
+            .blocks
+            .iter()
+            .flat_map(|b| b.ops.iter())
+            .find(|o| matches!(o.inst.kind, InstKind::Unary { op: UnOp::Neg, .. }))
+            .expect("neg absorbed somewhere");
+        assert!(neg.weight > 0.0 && neg.weight < 16.0);
+    }
+
+    #[test]
+    fn non_control_weight_is_conserved() {
+        // the absorbed arm's jump disappears (it no longer exists as a
+        // control transfer), but every computing op keeps its weight
+        let (p, profile) = abs_loop();
+        let mut w = Work::new(&p, &profile);
+        let total = |w: &Work| -> f64 {
+            w.blocks
+                .iter()
+                .flat_map(|b| b.ops.iter())
+                .filter(|o| !o.inst.is_terminator())
+                .map(|o| o.weight)
+                .sum()
+        };
+        let before = total(&w);
+        if_convert(&mut w, 8);
+        assert!((before - total(&w)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arms_with_stores_do_not_fold() {
+        let program = asip_frontend::compile(
+            "storearm",
+            r#"
+            input int x[4]; output int y[4];
+            void main() {
+                int i;
+                for (i = 0; i < 4; i = i + 1) {
+                    if (x[i] > 0) { y[i] = 1; }
+                }
+            }
+            "#,
+        )
+        .expect("compiles");
+        let mut d = DataSet::new();
+        d.bind_ints("x", vec![-1, 1, -1, 1]);
+        let profile = Simulator::new(&program).run(&d).expect("runs").profile;
+        let mut w = Work::new(&program, &profile);
+        w.merge_jump_chains();
+        let report = if_convert(&mut w, 8);
+        assert_eq!(report.converted, 0, "stores must not be speculated");
+    }
+
+    #[test]
+    fn arm_size_cap_respected() {
+        let (p, profile) = abs_loop();
+        let mut w = Work::new(&p, &profile);
+        w.merge_jump_chains();
+        let report = if_convert(&mut w, 0);
+        assert_eq!(report.converted, 0, "cap of zero folds nothing");
+    }
+
+    #[test]
+    fn diamond_folds_both_arms() {
+        let program = asip_frontend::compile(
+            "diamond",
+            r#"
+            input int x[8]; output int y[8];
+            void main() {
+                int i; int g;
+                for (i = 0; i < 8; i = i + 1) {
+                    if (x[i] > 0) { g = x[i] * 2; } else { g = x[i] * 3; }
+                    y[i] = g;
+                }
+            }
+            "#,
+        )
+        .expect("compiles");
+        let mut d = DataSet::new();
+        d.bind_ints("x", vec![-2, 2, -2, 2, -2, 2, -2, 2]);
+        let profile = Simulator::new(&program).run(&d).expect("runs").profile;
+        let mut w = Work::new(&program, &profile);
+        w.merge_jump_chains();
+        let report = if_convert(&mut w, 8);
+        assert!(report.converted >= 1);
+        // both multiplies coexist in one region, each at half weight
+        let muls: Vec<f64> = w
+            .blocks
+            .iter()
+            .flat_map(|b| b.ops.iter())
+            .filter(|o| matches!(o.inst.kind, InstKind::Binary { op: BinOp::Mul, rhs: Operand::ImmInt(2 | 3), .. }))
+            .map(|o| o.weight)
+            .collect();
+        assert_eq!(muls.len(), 2);
+        assert!(muls.iter().all(|&w| (w - 4.0).abs() < 1e-9));
+        let _ = Ty::Int;
+        let _ = ProgramBuilder::new("unused");
+    }
+}

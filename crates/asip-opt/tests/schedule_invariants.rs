@@ -1,0 +1,107 @@
+//! Scheduler invariants over the real benchmark suite: per-instruction
+//! profile attribution survives every transformation.
+
+use asip_opt::{OptConfig, OptLevel, Optimizer};
+use std::collections::HashMap;
+
+const SAMPLE: &[&str] = &["fir", "sewha", "edge", "bspline", "feowf", "flatten"];
+
+/// Every non-control original instruction's profile count must equal the
+/// summed weights of its scheduled copies — percolation may duplicate
+/// and pipelining may split, but attribution is conserved op by op.
+#[test]
+fn per_instruction_weight_attribution_is_conserved() {
+    for name in SAMPLE {
+        let reg = asip_benchmarks::registry();
+        let b = reg.find(name).expect("built-in");
+        let program = b.compile().expect("compiles");
+        let profile = b.profile(&program).expect("simulates");
+        for level in [OptLevel::Pipelined, OptLevel::PipelinedRenamed] {
+            let graph = Optimizer::new(level).run(&program, &profile);
+            let mut by_orig: HashMap<u32, f64> = HashMap::new();
+            for (_, op) in graph.ops() {
+                // synthetic ops (renaming movs) carry a sentinel orig id
+                if op.orig.0 != u32::MAX {
+                    *by_orig.entry(op.orig.0).or_insert(0.0) += op.weight;
+                }
+            }
+            for (_, inst) in program.insts() {
+                if inst.is_terminator() {
+                    continue; // kernel formation drops interior branch copies
+                }
+                let expected = profile.count(inst.id) as f64;
+                let got = by_orig.get(&inst.id.0).copied().unwrap_or(0.0);
+                assert!(
+                    (expected - got).abs() < 1e-6 * expected.max(1.0),
+                    "{name}@{level}: {} attribution {got} != profile {expected}",
+                    inst.id
+                );
+            }
+        }
+    }
+}
+
+/// Wider machines never lengthen the weighted schedule, and unroll-2
+/// kernels never run more weighted cycles than unroll-1 bodies.
+#[test]
+fn schedules_improve_monotonically_with_resources() {
+    for name in SAMPLE {
+        let reg = asip_benchmarks::registry();
+        let b = reg.find(name).expect("built-in");
+        let program = b.compile().expect("compiles");
+        let profile = b.profile(&program).expect("simulates");
+        let cycles_at = |width: usize| {
+            Optimizer::new(OptLevel::Pipelined)
+                .with_config(OptConfig {
+                    width,
+                    ..OptConfig::default()
+                })
+                .run(&program, &profile)
+                .weighted_cycles()
+        };
+        let mut prev = f64::INFINITY;
+        for width in [1, 2, 4, 8] {
+            let c = cycles_at(width);
+            assert!(
+                c <= prev * (1.0 + 1e-9),
+                "{name}: width {width} runs {c} cycles, worse than {prev}"
+            );
+            prev = c;
+        }
+    }
+}
+
+/// Every scheduled graph stays structurally sound under every config the
+/// harness exercises.
+#[test]
+fn graphs_are_structurally_sound_under_config_sweeps() {
+    let reg = asip_benchmarks::registry();
+    let b = reg.find("sewha").expect("built-in");
+    let program = b.compile().expect("compiles");
+    let profile = b.profile(&program).expect("simulates");
+    for unroll in [1, 2, 4] {
+        for width in [1, 4] {
+            for hoist_passes in [0, 2] {
+                for merge_blocks in [false, true] {
+                    for level in OptLevel::all() {
+                        let g = Optimizer::new(level)
+                            .with_config(OptConfig {
+                                unroll,
+                                width,
+                                hoist_passes,
+                                merge_blocks,
+                                ..OptConfig::default()
+                            })
+                            .run(&program, &profile);
+                        g.check_invariants().unwrap_or_else(|e| {
+                            panic!(
+                                "unroll={unroll} width={width} hoist={hoist_passes} \
+                                 merge={merge_blocks} level={level}: {e}"
+                            )
+                        });
+                    }
+                }
+            }
+        }
+    }
+}

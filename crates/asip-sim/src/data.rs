@@ -1,0 +1,150 @@
+//! Input data sets and seeded random data generators.
+//!
+//! The paper's experiments drive each benchmark with "random" inputs
+//! (Table 1: random float arrays, random integer streams, 24×24 8-bit
+//! images). We reproduce those shapes with a seeded PRNG so that every
+//! experiment run is bit-for-bit repeatable.
+
+use asip_ir::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// A binding of input-array names to concrete data.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DataSet {
+    arrays: HashMap<String, Vec<Value>>,
+}
+
+impl DataSet {
+    /// An empty data set.
+    pub fn new() -> Self {
+        DataSet::default()
+    }
+
+    /// Bind integer data to an input array name.
+    pub fn bind_ints(&mut self, name: impl Into<String>, data: Vec<i64>) -> &mut Self {
+        self.arrays
+            .insert(name.into(), data.into_iter().map(Value::Int).collect());
+        self
+    }
+
+    /// Bind floating-point data to an input array name.
+    pub fn bind_floats(&mut self, name: impl Into<String>, data: Vec<f64>) -> &mut Self {
+        self.arrays
+            .insert(name.into(), data.into_iter().map(Value::Float).collect());
+        self
+    }
+
+    /// Bind already-typed values.
+    pub fn bind_values(&mut self, name: impl Into<String>, data: Vec<Value>) -> &mut Self {
+        self.arrays.insert(name.into(), data);
+        self
+    }
+
+    /// Look up bound data by name.
+    pub fn get(&self, name: &str) -> Option<&[Value]> {
+        self.arrays.get(name).map(Vec::as_slice)
+    }
+
+    /// Names bound in this data set.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.arrays.keys().map(String::as_str)
+    }
+}
+
+/// Seeded generator for the paper's input-data shapes.
+///
+/// All methods consume from one deterministic [`StdRng`] stream, so a
+/// `DataGen` with a given seed always produces the same experiment inputs.
+#[derive(Debug)]
+pub struct DataGen {
+    rng: StdRng,
+}
+
+impl DataGen {
+    /// Create a generator with a fixed seed.
+    pub fn new(seed: u64) -> Self {
+        DataGen {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// `n` uniform floats in `[lo, hi)` — the "random array of N floating
+    /// point values" of Table 1.
+    pub fn floats(&mut self, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+        (0..n).map(|_| self.rng.gen_range(lo..hi)).collect()
+    }
+
+    /// `n` uniform integers in `[lo, hi]` — the "stream of N random
+    /// integer values" of Table 1.
+    pub fn ints(&mut self, n: usize, lo: i64, hi: i64) -> Vec<i64> {
+        (0..n).map(|_| self.rng.gen_range(lo..=hi)).collect()
+    }
+
+    /// A `w`×`h` 8-bit image stored row-major — the "24x24 8-bit image"
+    /// of Table 1. Values are a smooth gradient plus noise so that
+    /// image-processing benchmarks (histogram, edge detection) see
+    /// realistic structure rather than white noise.
+    pub fn image(&mut self, w: usize, h: usize) -> Vec<i64> {
+        let mut out = Vec::with_capacity(w * h);
+        for y in 0..h {
+            for x in 0..w {
+                let base = (x * 255 / w.max(1) + y * 255 / h.max(1)) / 2;
+                let noise: i64 = self.rng.gen_range(-24..=24);
+                out.push((base as i64 + noise).clamp(0, 255));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_binding_and_lookup() {
+        let mut d = DataSet::new();
+        d.bind_ints("x", vec![1, 2]).bind_floats("y", vec![0.5]);
+        assert_eq!(d.get("x"), Some(&[Value::Int(1), Value::Int(2)][..]));
+        assert_eq!(d.get("y"), Some(&[Value::Float(0.5)][..]));
+        assert_eq!(d.get("z"), None);
+        let mut names: Vec<_> = d.names().collect();
+        names.sort_unstable();
+        assert_eq!(names, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = DataGen::new(42).floats(16, -1.0, 1.0);
+        let b = DataGen::new(42).floats(16, -1.0, 1.0);
+        assert_eq!(a, b);
+        let c = DataGen::new(43).floats(16, -1.0, 1.0);
+        assert_ne!(a, c, "different seeds give different data");
+    }
+
+    #[test]
+    fn float_range_respected() {
+        let v = DataGen::new(1).floats(1000, -2.0, 3.0);
+        assert!(v.iter().all(|&x| (-2.0..3.0).contains(&x)));
+    }
+
+    #[test]
+    fn int_range_inclusive() {
+        let v = DataGen::new(1).ints(1000, 0, 9);
+        assert!(v.iter().all(|&x| (0..=9).contains(&x)));
+        assert!(v.contains(&0) && v.contains(&9), "endpoints reachable");
+    }
+
+    #[test]
+    fn image_is_8bit_and_structured() {
+        let img = DataGen::new(7).image(24, 24);
+        assert_eq!(img.len(), 24 * 24);
+        assert!(img.iter().all(|&p| (0..=255).contains(&p)));
+        // gradient: average of last row larger than first row
+        let first: i64 = img[..24].iter().sum();
+        let last: i64 = img[23 * 24..].iter().sum();
+        assert!(last > first, "gradient should rise top to bottom");
+    }
+}

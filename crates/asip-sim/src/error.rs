@@ -1,0 +1,90 @@
+//! Simulator errors.
+
+use std::fmt;
+
+/// Convenience alias for simulator results.
+pub type Result<T> = std::result::Result<T, SimError>;
+
+/// Errors raised during simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// An input array was not bound in the data set.
+    UnboundInput {
+        /// Array name.
+        name: String,
+    },
+    /// Bound data has the wrong length.
+    WrongLength {
+        /// Array name.
+        name: String,
+        /// Declared length.
+        expected: usize,
+        /// Bound length.
+        got: usize,
+    },
+    /// Bound data has the wrong element type.
+    WrongType {
+        /// Array name.
+        name: String,
+    },
+    /// An array access was out of bounds.
+    OutOfBounds {
+        /// Array name.
+        name: String,
+        /// Offending index.
+        index: i64,
+        /// Array length.
+        len: usize,
+    },
+    /// The dynamic step limit was exceeded (runaway loop).
+    StepLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnboundInput { name } => {
+                write!(f, "input array `{name}` was not bound in the data set")
+            }
+            SimError::WrongLength {
+                name,
+                expected,
+                got,
+            } => write!(
+                f,
+                "array `{name}` declared with {expected} elements but bound with {got}"
+            ),
+            SimError::WrongType { name } => {
+                write!(f, "array `{name}` bound with the wrong element type")
+            }
+            SimError::OutOfBounds { name, index, len } => {
+                write!(f, "index {index} out of bounds for `{name}` (length {len})")
+            }
+            SimError::StepLimit { limit } => {
+                write!(f, "execution exceeded the step limit of {limit} operations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_names_and_limits() {
+        let e = SimError::OutOfBounds {
+            name: "x".into(),
+            index: -1,
+            len: 4,
+        };
+        assert!(e.to_string().contains("`x`"));
+        let e = SimError::StepLimit { limit: 100 };
+        assert!(e.to_string().contains("100"));
+    }
+}

@@ -1,0 +1,525 @@
+//! The interpreter proper.
+
+use crate::data::DataSet;
+use crate::error::{Result, SimError};
+use crate::profile::Profile;
+use asip_ir::{
+    ArrayKind, BinOp, Inst, InstKind, Operand, Program, Reg, Ty, UnOp, Value,
+};
+
+/// Result of one simulated run.
+#[derive(Debug, Clone)]
+pub struct Execution {
+    /// Dynamic counts per instruction and block.
+    pub profile: Profile,
+    /// Final contents of every array (indexable by the program's array
+    /// order), so harnesses can check outputs.
+    pub memory: Vec<Vec<Value>>,
+    /// Value returned by the program's `ret`, if any.
+    pub result: Option<Value>,
+}
+
+impl Execution {
+    /// Final contents of a named array.
+    pub fn array(&self, program: &Program, name: &str) -> Option<&[Value]> {
+        program
+            .array_by_name(name)
+            .map(|id| self.memory[id.index()].as_slice())
+    }
+}
+
+/// A profiling interpreter for one [`Program`].
+///
+/// The machine model is the paper's: one operation per cycle, unbounded
+/// virtual registers, word-addressed array memory. Division by zero
+/// yields zero (integer) or IEEE semantics (float) so random-data
+/// benchmarks never trap.
+#[derive(Debug)]
+pub struct Simulator<'p> {
+    program: &'p Program,
+    step_limit: u64,
+}
+
+impl<'p> Simulator<'p> {
+    /// Create a simulator with the default step limit (100 million ops).
+    pub fn new(program: &'p Program) -> Self {
+        Simulator {
+            program,
+            step_limit: 100_000_000,
+        }
+    }
+
+    /// Override the dynamic step limit.
+    pub fn with_step_limit(mut self, limit: u64) -> Self {
+        self.step_limit = limit;
+        self
+    }
+
+    /// Run the program on the given input data.
+    ///
+    /// # Errors
+    ///
+    /// - [`SimError::UnboundInput`] / [`SimError::WrongLength`] /
+    ///   [`SimError::WrongType`] if the data set does not match the
+    ///   program's input declarations;
+    /// - [`SimError::OutOfBounds`] on a bad array access;
+    /// - [`SimError::StepLimit`] if execution runs away.
+    pub fn run(&self, data: &DataSet) -> Result<Execution> {
+        self.run_inner(data, None)
+    }
+
+    /// Run with an execution-trace observer (see [`crate::trace`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run`].
+    pub fn run_traced(
+        &self,
+        data: &DataSet,
+        sink: &mut dyn crate::trace::TraceSink,
+    ) -> Result<Execution> {
+        self.run_inner(data, Some(sink))
+    }
+
+    fn run_inner(
+        &self,
+        data: &DataSet,
+        mut sink: Option<&mut dyn crate::trace::TraceSink>,
+    ) -> Result<Execution> {
+        let program = self.program;
+        let mut memory: Vec<Vec<Value>> = Vec::with_capacity(program.arrays.len());
+        for decl in &program.arrays {
+            match decl.kind {
+                ArrayKind::Input => {
+                    let bound = data.get(&decl.name).ok_or_else(|| SimError::UnboundInput {
+                        name: decl.name.clone(),
+                    })?;
+                    if bound.len() != decl.len {
+                        return Err(SimError::WrongLength {
+                            name: decl.name.clone(),
+                            expected: decl.len,
+                            got: bound.len(),
+                        });
+                    }
+                    if bound.iter().any(|v| v.ty() != decl.ty) {
+                        return Err(SimError::WrongType {
+                            name: decl.name.clone(),
+                        });
+                    }
+                    memory.push(bound.to_vec());
+                }
+                ArrayKind::Output | ArrayKind::Internal => {
+                    memory.push(vec![Value::zero(decl.ty); decl.len]);
+                }
+            }
+        }
+
+        let mut regs: Vec<Value> = program
+            .reg_types
+            .iter()
+            .map(|&t| Value::zero(t))
+            .collect();
+        let mut profile = Profile::new(program.next_inst_id as usize, program.blocks.len());
+        let mut steps: u64 = 0;
+        let mut block = program.entry;
+
+        'outer: loop {
+            profile.bump_block(block);
+            let insts = &program.block(block).insts;
+            for inst in insts {
+                steps += 1;
+                if steps > self.step_limit {
+                    return Err(SimError::StepLimit {
+                        limit: self.step_limit,
+                    });
+                }
+                profile.bump_inst(inst.id);
+                let flow = self.step(inst, &mut regs, &mut memory)?;
+                if let Some(sink) = sink.as_deref_mut() {
+                    sink.event(&crate::trace::TraceEvent {
+                        step: steps,
+                        block,
+                        inst,
+                        wrote: inst.dst().map(|d| regs[d.index()]),
+                    });
+                }
+                match flow {
+                    Flow::Next => {}
+                    Flow::Goto(b) => {
+                        block = b;
+                        continue 'outer;
+                    }
+                    Flow::Halt(v) => {
+                        return Ok(Execution {
+                            profile,
+                            memory,
+                            result: v,
+                        })
+                    }
+                }
+            }
+            // validation guarantees a terminator, so this is unreachable
+            unreachable!("block fell through without terminator");
+        }
+    }
+
+    fn step(
+        &self,
+        inst: &Inst,
+        regs: &mut [Value],
+        memory: &mut [Vec<Value>],
+    ) -> Result<Flow> {
+        let read = |o: &Operand, regs: &[Value]| -> Value {
+            match o {
+                Operand::Reg(r) => regs[r.index()],
+                Operand::ImmInt(v) => Value::Int(*v),
+                Operand::ImmFloat(v) => Value::Float(*v),
+            }
+        };
+        let write = |r: Reg, v: Value, regs: &mut [Value]| {
+            regs[r.index()] = v;
+        };
+
+        match &inst.kind {
+            InstKind::Binary { op, dst, lhs, rhs } => {
+                let a = read(lhs, regs);
+                let b = read(rhs, regs);
+                write(*dst, eval_binop(*op, a, b), regs);
+                Ok(Flow::Next)
+            }
+            InstKind::Unary { op, dst, src } => {
+                let v = read(src, regs);
+                write(*dst, eval_unop(*op, v), regs);
+                Ok(Flow::Next)
+            }
+            InstKind::Load { dst, array, index } => {
+                let addr = read(index, regs).as_int();
+                let decl = self.program.array(*array);
+                let mem = &memory[array.index()];
+                let slot = decl.element_of(addr).ok_or_else(|| SimError::OutOfBounds {
+                    name: decl.name.clone(),
+                    index: addr,
+                    len: mem.len(),
+                })?;
+                let v = mem[slot];
+                write(*dst, v, regs);
+                Ok(Flow::Next)
+            }
+            InstKind::Store {
+                array,
+                index,
+                value,
+            } => {
+                let addr = read(index, regs).as_int();
+                let v = read(value, regs);
+                let decl = self.program.array(*array);
+                let len = memory[array.index()].len();
+                let slot = decl.element_of(addr).ok_or_else(|| SimError::OutOfBounds {
+                    name: decl.name.clone(),
+                    index: addr,
+                    len,
+                })?;
+                let mem = &mut memory[array.index()];
+                // stores coerce to the array element type, like C
+                mem[slot] = match self.program.array(*array).ty {
+                    Ty::Int => Value::Int(v.as_int()),
+                    Ty::Float => Value::Float(v.as_float()),
+                };
+                Ok(Flow::Next)
+            }
+            InstKind::Branch {
+                cond,
+                then_target,
+                else_target,
+            } => {
+                let c = read(cond, regs);
+                Ok(Flow::Goto(if c.is_truthy() {
+                    *then_target
+                } else {
+                    *else_target
+                }))
+            }
+            InstKind::Jump { target } => Ok(Flow::Goto(*target)),
+            InstKind::Ret { value } => Ok(Flow::Halt(value.as_ref().map(|v| read(v, regs)))),
+            InstKind::Chained {
+                dst, inputs, ops, ..
+            } => {
+                // the contract shared with asip-synth's rewriter:
+                // acc = ops[0](inputs[0], inputs[1]);
+                // acc = ops[i](acc, inputs[i + 1]) for the rest
+                let zero = Operand::ImmInt(0);
+                let a = read(inputs.first().unwrap_or(&zero), regs);
+                let b = read(inputs.get(1).unwrap_or(&zero), regs);
+                let mut acc = match ops.first() {
+                    Some(&op) => eval_binop(op, a, b),
+                    None => a,
+                };
+                for (op, i) in ops.iter().skip(1).zip(inputs.iter().skip(2)) {
+                    acc = eval_binop(*op, acc, read(i, regs));
+                }
+                write(*dst, acc, regs);
+                Ok(Flow::Next)
+            }
+        }
+    }
+}
+
+enum Flow {
+    Next,
+    Goto(asip_ir::BlockId),
+    Halt(Option<Value>),
+}
+
+/// Evaluate a binary operation with C-like semantics.
+pub fn eval_binop(op: BinOp, a: Value, b: Value) -> Value {
+    use BinOp::*;
+    match op {
+        Add => Value::Int(a.as_int().wrapping_add(b.as_int())),
+        Sub => Value::Int(a.as_int().wrapping_sub(b.as_int())),
+        Mul => Value::Int(a.as_int().wrapping_mul(b.as_int())),
+        Div => {
+            let d = b.as_int();
+            Value::Int(if d == 0 {
+                0
+            } else {
+                a.as_int().wrapping_div(d)
+            })
+        }
+        Rem => {
+            let d = b.as_int();
+            Value::Int(if d == 0 {
+                0
+            } else {
+                a.as_int().wrapping_rem(d)
+            })
+        }
+        Shl => Value::Int(a.as_int().wrapping_shl((b.as_int() & 63) as u32)),
+        Shr => Value::Int(a.as_int().wrapping_shr((b.as_int() & 63) as u32)),
+        And => Value::Int(a.as_int() & b.as_int()),
+        Or => Value::Int(a.as_int() | b.as_int()),
+        Xor => Value::Int(a.as_int() ^ b.as_int()),
+        CmpLt => Value::Int((a.as_int() < b.as_int()) as i64),
+        CmpLe => Value::Int((a.as_int() <= b.as_int()) as i64),
+        CmpGt => Value::Int((a.as_int() > b.as_int()) as i64),
+        CmpGe => Value::Int((a.as_int() >= b.as_int()) as i64),
+        CmpEq => Value::Int((a.as_int() == b.as_int()) as i64),
+        CmpNe => Value::Int((a.as_int() != b.as_int()) as i64),
+        FAdd => Value::Float(a.as_float() + b.as_float()),
+        FSub => Value::Float(a.as_float() - b.as_float()),
+        FMul => Value::Float(a.as_float() * b.as_float()),
+        FDiv => Value::Float(a.as_float() / b.as_float()),
+        FCmpLt => Value::Int((a.as_float() < b.as_float()) as i64),
+        FCmpLe => Value::Int((a.as_float() <= b.as_float()) as i64),
+        FCmpGt => Value::Int((a.as_float() > b.as_float()) as i64),
+        FCmpGe => Value::Int((a.as_float() >= b.as_float()) as i64),
+        FCmpEq => Value::Int((a.as_float() == b.as_float()) as i64),
+        FCmpNe => Value::Int((a.as_float() != b.as_float()) as i64),
+    }
+}
+
+/// Evaluate a unary operation.
+pub fn eval_unop(op: UnOp, v: Value) -> Value {
+    match op {
+        UnOp::Neg => Value::Int(v.as_int().wrapping_neg()),
+        UnOp::Not => Value::Int(!v.as_int()),
+        UnOp::FNeg => Value::Float(-v.as_float()),
+        UnOp::Mov => v,
+        UnOp::IntToFloat => Value::Float(v.as_int() as f64),
+        UnOp::FloatToInt => Value::Int(v.as_float() as i64),
+        UnOp::Math(m) => Value::Float(m.eval(v.as_float())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asip_ir::{Operand, ProgramBuilder};
+
+    fn sum_loop_program(n: i64) -> Program {
+        // acc = sum_{i<n} x[i]*x[i]
+        let mut b = ProgramBuilder::new("sumsq");
+        let x = b.input_array("x", Ty::Int, n as usize);
+        let entry = b.entry_block();
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let i = b.new_reg(Ty::Int);
+        let acc = b.new_reg(Ty::Int);
+        b.select_block(entry);
+        b.mov_to(i, Operand::imm_int(0));
+        b.mov_to(acc, Operand::imm_int(0));
+        b.jump(header);
+        b.select_block(header);
+        let c = b.binary(BinOp::CmpLt, i.into(), Operand::imm_int(n));
+        b.branch(c.into(), body, exit);
+        b.select_block(body);
+        let v = b.load(x, i.into());
+        let sq = b.binary(BinOp::Mul, v.into(), v.into());
+        let na = b.binary(BinOp::Add, acc.into(), sq.into());
+        b.mov_to(acc, na.into());
+        let ni = b.binary(BinOp::Add, i.into(), Operand::imm_int(1));
+        b.mov_to(i, ni.into());
+        b.jump(header);
+        b.select_block(exit);
+        b.ret(Some(acc.into()));
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn computes_sum_of_squares() {
+        let p = sum_loop_program(4);
+        let mut d = DataSet::new();
+        d.bind_ints("x", vec![1, 2, 3, 4]);
+        let e = Simulator::new(&p).run(&d).expect("runs");
+        assert_eq!(e.result, Some(Value::Int(1 + 4 + 9 + 16)));
+    }
+
+    #[test]
+    fn profile_counts_match_loop_structure() {
+        let p = sum_loop_program(4);
+        let mut d = DataSet::new();
+        d.bind_ints("x", vec![1, 2, 3, 4]);
+        let e = Simulator::new(&p).run(&d).expect("runs");
+        // header executes 5 times (4 taken + 1 exit), body 4
+        assert_eq!(e.profile.block_count(asip_ir::BlockId(1)), 5);
+        assert_eq!(e.profile.block_count(asip_ir::BlockId(2)), 4);
+        // the multiply runs once per body iteration
+        let mul_id = p.blocks()[2].insts[1].id;
+        assert_eq!(e.profile.count(mul_id), 4);
+        // total = 3 (entry) + 5*2 (header) + 4*7 (body) + 1 (ret)
+        assert_eq!(e.profile.total_ops(), 3 + 10 + 28 + 1);
+    }
+
+    #[test]
+    fn rejects_missing_and_mismatched_inputs() {
+        let p = sum_loop_program(4);
+        let d = DataSet::new();
+        assert!(matches!(
+            Simulator::new(&p).run(&d),
+            Err(SimError::UnboundInput { .. })
+        ));
+        let mut d = DataSet::new();
+        d.bind_ints("x", vec![1, 2]);
+        assert!(matches!(
+            Simulator::new(&p).run(&d),
+            Err(SimError::WrongLength { .. })
+        ));
+        let mut d = DataSet::new();
+        d.bind_floats("x", vec![1.0, 2.0, 3.0, 4.0]);
+        assert!(matches!(
+            Simulator::new(&p).run(&d),
+            Err(SimError::WrongType { .. })
+        ));
+    }
+
+    #[test]
+    fn step_limit_stops_runaway_loops() {
+        // while (1) {}
+        let mut b = ProgramBuilder::new("hang");
+        let entry = b.entry_block();
+        b.select_block(entry);
+        b.jump(entry);
+        let p = b.finish().expect("valid");
+        let err = Simulator::new(&p)
+            .with_step_limit(1000)
+            .run(&DataSet::new());
+        assert!(matches!(err, Err(SimError::StepLimit { limit: 1000 })));
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported() {
+        let mut b = ProgramBuilder::new("oob");
+        let x = b.input_array("x", Ty::Int, 2);
+        let entry = b.entry_block();
+        b.select_block(entry);
+        let _ = b.load(x, Operand::imm_int(5));
+        b.ret(None);
+        let p = b.finish().expect("valid");
+        let mut d = DataSet::new();
+        d.bind_ints("x", vec![1, 2]);
+        assert!(matches!(
+            Simulator::new(&p).run(&d),
+            Err(SimError::OutOfBounds { index: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn division_semantics() {
+        assert_eq!(
+            eval_binop(BinOp::Div, Value::Int(7), Value::Int(2)),
+            Value::Int(3)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Div, Value::Int(7), Value::Int(0)),
+            Value::Int(0),
+            "integer division by zero yields zero"
+        );
+        assert_eq!(
+            eval_binop(BinOp::Rem, Value::Int(7), Value::Int(0)),
+            Value::Int(0)
+        );
+        let inf = eval_binop(BinOp::FDiv, Value::Float(1.0), Value::Float(0.0));
+        assert_eq!(inf, Value::Float(f64::INFINITY));
+    }
+
+    #[test]
+    fn comparison_and_float_ops() {
+        assert_eq!(
+            eval_binop(BinOp::CmpLt, Value::Int(1), Value::Int(2)),
+            Value::Int(1)
+        );
+        assert_eq!(
+            eval_binop(BinOp::FCmpGe, Value::Float(2.0), Value::Float(2.0)),
+            Value::Int(1)
+        );
+        assert_eq!(
+            eval_binop(BinOp::FMul, Value::Float(1.5), Value::Float(2.0)),
+            Value::Float(3.0)
+        );
+        assert_eq!(eval_unop(UnOp::FloatToInt, Value::Float(-2.9)), Value::Int(-2));
+        assert_eq!(eval_unop(UnOp::Mov, Value::Float(1.25)), Value::Float(1.25));
+    }
+
+    #[test]
+    fn outputs_are_observable() {
+        let mut b = ProgramBuilder::new("out");
+        let y = b.output_array("y", Ty::Int, 2);
+        let entry = b.entry_block();
+        b.select_block(entry);
+        b.store(y, Operand::imm_int(0), Operand::imm_int(42));
+        b.store(y, Operand::imm_int(1), Operand::imm_int(7));
+        b.ret(None);
+        let p = b.finish().expect("valid");
+        let e = Simulator::new(&p).run(&DataSet::new()).expect("runs");
+        assert_eq!(
+            e.array(&p, "y"),
+            Some(&[Value::Int(42), Value::Int(7)][..])
+        );
+    }
+
+    #[test]
+    fn stores_coerce_to_element_type() {
+        let mut b = ProgramBuilder::new("coerce");
+        let y = b.output_array("y", Ty::Float, 1);
+        let entry = b.entry_block();
+        b.select_block(entry);
+        b.store(y, Operand::imm_int(0), Operand::imm_float(2.5));
+        b.ret(None);
+        let p = b.finish().expect("valid");
+        let e = Simulator::new(&p).run(&DataSet::new()).expect("runs");
+        assert_eq!(e.array(&p, "y"), Some(&[Value::Float(2.5)][..]));
+    }
+
+    #[test]
+    fn wrapping_integer_semantics() {
+        assert_eq!(
+            eval_binop(BinOp::Add, Value::Int(i64::MAX), Value::Int(1)),
+            Value::Int(i64::MIN)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Shl, Value::Int(1), Value::Int(64 + 3)),
+            Value::Int(8),
+            "shift amount masked to 0..63"
+        );
+    }
+}

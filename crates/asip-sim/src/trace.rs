@@ -1,0 +1,201 @@
+//! Execution tracing: an optional per-step observer for debugging
+//! benchmarks and verifying rewrites op by op.
+
+use asip_ir::{BlockId, Inst, Value};
+
+/// One executed step, as seen by a [`TraceSink`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent<'a> {
+    /// 1-based dynamic step number.
+    pub step: u64,
+    /// Block being executed.
+    pub block: BlockId,
+    /// The instruction.
+    pub inst: &'a Inst,
+    /// Value written to the destination register, if any.
+    pub wrote: Option<Value>,
+}
+
+/// Receives every executed instruction.
+///
+/// Keep implementations cheap — the simulator calls this once per
+/// dynamic operation.
+pub trait TraceSink {
+    /// Observe one step.
+    fn event(&mut self, event: &TraceEvent<'_>);
+}
+
+/// A sink that retains the last `capacity` events (a flight recorder).
+#[derive(Debug, Clone)]
+pub struct RingTrace {
+    capacity: usize,
+    events: std::collections::VecDeque<OwnedEvent>,
+}
+
+/// An owned copy of a trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OwnedEvent {
+    /// Dynamic step number.
+    pub step: u64,
+    /// Block id.
+    pub block: BlockId,
+    /// Rendered instruction text.
+    pub inst: String,
+    /// Value written, if any.
+    pub wrote: Option<Value>,
+}
+
+impl RingTrace {
+    /// A flight recorder keeping the last `capacity` steps.
+    pub fn new(capacity: usize) -> Self {
+        RingTrace {
+            capacity,
+            events: std::collections::VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &OwnedEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing was traced.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl TraceSink for RingTrace {
+    fn event(&mut self, event: &TraceEvent<'_>) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(OwnedEvent {
+            step: event.step,
+            block: event.block,
+            inst: asip_ir::print::DisplayInst(event.inst).to_string(),
+            wrote: event.wrote,
+        });
+    }
+}
+
+/// A sink that counts per-class execution (a quick dynamic mix profile).
+#[derive(Debug, Clone, Default)]
+pub struct ClassMix {
+    counts: std::collections::BTreeMap<String, u64>,
+    arrays_float: Vec<bool>,
+}
+
+impl ClassMix {
+    /// A mix counter for a program (needs the array element types to
+    /// classify loads/stores).
+    pub fn for_program(program: &asip_ir::Program) -> Self {
+        ClassMix {
+            counts: Default::default(),
+            arrays_float: program
+                .arrays
+                .iter()
+                .map(|a| a.ty == asip_ir::Ty::Float)
+                .collect(),
+        }
+    }
+
+    /// Dynamic count per op-class name.
+    pub fn counts(&self) -> &std::collections::BTreeMap<String, u64> {
+        &self.counts
+    }
+}
+
+impl TraceSink for ClassMix {
+    fn event(&mut self, event: &TraceEvent<'_>) {
+        let class = event
+            .inst
+            .class_with(|a| self.arrays_float.get(a.index()).copied().unwrap_or(false));
+        *self.counts.entry(class.to_string()).or_insert(0) += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DataSet, Simulator};
+    use asip_ir::{BinOp, Operand, ProgramBuilder, Ty};
+
+    fn program() -> asip_ir::Program {
+        let mut b = ProgramBuilder::new("t");
+        let x = b.input_array("x", Ty::Int, 4);
+        let e = b.entry_block();
+        b.select_block(e);
+        let v = b.load(x, Operand::imm_int(0));
+        let w = b.binary(BinOp::Mul, v.into(), Operand::imm_int(3));
+        b.ret(Some(w.into()));
+        b.finish().expect("valid")
+    }
+
+    fn data() -> DataSet {
+        let mut d = DataSet::new();
+        d.bind_ints("x", vec![7, 0, 0, 0]);
+        d
+    }
+
+    #[test]
+    fn ring_trace_records_steps_in_order() {
+        let p = program();
+        let mut trace = RingTrace::new(16);
+        Simulator::new(&p)
+            .run_traced(&data(), &mut trace)
+            .expect("runs");
+        assert_eq!(trace.len(), 3);
+        let steps: Vec<u64> = trace.events().map(|e| e.step).collect();
+        assert_eq!(steps, vec![1, 2, 3]);
+        let texts: Vec<&str> = trace.events().map(|e| e.inst.as_str()).collect();
+        assert!(texts[0].contains("load"));
+        assert!(texts[1].contains("mul"));
+        assert!(texts[2].contains("ret"));
+        // the multiply wrote 21
+        assert_eq!(trace.events().nth(1).expect("exists").wrote, Some(asip_ir::Value::Int(21)));
+    }
+
+    #[test]
+    fn ring_trace_caps_capacity() {
+        let p = program();
+        let mut trace = RingTrace::new(2);
+        Simulator::new(&p)
+            .run_traced(&data(), &mut trace)
+            .expect("runs");
+        assert_eq!(trace.len(), 2);
+        // keeps the *last* two
+        let steps: Vec<u64> = trace.events().map(|e| e.step).collect();
+        assert_eq!(steps, vec![2, 3]);
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn class_mix_counts_dynamic_classes() {
+        let p = program();
+        let mut mix = ClassMix::for_program(&p);
+        Simulator::new(&p)
+            .run_traced(&data(), &mut mix)
+            .expect("runs");
+        assert_eq!(mix.counts().get("load"), Some(&1));
+        assert_eq!(mix.counts().get("multiply"), Some(&1));
+        assert_eq!(mix.counts().get("branch"), Some(&1)); // the ret
+    }
+
+    #[test]
+    fn traced_and_untraced_agree() {
+        let p = program();
+        let plain = Simulator::new(&p).run(&data()).expect("runs");
+        let mut trace = RingTrace::new(8);
+        let traced = Simulator::new(&p)
+            .run_traced(&data(), &mut trace)
+            .expect("runs");
+        assert_eq!(plain.result, traced.result);
+        assert_eq!(plain.profile, traced.profile);
+    }
+}

@@ -1,0 +1,147 @@
+//! Before/after evaluation of a design on the profiling simulator.
+
+use crate::extension::AsipDesign;
+use crate::rewrite::{RewriteStats, Rewriter};
+use asip_ir::Program;
+use asip_sim::{DataSet, SimError, Simulator};
+use serde::{Deserialize, Serialize};
+
+/// Measured effect of applying a design to one benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Dynamic operations of the baseline run (single-issue: cycles).
+    pub base_cycles: u64,
+    /// Dynamic operations after rewriting (chained ops count one cycle).
+    pub asip_cycles: u64,
+    /// `base_cycles / asip_cycles`.
+    pub speedup: f64,
+    /// Static chains fused.
+    pub fused_chains: usize,
+    /// Extension area spent.
+    pub extension_area: f64,
+}
+
+/// Rewrite a copy of `program` with `design` and measure both versions
+/// on `data`. The outputs of the two runs are compared, so a rewriter
+/// bug can never masquerade as a speedup.
+///
+/// # Errors
+///
+/// Propagates simulator errors from either run.
+///
+/// # Panics
+///
+/// Panics if the rewritten program computes different outputs — that
+/// would be a semantics bug in the rewriter, not an input error.
+pub fn evaluate(
+    program: &Program,
+    design: &AsipDesign,
+    data: &DataSet,
+) -> Result<Evaluation, SimError> {
+    let base = Simulator::new(program).run(data)?;
+    let mut rewritten = program.clone();
+    let stats: RewriteStats = Rewriter::new(design.clone()).apply(&mut rewritten);
+    let after = Simulator::new(&rewritten).run(data)?;
+    assert_eq!(
+        base.memory, after.memory,
+        "rewritten program must compute identical outputs"
+    );
+    let base_cycles = base.profile.total_ops();
+    let asip_cycles = after.profile.total_ops();
+    Ok(Evaluation {
+        base_cycles,
+        asip_cycles,
+        speedup: base_cycles as f64 / asip_cycles.max(1) as f64,
+        fused_chains: stats.fused_chains,
+        extension_area: design.extension_area,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::{AsipDesigner, DesignConstraints};
+
+    #[test]
+    fn design_loop_speeds_up_sewha() {
+        let benches = asip_benchmarks::registry();
+        let b = benches.find("sewha").expect("built-in");
+        let program = b.compile().expect("compiles");
+        let profile = b.profile(&program).expect("runs");
+        let design =
+            AsipDesigner::new(DesignConstraints::default()).design_for(&program, &profile);
+        assert!(!design.is_empty(), "feedback should propose extensions");
+        let eval = evaluate(&program, &design, &b.dataset()).expect("evaluates");
+        assert!(eval.fused_chains > 0, "extensions should fire in the code");
+        assert!(
+            eval.speedup > 1.0,
+            "chaining must reduce cycle count, got {:.3}",
+            eval.speedup
+        );
+        assert!(eval.asip_cycles < eval.base_cycles);
+    }
+
+    #[test]
+    fn empty_design_is_identity() {
+        let benches = asip_benchmarks::registry();
+        let b = benches.find("bspline").expect("built-in");
+        let program = b.compile().expect("compiles");
+        let eval =
+            evaluate(&program, &AsipDesign::default(), &b.dataset()).expect("evaluates");
+        assert_eq!(eval.base_cycles, eval.asip_cycles);
+        assert_eq!(eval.speedup, 1.0);
+        assert_eq!(eval.fused_chains, 0);
+    }
+
+    #[test]
+    fn suite_design_serves_multiple_benchmarks() {
+        // one ASIP for several applications: the suite-combined design
+        // must speed up (or leave unchanged) every member, with a real
+        // win on at least one
+        let benches = asip_benchmarks::registry();
+        let suite = ["sewha", "bspline", "flatten"];
+        let compiled: Vec<_> = suite
+            .iter()
+            .map(|n| {
+                let b = *benches.find(n).expect("built-in");
+                let program = b.compile().expect("compiles");
+                let profile = b.profile(&program).expect("runs");
+                (b, program, profile)
+            })
+            .collect();
+        let refs: Vec<(&asip_ir::Program, &asip_sim::Profile)> =
+            compiled.iter().map(|(_, p, pr)| (p, pr)).collect();
+        let design = AsipDesigner::new(DesignConstraints::default()).design_for_suite(&refs);
+        assert!(!design.is_empty());
+        let mut best = 1.0_f64;
+        for (b, program, _) in &compiled {
+            let eval = evaluate(program, &design, &b.dataset()).expect("evaluates");
+            assert!(eval.speedup >= 1.0, "{}: slowdown", b.name);
+            best = best.max(eval.speedup);
+        }
+        assert!(best > 1.1, "the shared design should really help someone");
+    }
+
+    #[test]
+    fn bigger_budget_never_slower() {
+        let benches = asip_benchmarks::registry();
+        let b = benches.find("feowf").expect("built-in");
+        let program = b.compile().expect("compiles");
+        let profile = b.profile(&program).expect("runs");
+        let small = AsipDesigner::new(DesignConstraints {
+            area_budget: 400.0,
+            ..DesignConstraints::default()
+        })
+        .design_for(&program, &profile);
+        let large = AsipDesigner::new(DesignConstraints {
+            area_budget: 20_000.0,
+            max_extensions: 8,
+            ..DesignConstraints::default()
+        })
+        .design_for(&program, &profile);
+        let es = evaluate(&program, &small, &b.dataset()).expect("evaluates");
+        let el = evaluate(&program, &large, &b.dataset()).expect("evaluates");
+        assert!(el.speedup >= es.speedup);
+        assert!(large.extension_area >= small.extension_area);
+    }
+}

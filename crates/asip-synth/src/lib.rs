@@ -1,0 +1,56 @@
+//! # asip-synth
+//!
+//! The ASIP design stage of the paper's Figure 1: consume compiler
+//! feedback (detected chainable sequences), choose which sequences to
+//! implement as *chained instructions* under area and clock constraints,
+//! rewrite the 3-address code to use them, and measure the resulting
+//! speedup on the profiling simulator.
+//!
+//! The paper describes this stage but evaluates only the detection side;
+//! this crate closes the loop so downstream users can run complete
+//! design-space explorations:
+//!
+//! 1. [`cost`] — a Gajski-style functional-unit area/delay model and the
+//!    [`ChainedUnit`] datapath estimate;
+//! 2. [`select`] — [`AsipDesigner`]: greedy benefit-per-area selection of
+//!    ISA extensions under [`DesignConstraints`];
+//! 3. [`rewrite`] — a matcher that replaces fusable runs in the IR with
+//!    [`asip_ir::InstKind::Chained`] super-instructions (semantics
+//!    preserved; the simulator executes them in one cycle);
+//! 4. [`evaluate`](fn@evaluate) — before/after cycle counts and speedups.
+//!
+//! ## Example
+//!
+//! ```
+//! use asip_synth::{AsipDesigner, DesignConstraints};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let benches = asip_benchmarks::registry();
+//! let bench = benches.find("sewha").expect("built-in");
+//! let program = bench.compile()?;
+//! let profile = bench.profile(&program)?;
+//!
+//! let design = AsipDesigner::new(DesignConstraints::default())
+//!     .design_for(&program, &profile);
+//! let eval = asip_synth::evaluate::evaluate(&program, &design, &bench.dataset())?;
+//! assert!(eval.speedup >= 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod evaluate;
+pub mod extension;
+pub mod report;
+pub mod rewrite;
+pub mod select;
+
+pub use cost::{fu_area, fu_delay_ns, ChainedUnit};
+pub use evaluate::{evaluate, Evaluation};
+pub use extension::{AsipDesign, IsaExtension};
+pub use report::DesignReport;
+pub use rewrite::Rewriter;
+pub use select::{AsipDesigner, DesignConstraints};

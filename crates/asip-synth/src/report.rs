@@ -1,0 +1,155 @@
+//! Human-readable design reports: the datapath summary a designer would
+//! file with the ASIP specification.
+
+use crate::cost::ChainedUnit;
+use crate::extension::AsipDesign;
+use std::fmt;
+
+/// A formatted summary of one [`AsipDesign`].
+///
+/// ```
+/// use asip_chains::Signature;
+/// use asip_synth::{AsipDesign, IsaExtension};
+/// use asip_synth::report::DesignReport;
+///
+/// let design = AsipDesign {
+///     extensions: vec![IsaExtension {
+///         id: 0,
+///         signature: "multiply-add".parse::<Signature>()?,
+///         area: 1286.0,
+///         expected_benefit: 9.1,
+///     }],
+///     extension_area: 1286.0,
+/// };
+/// let text = DesignReport::new(&design, 40.0).to_string();
+/// assert!(text.contains("multiply-add"));
+/// assert!(text.contains("chained.0"));
+/// # Ok::<(), asip_chains::signature::ParseSignatureError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DesignReport<'a> {
+    design: &'a AsipDesign,
+    clock_ns: f64,
+}
+
+impl<'a> DesignReport<'a> {
+    /// Build a report for a design at the given clock period.
+    pub fn new(design: &'a AsipDesign, clock_ns: f64) -> Self {
+        DesignReport { design, clock_ns }
+    }
+
+    /// Slack (ns) of the slowest extension against the clock, or `None`
+    /// for an empty design.
+    pub fn worst_slack_ns(&self) -> Option<f64> {
+        self.design
+            .extensions
+            .iter()
+            .map(|e| self.clock_ns - ChainedUnit::from(e).delay_ns())
+            .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+    }
+
+    /// Total expected benefit (sum of selected frequencies, percent).
+    pub fn total_benefit(&self) -> f64 {
+        self.design
+            .extensions
+            .iter()
+            .map(|e| e.expected_benefit)
+            .sum()
+    }
+}
+
+impl fmt::Display for DesignReport<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "ASIP extension set: {} chained instruction(s), {:.0} gate-equivalents",
+            self.design.len(),
+            self.design.extension_area
+        )?;
+        writeln!(
+            f,
+            "{:10} {:28} {:>9} {:>10} {:>10} {:>9}",
+            "opcode", "fused sequence", "area", "delay", "slack", "benefit"
+        )?;
+        for ext in &self.design.extensions {
+            let unit = ChainedUnit::from(ext);
+            writeln!(
+                f,
+                "chained.{:<2} {:28} {:>9.0} {:>8.1}ns {:>8.1}ns {:>8.2}%",
+                ext.id,
+                ext.signature.to_string(),
+                ext.area,
+                unit.delay_ns(),
+                self.clock_ns - unit.delay_ns(),
+                ext.expected_benefit
+            )?;
+        }
+        if let Some(slack) = self.worst_slack_ns() {
+            writeln!(
+                f,
+                "worst slack {slack:.1} ns at a {:.0} ns clock; total expected benefit {:.2}%",
+                self.clock_ns,
+                self.total_benefit()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extension::IsaExtension;
+    use asip_chains::Signature;
+
+    fn design() -> AsipDesign {
+        AsipDesign {
+            extensions: vec![
+                IsaExtension {
+                    id: 0,
+                    signature: "multiply-add".parse::<Signature>().expect("ok"),
+                    area: 1286.0,
+                    expected_benefit: 9.1,
+                },
+                IsaExtension {
+                    id: 1,
+                    signature: "add-compare".parse::<Signature>().expect("ok"),
+                    area: 210.0,
+                    expected_benefit: 8.7,
+                },
+            ],
+            extension_area: 1496.0,
+        }
+    }
+
+    #[test]
+    fn report_lists_every_extension() {
+        let d = design();
+        let text = DesignReport::new(&d, 40.0).to_string();
+        assert!(text.contains("chained.0"));
+        assert!(text.contains("chained.1"));
+        assert!(text.contains("multiply-add"));
+        assert!(text.contains("add-compare"));
+        assert!(text.contains("2 chained instruction(s)"));
+    }
+
+    #[test]
+    fn slack_and_benefit() {
+        let d = design();
+        let r = DesignReport::new(&d, 40.0);
+        // mac delay = 12 + 4 = 16ns -> slack 24; add-compare = 4+3 -> 33
+        let slack = r.worst_slack_ns().expect("nonempty");
+        assert!((slack - 24.0).abs() < 1e-9);
+        assert!((r.total_benefit() - 17.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_design_has_no_slack() {
+        let d = AsipDesign::default();
+        let r = DesignReport::new(&d, 40.0);
+        assert!(r.worst_slack_ns().is_none());
+        assert_eq!(r.total_benefit(), 0.0);
+        let text = r.to_string();
+        assert!(text.contains("0 chained instruction(s)"));
+    }
+}

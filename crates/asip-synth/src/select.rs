@@ -1,0 +1,290 @@
+//! Extension selection: the designer that turns compiler feedback into
+//! an instruction-set extension under hardware constraints.
+
+use crate::cost::ChainedUnit;
+use crate::extension::{AsipDesign, IsaExtension};
+use crate::rewrite;
+use asip_chains::{CoverageAnalyzer, DetectorConfig, SequenceReport};
+use asip_ir::Program;
+use asip_opt::{OptLevel, Optimizer};
+use asip_sim::Profile;
+use serde::{Deserialize, Serialize};
+
+/// Hardware constraints for extension selection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignConstraints {
+    /// Total area budget for chained units (gate equivalents).
+    pub area_budget: f64,
+    /// Clock period the chained unit must close in one cycle (ns).
+    pub clock_ns: f64,
+    /// Maximum number of extensions (opcode space).
+    pub max_extensions: usize,
+    /// Optimization level whose feedback drives selection.
+    pub opt_level: OptLevel,
+}
+
+impl Default for DesignConstraints {
+    fn default() -> Self {
+        DesignConstraints {
+            area_budget: 6000.0,
+            clock_ns: 40.0,
+            max_extensions: 4,
+            opt_level: OptLevel::Pipelined,
+        }
+    }
+}
+
+/// Greedy benefit-per-area extension selection from compiler feedback.
+#[derive(Debug, Clone, Copy)]
+pub struct AsipDesigner {
+    constraints: DesignConstraints,
+    detector: DetectorConfig,
+}
+
+impl AsipDesigner {
+    /// A designer with the given constraints and default detection.
+    pub fn new(constraints: DesignConstraints) -> Self {
+        AsipDesigner {
+            constraints,
+            detector: DetectorConfig::default(),
+        }
+    }
+
+    /// Override the detector configuration.
+    pub fn with_detector(mut self, detector: DetectorConfig) -> Self {
+        self.detector = detector;
+        self
+    }
+
+    /// The constraints in use.
+    pub fn constraints(&self) -> &DesignConstraints {
+        &self.constraints
+    }
+
+    /// Run the full feedback loop for one program: optimize, run the
+    /// iterative coverage analysis, then select extensions.
+    ///
+    /// Candidates whose signature never statically matches a fusable run
+    /// of the program are dropped before selection — the coverage
+    /// analysis reports *potential* chains (post-scheduling), and there
+    /// is no point spending silicon on a chain the rewriter can never
+    /// instantiate in this code.
+    pub fn design_for(&self, program: &Program, profile: &Profile) -> AsipDesign {
+        let graph = Optimizer::new(self.constraints.opt_level).run(program, profile);
+        let coverage = CoverageAnalyzer::new(self.detector)
+            .with_floor(1.0)
+            .with_max_sequences(16)
+            .analyze(&graph);
+        let report = SequenceReport::from_parts(
+            graph.name.clone(),
+            coverage
+                .entries
+                .iter()
+                .filter(|e| {
+                    !rewrite::is_fusable_signature(&e.signature)
+                        || crate::rewrite::Rewriter::count_static_matches(
+                            program,
+                            &e.signature,
+                        ) > 0
+                })
+                .map(|e| {
+                    (
+                        e.signature.clone(),
+                        asip_chains::SeqStats {
+                            frequency: e.frequency,
+                            occurrences: 0,
+                        },
+                    )
+                })
+                .collect(),
+            graph.total_profile_ops,
+        );
+        self.select(&report)
+    }
+
+    /// Design one extension set for a whole application suite — the
+    /// paper's actual scenario ("an ASIP … tuned to a suite of
+    /// applications"). Each program's coverage study runs separately;
+    /// the per-benchmark results are averaged (every application counts
+    /// equally) and one extension set is selected. A candidate must
+    /// statically match in at least one program.
+    pub fn design_for_suite(&self, programs: &[(&Program, &Profile)]) -> AsipDesign {
+        assert!(!programs.is_empty(), "suite must not be empty");
+        let reports: Vec<SequenceReport> = programs
+            .iter()
+            .map(|(program, profile)| {
+                let graph =
+                    Optimizer::new(self.constraints.opt_level).run(program, profile);
+                let coverage = CoverageAnalyzer::new(self.detector)
+                    .with_floor(1.0)
+                    .with_max_sequences(16)
+                    .analyze(&graph);
+                SequenceReport::from_parts(
+                    graph.name.clone(),
+                    coverage
+                        .entries
+                        .iter()
+                        .map(|e| {
+                            (
+                                e.signature.clone(),
+                                asip_chains::SeqStats {
+                                    frequency: e.frequency,
+                                    occurrences: 0,
+                                },
+                            )
+                        })
+                        .collect(),
+                    graph.total_profile_ops,
+                )
+            })
+            .collect();
+        let combined = asip_chains::combine(&reports);
+        let matchable = SequenceReport::from_parts(
+            combined.name.clone(),
+            combined
+                .entries()
+                .iter()
+                .filter(|(sig, _)| {
+                    !rewrite::is_fusable_signature(sig)
+                        || programs.iter().any(|(program, _)| {
+                            crate::rewrite::Rewriter::count_static_matches(program, sig) > 0
+                        })
+                })
+                .cloned()
+                .collect(),
+            combined.total_profile_ops,
+        );
+        self.select(&matchable)
+    }
+
+    /// Select extensions from an existing (possibly suite-combined)
+    /// sequence report.
+    ///
+    /// Candidates must be implementable by the rewriter (pure arithmetic
+    /// chains) and close timing; selection is greedy by
+    /// benefit-per-area until the budget, opcode space, or candidate
+    /// list runs out.
+    pub fn select(&self, report: &SequenceReport) -> AsipDesign {
+        let mut candidates: Vec<(f64, f64, &asip_chains::Signature)> = report
+            .entries()
+            .iter()
+            .filter(|(sig, _)| rewrite::is_fusable_signature(sig))
+            .filter_map(|(sig, stats)| {
+                let unit = ChainedUnit::new(sig.classes().to_vec());
+                if !unit.fits_clock(self.constraints.clock_ns) {
+                    return None;
+                }
+                Some((stats.frequency, unit.area(), sig))
+            })
+            .collect();
+        // benefit per area, descending
+        candidates.sort_by(|a, b| {
+            (b.0 / b.1)
+                .partial_cmp(&(a.0 / a.1))
+                .expect("finite costs")
+        });
+
+        let mut design = AsipDesign::default();
+        for (benefit, area, sig) in candidates {
+            if design.len() >= self.constraints.max_extensions {
+                break;
+            }
+            if design.extension_area + area > self.constraints.area_budget {
+                continue;
+            }
+            design.extensions.push(IsaExtension {
+                id: design.extensions.len() as u32,
+                signature: (*sig).clone(),
+                area,
+                expected_benefit: benefit,
+            });
+            design.extension_area += area;
+        }
+        design
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asip_chains::{SeqStats, Signature};
+
+    fn report(entries: Vec<(&str, f64)>) -> SequenceReport {
+        SequenceReport::from_parts(
+            "t".into(),
+            entries
+                .into_iter()
+                .map(|(s, f)| {
+                    (
+                        s.parse::<Signature>().expect("ok"),
+                        SeqStats {
+                            frequency: f,
+                            occurrences: 1,
+                        },
+                    )
+                })
+                .collect(),
+            1000,
+        )
+    }
+
+    #[test]
+    fn selects_high_benefit_fusable_sequences() {
+        let r = report(vec![
+            ("multiply-add", 20.0),
+            ("add-add", 10.0),
+            ("add-compare", 5.0),
+        ]);
+        let design = AsipDesigner::new(DesignConstraints::default()).select(&r);
+        assert!(!design.is_empty());
+        assert!(design.find(&"multiply-add".parse().expect("ok")).is_some());
+        // add-add has better benefit/area than multiply-add (adders are cheap)
+        assert_eq!(design.extensions[0].signature.to_string(), "add-add");
+    }
+
+    #[test]
+    fn respects_area_budget() {
+        let r = report(vec![("multiply-add", 20.0), ("add-add", 10.0)]);
+        let tight = DesignConstraints {
+            area_budget: 300.0, // fits add-add only
+            ..DesignConstraints::default()
+        };
+        let design = AsipDesigner::new(tight).select(&r);
+        assert_eq!(design.len(), 1);
+        assert_eq!(design.extensions[0].signature.to_string(), "add-add");
+        assert!(design.extension_area <= 300.0);
+    }
+
+    #[test]
+    fn respects_opcode_budget_and_clock() {
+        let r = report(vec![
+            ("add-add", 10.0),
+            ("add-subtract", 9.0),
+            ("add-logic", 8.0),
+            ("add-shift", 7.0),
+            ("shift-add", 6.0),
+        ]);
+        let cons = DesignConstraints {
+            max_extensions: 2,
+            ..DesignConstraints::default()
+        };
+        let design = AsipDesigner::new(cons).select(&r);
+        assert_eq!(design.len(), 2);
+
+        // a divide chain cannot close a 5 ns clock
+        let r = report(vec![("divide-add", 50.0)]);
+        let fast = DesignConstraints {
+            clock_ns: 5.0,
+            ..DesignConstraints::default()
+        };
+        assert!(AsipDesigner::new(fast).select(&r).is_empty());
+    }
+
+    #[test]
+    fn skips_unfusable_signatures() {
+        // memory ops cannot be fused by the rewriter
+        let r = report(vec![("load-multiply", 30.0), ("add-store", 25.0)]);
+        let design = AsipDesigner::new(DesignConstraints::default()).select(&r);
+        assert!(design.is_empty());
+    }
+}

@@ -1,0 +1,69 @@
+//! Design-space exploration: sweep the area budget and watch which
+//! chained instructions get selected and what speedup each budget buys.
+//!
+//! This is the workflow the paper's Figure 1 motivates: the designer
+//! asks "what is the best ASIP I can build for this suite at cost X?"
+//! and the compiler feedback answers.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use asip_explorer::prelude::*;
+use asip_explorer::synth::{evaluate, DesignConstraints, DesignReport};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let benches = registry();
+    let bench = benches.find("sewha").expect("built in");
+    let program = bench.compile()?;
+    let profile = bench.profile(&program)?;
+
+    println!("design-space sweep for `sewha` (integer FIR):");
+    println!(
+        "{:>10} {:>12} {:>9}  extensions",
+        "budget", "area used", "speedup"
+    );
+    for budget in [500.0, 1500.0, 3000.0, 6000.0, 12000.0] {
+        let designer = AsipDesigner::new(DesignConstraints {
+            area_budget: budget,
+            ..DesignConstraints::default()
+        });
+        let design = designer.design_for(&program, &profile);
+        let eval = evaluate(&program, &design, &bench.dataset())?;
+        let names: Vec<String> = design
+            .extensions
+            .iter()
+            .map(|e| e.signature.to_string())
+            .collect();
+        println!(
+            "{:>10.0} {:>12.0} {:>8.3}x  {}",
+            budget,
+            design.extension_area,
+            eval.speedup,
+            names.join(", ")
+        );
+    }
+
+    // full datapath report at the default budget
+    let design = AsipDesigner::new(DesignConstraints::default()).design_for(&program, &profile);
+    println!();
+    print!("{}", DesignReport::new(&design, DesignConstraints::default().clock_ns));
+
+    println!();
+    println!("clock sweep (tighter clocks exclude longer chains):");
+    for clock in [10.0, 16.0, 24.0, 40.0] {
+        let designer = AsipDesigner::new(DesignConstraints {
+            clock_ns: clock,
+            ..DesignConstraints::default()
+        });
+        let design = designer.design_for(&program, &profile);
+        let eval = evaluate(&program, &design, &bench.dataset())?;
+        println!(
+            "  {:>5.0} ns: {} extensions, speedup {:.3}x",
+            clock,
+            design.len(),
+            eval.speedup
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! # asip-explorer
+//!
+//! A compiler-in-the-loop ASIP design exploration framework reproducing
+//! *"Incorporating Compiler Feedback Into the Design of ASIPs"*
+//! (Onion, Nicolau, Dutt — DATE 1995).
+//!
+//! The workspace is organised as a facade over seven member crates:
+//!
+//! - [`ir`] — the three-address intermediate representation and CFG.
+//! - [`frontend`] — the mini-C compiler front end (paper step 1).
+//! - [`sim`] — the profiling simulator (paper step 2).
+//! - [`opt`] — percolation scheduling / loop pipelining / renaming
+//!   (paper step 3, the "UCI VLIW compiler" substrate).
+//! - [`chains`] — the chainable-sequence detection analyzer
+//!   (paper step 4, the core contribution).
+//! - [`synth`] — the ASIP design stage: chained-instruction synthesis,
+//!   code rewriting and speedup estimation (paper Figure 1).
+//! - [`benchmarks`] — the twelve Table-1 DSP benchmarks.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use asip_explorer::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. compile a benchmark to 3-address code
+//! let benches = asip_explorer::benchmarks::registry();
+//! let bench = benches.find("fir").expect("fir is a built-in benchmark");
+//! let program = bench.compile()?;
+//!
+//! // 2. profile it on the paper-specified input data
+//! let profile = bench.profile(&program)?;
+//!
+//! // 3. optimize at level 1 (loop pipelining + percolation scheduling)
+//! let graph = Optimizer::new(OptLevel::Pipelined).run(&program, &profile);
+//!
+//! // 4. detect chainable sequences
+//! let report = SequenceDetector::new(DetectorConfig::default()).analyze(&graph);
+//! assert!(report.top(1).next().is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use asip_benchmarks as benchmarks;
+pub use asip_chains as chains;
+pub use asip_frontend as frontend;
+pub use asip_ir as ir;
+pub use asip_opt as opt;
+pub use asip_sim as sim;
+pub use asip_synth as synth;
+
+/// Convenience re-exports for the common exploration flow.
+pub mod prelude {
+    pub use asip_benchmarks::{registry, Benchmark};
+    pub use asip_chains::{
+        CoverageAnalyzer, DetectorConfig, SequenceDetector, SequenceReport, Signature,
+    };
+    pub use asip_ir::{OpClass, Program};
+    pub use asip_opt::{OptLevel, Optimizer, ScheduleGraph};
+    pub use asip_sim::{Profile, Simulator};
+    pub use asip_synth::{AsipDesigner, DesignConstraints};
+}

@@ -1,0 +1,199 @@
+//! Property-based tests over randomly generated programs: the textual
+//! format round-trips, cleanup passes preserve observable behavior, and
+//! the optimizer conserves dynamic work.
+
+use asip_explorer::ir::{
+    parse_program, BinOp, Operand, Program, ProgramBuilder, Reg, Ty, UnOp,
+};
+use asip_explorer::opt::{OptLevel, Optimizer};
+use asip_explorer::sim::{DataSet, Simulator};
+use proptest::prelude::*;
+
+/// Recipe for one random straight-line op.
+#[derive(Debug, Clone)]
+enum OpRecipe {
+    IntBin(u8, u8, u8),   // op selector, two operand selectors
+    FloatBin(u8, u8, u8),
+    IntUn(u8, u8),
+    Load(u8),
+    Store(u8, u8),
+}
+
+fn op_recipe() -> impl Strategy<Value = OpRecipe> {
+    prop_oneof![
+        (0u8..10, any::<u8>(), any::<u8>()).prop_map(|(o, a, b)| OpRecipe::IntBin(o, a, b)),
+        (0u8..4, any::<u8>(), any::<u8>()).prop_map(|(o, a, b)| OpRecipe::FloatBin(o, a, b)),
+        (0u8..2, any::<u8>()).prop_map(|(o, a)| OpRecipe::IntUn(o, a)),
+        any::<u8>().prop_map(OpRecipe::Load),
+        (any::<u8>(), any::<u8>()).prop_map(|(i, v)| OpRecipe::Store(i, v)),
+    ]
+}
+
+/// Build a valid program from recipes: a straight-line body over one
+/// int array, with every value eventually stored so DCE cannot remove
+/// everything. Optionally wrapped in a bounded counted loop.
+fn build_program(recipes: &[OpRecipe], with_loop: bool) -> Program {
+    const LEN: i64 = 8;
+    let mut b = ProgramBuilder::new("prop");
+    let arr = b.input_array("x", Ty::Int, LEN as usize);
+    let out = b.output_array("y", Ty::Int, LEN as usize);
+    let entry = b.entry_block();
+
+    let (body, exit, counter) = if with_loop {
+        let body = b.new_block();
+        let exit = b.new_block();
+        let i = b.new_reg(Ty::Int);
+        b.select_block(entry);
+        b.mov_to(i, Operand::imm_int(0));
+        let g = b.binary(BinOp::CmpLt, i.into(), Operand::imm_int(4));
+        b.branch(g.into(), body, exit);
+        b.select_block(body);
+        (Some(body), Some(exit), Some(i))
+    } else {
+        b.select_block(entry);
+        (None, None, None)
+    };
+
+    let mut ints: Vec<Reg> = Vec::new();
+    let mut floats: Vec<Reg> = Vec::new();
+    let int_operand = |ints: &Vec<Reg>, sel: u8| -> Operand {
+        if ints.is_empty() || sel.is_multiple_of(3) {
+            Operand::imm_int((sel % 7) as i64 + 1)
+        } else {
+            ints[sel as usize % ints.len()].into()
+        }
+    };
+    let float_operand = |floats: &Vec<Reg>, sel: u8| -> Operand {
+        if floats.is_empty() || sel.is_multiple_of(3) {
+            Operand::imm_float((sel % 5) as f64 * 0.5 + 0.5)
+        } else {
+            floats[sel as usize % floats.len()].into()
+        }
+    };
+
+    for r in recipes {
+        match r {
+            OpRecipe::IntBin(o, a, bsel) => {
+                let ops = [
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::Mul,
+                    BinOp::Div,
+                    BinOp::Rem,
+                    BinOp::Shl,
+                    BinOp::Shr,
+                    BinOp::And,
+                    BinOp::Or,
+                    BinOp::CmpLt,
+                ];
+                let lhs = int_operand(&ints, *a);
+                let rhs = int_operand(&ints, *bsel);
+                ints.push(b.binary(ops[*o as usize % ops.len()], lhs, rhs));
+            }
+            OpRecipe::FloatBin(o, a, bsel) => {
+                let ops = [BinOp::FAdd, BinOp::FSub, BinOp::FMul, BinOp::FDiv];
+                let lhs = float_operand(&floats, *a);
+                let rhs = float_operand(&floats, *bsel);
+                floats.push(b.binary(ops[*o as usize % ops.len()], lhs, rhs));
+            }
+            OpRecipe::IntUn(o, a) => {
+                let src = int_operand(&ints, *a);
+                let op = if *o == 0 { UnOp::Neg } else { UnOp::Not };
+                ints.push(b.unary(op, src));
+            }
+            OpRecipe::Load(sel) => {
+                let idx = (*sel as i64) % LEN;
+                ints.push(b.load(arr, Operand::imm_int(idx)));
+            }
+            OpRecipe::Store(isel, vsel) => {
+                let idx = (*isel as i64) % LEN;
+                let v = int_operand(&ints, *vsel);
+                b.store(out, Operand::imm_int(idx), v);
+            }
+        }
+    }
+    // observe the last values so they stay live
+    if let Some(&last) = ints.last() {
+        b.store(out, Operand::imm_int(0), last.into());
+    }
+    if let Some(&lastf) = floats.last() {
+        let as_int = b.unary(UnOp::FloatToInt, lastf.into());
+        b.store(out, Operand::imm_int(1), as_int.into());
+    }
+
+    match (body, exit, counter) {
+        (Some(body), Some(exit), Some(i)) => {
+            b.binary_to(i, BinOp::Add, i.into(), Operand::imm_int(1));
+            let c = b.binary(BinOp::CmpLt, i.into(), Operand::imm_int(4));
+            b.branch(c.into(), body, exit);
+            b.select_block(exit);
+            b.ret(None);
+        }
+        _ => {
+            b.ret(None);
+        }
+    }
+    b.finish().expect("generated programs are valid")
+}
+
+fn dataset() -> DataSet {
+    let mut d = DataSet::new();
+    d.bind_ints("x", (1..=8).collect());
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn textual_format_round_trips(recipes in prop::collection::vec(op_recipe(), 1..40), with_loop in any::<bool>()) {
+        let p = build_program(&recipes, with_loop);
+        let text = p.to_string();
+        let q = parse_program(&text).expect("printed programs parse");
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn cleanup_preserves_observable_behavior(recipes in prop::collection::vec(op_recipe(), 1..40), with_loop in any::<bool>()) {
+        let p = build_program(&recipes, with_loop);
+        let before = Simulator::new(&p).run(&dataset()).expect("runs");
+        let mut q = p.clone();
+        asip_explorer::ir::passes::cleanup(&mut q);
+        q.validate().expect("cleanup keeps programs valid");
+        let after = Simulator::new(&q).run(&dataset()).expect("still runs");
+        prop_assert_eq!(before.memory, after.memory);
+        prop_assert_eq!(before.result, after.result);
+        prop_assert!(q.inst_count() <= p.inst_count(), "cleanup never grows code");
+    }
+
+    #[test]
+    fn optimizer_invariants_hold_on_random_programs(recipes in prop::collection::vec(op_recipe(), 1..30), with_loop in any::<bool>()) {
+        let p = build_program(&recipes, with_loop);
+        let profile = Simulator::new(&p).run(&dataset()).expect("runs").profile;
+        let g0 = Optimizer::new(OptLevel::None).run(&p, &profile);
+        prop_assert!(g0.check_invariants().is_ok());
+        let w0 = g0.chainable_weight();
+
+        // pipelining/compaction conserves dynamic work exactly
+        let g1 = Optimizer::new(OptLevel::Pipelined).run(&p, &profile);
+        prop_assert!(g1.check_invariants().is_ok());
+        let w1 = g1.chainable_weight();
+        prop_assert!((w0 - w1).abs() <= 1e-6 * w0.max(1.0),
+            "chainable weight {} vs {}", w0, w1);
+
+        // renaming inserts boundary copies: real extra work, never less
+        let g2 = Optimizer::new(OptLevel::PipelinedRenamed).run(&p, &profile);
+        prop_assert!(g2.check_invariants().is_ok());
+        prop_assert!(g2.chainable_weight() >= w1 - 1e-6 * w1.max(1.0),
+            "renamed weight {} below pipelined {}", g2.chainable_weight(), w1);
+    }
+
+    #[test]
+    fn simulation_is_deterministic(recipes in prop::collection::vec(op_recipe(), 1..30), with_loop in any::<bool>()) {
+        let p = build_program(&recipes, with_loop);
+        let a = Simulator::new(&p).run(&dataset()).expect("runs");
+        let b = Simulator::new(&p).run(&dataset()).expect("runs");
+        prop_assert_eq!(a.profile, b.profile);
+        prop_assert_eq!(a.memory, b.memory);
+    }
+}
