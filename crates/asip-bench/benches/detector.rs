@@ -49,8 +49,7 @@ fn bench_prune_floor(c: &mut Criterion) {
             BenchmarkId::from_parameter(floor),
             &floor,
             |bench, &floor| {
-                let det =
-                    SequenceDetector::new(DetectorConfig::default().with_prune_floor(floor));
+                let det = SequenceDetector::new(DetectorConfig::default().with_prune_floor(floor));
                 bench.iter(|| det.occurrences(std::hint::black_box(&graph)).len());
             },
         );

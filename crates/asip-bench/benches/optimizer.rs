@@ -17,8 +17,11 @@ fn bench_levels(c: &mut Criterion) {
             |bench, &level| {
                 let opt = Optimizer::new(level);
                 bench.iter(|| {
-                    opt.run(std::hint::black_box(&program), std::hint::black_box(&profile))
-                        .node_count()
+                    opt.run(
+                        std::hint::black_box(&program),
+                        std::hint::black_box(&profile),
+                    )
+                    .node_count()
                 });
             },
         );

@@ -5,19 +5,24 @@
 //! - issue width vs schedule length (weighted cycles);
 //! - branch-and-bound prune floor vs surviving occurrence count.
 //!
+//! Every sweep runs on one `Explorer` session, so each benchmark is
+//! compiled and simulated exactly once across all four studies — the
+//! cache counters printed at the end prove it.
+//!
 //! `cargo run --release -p asip-bench --bin ablation`
 
 use asip_chains::{CoverageAnalyzer, DetectorConfig, SequenceDetector, Signature};
-use asip_opt::{OptConfig, OptLevel, Optimizer};
+use asip_explorer::Explorer;
+use asip_opt::{OptConfig, OptLevel};
 
 fn main() {
-    let reg = asip_benchmarks::registry();
-    let bench = reg.find("sewha").expect("built-in");
-    let program = bench.compile().expect("compiles");
-    let profile = bench.profile(&program).expect("simulates");
+    let session = Explorer::new();
 
     println!("== chaining window vs coverage (sewha, level 0) ==");
-    let g0 = Optimizer::new(OptLevel::None).run(&program, &profile);
+    let g0 = session
+        .schedule("sewha", OptLevel::None)
+        .expect("built-ins schedule")
+        .graph;
     for w in 0..=3 {
         let cov = CoverageAnalyzer::new(DetectorConfig::default().with_window(w))
             .analyze(&g0)
@@ -29,16 +34,21 @@ fn main() {
     println!("== unroll factor vs add-multiply exposure (sewha, level 1) ==");
     let am: Signature = "add-multiply".parse().expect("parses");
     for unroll in [1usize, 2, 3, 4] {
-        let g = Optimizer::new(OptLevel::Pipelined)
-            .with_config(OptConfig {
-                unroll,
-                ..OptConfig::default()
-            })
-            .run(&program, &profile);
-        let f = SequenceDetector::new(DetectorConfig::default())
-            .analyze(&g)
-            .frequency_of(&am);
-        println!("  unroll {unroll}: add-multiply {f:6.2}%");
+        let analyzed = session
+            .analyze_with(
+                "sewha",
+                OptLevel::Pipelined,
+                OptConfig {
+                    unroll,
+                    ..OptConfig::default()
+                },
+                DetectorConfig::default(),
+            )
+            .expect("built-ins analyze");
+        println!(
+            "  unroll {unroll}: add-multiply {:6.2}%",
+            analyzed.report.frequency_of(&am)
+        );
     }
 
     println!();
@@ -46,12 +56,17 @@ fn main() {
     let base_cycles = g0.weighted_cycles();
     println!("  sequential: {base_cycles:10.0} cycles");
     for width in [1usize, 2, 4, 8] {
-        let g = Optimizer::new(OptLevel::Pipelined)
-            .with_config(OptConfig {
-                width,
-                ..OptConfig::default()
-            })
-            .run(&program, &profile);
+        let g = session
+            .schedule_with(
+                "sewha",
+                OptLevel::Pipelined,
+                OptConfig {
+                    width,
+                    ..OptConfig::default()
+                },
+            )
+            .expect("built-ins schedule")
+            .graph;
         println!(
             "  width {width}: {:10.0} cycles ({:.2}x vs sequential)",
             g.weighted_cycles(),
@@ -61,27 +76,43 @@ fn main() {
 
     println!();
     println!("== hoist passes vs detected sequence count (edge, level 1) ==");
-    let edge = reg.find("edge").expect("built-in");
-    let eprog = edge.compile().expect("compiles");
-    let eprof = edge.profile(&eprog).expect("simulates");
     for hoist_passes in [0usize, 1, 2, 4] {
-        let g = Optimizer::new(OptLevel::Pipelined)
-            .with_config(OptConfig {
-                hoist_passes,
-                ..OptConfig::default()
-            })
-            .run(&eprog, &eprof);
-        let n = SequenceDetector::new(DetectorConfig::default()).analyze(&g).len();
-        println!("  hoist {hoist_passes}: {n} distinct sequences");
+        let analyzed = session
+            .analyze_with(
+                "edge",
+                OptLevel::Pipelined,
+                OptConfig {
+                    hoist_passes,
+                    ..OptConfig::default()
+                },
+                DetectorConfig::default(),
+            )
+            .expect("built-ins analyze");
+        println!(
+            "  hoist {hoist_passes}: {} distinct sequences",
+            analyzed.report.len()
+        );
     }
 
     println!();
     println!("== prune floor vs surviving occurrences (sewha, level 1) ==");
-    let g1 = Optimizer::new(OptLevel::Pipelined).run(&program, &profile);
+    let g1 = session
+        .schedule("sewha", OptLevel::Pipelined)
+        .expect("built-ins schedule")
+        .graph;
     for floor in [0.0, 1.0, 2.0, 5.0, 10.0] {
         let n = SequenceDetector::new(DetectorConfig::default().with_prune_floor(floor))
             .occurrences(&g1)
             .len();
         println!("  floor {floor:4.1}%: {n} occurrences enumerated");
     }
+
+    println!();
+    let stats = session.cache_stats();
+    println!("session cache: {stats}");
+    assert_eq!(
+        stats.compile.misses, 2,
+        "the whole ablation compiles each of its two benchmarks once"
+    );
+    assert_eq!(stats.profile.misses, 2, "and simulates each once");
 }

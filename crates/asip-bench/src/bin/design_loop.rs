@@ -5,11 +5,12 @@
 //!
 //! `cargo run --release -p asip-bench --bin design_loop`
 
+use asip_explorer::Explorer;
 use asip_synth::{evaluate, AsipDesigner, DesignConstraints};
 
 fn main() {
     let constraints = DesignConstraints::default();
-    let designer = AsipDesigner::new(constraints);
+    let session = Explorer::new().with_constraints(constraints);
     println!(
         "Design loop: area budget {:.0}, clock {:.0} ns, max {} extensions, feedback level: {}",
         constraints.area_budget,
@@ -24,21 +25,24 @@ fn main() {
     );
     println!("{:-^100}", "");
 
+    // per-benchmark designs: the design and evaluate stages fan out in
+    // parallel over the session thread pool
+    let rows = session
+        .map_all(|b| session.evaluate(b.name))
+        .expect("built-ins evaluate cleanly");
     let mut speedups = Vec::new();
-    for b in asip_benchmarks::registry().iter() {
-        let program = b.compile().expect("built-ins compile");
-        let profile = b.profile(&program).expect("built-ins simulate");
-        let design = designer.design_for(&program, &profile);
-        let eval = evaluate(&program, &design, &b.dataset()).expect("evaluates");
-        let exts: Vec<String> = design
+    for evaluated in rows {
+        let eval = &evaluated.evaluation;
+        let exts: Vec<String> = evaluated
+            .design
             .extensions
             .iter()
             .map(|e| e.signature.to_string())
             .collect();
         println!(
             "{:10} {:>9.0} {:>11} {:>11} {:>8.3}x {:>7}  {}",
-            b.name,
-            design.extension_area,
+            evaluated.benchmark.name,
+            evaluated.design.extension_area,
             eval.base_cycles,
             eval.asip_cycles,
             eval.speedup,
@@ -49,33 +53,45 @@ fn main() {
     }
     println!("{:-^100}", "");
     let geo: f64 = speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64;
-    println!("geometric-mean speedup (per-benchmark designs): {:.3}x", geo.exp());
+    println!(
+        "geometric-mean speedup (per-benchmark designs): {:.3}x",
+        geo.exp()
+    );
 
-    // the paper's real scenario: ONE ASIP tuned to the whole suite
+    // the paper's real scenario: ONE ASIP tuned to the whole suite.
+    // The programs and profiles are cache hits from the session.
     println!();
     println!("one shared ASIP for the whole suite:");
-    let compiled: Vec<_> = asip_benchmarks::registry()
+    let artifacts = session
+        .map_all(|b| Ok((session.compile(b.name)?, session.profile(b.name)?)))
+        .expect("built-ins compile and profile");
+    let refs: Vec<(&asip_ir::Program, &asip_sim::Profile)> = artifacts
         .iter()
-        .map(|b| {
-            let program = b.compile().expect("compiles");
-            let profile = b.profile(&program).expect("simulates");
-            (*b, program, profile)
-        })
+        .map(|(c, p)| (c.program.as_ref(), p.profile.as_ref()))
         .collect();
-    let refs: Vec<(&asip_ir::Program, &asip_sim::Profile)> =
-        compiled.iter().map(|(_, p, pr)| (p, pr)).collect();
-    let shared = designer.design_for_suite(&refs);
+    let shared = AsipDesigner::new(constraints).design_for_suite(&refs);
     print!(
         "{}",
         asip_synth::DesignReport::new(&shared, constraints.clock_ns)
     );
     let mut shared_speedups = Vec::new();
-    for (b, program, _) in &compiled {
-        let eval = evaluate(program, &shared, &b.dataset()).expect("evaluates");
+    for (compiled, _) in &artifacts {
+        let b = compiled.benchmark;
+        let eval = evaluate(
+            &compiled.program,
+            &shared,
+            &b.dataset_with_seed(session.seed()),
+        )
+        .expect("evaluates");
         shared_speedups.push(eval.speedup);
-        println!("  {:10} {:>8.3}x ({} chains fused)", b.name, eval.speedup, eval.fused_chains);
+        println!(
+            "  {:10} {:>8.3}x ({} chains fused)",
+            b.name, eval.speedup, eval.fused_chains
+        );
     }
     let geo: f64 =
         shared_speedups.iter().map(|s| s.ln()).sum::<f64>() / shared_speedups.len() as f64;
     println!("geometric-mean speedup (shared design): {:.3}x", geo.exp());
+    println!();
+    println!("session cache: {}", session.cache_stats());
 }

@@ -7,26 +7,35 @@
 //! cargo run -p asip-bench --bin dump -- fir --mix      # dynamic class mix
 //! ```
 
-use asip_opt::{OptLevel, Optimizer};
+use asip_explorer::{Explorer, ExplorerError};
+use asip_opt::OptLevel;
 use asip_sim::{ClassMix, Simulator};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let name = args.get(1).map(String::as_str).unwrap_or("fir");
-    let reg = asip_benchmarks::registry();
-    let Some(bench) = reg.find(name) else {
-        eprintln!(
-            "unknown benchmark `{name}`; available: {}",
-            reg.iter().map(|b| b.name).collect::<Vec<_>>().join(", ")
-        );
-        std::process::exit(2);
+    let session = Explorer::new();
+    let compiled = match session.compile(name) {
+        Ok(c) => c,
+        Err(ExplorerError::UnknownBenchmark { .. }) => {
+            eprintln!(
+                "unknown benchmark `{name}`; available: {}",
+                session
+                    .registry()
+                    .iter()
+                    .map(|b| b.name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            std::process::exit(2);
+        }
+        Err(e) => panic!("built-ins compile: {e}"),
     };
-    let program = bench.compile().expect("built-ins compile");
 
     if args.iter().any(|a| a == "--mix") {
-        let mut mix = ClassMix::for_program(&program);
-        Simulator::new(&program)
-            .run_traced(&bench.dataset(), &mut mix)
+        let mut mix = ClassMix::for_program(&compiled.program);
+        Simulator::new(&compiled.program)
+            .run_traced(&compiled.benchmark.dataset(), &mut mix)
             .expect("built-ins simulate");
         let total: u64 = mix.counts().values().sum();
         println!("dynamic op-class mix for {name} ({total} ops):");
@@ -46,16 +55,15 @@ fn main() {
         .find(|w| w[0] == "--level")
         .and_then(|w| w[1].parse::<u8>().ok());
     match level {
-        None => print!("{program}"),
+        None => print!("{}", compiled.program),
         Some(n) => {
             let level = match n {
                 0 => OptLevel::None,
                 1 => OptLevel::Pipelined,
                 _ => OptLevel::PipelinedRenamed,
             };
-            let profile = bench.profile(&program).expect("built-ins simulate");
-            let graph = Optimizer::new(level).run(&program, &profile);
-            print!("{graph}");
+            let scheduled = session.schedule(name, level).expect("built-ins schedule");
+            print!("{}", scheduled.graph);
         }
     }
 }

@@ -1,6 +1,10 @@
 //! Export every figure/table series as CSV under `figures/`, so the
 //! paper's plots can be regenerated with any plotting tool.
 //!
+//! One `Explorer` session backs all six exports: the length-2,
+//! length-4 and default-detector analyses share every compile,
+//! simulation and schedule.
+//!
 //! `cargo run --release -p asip-bench --bin export_csv [-- --out DIR]`
 //!
 //! Files written:
@@ -9,9 +13,10 @@
 //! - `table2.csv` — the example-sequence rows at levels 0/1/2;
 //! - `table3.csv` — coverage entries per benchmark, with/without opt.
 
-use asip_bench::{analyze_suite, combined_reports};
+use asip_bench::{analyze_suite_with, combined_reports};
 use asip_chains::{CoverageAnalyzer, DetectorConfig};
-use asip_opt::{OptLevel, Optimizer};
+use asip_explorer::Explorer;
+use asip_opt::OptLevel;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -28,10 +33,11 @@ fn out_dir() -> PathBuf {
 fn main() -> std::io::Result<()> {
     let dir = out_dir();
     std::fs::create_dir_all(&dir)?;
+    let session = Explorer::new();
 
-    // Figures 3/4 + Table 2 share the suite analysis
+    // Figures 3/4 + 5/6 share the suite analysis per length
     for (len, fig) in [(2usize, "fig3_len2"), (4, "fig4_len4")] {
-        let suite = analyze_suite(DetectorConfig::default().with_length(len));
+        let suite = analyze_suite_with(&session, DetectorConfig::default().with_length(len));
         let combined = combined_reports(&suite);
         let mut csv = String::from("sequence,level0,level1,level2\n");
         let mut sigs: Vec<_> = combined[1].of_length(len).map(|(s, _)| s.clone()).collect();
@@ -58,17 +64,16 @@ fn main() -> std::io::Result<()> {
         let mut csv = String::from("benchmark,sequence,frequency\n");
         for a in &suite {
             for (sig, st) in a.reports[1].at_least(5.0) {
-                writeln!(csv, "{},{sig},{:.4}", a.bench.name, st.frequency)
-                    .expect("string write");
+                writeln!(csv, "{},{sig},{:.4}", a.bench.name, st.frequency).expect("string write");
             }
         }
         let name = if len == 2 { "fig5_len2" } else { "fig6_len4" };
         std::fs::write(dir.join(format!("{name}.csv")), csv)?;
     }
 
-    // Table 2
+    // Table 2 (default detector; compiles and schedules are cache hits)
     {
-        let suite = analyze_suite(DetectorConfig::default());
+        let suite = analyze_suite_with(&session, DetectorConfig::default());
         let combined = combined_reports(&suite);
         let mut csv = String::from("sequence,level0,level1,level2\n");
         for row in [
@@ -95,12 +100,13 @@ fn main() -> std::io::Result<()> {
     {
         let analyzer = CoverageAnalyzer::new(DetectorConfig::default());
         let mut csv = String::from("benchmark,optimized,sequence,frequency\n");
-        for b in asip_benchmarks::registry().iter() {
-            let program = b.compile().expect("compiles");
-            let profile = b.profile(&program).expect("simulates");
+        for b in session.registry().iter().copied().collect::<Vec<_>>() {
             for (label, level) in [("yes", OptLevel::Pipelined), ("no", OptLevel::None)] {
-                let report =
-                    analyzer.analyze(&Optimizer::new(level).run(&program, &profile));
+                let graph = session
+                    .schedule(b.name, level)
+                    .expect("built-ins schedule")
+                    .graph;
+                let report = analyzer.analyze(&graph);
                 for e in &report.entries {
                     writeln!(csv, "{},{label},{},{:.4}", b.name, e.signature, e.frequency)
                         .expect("string write");
@@ -111,5 +117,6 @@ fn main() -> std::io::Result<()> {
     }
 
     println!("wrote figure data to {}", dir.display());
+    println!("session cache: {}", session.cache_stats());
     Ok(())
 }

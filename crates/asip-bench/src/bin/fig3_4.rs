@@ -15,8 +15,16 @@ fn main() {
     let suite = analyze_suite(DetectorConfig::default().with_length(length));
     let combined = combined_reports(&suite);
 
-    println!("Figure {}: Length {length} sequences detected using three levels of optimization",
-        if length == 2 { "3".to_string() } else if length == 4 { "4".to_string() } else { format!("3/4-style (length {length})") });
+    println!(
+        "Figure {}: Length {length} sequences detected using three levels of optimization",
+        if length == 2 {
+            "3".to_string()
+        } else if length == 4 {
+            "4".to_string()
+        } else {
+            format!("3/4-style (length {length})")
+        }
+    );
     println!();
 
     // union of signatures, ordered by level-1 frequency (the paper sorts
@@ -41,10 +49,7 @@ fn main() {
 
     println!(
         "{:34} {:>8} {:>8} {:>8}",
-        "sequence",
-        "level 0",
-        "level 1",
-        "level 2"
+        "sequence", "level 0", "level 1", "level 2"
     );
     for sig in &sigs {
         let f: Vec<f64> = combined.iter().map(|r| r.frequency_of(sig)).collect();

@@ -8,6 +8,7 @@
 //!
 //! `cargo run --release -p asip-bench --bin ilp`
 
+use asip_explorer::Explorer;
 use asip_opt::{characterize, OptLevel};
 
 const WIDTHS: &[usize] = &[1, 2, 4, 8, 16];
@@ -20,11 +21,22 @@ fn main() {
         "benchmark", "w=1", "w=2", "w=4", "w=8", "w=16", "peak ILP", "rec. w"
     );
     println!("{:-^90}", "");
+    let session = Explorer::new();
+    let rows = session
+        .map_all(|b| {
+            let compiled = session.compile(b.name)?;
+            let profiled = session.profile(b.name)?;
+            let report = characterize(
+                &compiled.program,
+                &profiled.profile,
+                OptLevel::Pipelined,
+                WIDTHS,
+            );
+            Ok((*b, report))
+        })
+        .expect("built-ins characterize cleanly");
     let mut recommended = Vec::new();
-    for b in asip_benchmarks::registry().iter() {
-        let program = b.compile().expect("built-ins compile");
-        let profile = b.profile(&program).expect("built-ins simulate");
-        let report = characterize(&program, &profile, OptLevel::Pipelined, WIDTHS);
+    for (b, report) in rows {
         let speedups: Vec<String> = report
             .points
             .iter()

@@ -2,11 +2,14 @@
 //! ILP, coverage at each level, and the closed-loop speedup — the
 //! "dashboard" a designer would look at first.
 //!
+//! One `Explorer` session drives everything: the twelve benchmarks are
+//! explored in parallel, and each compile/profile/schedule runs once.
+//!
 //! `cargo run --release -p asip-bench --bin suite_summary`
 
 use asip_chains::{CoverageAnalyzer, DetectorConfig};
-use asip_opt::{characterize, OptLevel, Optimizer};
-use asip_synth::{evaluate, AsipDesigner, DesignConstraints};
+use asip_explorer::Explorer;
+use asip_opt::{characterize, OptLevel};
 
 fn main() {
     println!(
@@ -14,32 +17,41 @@ fn main() {
         "benchmark", "insts", "dyn ops", "ILP", "cov L0", "cov L1", "cov L2", "speedup"
     );
     println!("{:-^75}", "");
+    let session = Explorer::new();
     let analyzer = CoverageAnalyzer::new(DetectorConfig::default());
-    let designer = AsipDesigner::new(DesignConstraints::default());
-    for b in asip_benchmarks::registry().iter() {
-        let program = b.compile().expect("built-ins compile");
-        let profile = b.profile(&program).expect("built-ins simulate");
-        let ilp = characterize(&program, &profile, OptLevel::Pipelined, &[8]).peak_ilp();
-        let cov: Vec<f64> = OptLevel::all()
-            .into_iter()
-            .map(|l| {
-                analyzer
-                    .analyze(&Optimizer::new(l).run(&program, &profile))
-                    .coverage()
-            })
-            .collect();
-        let design = designer.design_for(&program, &profile);
-        let eval = evaluate(&program, &design, &b.dataset()).expect("evaluates");
+    let rows = session
+        .map_all(|b| {
+            let compiled = session.compile(b.name)?;
+            let profiled = session.profile(b.name)?;
+            let ilp = characterize(
+                &compiled.program,
+                &profiled.profile,
+                OptLevel::Pipelined,
+                &[8],
+            )
+            .peak_ilp();
+            let mut cov = Vec::new();
+            for level in OptLevel::all() {
+                let graph = session.schedule(b.name, level)?.graph;
+                cov.push(analyzer.analyze(&graph).coverage());
+            }
+            let eval = session.evaluate(b.name)?;
+            Ok((
+                *b,
+                compiled.program.inst_count(),
+                profiled.profile.total_ops(),
+                ilp,
+                cov,
+                eval.evaluation.speedup,
+            ))
+        })
+        .expect("built-ins explore cleanly");
+    for (b, insts, dyn_ops, ilp, cov, speedup) in rows {
         println!(
             "{:10} {:>6} {:>10} {:>6.2} {:>7.1}% {:>7.1}% {:>7.1}% {:>8.3}x",
-            b.name,
-            program.inst_count(),
-            profile.total_ops(),
-            ilp,
-            cov[0],
-            cov[1],
-            cov[2],
-            eval.speedup
+            b.name, insts, dyn_ops, ilp, cov[0], cov[1], cov[2], speedup
         );
     }
+    println!("{:-^75}", "");
+    println!("session cache: {}", session.cache_stats());
 }

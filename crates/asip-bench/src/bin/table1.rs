@@ -2,18 +2,18 @@
 //!
 //! `cargo run -p asip-bench --bin table1`
 
+use asip_explorer::Explorer;
+
 fn main() {
     println!("Table 1 : Benchmark Descriptions");
-    println!(
-        "{:-^100}",
-        ""
-    );
+    println!("{:-^100}", "");
     println!(
         "{:10} {:>8} {:8}  {:44} Data Input",
         "Benchmark", "Lines C", "(ours)", "Description"
     );
     println!("{:-^100}", "");
-    for b in asip_benchmarks::registry().iter() {
+    let session = Explorer::new();
+    for b in session.registry().iter() {
         let ours = b.source.lines().count();
         println!(
             "{:10} {:>8} {:>8}  {:44} {}",

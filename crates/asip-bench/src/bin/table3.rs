@@ -6,7 +6,8 @@
 //! Pass `--all` to cover the whole suite.
 
 use asip_chains::{CoverageAnalyzer, DetectorConfig};
-use asip_opt::{OptLevel, Optimizer};
+use asip_explorer::Explorer;
+use asip_opt::OptLevel;
 
 /// Paper Table 3 coverage totals, for side-by-side reference.
 const PAPER: &[(&str, f64, f64)] = &[
@@ -19,9 +20,9 @@ const PAPER: &[(&str, f64, f64)] = &[
 
 fn main() {
     let all = std::env::args().any(|a| a == "--all");
-    let reg = asip_benchmarks::registry();
+    let session = Explorer::new();
     let names: Vec<&str> = if all {
-        reg.iter().map(|b| b.name).collect()
+        session.registry().iter().map(|b| b.name).collect()
     } else {
         PAPER.iter().map(|(n, _, _)| *n).collect()
     };
@@ -29,14 +30,17 @@ fn main() {
     println!("Table 3 - Sequence Coverage");
     println!();
     let analyzer = CoverageAnalyzer::new(DetectorConfig::default());
+    let coverage_report = |name: &str, level: OptLevel| {
+        let graph = session
+            .schedule(name, level)
+            .expect("built-ins schedule")
+            .graph;
+        analyzer.analyze(&graph)
+    };
     for name in names {
-        let b = reg.find(name).expect("benchmark exists");
-        let program = b.compile().expect("built-ins compile");
-        let profile = b.profile(&program).expect("built-ins simulate");
         let paper = PAPER.iter().find(|(n, _, _)| *n == name);
         for (label, level) in [("yes", OptLevel::Pipelined), ("no", OptLevel::None)] {
-            let graph = Optimizer::new(level).run(&program, &profile);
-            let report = analyzer.analyze(&graph);
+            let report = coverage_report(name, level);
             let paper_cov = paper.map(|(_, y, n)| if label == "yes" { *y } else { *n });
             print!("{name:8} opt={label:3} coverage {:6.2}%", report.coverage());
             if let Some(pc) = paper_cov {
@@ -44,7 +48,11 @@ fn main() {
             }
             println!();
             for e in &report.entries {
-                println!("             {:34} {:>6.2}%", e.signature.to_string(), e.frequency);
+                println!(
+                    "             {:34} {:>6.2}%",
+                    e.signature.to_string(),
+                    e.frequency
+                );
             }
         }
         println!();
@@ -52,19 +60,14 @@ fn main() {
 
     println!("shape check: optimized coverage >= unoptimized for the paper's benchmarks:");
     for (name, _, _) in PAPER {
-        let b = reg.find(name).expect("exists");
-        let program = b.compile().expect("compiles");
-        let profile = b.profile(&program).expect("simulates");
-        let cov = |level| {
-            analyzer
-                .analyze(&Optimizer::new(level).run(&program, &profile))
-                .coverage()
-        };
-        let yes = cov(OptLevel::Pipelined);
-        let no = cov(OptLevel::None);
+        // pure cache hits: the graphs above are reused
+        let yes = coverage_report(name, OptLevel::Pipelined).coverage();
+        let no = coverage_report(name, OptLevel::None).coverage();
         println!(
             "  [{}] {name}: {yes:.2}% vs {no:.2}%",
             if yes >= no - 1e-9 { "ok" } else { "!!" }
         );
     }
+    println!();
+    println!("session cache: {}", session.cache_stats());
 }

@@ -4,6 +4,12 @@
 //! regenerate every table and figure of the paper, and by the Criterion
 //! benches.
 //!
+//! All drivers run on one [`asip_explorer::Explorer`] session, so a
+//! sweep that revisits a benchmark under many detector or optimizer
+//! configurations compiles, simulates and schedules it exactly once;
+//! [`AnalyzedBenchmark`] and [`analyze_suite`] survive as thin shims
+//! over the session for the table/figure binaries.
+//!
 //! | target | regenerates |
 //! |---|---|
 //! | `table1` | Table 1 (benchmark inventory) |
@@ -18,67 +24,109 @@
 #![warn(missing_docs)]
 
 use asip_benchmarks::Benchmark;
-use asip_chains::{DetectorConfig, SequenceDetector, SequenceReport};
+use asip_chains::{DetectorConfig, SequenceReport};
+use asip_explorer::Explorer;
 use asip_ir::Program;
-use asip_opt::{OptLevel, Optimizer, ScheduleGraph};
+use asip_opt::{OptLevel, ScheduleGraph};
 use asip_sim::Profile;
+use std::sync::Arc;
 
 /// A fully analyzed benchmark: program, profile and one schedule graph
 /// plus sequence report per optimization level (paper order 0/1/2).
+/// Payloads are shared handles into the session cache.
 pub struct AnalyzedBenchmark {
     /// The benchmark metadata.
     pub bench: Benchmark,
     /// Compiled 3-address code.
-    pub program: Program,
+    pub program: Arc<Program>,
     /// Profiled execution counts.
-    pub profile: Profile,
+    pub profile: Arc<Profile>,
     /// Schedule graphs, indexed by `OptLevel::number()`.
-    pub graphs: [ScheduleGraph; 3],
+    pub graphs: [Arc<ScheduleGraph>; 3],
     /// Sequence reports, indexed by `OptLevel::number()`.
-    pub reports: [SequenceReport; 3],
+    pub reports: [Arc<SequenceReport>; 3],
 }
 
-/// Compile, profile and analyze one benchmark at all three levels.
+/// A session configured the way the paper's experiments run: all three
+/// levels, the given detector, default constraints and seed.
+pub fn session(config: DetectorConfig) -> Explorer {
+    Explorer::new().with_detector(config)
+}
+
+/// Compile, profile and analyze one benchmark at all three levels on
+/// `session`, with the session's detector configuration.
 ///
 /// # Panics
 ///
 /// Panics if a built-in benchmark fails to compile or simulate — that is
 /// a bug in this repository, not an input condition.
-pub fn analyze_benchmark(bench: &Benchmark, config: DetectorConfig) -> AnalyzedBenchmark {
-    let program = bench
-        .compile()
-        .unwrap_or_else(|e| panic!("{} failed to compile: {e}", bench.name));
-    let profile = bench
-        .profile(&program)
-        .unwrap_or_else(|e| panic!("{} failed to simulate: {e}", bench.name));
-    let detector = SequenceDetector::new(config);
-    let graphs = OptLevel::all().map(|l| Optimizer::new(l).run(&program, &profile));
-    let reports = [
-        detector.analyze(&graphs[0]),
-        detector.analyze(&graphs[1]),
-        detector.analyze(&graphs[2]),
-    ];
+pub fn analyze_benchmark(session: &Explorer, name: &str) -> AnalyzedBenchmark {
+    analyze_benchmark_with(session, name, session.detector())
+}
+
+/// As [`analyze_benchmark`], with an explicit detector configuration;
+/// the compile/profile/schedule stages are shared across detectors.
+///
+/// # Panics
+///
+/// As [`analyze_benchmark`].
+pub fn analyze_benchmark_with(
+    session: &Explorer,
+    name: &str,
+    detector: DetectorConfig,
+) -> AnalyzedBenchmark {
+    let fail =
+        |stage: &str, e: &dyn std::fmt::Display| -> ! { panic!("{name} failed to {stage}: {e}") };
+    let compiled = session
+        .compile(name)
+        .unwrap_or_else(|e| fail("compile", &e));
+    let profiled = session
+        .profile(name)
+        .unwrap_or_else(|e| fail("simulate", &e));
+    let opt = session.opt_config();
+    let graphs = OptLevel::all().map(|l| {
+        session
+            .schedule_with(name, l, opt)
+            .unwrap_or_else(|e| fail("schedule", &e))
+            .graph
+    });
+    let reports = OptLevel::all().map(|l| {
+        session
+            .analyze_with(name, l, opt, detector)
+            .unwrap_or_else(|e| fail("analyze", &e))
+            .report
+    });
     AnalyzedBenchmark {
-        bench: *bench,
-        program,
-        profile,
+        bench: compiled.benchmark,
+        program: compiled.program,
+        profile: profiled.profile,
         graphs,
         reports,
     }
 }
 
-/// Analyze the whole Table-1 suite.
+/// Analyze the whole registry on `session` (parallel over the session
+/// thread pool), with an explicit detector configuration.
+///
+/// # Panics
+///
+/// As [`analyze_benchmark`].
+pub fn analyze_suite_with(session: &Explorer, detector: DetectorConfig) -> Vec<AnalyzedBenchmark> {
+    session
+        .map_all(|b| Ok(analyze_benchmark_with(session, b.name, detector)))
+        .expect("analysis shims panic rather than returning errors")
+}
+
+/// Analyze the whole Table-1 suite on a fresh session.
 pub fn analyze_suite(config: DetectorConfig) -> Vec<AnalyzedBenchmark> {
-    asip_benchmarks::registry()
-        .iter()
-        .map(|b| analyze_benchmark(b, config))
-        .collect()
+    let session = session(config);
+    analyze_suite_with(&session, config)
 }
 
 /// Combined (suite-averaged) reports per level from an analyzed suite.
 pub fn combined_reports(suite: &[AnalyzedBenchmark]) -> [SequenceReport; 3] {
     let per_level = |k: usize| {
-        let rs: Vec<SequenceReport> = suite.iter().map(|a| a.reports[k].clone()).collect();
+        let rs: Vec<SequenceReport> = suite.iter().map(|a| (*a.reports[k]).clone()).collect();
         asip_chains::combine(&rs)
     };
     [per_level(0), per_level(1), per_level(2)]
@@ -108,9 +156,8 @@ mod tests {
 
     #[test]
     fn analyze_one_benchmark_all_levels() {
-        let reg = asip_benchmarks::registry();
-        let b = reg.find("bspline").expect("built-in");
-        let a = analyze_benchmark(b, DetectorConfig::default());
+        let s = session(DetectorConfig::default());
+        let a = analyze_benchmark(&s, "bspline");
         assert_eq!(a.bench.name, "bspline");
         for g in &a.graphs {
             g.check_invariants().expect("invariants");
@@ -121,6 +168,22 @@ mod tests {
             a.reports[0].total_profile_ops,
             a.reports[2].total_profile_ops
         );
+        // the shim reuses the session cache: one compile, one profile
+        let stats = s.cache_stats();
+        assert_eq!(stats.compile.misses, 1);
+        assert_eq!(stats.profile.misses, 1);
+        assert!(stats.compile.hits >= 1, "later stages hit the cache");
+    }
+
+    #[test]
+    fn suite_analysis_is_cache_shared_across_detectors() {
+        let s = session(DetectorConfig::default());
+        let a2 = analyze_benchmark_with(&s, "sewha", DetectorConfig::default().with_length(2));
+        let a4 = analyze_benchmark_with(&s, "sewha", DetectorConfig::default().with_length(4));
+        assert!(Arc::ptr_eq(&a2.program, &a4.program), "one compile");
+        assert!(Arc::ptr_eq(&a2.graphs[1], &a4.graphs[1]), "one schedule");
+        assert_eq!(s.cache_stats().compile.misses, 1);
+        assert_eq!(s.cache_stats().schedule.misses, 3, "one per level");
     }
 
     #[test]

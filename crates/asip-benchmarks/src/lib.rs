@@ -67,6 +67,12 @@ pub enum DataSpec {
         /// Height.
         h: usize,
     },
+    /// Several independent bindings, drawn left to right from one
+    /// seeded stream — for user kernels with more than one input array.
+    Multi {
+        /// The per-array specifications.
+        specs: &'static [DataSpec],
+    },
 }
 
 /// One benchmark: Table-1 metadata plus mini-C source and data spec.
@@ -106,17 +112,7 @@ impl Benchmark {
     pub fn dataset_with_seed(&self, seed: u64) -> DataSet {
         let mut gen = DataGen::new(seed);
         let mut ds = DataSet::new();
-        match self.data {
-            DataSpec::Floats { name, n } => {
-                ds.bind_floats(name, gen.floats(n, -1.0, 1.0));
-            }
-            DataSpec::Ints { name, n } => {
-                ds.bind_ints(name, gen.ints(n, -128, 127));
-            }
-            DataSpec::Image { name, w, h } => {
-                ds.bind_ints(name, gen.image(w, h));
-            }
-        }
+        bind_spec(&mut gen, &mut ds, self.data);
         ds
     }
 
@@ -131,6 +127,25 @@ impl Benchmark {
     }
 }
 
+fn bind_spec(gen: &mut DataGen, ds: &mut DataSet, spec: DataSpec) {
+    match spec {
+        DataSpec::Floats { name, n } => {
+            ds.bind_floats(name, gen.floats(n, -1.0, 1.0));
+        }
+        DataSpec::Ints { name, n } => {
+            ds.bind_ints(name, gen.ints(n, -128, 127));
+        }
+        DataSpec::Image { name, w, h } => {
+            ds.bind_ints(name, gen.image(w, h));
+        }
+        DataSpec::Multi { specs } => {
+            for &inner in specs {
+                bind_spec(gen, ds, inner);
+            }
+        }
+    }
+}
+
 /// The benchmark registry.
 #[derive(Debug, Clone)]
 pub struct Registry {
@@ -138,6 +153,17 @@ pub struct Registry {
 }
 
 impl Registry {
+    /// Register an additional benchmark (e.g. a user kernel) after the
+    /// built-in suite. A benchmark with an already-registered name
+    /// replaces the existing entry — names are unique lookup keys, so a
+    /// silent duplicate would be unreachable through [`Registry::find`].
+    pub fn push(&mut self, bench: Benchmark) {
+        match self.benches.iter_mut().find(|b| b.name == bench.name) {
+            Some(existing) => *existing = bench,
+            None => self.benches.push(bench),
+        }
+    }
+
     /// Find a benchmark by name.
     pub fn find(&self, name: &str) -> Option<&Benchmark> {
         self.benches.iter().find(|b| b.name == name)
@@ -293,8 +319,8 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "fir", "iir", "pse", "intfft", "compress", "flatten", "smooth", "edge",
-                "sewha", "dft", "bspline", "feowf"
+                "fir", "iir", "pse", "intfft", "compress", "flatten", "smooth", "edge", "sewha",
+                "dft", "bspline", "feowf"
             ]
         );
         assert!(r.find("fir").is_some());
@@ -347,7 +373,9 @@ mod tests {
         let exec = Simulator::new(&program).run(&b.dataset()).expect("runs");
         let y = exec.array(&program, "y").expect("output bound");
         assert_eq!(y.len(), 100);
-        assert!(y.iter().all(|v| matches!(v, Value::Float(f) if f.is_finite())));
+        assert!(y
+            .iter()
+            .all(|v| matches!(v, Value::Float(f) if f.is_finite())));
         assert!(y.iter().any(|v| v.as_float().abs() > 1e-9));
     }
 

@@ -139,7 +139,11 @@ mod tests {
 
     #[test]
     fn single_report_is_identity() {
-        let a = report("a", 500, vec![("multiply-add", 7.5, 2), ("add-add", 3.0, 1)]);
+        let a = report(
+            "a",
+            500,
+            vec![("multiply-add", 7.5, 2), ("add-add", 3.0, 1)],
+        );
         let c = combine(std::slice::from_ref(&a));
         assert!((c.frequency_of(&"multiply-add".parse().expect("ok")) - 7.5).abs() < 1e-9);
         assert!((c.frequency_of(&"add-add".parse().expect("ok")) - 3.0).abs() < 1e-9);

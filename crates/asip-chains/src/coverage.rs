@@ -36,7 +36,11 @@ impl CoverageReport {
     /// Total coverage: the sum of the selected sequences' frequencies
     /// (Table 3's "Coverage" column).
     pub fn coverage(&self) -> f64 {
-        self.entries.iter().map(|e| e.frequency).sum::<f64>().max(0.0)
+        self.entries
+            .iter()
+            .map(|e| e.frequency)
+            .sum::<f64>()
+            .max(0.0)
     }
 }
 
@@ -83,14 +87,12 @@ impl CoverageAnalyzer {
         let mut entries = Vec::new();
 
         for _round in 0..self.max_sequences {
-            let occurrences =
-                detector.occurrences_filtered(graph, |r| consumed.contains(&r));
+            let occurrences = detector.occurrences_filtered(graph, |r| consumed.contains(&r));
             let candidates: Vec<Occurrence> = occurrences
                 .into_iter()
                 .filter(|o| !chosen.contains(&o.signature))
                 .collect();
-            let Some((signature, freq, selected)) =
-                best_signature(graph, &candidates, &consumed)
+            let Some((signature, freq, selected)) = best_signature(graph, &candidates, &consumed)
             else {
                 break;
             };
@@ -128,8 +130,7 @@ fn best_signature(
     }
     let mut best: Option<(Signature, f64, Vec<Occurrence>)> = None;
     for (sig, occs) in by_sig {
-        let (freq, selected) =
-            crate::detect::select_non_overlapping(graph, &occs, consumed);
+        let (freq, selected) = crate::detect::select_non_overlapping(graph, &occs, consumed);
         let better = match &best {
             None => true,
             Some((_, bf, _)) => freq > *bf,

@@ -254,8 +254,8 @@ impl SequenceDetector {
         // branch and bound: even extended to max_len with the current
         // limiting weight, can this chain still clear the floor?
         if self.config.prune_floor > 0.0 && graph.total_profile_ops > 0 {
-            let best = 100.0 * min_weight * self.config.max_len as f64
-                / graph.total_profile_ops as f64;
+            let best =
+                100.0 * min_weight * self.config.max_len as f64 / graph.total_profile_ops as f64;
             if best < self.config.prune_floor {
                 return;
             }
@@ -334,11 +334,7 @@ impl SequenceDetector {
                         }
                     }
                 }
-                if graph.nodes[n]
-                    .ops
-                    .iter()
-                    .any(|op| op.inst.dst() == Some(d))
-                {
+                if graph.nodes[n].ops.iter().any(|op| op.inst.dst() == Some(d)) {
                     break;
                 }
                 n += 1;
@@ -364,11 +360,7 @@ impl SequenceDetector {
                     }
                 }
                 // extend the path unless s redefines d (value killed past s)
-                let kills = graph
-                    .node(s)
-                    .ops
-                    .iter()
-                    .any(|op| op.inst.dst() == Some(d));
+                let kills = graph.node(s).ops.iter().any(|op| op.inst.dst() == Some(d));
                 if !kills && !visited_at.contains(&(s, depth + 1)) {
                     visited_at.push((s, depth + 1));
                     stack.push((s, depth + 1));
@@ -516,7 +508,10 @@ mod tests {
         let _u = b.binary(BinOp::Add, t.into(), Operand::imm_int(1));
         b.ret(None);
         let p = b.finish().expect("valid");
-        let profile = Simulator::new(&p).run(&DataSet::new()).expect("runs").profile;
+        let profile = Simulator::new(&p)
+            .run(&DataSet::new())
+            .expect("runs")
+            .profile;
         let graph = Optimizer::new(OptLevel::None).run(&p, &profile);
         let det = SequenceDetector::new(DetectorConfig::default().with_window(2));
         let occ = det.occurrences(&graph);
@@ -561,7 +556,10 @@ mod tests {
         };
         let f0 = find(OptLevel::None);
         let f1 = find(OptLevel::Pipelined);
-        assert!(f1 > f0, "region chaining must find more: {f0:.2} vs {f1:.2}");
+        assert!(
+            f1 > f0,
+            "region chaining must find more: {f0:.2} vs {f1:.2}"
+        );
     }
 
     #[test]
@@ -582,7 +580,10 @@ mod tests {
         b.store(y, Operand::imm_int(0), fin.into());
         b.ret(None);
         let p = b.finish().expect("valid");
-        let profile = Simulator::new(&p).run(&DataSet::new()).expect("runs").profile;
+        let profile = Simulator::new(&p)
+            .run(&DataSet::new())
+            .expect("runs")
+            .profile;
         let graph = Optimizer::new(OptLevel::Pipelined).run(&p, &profile);
         assert!(graph.region_chaining);
         let det = SequenceDetector::new(DetectorConfig::default());

@@ -56,8 +56,6 @@ pub mod signature;
 
 pub use combine::{combine, combine_pooled, CombinedReport};
 pub use coverage::{CoverageAnalyzer, CoverageEntry, CoverageReport};
-pub use detect::{
-    default_chainable, DetectorConfig, Occurrence, OpRef, SequenceDetector,
-};
+pub use detect::{default_chainable, DetectorConfig, Occurrence, OpRef, SequenceDetector};
 pub use report::{SeqStats, SequenceReport};
 pub use signature::Signature;

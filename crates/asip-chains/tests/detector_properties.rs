@@ -68,10 +68,7 @@ fn pruning_is_sound_at_occurrence_granularity() {
                 .collect();
             for sig in strong {
                 assert!(
-                    pruned
-                        .entries()
-                        .iter()
-                        .any(|(s, _)| s.to_string() == sig),
+                    pruned.entries().iter().any(|(s, _)| s.to_string() == sig),
                     "{name}: {sig} has a >= {floor}% occurrence but was pruned away"
                 );
             }
@@ -88,8 +85,7 @@ fn coverage_never_exceeds_chainable_fraction() {
                 .with_max_sequences(32)
                 .analyze(&graph)
                 .coverage();
-            let chainable_pct =
-                100.0 * graph.chainable_weight() / graph.total_profile_ops as f64;
+            let chainable_pct = 100.0 * graph.chainable_weight() / graph.total_profile_ops as f64;
             assert!(
                 cov <= chainable_pct + 1e-6,
                 "{name}: coverage {cov:.2}% exceeds chainable fraction {chainable_pct:.2}%"

@@ -318,7 +318,10 @@ impl Expr {
 
 /// The math intrinsics callable from mini-C.
 pub fn intrinsic(name: &str) -> Option<asip_ir::MathFn> {
-    asip_ir::MathFn::all().iter().copied().find(|m| m.name() == name)
+    asip_ir::MathFn::all()
+        .iter()
+        .copied()
+        .find(|m| m.name() == name)
 }
 
 #[cfg(test)]

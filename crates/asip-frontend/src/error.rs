@@ -101,7 +101,10 @@ mod tests {
     #[test]
     fn messages_include_positions() {
         let e = FrontendError::parse(Pos { line: 3, col: 9 }, "expected `;`");
-        assert_eq!(e.to_string(), "syntax error at line 3, column 9: expected `;`");
+        assert_eq!(
+            e.to_string(),
+            "syntax error at line 3, column 9: expected `;`"
+        );
     }
 
     #[test]

@@ -238,7 +238,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        lex(src).expect("lexes").into_iter().map(|t| t.kind).collect()
+        lex(src)
+            .expect("lexes")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -263,7 +267,9 @@ mod tests {
     fn lexes_operators_maximal_munch() {
         let ks = kinds("<= < << >= > >> == = != ! && & || |");
         use Punct::*;
-        let want = [Le, Lt, Shl, Ge, Gt, Shr, EqEq, Assign, Ne, Bang, AmpAmp, Amp, PipePipe, Pipe];
+        let want = [
+            Le, Lt, Shl, Ge, Gt, Shr, EqEq, Assign, Ne, Bang, AmpAmp, Amp, PipePipe, Pipe,
+        ];
         for (k, w) in ks.iter().zip(want) {
             assert_eq!(*k, TokenKind::Punct(w));
         }
@@ -273,7 +279,16 @@ mod tests {
     fn lexes_compound_assignment_operators() {
         let ks = kinds("+= -= *= /= + = / /");
         use Punct::*;
-        let want = [PlusAssign, MinusAssign, StarAssign, SlashAssign, Plus, Assign, Slash, Slash];
+        let want = [
+            PlusAssign,
+            MinusAssign,
+            StarAssign,
+            SlashAssign,
+            Plus,
+            Assign,
+            Slash,
+            Slash,
+        ];
         for (k, w) in ks.iter().zip(want) {
             assert_eq!(*k, TokenKind::Punct(w));
         }

@@ -56,10 +56,7 @@ struct Frame<'a> {
 
 impl<'a> Frame<'a> {
     fn lookup(&self, name: &str) -> Option<(Reg, ScalarTy)> {
-        self.scopes
-            .iter()
-            .rev()
-            .find_map(|s| s.get(name).copied())
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
     }
 }
 
@@ -93,9 +90,9 @@ impl<'a> Lowerer<'a> {
                 Storage::Output => ArrayKind::Output,
                 Storage::Internal => ArrayKind::Internal,
             };
-            let id = self
-                .b
-                .array_with_layout(a.name.clone(), a.ty.ir(), a.len, kind, base, ELEM_SIZE);
+            let id =
+                self.b
+                    .array_with_layout(a.name.clone(), a.ty.ir(), a.len, kind, base, ELEM_SIZE);
             base += a.len as i64 * ELEM_SIZE + 64;
             self.arrays.insert(&a.name, id);
         }
@@ -156,13 +153,16 @@ impl<'a> Lowerer<'a> {
                 self.lower_expr_into(dst, dt, value, frame);
             }
             Stmt::AssignIndex {
-                name,
-                index,
-                value,
-                ..
+                name, index, value, ..
             } => {
                 let array = self.arrays[name.as_str()];
-                let elem_ty = self.unit.arrays.iter().find(|a| &a.name == name).expect("sema").ty;
+                let elem_ty = self
+                    .unit
+                    .arrays
+                    .iter()
+                    .find(|a| &a.name == name)
+                    .expect("sema")
+                    .ty;
                 let addr = self.lower_address(array, index, frame);
                 let (v, vt) = self.lower_expr(value, frame);
                 let v = self.coerce(v, vt, elem_ty);
@@ -245,24 +245,22 @@ impl<'a> Lowerer<'a> {
                 }
                 self.b.select_block(exit);
             }
-            Stmt::Return { value, .. } => {
-                match (frame.ret_block, value) {
-                    (None, None) => {
-                        self.b.ret(None);
-                    }
-                    (None, Some(_)) => unreachable!("sema: main returns no value"),
-                    (Some(bb), None) => {
-                        self.b.jump(bb);
-                    }
-                    (Some(bb), Some(v)) => {
-                        let (val, vt) = self.lower_expr(v, frame);
-                        let (rr, rt) = frame.ret_reg.expect("non-void inlined function");
-                        let val = self.coerce(val, vt, rt);
-                        self.b.mov_to(rr, val);
-                        self.b.jump(bb);
-                    }
+            Stmt::Return { value, .. } => match (frame.ret_block, value) {
+                (None, None) => {
+                    self.b.ret(None);
                 }
-            }
+                (None, Some(_)) => unreachable!("sema: main returns no value"),
+                (Some(bb), None) => {
+                    self.b.jump(bb);
+                }
+                (Some(bb), Some(v)) => {
+                    let (val, vt) = self.lower_expr(v, frame);
+                    let (rr, rt) = frame.ret_reg.expect("non-void inlined function");
+                    let val = self.coerce(val, vt, rt);
+                    self.b.mov_to(rr, val);
+                    self.b.jump(bb);
+                }
+            },
             Stmt::Expr(e) => {
                 self.lower_expr(e, frame);
             }
@@ -430,7 +428,13 @@ impl<'a> Lowerer<'a> {
             }
             Expr::Index { name, index, .. } => {
                 let array = self.arrays[name.as_str()];
-                let elem_ty = self.unit.arrays.iter().find(|a| &a.name == name).expect("sema").ty;
+                let elem_ty = self
+                    .unit
+                    .arrays
+                    .iter()
+                    .find(|a| &a.name == name)
+                    .expect("sema")
+                    .ty;
                 let addr = self.lower_address(array, index, frame);
                 let r = self.b.load(array, addr);
                 (r.into(), elem_ty)
@@ -450,9 +454,7 @@ impl<'a> Lowerer<'a> {
                     },
                     UnaryOp::Not => {
                         let r = match vt {
-                            ScalarTy::Int => {
-                                self.b.binary(BinOp::CmpEq, v, Operand::imm_int(0))
-                            }
+                            ScalarTy::Int => self.b.binary(BinOp::CmpEq, v, Operand::imm_int(0)),
                             ScalarTy::Float => {
                                 self.b.binary(BinOp::FCmpEq, v, Operand::imm_float(0.0))
                             }
@@ -706,9 +708,7 @@ mod tests {
 
     #[test]
     fn straight_line_lowering() {
-        let p = compile(
-            "input int x[2]; output int y[1]; void main() { y[0] = x[0] * x[1] + 3; }",
-        );
+        let p = compile("input int x[2]; output int y[1]; void main() { y[0] = x[0] * x[1] + 3; }");
         assert!(p.validate().is_ok());
         // load, load, mul, add, store, ret
         assert_eq!(p.inst_count(), 6);
@@ -739,18 +739,30 @@ mod tests {
     #[test]
     fn mixed_arithmetic_promotes_to_float() {
         let p = compile("void main() { float f; f = 1 + 2.5; }");
-        let has_fadd = p
-            .insts()
-            .any(|(_, i)| matches!(&i.kind, asip_ir::InstKind::Binary { op: BinOp::FAdd, .. }));
+        let has_fadd = p.insts().any(|(_, i)| {
+            matches!(
+                &i.kind,
+                asip_ir::InstKind::Binary {
+                    op: BinOp::FAdd,
+                    ..
+                }
+            )
+        });
         assert!(has_fadd);
     }
 
     #[test]
     fn assignment_converts_to_destination_type() {
         let p = compile("void main() { int a; a = 2.5 * 2.0; }");
-        let has_ftoi = p.insts().any(
-            |(_, i)| matches!(&i.kind, asip_ir::InstKind::Unary { op: UnOp::FloatToInt, .. }),
-        );
+        let has_ftoi = p.insts().any(|(_, i)| {
+            matches!(
+                &i.kind,
+                asip_ir::InstKind::Unary {
+                    op: UnOp::FloatToInt,
+                    ..
+                }
+            )
+        });
         assert!(has_ftoi);
     }
 
@@ -767,7 +779,13 @@ mod tests {
         let fmuls = p
             .insts()
             .filter(|(_, i)| {
-                matches!(&i.kind, asip_ir::InstKind::Binary { op: BinOp::FMul, .. })
+                matches!(
+                    &i.kind,
+                    asip_ir::InstKind::Binary {
+                        op: BinOp::FMul,
+                        ..
+                    }
+                )
             })
             .count();
         assert_eq!(fmuls, 2);
@@ -789,9 +807,14 @@ mod tests {
         let p = compile("int acc; void main() { acc = acc + 1; }");
         // entry block starts with mov r, 0
         let first = &p.blocks()[0].insts[0];
-        assert!(
-            matches!(&first.kind, asip_ir::InstKind::Unary { op: UnOp::Mov, src: Operand::ImmInt(0), .. })
-        );
+        assert!(matches!(
+            &first.kind,
+            asip_ir::InstKind::Unary {
+                op: UnOp::Mov,
+                src: Operand::ImmInt(0),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -823,7 +846,13 @@ mod tests {
         let cmpne = p
             .insts()
             .filter(|(_, i)| {
-                matches!(&i.kind, asip_ir::InstKind::Binary { op: BinOp::CmpNe, .. })
+                matches!(
+                    &i.kind,
+                    asip_ir::InstKind::Binary {
+                        op: BinOp::CmpNe,
+                        ..
+                    }
+                )
             })
             .count();
         assert_eq!(cmpne, 0);
@@ -835,7 +864,13 @@ mod tests {
         let maths = p
             .insts()
             .filter(|(_, i)| {
-                matches!(&i.kind, asip_ir::InstKind::Unary { op: UnOp::Math(_), .. })
+                matches!(
+                    &i.kind,
+                    asip_ir::InstKind::Unary {
+                        op: UnOp::Math(_),
+                        ..
+                    }
+                )
             })
             .count();
         assert_eq!(maths, 2);
@@ -849,7 +884,10 @@ mod tests {
             .filter(|(_, i)| {
                 matches!(
                     &i.kind,
-                    asip_ir::InstKind::Unary { op: UnOp::Neg | UnOp::FNeg, .. }
+                    asip_ir::InstKind::Unary {
+                        op: UnOp::Neg | UnOp::FNeg,
+                        ..
+                    }
                 )
             })
             .count();

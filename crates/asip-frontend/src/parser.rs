@@ -115,8 +115,12 @@ impl<'a> Parser<'a> {
                             unit.functions.push(self.func_def(name, Some(ty), pos)?);
                         }
                         TokenKind::Punct(Punct::LBracket) => {
-                            unit.arrays
-                                .push(self.array_def_named(name, ty, Storage::Internal, pos)?);
+                            unit.arrays.push(self.array_def_named(
+                                name,
+                                ty,
+                                Storage::Internal,
+                                pos,
+                            )?);
                         }
                         TokenKind::Punct(Punct::Semi) => {
                             self.bump();
@@ -647,17 +651,20 @@ mod tests {
         let Expr::Binary { lhs, rhs, .. } = value else {
             panic!()
         };
-        assert!(matches!(**lhs, Expr::Cast { to: ScalarTy::Float, .. }));
+        assert!(matches!(
+            **lhs,
+            Expr::Cast {
+                to: ScalarTy::Float,
+                ..
+            }
+        ));
         assert!(matches!(**rhs, Expr::Call { .. }));
     }
 
     #[test]
     fn parses_array_assignment_and_read() {
         let u = parse_src("input int x[4]; output int y[4]; void main() { y[0] = x[1] + 1; }");
-        assert!(matches!(
-            u.functions[0].body[0],
-            Stmt::AssignIndex { .. }
-        ));
+        assert!(matches!(u.functions[0].body[0], Stmt::AssignIndex { .. }));
     }
 
     #[test]

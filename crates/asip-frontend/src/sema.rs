@@ -28,10 +28,7 @@ struct FuncScope<'a> {
 
 impl<'a> FuncScope<'a> {
     fn lookup(&self, name: &str) -> Option<ScalarTy> {
-        self.stack
-            .iter()
-            .rev()
-            .find_map(|s| s.get(name).copied())
+        self.stack.iter().rev().find_map(|s| s.get(name).copied())
     }
 
     fn declare(&mut self, name: &'a str, ty: ScalarTy) -> bool {
@@ -111,8 +108,7 @@ impl<'a> Checker<'a> {
             stack: vec![HashMap::new()],
         };
         for (name, ty) in &f.params {
-            if self.arrays.contains_key(name.as_str()) || self.globals.contains_key(name.as_str())
-            {
+            if self.arrays.contains_key(name.as_str()) || self.globals.contains_key(name.as_str()) {
                 return Err(FrontendError::sema(
                     f.pos,
                     format!("parameter `{name}` shadows a global"),
@@ -258,29 +254,23 @@ impl<'a> Checker<'a> {
         match e {
             Expr::IntLit(..) => Ok(ScalarTy::Int),
             Expr::FloatLit(..) => Ok(ScalarTy::Float),
-            Expr::Var(name, pos) => self.scalar_var_ty(name, scope).ok_or_else(|| {
-                FrontendError::sema(*pos, format!("undeclared variable `{name}`"))
-            }),
+            Expr::Var(name, pos) => self
+                .scalar_var_ty(name, scope)
+                .ok_or_else(|| FrontendError::sema(*pos, format!("undeclared variable `{name}`"))),
             Expr::Index { name, index, pos } => {
                 let idx = self.expr_ty(index, scope)?;
                 if idx != ScalarTy::Int {
                     return Err(FrontendError::sema(*pos, "array index must be int"));
                 }
-                self.arrays
-                    .get(name.as_str())
-                    .map(|a| a.ty)
-                    .ok_or_else(|| {
-                        FrontendError::sema(*pos, format!("`{name}` is not a declared array"))
-                    })
+                self.arrays.get(name.as_str()).map(|a| a.ty).ok_or_else(|| {
+                    FrontendError::sema(*pos, format!("`{name}` is not a declared array"))
+                })
             }
             Expr::Binary { op, lhs, rhs, pos } => {
                 let lt = self.expr_ty(lhs, scope)?;
                 let rt = self.expr_ty(rhs, scope)?;
                 if op.int_only() && (lt != ScalarTy::Int || rt != ScalarTy::Int) {
-                    return Err(FrontendError::sema(
-                        *pos,
-                        "operator requires int operands",
-                    ));
+                    return Err(FrontendError::sema(*pos, "operator requires int operands"));
                 }
                 if op.is_comparison() || matches!(op, BinaryOp::LogAnd | BinaryOp::LogOr) {
                     Ok(ScalarTy::Int)
@@ -301,15 +291,14 @@ impl<'a> Checker<'a> {
                 self.expr_ty(operand, scope)?;
                 Ok(*to)
             }
-            Expr::Call { name, args, pos } => {
-                self.check_call(name, args, scope, *pos, false)?
-                    .ok_or_else(|| {
-                        FrontendError::sema(
-                            *pos,
-                            format!("void function `{name}` used in an expression"),
-                        )
-                    })
-            }
+            Expr::Call { name, args, pos } => self
+                .check_call(name, args, scope, *pos, false)?
+                .ok_or_else(|| {
+                    FrontendError::sema(
+                        *pos,
+                        format!("void function `{name}` used in an expression"),
+                    )
+                }),
         }
     }
 
@@ -457,7 +446,10 @@ impl<'a> Checker<'a> {
             if !dfs(&f.name, &edges, &mut color) {
                 return Err(FrontendError::sema(
                     f.pos,
-                    format!("recursion involving `{}` is not supported (all calls are inlined)", f.name),
+                    format!(
+                        "recursion involving `{}` is not supported (all calls are inlined)",
+                        f.name
+                    ),
                 ));
             }
         }
@@ -542,8 +534,9 @@ mod tests {
     #[test]
     fn rejects_bad_calls() {
         assert!(check_src("void main() { int a; a = undef(1); }").is_err());
-        assert!(check_src("float f(float a) { return a; } void main() { float x; x = f(); }")
-            .is_err());
+        assert!(
+            check_src("float f(float a) { return a; } void main() { float x; x = f(); }").is_err()
+        );
         assert!(check_src("void main() { float x; x = sin(1.0, 2.0); }").is_err());
         assert!(check_src("void v() { } void main() { int a; a = v(); }").is_err());
     }

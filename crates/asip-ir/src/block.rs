@@ -103,10 +103,8 @@ mod tests {
     #[test]
     fn successors_from_terminator() {
         let mut b = Block::new(BlockId(0));
-        b.insts.push(Inst::new(
-            InstId(0),
-            InstKind::Jump { target: BlockId(7) },
-        ));
+        b.insts
+            .push(Inst::new(InstId(0), InstKind::Jump { target: BlockId(7) }));
         assert_eq!(b.successors(), vec![BlockId(7)]);
     }
 

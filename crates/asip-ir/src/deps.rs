@@ -44,8 +44,7 @@ impl Dependence {
                 kinds.push(DepKind::Anti);
             }
         }
-        if let (Some((a1, w1)), Some((a2, w2))) = (earlier.memory_access(), later.memory_access())
-        {
+        if let (Some((a1, w1)), Some((a2, w2))) = (earlier.memory_access(), later.memory_access()) {
             if a1 == a2 && (w1 || w2) && !Self::indices_provably_distinct(earlier, later) {
                 kinds.push(DepKind::Memory);
             }
@@ -64,10 +63,7 @@ impl Dependence {
     /// True if there is a *true* (flow) register dependence only.
     pub fn flow_only(earlier: &Inst, later: &Inst) -> bool {
         let kinds = Self::between(earlier, later);
-        kinds.contains(&DepKind::Flow)
-            && kinds
-                .iter()
-                .all(|k| matches!(k, DepKind::Flow))
+        kinds.contains(&DepKind::Flow) && kinds.iter().all(|k| matches!(k, DepKind::Flow))
     }
 
     /// Constant-index disambiguation: both accesses use integer-immediate
@@ -221,12 +217,7 @@ mod tests {
     #[test]
     fn control_dependence_on_terminators() {
         let a = bin(0, 2, 0, 1);
-        let j = Inst::new(
-            InstId(1),
-            InstKind::Jump {
-                target: BlockId(0),
-            },
-        );
+        let j = Inst::new(InstId(1), InstKind::Jump { target: BlockId(0) });
         assert!(Dependence::between(&a, &j).contains(&DepKind::Control));
         assert!(Dependence::between(&j, &a).contains(&DepKind::Control));
     }

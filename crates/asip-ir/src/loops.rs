@@ -88,12 +88,7 @@ impl LoopForest {
         // nesting depth = number of loops whose body contains this header
         let depths: Vec<usize> = loops
             .iter()
-            .map(|l| {
-                1 + loops
-                    .iter()
-                    .filter(|outer| outer.encloses(l))
-                    .count()
-            })
+            .map(|l| 1 + loops.iter().filter(|outer| outer.encloses(l)).count())
             .collect();
         for (l, d) in loops.iter_mut().zip(depths) {
             l.depth = d;

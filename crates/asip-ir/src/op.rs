@@ -420,8 +420,8 @@ impl OpClass {
     pub fn all() -> &'static [OpClass] {
         use OpClass::*;
         &[
-            Add, Sub, Mul, Div, Shift, Logic, Compare, Load, Store, FAdd, FSub, FMul, FDiv,
-            FLoad, FStore, Move, Convert, Math, Branch, Chained,
+            Add, Sub, Mul, Div, Shift, Logic, Compare, Load, Store, FAdd, FSub, FMul, FDiv, FLoad,
+            FStore, Move, Convert, Math, Branch, Chained,
         ]
     }
 }

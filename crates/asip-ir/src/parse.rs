@@ -74,12 +74,9 @@ impl<'a> Parser<'a> {
     }
 
     fn parse(mut self) -> Result<Program> {
-        let (ln, header) = self
-            .next_line()
-            .ok_or_else(|| self.err(0, "empty input"))?;
-        let name = parse_header(header).ok_or_else(|| {
-            self.err(ln, "expected `program \"name\" {`")
-        })?;
+        let (ln, header) = self.next_line().ok_or_else(|| self.err(0, "empty input"))?;
+        let name =
+            parse_header(header).ok_or_else(|| self.err(ln, "expected `program \"name\" {`"))?;
 
         let mut program = Program {
             name,
@@ -98,11 +95,11 @@ impl<'a> Parser<'a> {
                 return Ok(program);
             }
             if let Some(rest) = line.strip_prefix("entry ") {
-                program.entry = parse_block_ref(rest.trim())
-                    .ok_or_else(|| self.err(ln, "bad entry block"))?;
+                program.entry =
+                    parse_block_ref(rest.trim()).ok_or_else(|| self.err(ln, "bad entry block"))?;
             } else if let Some(rest) = line.strip_prefix("reg ") {
-                let (reg, ty) = parse_reg_decl(rest)
-                    .ok_or_else(|| self.err(ln, "bad register declaration"))?;
+                let (reg, ty) =
+                    parse_reg_decl(rest).ok_or_else(|| self.err(ln, "bad register declaration"))?;
                 if reg.index() != program.reg_types.len() {
                     return Err(self.err(ln, "register declarations must be dense and in order"));
                 }
@@ -125,9 +122,8 @@ impl<'a> Parser<'a> {
                         break;
                     }
                     self.next_line();
-                    let inst = parse_inst(il).ok_or_else(|| {
-                        self.err(iln, format!("unrecognized instruction `{il}`"))
-                    })?;
+                    let inst = parse_inst(il)
+                        .ok_or_else(|| self.err(iln, format!("unrecognized instruction `{il}`")))?;
                     max_inst_id = max_inst_id.max(inst.id.0 + 1);
                     block.insts.push(inst);
                 }

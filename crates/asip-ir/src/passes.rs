@@ -264,9 +264,7 @@ pub fn fold_constants(program: &mut Program) -> usize {
                 InstKind::Binary { op, lhs, rhs, dst } => to_value(lhs)
                     .zip(to_value(rhs))
                     .map(|(a, b)| (*dst, eval_const_binop(*op, a, b))),
-                InstKind::Unary {
-                    op, src, dst
-                } if !matches!(op, UnOp::Mov) => {
+                InstKind::Unary { op, src, dst } if !matches!(op, UnOp::Mov) => {
                     to_value(src).map(|v| (*dst, eval_const_unop(*op, v)))
                 }
                 _ => None,
@@ -562,7 +560,10 @@ mod tests {
         b.ret(None);
         let mut p = b.finish().expect("valid");
         let n = fold_constants(&mut p);
-        assert_eq!(n, 3, "add, div-by-zero and shift fold; mul waits for copy prop");
+        assert_eq!(
+            n, 3,
+            "add, div-by-zero and shift fold; mul waits for copy prop"
+        );
         // after full cleanup the mul folds too (2+3=5, then 5*0=0)
         cleanup(&mut p);
         assert!(p.validate().is_ok());
@@ -576,11 +577,7 @@ mod tests {
             .collect();
         assert_eq!(
             stored,
-            vec![
-                Operand::ImmInt(0),
-                Operand::ImmInt(0),
-                Operand::ImmInt(8)
-            ]
+            vec![Operand::ImmInt(0), Operand::ImmInt(0), Operand::ImmInt(8)]
         );
     }
 
@@ -590,14 +587,22 @@ mod tests {
         let y = b.output_array("y", Ty::Float, 1);
         let entry = b.entry_block();
         b.select_block(entry);
-        let inf = b.binary(BinOp::FDiv, Operand::imm_float(1.0), Operand::imm_float(0.0));
+        let inf = b.binary(
+            BinOp::FDiv,
+            Operand::imm_float(1.0),
+            Operand::imm_float(0.0),
+        );
         b.store(y, Operand::imm_int(0), inf.into());
         b.ret(None);
         let mut p = b.finish().expect("valid");
         assert_eq!(fold_constants(&mut p), 0, "inf result stays an fdiv");
-        assert!(p
-            .insts()
-            .any(|(_, i)| matches!(i.kind, InstKind::Binary { op: BinOp::FDiv, .. })));
+        assert!(p.insts().any(|(_, i)| matches!(
+            i.kind,
+            InstKind::Binary {
+                op: BinOp::FDiv,
+                ..
+            }
+        )));
     }
 
     #[test]

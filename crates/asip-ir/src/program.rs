@@ -366,10 +366,7 @@ mod tests {
         if let InstKind::Binary { op, .. } = &mut p.blocks[0].insts[0].kind {
             *op = BinOp::FAdd;
         }
-        assert!(matches!(
-            p.validate(),
-            Err(IrError::TypeMismatch { .. })
-        ));
+        assert!(matches!(p.validate(), Err(IrError::TypeMismatch { .. })));
     }
 
     #[test]

@@ -70,7 +70,10 @@ pub fn compact_block(wb: &WorkBlock, width: usize) -> Vec<Vec<ScheduledOp>> {
             }
         }
         cycle += 1;
-        debug_assert!(cycle as usize <= 2 * n + 2, "scheduler failed to make progress");
+        debug_assert!(
+            cycle as usize <= 2 * n + 2,
+            "scheduler failed to make progress"
+        );
     }
 
     // the terminator joins the last busy cycle, unless its own

@@ -100,11 +100,10 @@ impl ScheduleGraph {
 
     /// Iterate over all scheduled ops with their node ids.
     pub fn ops(&self) -> impl Iterator<Item = (NodeId, &ScheduledOp)> {
-        self.nodes.iter().enumerate().flat_map(|(i, n)| {
-            n.ops
-                .iter()
-                .map(move |op| (NodeId(i as u32), op))
-        })
+        self.nodes
+            .iter()
+            .enumerate()
+            .flat_map(|(i, n)| n.ops.iter().map(move |op| (NodeId(i as u32), op)))
     }
 
     /// Total scheduled weight of chainable (non-control) ops.
@@ -129,19 +128,18 @@ impl ScheduleGraph {
     pub fn weighted_cycles(&self) -> f64 {
         self.nodes
             .iter()
-            .map(|n| {
-                n.ops
-                    .iter()
-                    .map(|o| o.weight)
-                    .fold(0.0_f64, f64::max)
-            })
+            .map(|n| n.ops.iter().map(|o| o.weight).fold(0.0_f64, f64::max))
             .sum()
     }
 
     /// Build the level-0 ("No Optimization") graph: one op per node, in
     /// sequential program order, weights from the profile.
     pub fn sequential(program: &Program, profile: &asip_sim::Profile) -> Self {
-        let arrays_float: Vec<bool> = program.arrays.iter().map(|a| a.ty == asip_ir::Ty::Float).collect();
+        let arrays_float: Vec<bool> = program
+            .arrays
+            .iter()
+            .map(|a| a.ty == asip_ir::Ty::Float)
+            .collect();
         let mut nodes: Vec<SchedNode> = Vec::with_capacity(program.inst_count());
         // first node of each block, for wiring cross-block edges
         let mut block_first: Vec<Option<NodeId>> = vec![None; program.blocks.len()];
@@ -221,7 +219,12 @@ impl ScheduleGraph {
 
 impl fmt::Display for ScheduleGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "schedule \"{}\" ({} nodes) {{", self.name, self.nodes.len())?;
+        writeln!(
+            f,
+            "schedule \"{}\" ({} nodes) {{",
+            self.name,
+            self.nodes.len()
+        )?;
         for (i, n) in self.nodes.iter().enumerate() {
             let succs: Vec<String> = n.succs.iter().map(|s| s.to_string()).collect();
             writeln!(f, "  n{i} [{}] -> {}", n.block, succs.join(", "))?;

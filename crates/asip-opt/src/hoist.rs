@@ -163,7 +163,10 @@ mod tests {
         b.store(y, Operand::imm_int(0), s.into());
         b.ret(None);
         let p = b.finish().expect("valid");
-        let profile = Simulator::new(&p).run(&DataSet::new()).expect("runs").profile;
+        let profile = Simulator::new(&p)
+            .run(&DataSet::new())
+            .expect("runs")
+            .profile;
         (p, profile)
     }
 
@@ -221,7 +224,10 @@ mod tests {
         b.store(y, Operand::imm_int(1), t.into()); // reads entry's t
         b.ret(None);
         let p = b.finish().expect("valid");
-        let profile = Simulator::new(&p).run(&DataSet::new()).expect("runs").profile;
+        let profile = Simulator::new(&p)
+            .run(&DataSet::new())
+            .expect("runs")
+            .profile;
         let mut w = Work::new(&p, &profile);
         let before: usize = w.blocks[1].ops.len();
         let report = hoist_upward(&mut w, 2);
@@ -249,7 +255,10 @@ mod tests {
         b.select_block(else_b);
         b.ret(None);
         let p = b.finish().expect("valid");
-        let profile = Simulator::new(&p).run(&DataSet::new()).expect("runs").profile;
+        let profile = Simulator::new(&p)
+            .run(&DataSet::new())
+            .expect("runs")
+            .profile;
         let mut w = Work::new(&p, &profile);
         let report = hoist_upward(&mut w, 1);
         assert_eq!(

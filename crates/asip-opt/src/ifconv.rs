@@ -111,11 +111,7 @@ fn is_pure_arm(work: &Work, parent: BlockId, arm: BlockId, max_arm_ops: usize) -
 /// weights), retarget `p` to the join with an unconditional jump, and
 /// empty the arm blocks.
 fn convert(work: &mut Work, p: BlockId) {
-    let term = work.blocks[p.index()]
-        .ops
-        .last()
-        .expect("checked")
-        .clone();
+    let term = work.blocks[p.index()].ops.last().expect("checked").clone();
     let InstKind::Branch {
         then_target,
         else_target,
@@ -153,10 +149,7 @@ fn convert(work: &mut Work, p: BlockId) {
     // the branch becomes an unconditional jump to the join, keeping the
     // branch's dynamic weight (it still executes as a control transfer)
     pb.ops.push(crate::graph::ScheduledOp {
-        inst: asip_ir::Inst::new(
-            branch.inst.id,
-            InstKind::Jump { target: join },
-        ),
+        inst: asip_ir::Inst::new(branch.inst.id, InstKind::Jump { target: join }),
         orig: branch.orig,
         weight: branch.weight,
     });
@@ -305,7 +298,16 @@ mod tests {
             .blocks
             .iter()
             .flat_map(|b| b.ops.iter())
-            .filter(|o| matches!(o.inst.kind, InstKind::Binary { op: BinOp::Mul, rhs: Operand::ImmInt(2 | 3), .. }))
+            .filter(|o| {
+                matches!(
+                    o.inst.kind,
+                    InstKind::Binary {
+                        op: BinOp::Mul,
+                        rhs: Operand::ImmInt(2 | 3),
+                        ..
+                    }
+                )
+            })
             .map(|o| o.weight)
             .collect();
         assert_eq!(muls.len(), 2);

@@ -26,7 +26,11 @@ pub enum OptLevel {
 impl OptLevel {
     /// All levels, in paper order.
     pub fn all() -> [OptLevel; 3] {
-        [OptLevel::None, OptLevel::Pipelined, OptLevel::PipelinedRenamed]
+        [
+            OptLevel::None,
+            OptLevel::Pipelined,
+            OptLevel::PipelinedRenamed,
+        ]
     }
 
     /// The paper's series label for this level.
@@ -193,10 +197,7 @@ mod tests {
         let mut data = DataSet::new();
         data.bind_floats("x", (0..16).map(|k| k as f64 * 0.1).collect());
         data.bind_floats("c", vec![0.25, 0.5, 0.75, 1.0]);
-        let profile = Simulator::new(&program)
-            .run(&data)
-            .expect("runs")
-            .profile;
+        let profile = Simulator::new(&program).run(&data).expect("runs").profile;
         (program, profile)
     }
 

@@ -167,10 +167,7 @@ mod tests {
         assert!((new_weight - orig_weight).abs() < 1e-9, "weights conserved");
         // exactly one terminator, at the end
         assert!(wb.ops.last().expect("nonempty").inst.is_terminator());
-        assert_eq!(
-            wb.ops.iter().filter(|o| o.inst.is_terminator()).count(),
-            1
-        );
+        assert_eq!(wb.ops.iter().filter(|o| o.inst.is_terminator()).count(), 1);
     }
 
     #[test]

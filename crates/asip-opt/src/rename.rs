@@ -128,7 +128,10 @@ mod tests {
         b.select_block(exit);
         b.ret(Some(acc.into()));
         let p = b.finish().expect("valid");
-        let profile = Simulator::new(&p).run(&DataSet::new()).expect("runs").profile;
+        let profile = Simulator::new(&p)
+            .run(&DataSet::new())
+            .expect("runs")
+            .profile;
         (p, profile)
     }
 
@@ -184,7 +187,15 @@ mod tests {
         let cmp = body
             .ops
             .iter()
-            .rfind(|o| matches!(o.inst.kind, InstKind::Binary { op: BinOp::CmpLt, .. }))
+            .rfind(|o| {
+                matches!(
+                    o.inst.kind,
+                    InstKind::Binary {
+                        op: BinOp::CmpLt,
+                        ..
+                    }
+                )
+            })
             .expect("compare present");
         let orig_i = Reg(0);
         assert!(
@@ -204,13 +215,7 @@ mod tests {
                 continue;
             }
             assert!(wb.ops.last().expect("nonempty").inst.is_terminator());
-            assert_eq!(
-                wb.ops
-                    .iter()
-                    .filter(|o| o.inst.is_terminator())
-                    .count(),
-                1
-            );
+            assert_eq!(wb.ops.iter().filter(|o| o.inst.is_terminator()).count(), 1);
             assert!(wb.ops.iter().all(|o| o.weight >= 0.0));
         }
     }

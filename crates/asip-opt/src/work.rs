@@ -76,11 +76,7 @@ impl Work {
             blocks,
             entry: program.entry,
             reg_types: program.reg_types.clone(),
-            arrays_float: program
-                .arrays
-                .iter()
-                .map(|a| a.ty == Ty::Float)
-                .collect(),
+            arrays_float: program.arrays.iter().map(|a| a.ty == Ty::Float).collect(),
             total_profile_ops: profile.total_ops(),
         }
     }
@@ -247,7 +243,10 @@ mod tests {
     #[test]
     fn builds_from_program_with_weights() {
         let p = jump_chain_program();
-        let profile = Simulator::new(&p).run(&DataSet::new()).expect("runs").profile;
+        let profile = Simulator::new(&p)
+            .run(&DataSet::new())
+            .expect("runs")
+            .profile;
         let w = Work::new(&p, &profile);
         assert_eq!(w.blocks.len(), 3);
         assert_eq!(w.blocks[0].ops.len(), 2);
@@ -258,7 +257,10 @@ mod tests {
     #[test]
     fn merges_jump_chains() {
         let p = jump_chain_program();
-        let profile = Simulator::new(&p).run(&DataSet::new()).expect("runs").profile;
+        let profile = Simulator::new(&p)
+            .run(&DataSet::new())
+            .expect("runs")
+            .profile;
         let mut w = Work::new(&p, &profile);
         let merges = w.merge_jump_chains();
         assert_eq!(merges, 2);
@@ -287,7 +289,10 @@ mod tests {
         b.select_block(exit);
         b.ret(None);
         let p = b.finish().expect("valid");
-        let profile = Simulator::new(&p).run(&DataSet::new()).expect("runs").profile;
+        let profile = Simulator::new(&p)
+            .run(&DataSet::new())
+            .expect("runs")
+            .profile;
         let mut w = Work::new(&p, &profile);
         let merges = w.merge_jump_chains();
         // entry -> body is mergeable? body has 2 preds (entry + itself): no.
@@ -297,7 +302,10 @@ mod tests {
     #[test]
     fn into_graph_wires_cross_block_edges() {
         let p = jump_chain_program();
-        let profile = Simulator::new(&p).run(&DataSet::new()).expect("runs").profile;
+        let profile = Simulator::new(&p)
+            .run(&DataSet::new())
+            .expect("runs")
+            .profile;
         let w = Work::new(&p, &profile);
         // trivial layout: one node per op
         let g = w.into_graph(|wb| wb.ops.iter().map(|o| vec![o.clone()]).collect());

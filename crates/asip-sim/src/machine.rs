@@ -3,9 +3,7 @@
 use crate::data::DataSet;
 use crate::error::{Result, SimError};
 use crate::profile::Profile;
-use asip_ir::{
-    ArrayKind, BinOp, Inst, InstKind, Operand, Program, Reg, Ty, UnOp, Value,
-};
+use asip_ir::{ArrayKind, BinOp, Inst, InstKind, Operand, Program, Reg, Ty, UnOp, Value};
 
 /// Result of one simulated run.
 #[derive(Debug, Clone)]
@@ -114,11 +112,7 @@ impl<'p> Simulator<'p> {
             }
         }
 
-        let mut regs: Vec<Value> = program
-            .reg_types
-            .iter()
-            .map(|&t| Value::zero(t))
-            .collect();
+        let mut regs: Vec<Value> = program.reg_types.iter().map(|&t| Value::zero(t)).collect();
         let mut profile = Profile::new(program.next_inst_id as usize, program.blocks.len());
         let mut steps: u64 = 0;
         let mut block = program.entry;
@@ -163,12 +157,7 @@ impl<'p> Simulator<'p> {
         }
     }
 
-    fn step(
-        &self,
-        inst: &Inst,
-        regs: &mut [Value],
-        memory: &mut [Vec<Value>],
-    ) -> Result<Flow> {
+    fn step(&self, inst: &Inst, regs: &mut [Value], memory: &mut [Vec<Value>]) -> Result<Flow> {
         let read = |o: &Operand, regs: &[Value]| -> Value {
             match o {
                 Operand::Reg(r) => regs[r.index()],
@@ -476,7 +465,10 @@ mod tests {
             eval_binop(BinOp::FMul, Value::Float(1.5), Value::Float(2.0)),
             Value::Float(3.0)
         );
-        assert_eq!(eval_unop(UnOp::FloatToInt, Value::Float(-2.9)), Value::Int(-2));
+        assert_eq!(
+            eval_unop(UnOp::FloatToInt, Value::Float(-2.9)),
+            Value::Int(-2)
+        );
         assert_eq!(eval_unop(UnOp::Mov, Value::Float(1.25)), Value::Float(1.25));
     }
 
@@ -491,10 +483,7 @@ mod tests {
         b.ret(None);
         let p = b.finish().expect("valid");
         let e = Simulator::new(&p).run(&DataSet::new()).expect("runs");
-        assert_eq!(
-            e.array(&p, "y"),
-            Some(&[Value::Int(42), Value::Int(7)][..])
-        );
+        assert_eq!(e.array(&p, "y"), Some(&[Value::Int(42), Value::Int(7)][..]));
     }
 
     #[test]

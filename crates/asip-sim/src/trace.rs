@@ -158,7 +158,10 @@ mod tests {
         assert!(texts[1].contains("mul"));
         assert!(texts[2].contains("ret"));
         // the multiply wrote 21
-        assert_eq!(trace.events().nth(1).expect("exists").wrote, Some(asip_ir::Value::Int(21)));
+        assert_eq!(
+            trace.events().nth(1).expect("exists").wrote,
+            Some(asip_ir::Value::Int(21))
+        );
     }
 
     #[test]

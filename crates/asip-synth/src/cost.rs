@@ -22,7 +22,7 @@ pub fn fu_area(class: OpClass) -> f64 {
         Shift => 90.0,
         Logic => 40.0,
         Compare => 80.0,
-        Load | Store => 200.0,   // address port + alignment network
+        Load | Store => 200.0, // address port + alignment network
         FAdd | FSub => 450.0,
         FMul => 1600.0,
         FDiv => 3200.0,

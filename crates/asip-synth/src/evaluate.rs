@@ -68,8 +68,7 @@ mod tests {
         let b = benches.find("sewha").expect("built-in");
         let program = b.compile().expect("compiles");
         let profile = b.profile(&program).expect("runs");
-        let design =
-            AsipDesigner::new(DesignConstraints::default()).design_for(&program, &profile);
+        let design = AsipDesigner::new(DesignConstraints::default()).design_for(&program, &profile);
         assert!(!design.is_empty(), "feedback should propose extensions");
         let eval = evaluate(&program, &design, &b.dataset()).expect("evaluates");
         assert!(eval.fused_chains > 0, "extensions should fire in the code");
@@ -86,8 +85,7 @@ mod tests {
         let benches = asip_benchmarks::registry();
         let b = benches.find("bspline").expect("built-in");
         let program = b.compile().expect("compiles");
-        let eval =
-            evaluate(&program, &AsipDesign::default(), &b.dataset()).expect("evaluates");
+        let eval = evaluate(&program, &AsipDesign::default(), &b.dataset()).expect("evaluates");
         assert_eq!(eval.base_cycles, eval.asip_cycles);
         assert_eq!(eval.speedup, 1.0);
         assert_eq!(eval.fused_chains, 0);

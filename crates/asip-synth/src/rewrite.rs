@@ -82,14 +82,11 @@ impl Rewriter {
         let mut stats = RewriteStats::default();
         // longest first so a MAC3 wins over a MAC at the same site
         let mut ext_order: Vec<usize> = (0..self.design.extensions.len()).collect();
-        ext_order.sort_by_key(|&i| {
-            std::cmp::Reverse(self.design.extensions[i].signature.len())
-        });
+        ext_order.sort_by_key(|&i| std::cmp::Reverse(self.design.extensions[i].signature.len()));
 
         loop {
             let du = DefUse::new(program);
-            let Some((block, start, ext_idx)) = self.find_match(program, &du, &ext_order)
-            else {
+            let Some((block, start, ext_idx)) = self.find_match(program, &du, &ext_order) else {
                 return stats;
             };
             let ext = &self.design.extensions[ext_idx];
@@ -371,9 +368,7 @@ mod tests {
     #[test]
     fn fusable_signature_policy() {
         assert!(is_fusable_signature(&"multiply-add".parse().expect("ok")));
-        assert!(is_fusable_signature(
-            &"fmultiply-fadd".parse().expect("ok")
-        ));
+        assert!(is_fusable_signature(&"fmultiply-fadd".parse().expect("ok")));
         assert!(is_fusable_signature(&"add-shift-add".parse().expect("ok")));
         assert!(!is_fusable_signature(&"load-multiply".parse().expect("ok")));
         assert!(!is_fusable_signature(&"add-store".parse().expect("ok")));

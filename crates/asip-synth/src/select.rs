@@ -82,10 +82,7 @@ impl AsipDesigner {
                 .iter()
                 .filter(|e| {
                     !rewrite::is_fusable_signature(&e.signature)
-                        || crate::rewrite::Rewriter::count_static_matches(
-                            program,
-                            &e.signature,
-                        ) > 0
+                        || crate::rewrite::Rewriter::count_static_matches(program, &e.signature) > 0
                 })
                 .map(|e| {
                     (
@@ -113,8 +110,7 @@ impl AsipDesigner {
         let reports: Vec<SequenceReport> = programs
             .iter()
             .map(|(program, profile)| {
-                let graph =
-                    Optimizer::new(self.constraints.opt_level).run(program, profile);
+                let graph = Optimizer::new(self.constraints.opt_level).run(program, profile);
                 let coverage = CoverageAnalyzer::new(self.detector)
                     .with_floor(1.0)
                     .with_max_sequences(16)
@@ -178,11 +174,7 @@ impl AsipDesigner {
             })
             .collect();
         // benefit per area, descending
-        candidates.sort_by(|a, b| {
-            (b.0 / b.1)
-                .partial_cmp(&(a.0 / a.1))
-                .expect("finite costs")
-        });
+        candidates.sort_by(|a, b| (b.0 / b.1).partial_cmp(&(a.0 / a.1)).expect("finite costs"));
 
         let mut design = AsipDesign::default();
         for (benefit, area, sig) in candidates {

@@ -2,29 +2,34 @@
 //! run: how much chainable-sequence coverage does each optimization
 //! level expose per benchmark?
 //!
+//! The twelve benchmarks fan out over the session thread pool; each is
+//! compiled and simulated once, then scheduled at all three levels.
+//!
 //! ```text
 //! cargo run --release --example compare_levels
 //! ```
 
 use asip_explorer::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), ExplorerError> {
     println!(
         "{:10} {:>12} {:>12} {:>12}",
         "benchmark", "level 0", "level 1", "level 2"
     );
+    let session = Explorer::new();
     let analyzer = CoverageAnalyzer::new(DetectorConfig::default());
-    for bench in registry().iter() {
-        let program = bench.compile()?;
-        let profile = bench.profile(&program)?;
+    let rows = session.map_all(|bench| {
         let mut row = Vec::new();
         for level in OptLevel::all() {
-            let graph = Optimizer::new(level).run(&program, &profile);
-            row.push(analyzer.analyze(&graph).coverage());
+            let scheduled = session.schedule(bench.name, level)?;
+            row.push(analyzer.analyze(&scheduled.graph).coverage());
         }
+        Ok((bench.name, row))
+    })?;
+    for (name, row) in rows {
         println!(
             "{:10} {:>11.2}% {:>11.2}% {:>11.2}%",
-            bench.name, row[0], row[1], row[2]
+            name, row[0], row[1], row[2]
         );
     }
     println!();

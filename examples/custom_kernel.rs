@@ -1,6 +1,8 @@
 //! Bring your own kernel: analyze a DSP routine that is *not* part of
 //! the Table-1 suite, end to end, exactly as a user tuning an ASIP for
-//! their own workload would.
+//! their own workload would. The kernel registers into the session
+//! registry with a multi-array data specification and then flows
+//! through the same staged pipeline as the built-ins.
 //!
 //! The kernel is a complex-valued mixer/accumulator written in mini-C.
 //!
@@ -9,7 +11,6 @@
 //! ```
 
 use asip_explorer::prelude::*;
-use asip_explorer::sim::{DataGen, DataSet, Simulator};
 
 const SOURCE: &str = r#"
     // complex mixer: y[n] = x[n] * w[n] accumulated over a window,
@@ -34,47 +35,53 @@ const SOURCE: &str = r#"
     }
 "#;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // compile the custom source
-    let program = asip_explorer::frontend::compile("mixer", SOURCE)?;
+/// The mixer's four input arrays, drawn from one seeded stream.
+const MIXER_DATA: DataSpec = DataSpec::Multi {
+    specs: &[
+        DataSpec::Floats { name: "xre", n: 64 },
+        DataSpec::Floats { name: "xim", n: 64 },
+        DataSpec::Floats { name: "wre", n: 64 },
+        DataSpec::Floats { name: "wim", n: 64 },
+    ],
+};
+
+fn main() -> Result<(), ExplorerError> {
+    let mixer = Benchmark {
+        name: "mixer",
+        description: "complex mixer/accumulator (user kernel)",
+        paper_lines: 24,
+        data_description: "4 random arrays of 64 floating point values",
+        source: SOURCE,
+        data: MIXER_DATA,
+    };
+    let session = Explorer::new().with_benchmark(mixer).with_seed(7);
+
+    // the custom kernel flows through the same staged pipeline
+    let compiled = session.compile("mixer")?;
     println!(
         "mixer: {} instructions in {} blocks",
-        program.inst_count(),
-        program.blocks().len()
+        compiled.program.inst_count(),
+        compiled.program.blocks().len()
     );
 
-    // bind custom input data (seeded, reproducible)
-    let mut gen = DataGen::new(7);
-    let mut data = DataSet::new();
-    for name in ["xre", "xim", "wre", "wim"] {
-        data.bind_floats(name, gen.floats(64, -1.0, 1.0));
-    }
-
-    // profile
-    let exec = Simulator::new(&program).run(&data)?;
-    println!("dynamic ops: {}", exec.profile.total_ops());
-    println!(
-        "accumulator result: {:?}",
-        exec.array(&program, "acc").expect("output array")
-    );
+    let profiled = session.profile("mixer")?;
+    println!("dynamic ops: {}", profiled.profile.total_ops());
 
     // what should this user's ASIP chain?
     for level in [OptLevel::None, OptLevel::Pipelined] {
-        let graph = Optimizer::new(level).run(&program, &exec.profile);
-        let report = SequenceDetector::new(DetectorConfig::default()).analyze(&graph);
+        let analyzed = session.analyze("mixer", level)?;
         println!("\ntop sequences at {level}:");
-        for (sig, stats) in report.top(6) {
+        for (sig, stats) in analyzed.report.top(6) {
             println!("  {sig:30} {:6.2}%", stats.frequency);
         }
     }
 
     // and what does the closed loop deliver?
-    let designer = AsipDesigner::new(DesignConstraints::default());
-    let design = designer.design_for(&program, &exec.profile);
-    let eval = asip_explorer::synth::evaluate(&program, &design, &data)?;
+    let evaluated = session.evaluate("mixer")?;
     println!(
         "\nchosen extensions: {}",
-        design
+        evaluated
+            .design
             .extensions
             .iter()
             .map(|e| e.signature.to_string())
@@ -83,7 +90,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "speedup on a single-issue ASIP: {:.3}x ({} -> {} cycles)",
-        eval.speedup, eval.base_cycles, eval.asip_cycles
+        evaluated.evaluation.speedup,
+        evaluated.evaluation.base_cycles,
+        evaluated.evaluation.asip_cycles
     );
     Ok(())
 }

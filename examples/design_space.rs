@@ -3,20 +3,20 @@
 //!
 //! This is the workflow the paper's Figure 1 motivates: the designer
 //! asks "what is the best ASIP I can build for this suite at cost X?"
-//! and the compiler feedback answers.
+//! and the compiler feedback answers. The sweep runs on one session —
+//! `sewha` is compiled and simulated once, then every budget and clock
+//! point reuses the cached artifacts.
 //!
 //! ```text
 //! cargo run --release --example design_space
 //! ```
 
 use asip_explorer::prelude::*;
-use asip_explorer::synth::{evaluate, DesignConstraints, DesignReport};
+use asip_explorer::synth::DesignReport;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let benches = registry();
-    let bench = benches.find("sewha").expect("built in");
-    let program = bench.compile()?;
-    let profile = bench.profile(&program)?;
+fn main() -> Result<(), ExplorerError> {
+    let session = Explorer::new();
+    let detector = DetectorConfig::default();
 
     println!("design-space sweep for `sewha` (integer FIR):");
     println!(
@@ -24,13 +24,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "budget", "area used", "speedup"
     );
     for budget in [500.0, 1500.0, 3000.0, 6000.0, 12000.0] {
-        let designer = AsipDesigner::new(DesignConstraints {
+        let constraints = DesignConstraints {
             area_budget: budget,
             ..DesignConstraints::default()
-        });
-        let design = designer.design_for(&program, &profile);
-        let eval = evaluate(&program, &design, &bench.dataset())?;
-        let names: Vec<String> = design
+        };
+        let evaluated = session.evaluate_with("sewha", constraints, detector)?;
+        let names: Vec<String> = evaluated
+            .design
             .extensions
             .iter()
             .map(|e| e.signature.to_string())
@@ -38,32 +38,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "{:>10.0} {:>12.0} {:>8.3}x  {}",
             budget,
-            design.extension_area,
-            eval.speedup,
+            evaluated.design.extension_area,
+            evaluated.evaluation.speedup,
             names.join(", ")
         );
     }
 
     // full datapath report at the default budget
-    let design = AsipDesigner::new(DesignConstraints::default()).design_for(&program, &profile);
+    let designed = session.design("sewha")?;
     println!();
-    print!("{}", DesignReport::new(&design, DesignConstraints::default().clock_ns));
+    print!(
+        "{}",
+        DesignReport::new(&designed.design, DesignConstraints::default().clock_ns)
+    );
 
     println!();
     println!("clock sweep (tighter clocks exclude longer chains):");
     for clock in [10.0, 16.0, 24.0, 40.0] {
-        let designer = AsipDesigner::new(DesignConstraints {
+        let constraints = DesignConstraints {
             clock_ns: clock,
             ..DesignConstraints::default()
-        });
-        let design = designer.design_for(&program, &profile);
-        let eval = evaluate(&program, &design, &bench.dataset())?;
+        };
+        let evaluated = session.evaluate_with("sewha", constraints, detector)?;
         println!(
             "  {:>5.0} ns: {} extensions, speedup {:.3}x",
             clock,
-            design.len(),
-            eval.speedup
+            evaluated.design.len(),
+            evaluated.evaluation.speedup
         );
     }
+    println!();
+    println!(
+        "session cache: {} (one compile + one profile across the whole sweep)",
+        session.cache_stats()
+    );
     Ok(())
 }

@@ -1,4 +1,5 @@
-//! Quickstart: run the paper's full analysis pipeline on one benchmark.
+//! Quickstart: run the paper's full analysis pipeline on one benchmark
+//! through the `Explorer` session API.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -6,42 +7,56 @@
 //!
 //! Steps (paper Figure 2): compile to 3-address code, profile on the
 //! Table-1 input data, optimize at each level, and report the detected
-//! chainable sequences.
+//! chainable sequences. Every stage is served by the session and
+//! memoized, so repeated requests are cache hits.
 
 use asip_explorer::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. pick a benchmark and compile it (step 1: the front end)
-    let benches = registry();
-    let bench = benches.find("fir").expect("fir is built in");
-    let program = bench.compile()?;
+fn main() -> Result<(), ExplorerError> {
+    let session = Explorer::new();
+
+    // 1. compile a benchmark (step 1: the front end)
+    let compiled = session.compile("fir")?;
     println!(
         "fir: {} blocks, {} instructions of 3-address code",
-        program.blocks().len(),
-        program.inst_count()
+        compiled.program.blocks().len(),
+        compiled.program.inst_count()
     );
 
     // 2. profile it on the paper-specified data (step 2: simulator/profiler)
-    let profile = bench.profile(&program)?;
-    println!("profiled {} dynamic operations", profile.total_ops());
+    let profiled = session.profile("fir")?;
+    println!(
+        "profiled {} dynamic operations",
+        profiled.profile.total_ops()
+    );
 
     // 3+4. optimize and detect sequences at each level (steps 3 and 4)
     for level in OptLevel::all() {
-        let graph = Optimizer::new(level).run(&program, &profile);
-        let report = SequenceDetector::new(DetectorConfig::default()).analyze(&graph);
+        let analyzed = session.analyze("fir", level)?;
         println!("\n-- {level} --");
-        for (sig, stats) in report.top(5) {
-            println!("  {sig:30} {:6.2}%  ({} sites)", stats.frequency, stats.occurrences);
+        for (sig, stats) in analyzed.report.top(5) {
+            println!(
+                "  {sig:30} {:6.2}%  ({} sites)",
+                stats.frequency, stats.occurrences
+            );
         }
     }
 
     // 5. the coverage study the designer would read (paper Table 3)
-    let graph = Optimizer::new(OptLevel::Pipelined).run(&program, &profile);
-    let coverage = CoverageAnalyzer::new(DetectorConfig::default()).analyze(&graph);
+    let scheduled = session.schedule("fir", OptLevel::Pipelined)?;
+    let coverage = CoverageAnalyzer::new(DetectorConfig::default()).analyze(&scheduled.graph);
     println!("\ncoverage with a handful of chained instructions:");
     for e in &coverage.entries {
         println!("  {:30} {:6.2}%", e.signature.to_string(), e.frequency);
     }
     println!("  total: {:.2}%", coverage.coverage());
+
+    // 6. close the loop (paper Figure 1): design and measure an ASIP
+    let evaluated = session.evaluate("fir")?;
+    println!(
+        "\nfeedback-designed ASIP: {:.3}x speedup ({} chains fused)",
+        evaluated.evaluation.speedup, evaluated.evaluation.fused_chains
+    );
+    println!("session cache: {}", session.cache_stats());
     Ok(())
 }

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`: the derive macros accept the same
+//! attribute grammar but expand to nothing. The workspace derives
+//! `Serialize`/`Deserialize` on its public data types so downstream users
+//! can swap in the real `serde` without touching this code; nothing inside
+//! the workspace performs serialization, so no-op expansions are enough.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

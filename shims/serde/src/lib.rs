@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the two marker traits and the derive-macro names the workspace imports
+//! (`use serde::{Deserialize, Serialize}` + `#[derive(..)]`). The derives
+//! expand to nothing and the traits carry no methods: the workspace only
+//! *annotates* its types for downstream consumers and never serializes
+//! internally. Replacing this path dependency with crates.io `serde`
+//! (features = ["derive"]) restores full serialization support without
+//! any source change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize` (no methods; see crate docs).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (no methods; see crate docs).
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,233 @@
+//! Typed stage artifacts of the exploration pipeline.
+//!
+//! The paper's Figure 1/2 loop is a chain of stages — compile →
+//! profile → schedule (optimize) → analyze (detect) → design →
+//! evaluate. Each stage's output is a distinct artifact type carrying
+//! its benchmark identity and the parameters it was produced under, so
+//! downstream code cannot accidentally mix a level-0 schedule with a
+//! level-2 report. Payloads are shared through [`Arc`]: a cache hit in
+//! the [`Explorer`](crate::Explorer) session returns a handle to the
+//! *same* underlying data, never a re-computed copy.
+
+use asip_benchmarks::Benchmark;
+use asip_chains::SequenceReport;
+use asip_ir::Program;
+use asip_opt::{OptLevel, ScheduleGraph};
+use asip_sim::Profile;
+use asip_synth::{AsipDesign, Evaluation};
+use std::sync::Arc;
+
+/// The six stages of the exploration pipeline, in paper order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stage {
+    /// Mini-C source → validated 3-address code (Figure 2, step 1).
+    Compile,
+    /// Dynamic execution counts on the Table-1 input data (step 2).
+    Profile,
+    /// Optimized wide-instruction program graph (step 3).
+    Schedule,
+    /// Detected chainable-sequence report (step 4, the contribution).
+    Analyze,
+    /// Selected ISA extension set under constraints (Figure 1).
+    Design,
+    /// Measured speedup of the rewritten program (Figure 1, closed).
+    Evaluate,
+}
+
+impl Stage {
+    /// All stages in pipeline order.
+    pub fn all() -> [Stage; 6] {
+        [
+            Stage::Compile,
+            Stage::Profile,
+            Stage::Schedule,
+            Stage::Analyze,
+            Stage::Design,
+            Stage::Evaluate,
+        ]
+    }
+
+    /// Stable lowercase name (used in stats displays).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Compile => "compile",
+            Stage::Profile => "profile",
+            Stage::Schedule => "schedule",
+            Stage::Analyze => "analyze",
+            Stage::Design => "design",
+            Stage::Evaluate => "evaluate",
+        }
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Compile-stage artifact: validated 3-address code.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The benchmark this program was compiled from.
+    pub benchmark: Benchmark,
+    /// The validated IR (shared with every dependent artifact).
+    pub program: Arc<Program>,
+}
+
+/// Profile-stage artifact: dynamic execution counts.
+#[derive(Debug, Clone)]
+pub struct Profiled {
+    /// The benchmark that was simulated.
+    pub benchmark: Benchmark,
+    /// The data-generation seed the run used.
+    pub seed: u64,
+    /// Per-instruction dynamic counts.
+    pub profile: Arc<Profile>,
+}
+
+/// Schedule-stage artifact: the optimized program graph at one level.
+#[derive(Debug, Clone)]
+pub struct Scheduled {
+    /// The benchmark that was scheduled.
+    pub benchmark: Benchmark,
+    /// The optimization level the graph was produced at.
+    pub level: OptLevel,
+    /// The wide-instruction program graph.
+    pub graph: Arc<ScheduleGraph>,
+}
+
+/// Analyze-stage artifact: the detected-sequence report at one level.
+#[derive(Debug, Clone)]
+pub struct Analyzed {
+    /// The benchmark that was analyzed.
+    pub benchmark: Benchmark,
+    /// The optimization level the analysis ran over.
+    pub level: OptLevel,
+    /// Sequence signatures with dynamic frequencies.
+    pub report: Arc<SequenceReport>,
+}
+
+/// Design-stage artifact: the selected ISA extension set.
+#[derive(Debug, Clone)]
+pub struct Designed {
+    /// The benchmark the design was tuned for.
+    pub benchmark: Benchmark,
+    /// The chained-instruction extensions chosen under constraints.
+    pub design: Arc<AsipDesign>,
+}
+
+/// Evaluate-stage artifact: the measured effect of the design.
+#[derive(Debug, Clone)]
+pub struct Evaluated {
+    /// The benchmark that was measured.
+    pub benchmark: Benchmark,
+    /// The design that was applied.
+    pub design: Arc<AsipDesign>,
+    /// Before/after cycle counts and speedup.
+    pub evaluation: Evaluation,
+}
+
+/// A stage result at the API boundary: any artifact, tagged by stage.
+///
+/// Stage methods on [`Explorer`](crate::Explorer) return the concrete
+/// artifact types above; this enum is for callers that treat the
+/// pipeline uniformly (progress reporting, artifact stores, servers).
+#[derive(Debug, Clone)]
+pub enum Artifact {
+    /// Compile-stage result.
+    Compiled(Compiled),
+    /// Profile-stage result.
+    Profiled(Profiled),
+    /// Schedule-stage result.
+    Scheduled(Scheduled),
+    /// Analyze-stage result.
+    Analyzed(Analyzed),
+    /// Design-stage result.
+    Designed(Designed),
+    /// Evaluate-stage result.
+    Evaluated(Evaluated),
+}
+
+impl Artifact {
+    /// Which stage produced this artifact.
+    pub fn stage(&self) -> Stage {
+        match self {
+            Artifact::Compiled(_) => Stage::Compile,
+            Artifact::Profiled(_) => Stage::Profile,
+            Artifact::Scheduled(_) => Stage::Schedule,
+            Artifact::Analyzed(_) => Stage::Analyze,
+            Artifact::Designed(_) => Stage::Design,
+            Artifact::Evaluated(_) => Stage::Evaluate,
+        }
+    }
+
+    /// The benchmark the artifact belongs to.
+    pub fn benchmark(&self) -> &Benchmark {
+        match self {
+            Artifact::Compiled(a) => &a.benchmark,
+            Artifact::Profiled(a) => &a.benchmark,
+            Artifact::Scheduled(a) => &a.benchmark,
+            Artifact::Analyzed(a) => &a.benchmark,
+            Artifact::Designed(a) => &a.benchmark,
+            Artifact::Evaluated(a) => &a.benchmark,
+        }
+    }
+}
+
+/// The complete result of exploring one benchmark: every stage artifact
+/// the session's configuration asked for.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// The explored benchmark.
+    pub benchmark: Benchmark,
+    /// Compile-stage artifact.
+    pub compiled: Compiled,
+    /// Profile-stage artifact.
+    pub profiled: Profiled,
+    /// One (schedule, analysis) pair per configured level, in the
+    /// session's level order.
+    pub levels: Vec<(Scheduled, Analyzed)>,
+    /// Design-stage artifact.
+    pub designed: Designed,
+    /// Evaluate-stage artifact.
+    pub evaluated: Evaluated,
+}
+
+impl Exploration {
+    /// The schedule graph produced at `level`, if that level was
+    /// configured on the session.
+    pub fn graph_at(&self, level: OptLevel) -> Option<&ScheduleGraph> {
+        self.levels
+            .iter()
+            .find(|(s, _)| s.level == level)
+            .map(|(s, _)| s.graph.as_ref())
+    }
+
+    /// The sequence report produced at `level`, if configured.
+    pub fn report_at(&self, level: OptLevel) -> Option<&SequenceReport> {
+        self.levels
+            .iter()
+            .find(|(_, a)| a.level == level)
+            .map(|(_, a)| a.report.as_ref())
+    }
+
+    /// The measured speedup of the selected design.
+    pub fn speedup(&self) -> f64 {
+        self.evaluated.evaluation.speedup
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_enumerate_in_pipeline_order() {
+        let all = Stage::all();
+        assert_eq!(all.len(), 6);
+        assert!(all.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(all[0].to_string(), "compile");
+        assert_eq!(all[5].to_string(), "evaluate");
+    }
+}

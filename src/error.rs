@@ -1,0 +1,119 @@
+//! The unified error type of the [`Explorer`](crate::Explorer) session.
+//!
+//! Every stage of the exploration pipeline has its own error domain —
+//! the front end ([`FrontendError`]), IR validation ([`IrError`]), the
+//! profiling simulator ([`SimError`]) and the design-evaluation rerun
+//! (also simulator errors, but in a different stage of Figure 1). Before
+//! the session API, callers threaded `Box<dyn Error>` through every
+//! driver loop; [`ExplorerError`] replaces that with one inspectable
+//! enum and `From` conversions from each stage error.
+
+use asip_frontend::FrontendError;
+use asip_ir::IrError;
+use asip_sim::SimError;
+use std::fmt;
+
+/// Any failure raised by an [`Explorer`](crate::Explorer) session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExplorerError {
+    /// The requested benchmark is not in the session's registry.
+    UnknownBenchmark {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// The compile stage rejected the source (paper step 1).
+    Frontend(FrontendError),
+    /// IR construction or validation failed outside the front end.
+    Ir(IrError),
+    /// The profiling simulation failed (paper step 2).
+    Sim(SimError),
+    /// The design-evaluation rerun failed (paper Figure 1: measuring the
+    /// rewritten program on the proposed ASIP).
+    Eval(SimError),
+}
+
+impl fmt::Display for ExplorerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExplorerError::UnknownBenchmark { name } => {
+                write!(
+                    f,
+                    "unknown benchmark `{name}` (not in the session registry)"
+                )
+            }
+            ExplorerError::Frontend(e) => write!(f, "compile stage failed: {e}"),
+            ExplorerError::Ir(e) => write!(f, "IR validation failed: {e}"),
+            ExplorerError::Sim(e) => write!(f, "profiling simulation failed: {e}"),
+            ExplorerError::Eval(e) => write!(f, "design evaluation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExplorerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExplorerError::UnknownBenchmark { .. } => None,
+            ExplorerError::Frontend(e) => Some(e),
+            ExplorerError::Ir(e) => Some(e),
+            ExplorerError::Sim(e) | ExplorerError::Eval(e) => Some(e),
+        }
+    }
+}
+
+impl From<FrontendError> for ExplorerError {
+    fn from(e: FrontendError) -> Self {
+        ExplorerError::Frontend(e)
+    }
+}
+
+impl From<IrError> for ExplorerError {
+    fn from(e: IrError) -> Self {
+        ExplorerError::Ir(e)
+    }
+}
+
+impl From<SimError> for ExplorerError {
+    fn from(e: SimError) -> Self {
+        ExplorerError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asip_frontend::error::Pos;
+
+    #[test]
+    fn conversions_preserve_stage_identity() {
+        let fe = FrontendError::Lex {
+            pos: Pos { line: 1, col: 2 },
+            detail: "bad char".into(),
+        };
+        assert!(matches!(
+            ExplorerError::from(fe),
+            ExplorerError::Frontend(_)
+        ));
+        assert!(matches!(
+            ExplorerError::from(IrError::EmptyProgram),
+            ExplorerError::Ir(_)
+        ));
+        let se = SimError::UnboundInput { name: "x".into() };
+        assert!(matches!(ExplorerError::from(se), ExplorerError::Sim(_)));
+    }
+
+    #[test]
+    fn display_names_the_stage() {
+        let e = ExplorerError::UnknownBenchmark {
+            name: "nope".into(),
+        };
+        assert!(e.to_string().contains("`nope`"));
+        let e = ExplorerError::Eval(SimError::StepLimit { limit: 7 });
+        assert!(e.to_string().contains("design evaluation"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync>() {}
+        assert_bounds::<ExplorerError>();
+    }
+}

@@ -4,7 +4,15 @@
 //! *"Incorporating Compiler Feedback Into the Design of ASIPs"*
 //! (Onion, Nicolau, Dutt — DATE 1995).
 //!
-//! The workspace is organised as a facade over seven member crates:
+//! The public API is the [`Explorer`] session: a builder-configured
+//! facade over the paper's Figure 1/2 pipeline with typed stage
+//! artifacts ([`Compiled`] → [`Profiled`] → [`Scheduled`] →
+//! [`Analyzed`] → [`Designed`] → [`Evaluated`]), per-stage memoization
+//! keyed by `(benchmark, configuration)`, a thread-pooled
+//! [`Explorer::explore_all`] over the whole Table-1 registry, and one
+//! unified [`ExplorerError`].
+//!
+//! The workspace is organised as this facade over seven member crates:
 //!
 //! - [`ir`] — the three-address intermediate representation and CFG.
 //! - [`frontend`] — the mini-C compiler front end (paper step 1).
@@ -22,24 +30,30 @@
 //! ```
 //! use asip_explorer::prelude::*;
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // 1. compile a benchmark to 3-address code
-//! let benches = asip_explorer::benchmarks::registry();
-//! let bench = benches.find("fir").expect("fir is a built-in benchmark");
-//! let program = bench.compile()?;
+//! # fn main() -> Result<(), ExplorerError> {
+//! // one session for the whole exploration; every stage is memoized
+//! let session = Explorer::new()
+//!     .with_levels([OptLevel::None, OptLevel::Pipelined])
+//!     .with_detector(DetectorConfig::default())
+//!     .with_constraints(DesignConstraints::default());
 //!
-//! // 2. profile it on the paper-specified input data
-//! let profile = bench.profile(&program)?;
+//! // staged access: compile → profile → analyze, each cached
+//! let compiled = session.compile("fir")?;
+//! println!("fir: {} instructions", compiled.program.inst_count());
 //!
-//! // 3. optimize at level 1 (loop pipelining + percolation scheduling)
-//! let graph = Optimizer::new(OptLevel::Pipelined).run(&program, &profile);
+//! let analyzed = session.analyze("fir", OptLevel::Pipelined)?;
+//! assert!(analyzed.report.top(1).next().is_some());
 //!
-//! // 4. detect chainable sequences
-//! let report = SequenceDetector::new(DetectorConfig::default()).analyze(&graph);
-//! assert!(report.top(1).next().is_some());
+//! // or the whole Figure-1 loop in one call (reusing the cache)
+//! let exploration = session.explore("fir")?;
+//! assert!(exploration.speedup() >= 1.0);
+//! assert!(session.cache_stats().compile.hits > 0);
 //! # Ok(())
 //! # }
 //! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use asip_benchmarks as benchmarks;
 pub use asip_chains as chains;
@@ -49,14 +63,29 @@ pub use asip_opt as opt;
 pub use asip_sim as sim;
 pub use asip_synth as synth;
 
+pub mod artifact;
+pub mod error;
+pub mod session;
+
+pub use artifact::{
+    Analyzed, Artifact, Compiled, Designed, Evaluated, Exploration, Profiled, Scheduled, Stage,
+};
+pub use error::ExplorerError;
+pub use session::{CacheStats, Explorer, StageStats};
+
 /// Convenience re-exports for the common exploration flow.
 pub mod prelude {
-    pub use asip_benchmarks::{registry, Benchmark};
+    pub use crate::artifact::{
+        Analyzed, Artifact, Compiled, Designed, Evaluated, Exploration, Profiled, Scheduled, Stage,
+    };
+    pub use crate::error::ExplorerError;
+    pub use crate::session::{CacheStats, Explorer, StageStats};
+    pub use asip_benchmarks::{registry, Benchmark, DataSpec};
     pub use asip_chains::{
         CoverageAnalyzer, DetectorConfig, SequenceDetector, SequenceReport, Signature,
     };
     pub use asip_ir::{OpClass, Program};
-    pub use asip_opt::{OptLevel, Optimizer, ScheduleGraph};
+    pub use asip_opt::{OptConfig, OptLevel, Optimizer, ScheduleGraph};
     pub use asip_sim::{Profile, Simulator};
     pub use asip_synth::{AsipDesigner, DesignConstraints};
 }

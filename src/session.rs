@@ -1,0 +1,726 @@
+//! The [`Explorer`] session: staged, cached, parallel design-space
+//! exploration.
+//!
+//! An `Explorer` is a long-lived session object in the style of a
+//! compiler driver: *permanent* state (the benchmark registry and the
+//! stage configurations, fixed by the builder) and *ephemeral* state
+//! (per-stage artifact caches plus hit/miss counters, dropped by
+//! [`Explorer::reset`]). Every stage method is memoized on
+//! `(benchmark, stage parameters)`, so a sweep that revisits a
+//! benchmark under many detector or optimizer configurations compiles
+//! and simulates it exactly once — the expensive early stages are
+//! shared across the whole sweep, and [`Explorer::cache_stats`] proves
+//! it.
+//!
+//! ```
+//! use asip_explorer::Explorer;
+//!
+//! # fn main() -> Result<(), asip_explorer::ExplorerError> {
+//! let session = Explorer::new();
+//! let a = session.analyze("sewha", asip_explorer::opt::OptLevel::Pipelined)?;
+//! assert!(!a.report.is_empty());
+//! // a second request is served from cache — same Arc, no recompute
+//! let b = session.analyze("sewha", asip_explorer::opt::OptLevel::Pipelined)?;
+//! assert!(std::sync::Arc::ptr_eq(&a.report, &b.report));
+//! assert_eq!(session.cache_stats().analyze.hits, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::artifact::{
+    Analyzed, Compiled, Designed, Evaluated, Exploration, Profiled, Scheduled, Stage,
+};
+use crate::error::ExplorerError;
+use asip_benchmarks::{Benchmark, Registry, DEFAULT_SEED};
+use asip_chains::{DetectorConfig, SequenceDetector, SequenceReport};
+use asip_ir::Program;
+use asip_opt::{OptConfig, OptLevel, Optimizer, ScheduleGraph};
+use asip_sim::{Profile, Simulator};
+use asip_synth::{AsipDesign, AsipDesigner, DesignConstraints, Evaluation};
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Hit/miss counters for one stage cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageStats {
+    /// Requests served from the session cache.
+    pub hits: u64,
+    /// Requests that ran the stage.
+    pub misses: u64,
+}
+
+/// A snapshot of the session's per-stage cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Compile-stage counters.
+    pub compile: StageStats,
+    /// Profile-stage counters.
+    pub profile: StageStats,
+    /// Schedule-stage counters.
+    pub schedule: StageStats,
+    /// Analyze-stage counters.
+    pub analyze: StageStats,
+    /// Design-stage counters.
+    pub design: StageStats,
+    /// Evaluate-stage counters.
+    pub evaluate: StageStats,
+}
+
+impl CacheStats {
+    /// Counters for one stage.
+    pub fn stage(&self, stage: Stage) -> StageStats {
+        match stage {
+            Stage::Compile => self.compile,
+            Stage::Profile => self.profile,
+            Stage::Schedule => self.schedule,
+            Stage::Analyze => self.analyze,
+            Stage::Design => self.design,
+            Stage::Evaluate => self.evaluate,
+        }
+    }
+
+    /// Total cache hits across stages.
+    pub fn total_hits(&self) -> u64 {
+        Stage::all().iter().map(|s| self.stage(*s).hits).sum()
+    }
+
+    /// Total stage executions across stages.
+    pub fn total_misses(&self) -> u64 {
+        Stage::all().iter().map(|s| self.stage(*s).misses).sum()
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, stage) in Stage::all().into_iter().enumerate() {
+            let st = self.stage(stage);
+            if i > 0 {
+                write!(f, "  ")?;
+            }
+            write!(f, "{stage}: {}h/{}m", st.hits, st.misses)?;
+        }
+        Ok(())
+    }
+}
+
+// -- cache keys --------------------------------------------------------
+
+/// Hashable identity of an [`OptConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct OptKey {
+    unroll: usize,
+    merge_blocks: bool,
+    width: usize,
+    hoist_passes: usize,
+    if_convert_max_ops: usize,
+}
+
+impl From<OptConfig> for OptKey {
+    fn from(c: OptConfig) -> Self {
+        OptKey {
+            unroll: c.unroll,
+            merge_blocks: c.merge_blocks,
+            width: c.width,
+            hoist_passes: c.hoist_passes,
+            if_convert_max_ops: c.if_convert_max_ops,
+        }
+    }
+}
+
+/// Hashable identity of a [`DetectorConfig`] (the chainable-class
+/// policy hashes by function address).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct DetKey {
+    min_len: usize,
+    max_len: usize,
+    window: usize,
+    prune_floor_bits: u64,
+    chainable: usize,
+}
+
+impl From<DetectorConfig> for DetKey {
+    fn from(c: DetectorConfig) -> Self {
+        DetKey {
+            min_len: c.min_len,
+            max_len: c.max_len,
+            window: c.window,
+            prune_floor_bits: c.prune_floor.to_bits(),
+            chainable: c.chainable as usize,
+        }
+    }
+}
+
+/// Hashable identity of [`DesignConstraints`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ConsKey {
+    area_bits: u64,
+    clock_bits: u64,
+    max_extensions: usize,
+    opt_level: OptLevel,
+}
+
+impl From<DesignConstraints> for ConsKey {
+    fn from(c: DesignConstraints) -> Self {
+        ConsKey {
+            area_bits: c.area_budget.to_bits(),
+            clock_bits: c.clock_ns.to_bits(),
+            max_extensions: c.max_extensions,
+            opt_level: c.opt_level,
+        }
+    }
+}
+
+// -- the session -------------------------------------------------------
+
+type Cache<K, V> = Mutex<HashMap<K, Arc<V>>>;
+
+#[derive(Debug, Default)]
+struct Caches {
+    compile: Cache<String, Program>,
+    profile: Cache<(String, u64), Profile>,
+    schedule: Cache<(String, u64, OptLevel, OptKey), ScheduleGraph>,
+    analyze: Cache<(String, u64, OptLevel, OptKey, DetKey), SequenceReport>,
+    design: Cache<(String, u64, ConsKey, DetKey), AsipDesign>,
+    evaluate: Cache<(String, u64, ConsKey, DetKey), Evaluation>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    hits: [AtomicU64; 6],
+    misses: [AtomicU64; 6],
+}
+
+/// A staged, cached, parallel design-space exploration session over the
+/// benchmark registry. See the [module docs](self) for the state model
+/// and a usage example.
+#[derive(Debug)]
+pub struct Explorer {
+    registry: Registry,
+    levels: Vec<OptLevel>,
+    detector: DetectorConfig,
+    opt_config: OptConfig,
+    constraints: DesignConstraints,
+    seed: u64,
+    threads: usize,
+    caches: Caches,
+    counters: Counters,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Explorer {
+            registry: asip_benchmarks::registry(),
+            levels: OptLevel::all().to_vec(),
+            detector: DetectorConfig::default(),
+            opt_config: OptConfig::default(),
+            constraints: DesignConstraints::default(),
+            seed: DEFAULT_SEED,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            caches: Caches::default(),
+            counters: Counters::default(),
+        }
+    }
+}
+
+impl Explorer {
+    /// A session over the Table-1 registry with default configuration:
+    /// all three optimization levels, default detector and constraints,
+    /// the paper seed, and one worker per available core.
+    pub fn new() -> Self {
+        Explorer::default()
+    }
+
+    // -- builder (permanent state) -------------------------------------
+
+    /// Replace the benchmark registry. Drops any cached artifacts, since
+    /// a name may now resolve to a different program.
+    pub fn with_registry(mut self, registry: Registry) -> Self {
+        self.registry = registry;
+        self.reset();
+        self
+    }
+
+    /// Add one benchmark (e.g. a user kernel) to the session registry.
+    /// A benchmark with the same name replaces the existing entry, and
+    /// any cached artifacts are dropped so the name cannot serve stale
+    /// results.
+    pub fn with_benchmark(mut self, bench: Benchmark) -> Self {
+        self.registry.push(bench);
+        self.reset();
+        self
+    }
+
+    /// Restrict which optimization levels [`Explorer::explore`] visits.
+    pub fn with_levels(mut self, levels: impl IntoIterator<Item = OptLevel>) -> Self {
+        self.levels = levels.into_iter().collect();
+        self
+    }
+
+    /// Set the default sequence-detector configuration.
+    pub fn with_detector(mut self, detector: DetectorConfig) -> Self {
+        self.detector = detector;
+        self
+    }
+
+    /// Set the default optimizer configuration.
+    pub fn with_opt_config(mut self, config: OptConfig) -> Self {
+        self.opt_config = config;
+        self
+    }
+
+    /// Set the default hardware constraints for the design stage.
+    pub fn with_constraints(mut self, constraints: DesignConstraints) -> Self {
+        self.constraints = constraints;
+        self
+    }
+
+    /// Set the input-data seed (default: the paper seed, 1995).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the worker-thread count for [`Explorer::explore_all`].
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    // -- accessors -----------------------------------------------------
+
+    /// The session's benchmark registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The levels [`Explorer::explore`] visits.
+    pub fn levels(&self) -> &[OptLevel] {
+        &self.levels
+    }
+
+    /// The session detector configuration.
+    pub fn detector(&self) -> DetectorConfig {
+        self.detector
+    }
+
+    /// The session optimizer configuration.
+    pub fn opt_config(&self) -> OptConfig {
+        self.opt_config
+    }
+
+    /// The session design constraints.
+    pub fn constraints(&self) -> DesignConstraints {
+        self.constraints
+    }
+
+    /// The session input-data seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    // -- ephemeral-state management ------------------------------------
+
+    /// Drop every cached artifact and zero the counters. Configuration
+    /// (registry, levels, stage parameters) is permanent and survives.
+    pub fn reset(&self) {
+        lock(&self.caches.compile).clear();
+        lock(&self.caches.profile).clear();
+        lock(&self.caches.schedule).clear();
+        lock(&self.caches.analyze).clear();
+        lock(&self.caches.design).clear();
+        lock(&self.caches.evaluate).clear();
+        for i in 0..6 {
+            self.counters.hits[i].store(0, Ordering::Relaxed);
+            self.counters.misses[i].store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot the per-stage cache hit/miss counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        let get = |s: Stage| StageStats {
+            hits: self.counters.hits[s as usize].load(Ordering::Relaxed),
+            misses: self.counters.misses[s as usize].load(Ordering::Relaxed),
+        };
+        CacheStats {
+            compile: get(Stage::Compile),
+            profile: get(Stage::Profile),
+            schedule: get(Stage::Schedule),
+            analyze: get(Stage::Analyze),
+            design: get(Stage::Design),
+            evaluate: get(Stage::Evaluate),
+        }
+    }
+
+    // -- stage methods -------------------------------------------------
+
+    /// Resolve a benchmark by name.
+    ///
+    /// # Errors
+    ///
+    /// [`ExplorerError::UnknownBenchmark`] if `name` is not registered.
+    pub fn benchmark(&self, name: &str) -> Result<Benchmark, ExplorerError> {
+        self.registry
+            .find(name)
+            .copied()
+            .ok_or_else(|| ExplorerError::UnknownBenchmark { name: name.into() })
+    }
+
+    /// Compile stage: mini-C source → validated 3-address code.
+    ///
+    /// # Errors
+    ///
+    /// Unknown benchmarks and front-end failures.
+    pub fn compile(&self, name: &str) -> Result<Compiled, ExplorerError> {
+        let benchmark = self.benchmark(name)?;
+        let program = self.cached(
+            Stage::Compile,
+            &self.caches.compile,
+            name.to_string(),
+            || Ok(benchmark.compile()?),
+        )?;
+        Ok(Compiled { benchmark, program })
+    }
+
+    /// Profile stage: run the benchmark on its seeded Table-1 input
+    /// data and collect per-instruction dynamic counts.
+    ///
+    /// # Errors
+    ///
+    /// Compile-stage errors plus simulator failures.
+    pub fn profile(&self, name: &str) -> Result<Profiled, ExplorerError> {
+        let compiled = self.compile(name)?;
+        let seed = self.seed;
+        let profile = self.cached(
+            Stage::Profile,
+            &self.caches.profile,
+            (name.to_string(), seed),
+            || {
+                let data = compiled.benchmark.dataset_with_seed(seed);
+                Ok(Simulator::new(&compiled.program).run(&data)?.profile)
+            },
+        )?;
+        Ok(Profiled {
+            benchmark: compiled.benchmark,
+            seed,
+            profile,
+        })
+    }
+
+    /// Schedule stage at `level` with the session optimizer config.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile/profile-stage errors.
+    pub fn schedule(&self, name: &str, level: OptLevel) -> Result<Scheduled, ExplorerError> {
+        self.schedule_with(name, level, self.opt_config)
+    }
+
+    /// Schedule stage with an explicit optimizer config (sweeps share
+    /// the cached compile and profile artifacts across configs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile/profile-stage errors.
+    pub fn schedule_with(
+        &self,
+        name: &str,
+        level: OptLevel,
+        config: OptConfig,
+    ) -> Result<Scheduled, ExplorerError> {
+        let profiled = self.profile(name)?;
+        let compiled = self.compile(name)?;
+        let key = (name.to_string(), self.seed, level, OptKey::from(config));
+        let graph = self.cached(Stage::Schedule, &self.caches.schedule, key, || {
+            Ok(Optimizer::new(level)
+                .with_config(config)
+                .run(&compiled.program, &profiled.profile))
+        })?;
+        Ok(Scheduled {
+            benchmark: compiled.benchmark,
+            level,
+            graph,
+        })
+    }
+
+    /// Analyze stage at `level` with the session detector config.
+    ///
+    /// # Errors
+    ///
+    /// Propagates earlier-stage errors.
+    pub fn analyze(&self, name: &str, level: OptLevel) -> Result<Analyzed, ExplorerError> {
+        self.analyze_with(name, level, self.opt_config, self.detector)
+    }
+
+    /// Analyze stage with explicit optimizer and detector configs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates earlier-stage errors.
+    pub fn analyze_with(
+        &self,
+        name: &str,
+        level: OptLevel,
+        opt: OptConfig,
+        detector: DetectorConfig,
+    ) -> Result<Analyzed, ExplorerError> {
+        let scheduled = self.schedule_with(name, level, opt)?;
+        let key = (
+            name.to_string(),
+            self.seed,
+            level,
+            OptKey::from(opt),
+            DetKey::from(detector),
+        );
+        let report = self.cached(Stage::Analyze, &self.caches.analyze, key, || {
+            Ok(SequenceDetector::new(detector).analyze(&scheduled.graph))
+        })?;
+        Ok(Analyzed {
+            benchmark: scheduled.benchmark,
+            level,
+            report,
+        })
+    }
+
+    /// Design stage: run the feedback loop and select ISA extensions
+    /// under the session constraints.
+    ///
+    /// # Errors
+    ///
+    /// Propagates earlier-stage errors.
+    pub fn design(&self, name: &str) -> Result<Designed, ExplorerError> {
+        self.design_with(name, self.constraints, self.detector)
+    }
+
+    /// Design stage with explicit constraints and detector config.
+    ///
+    /// # Errors
+    ///
+    /// Propagates earlier-stage errors.
+    pub fn design_with(
+        &self,
+        name: &str,
+        constraints: DesignConstraints,
+        detector: DetectorConfig,
+    ) -> Result<Designed, ExplorerError> {
+        let profiled = self.profile(name)?;
+        let compiled = self.compile(name)?;
+        let key = (
+            name.to_string(),
+            self.seed,
+            ConsKey::from(constraints),
+            DetKey::from(detector),
+        );
+        let design = self.cached(Stage::Design, &self.caches.design, key, || {
+            Ok(AsipDesigner::new(constraints)
+                .with_detector(detector)
+                .design_for(&compiled.program, &profiled.profile))
+        })?;
+        Ok(Designed {
+            benchmark: compiled.benchmark,
+            design,
+        })
+    }
+
+    /// Evaluate stage: rewrite the program with the selected design and
+    /// measure the cycle-count effect on the profiling simulator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates earlier-stage errors; simulator failures during the
+    /// measurement rerun surface as [`ExplorerError::Eval`].
+    pub fn evaluate(&self, name: &str) -> Result<Evaluated, ExplorerError> {
+        self.evaluate_with(name, self.constraints, self.detector)
+    }
+
+    /// Evaluate stage with explicit constraints and detector config
+    /// (budget/clock sweeps share every earlier stage).
+    ///
+    /// # Errors
+    ///
+    /// As [`Explorer::evaluate`].
+    pub fn evaluate_with(
+        &self,
+        name: &str,
+        constraints: DesignConstraints,
+        detector: DetectorConfig,
+    ) -> Result<Evaluated, ExplorerError> {
+        let designed = self.design_with(name, constraints, detector)?;
+        let compiled = self.compile(name)?;
+        let key = (
+            name.to_string(),
+            self.seed,
+            ConsKey::from(constraints),
+            DetKey::from(detector),
+        );
+        let evaluation = self.cached(Stage::Evaluate, &self.caches.evaluate, key, || {
+            let data = compiled.benchmark.dataset_with_seed(self.seed);
+            asip_synth::evaluate(&compiled.program, &designed.design, &data)
+                .map_err(ExplorerError::Eval)
+        })?;
+        Ok(Evaluated {
+            benchmark: compiled.benchmark,
+            design: designed.design,
+            evaluation: (*evaluation).clone(),
+        })
+    }
+
+    /// Run the complete pipeline for one benchmark: every configured
+    /// level's schedule and analysis, plus the design and its measured
+    /// evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first stage error encountered.
+    pub fn explore(&self, name: &str) -> Result<Exploration, ExplorerError> {
+        let compiled = self.compile(name)?;
+        let profiled = self.profile(name)?;
+        let mut levels = Vec::with_capacity(self.levels.len());
+        for &level in &self.levels {
+            let scheduled = self.schedule(name, level)?;
+            let analyzed = self.analyze(name, level)?;
+            levels.push((scheduled, analyzed));
+        }
+        let designed = self.design(name)?;
+        let evaluated = self.evaluate(name)?;
+        Ok(Exploration {
+            benchmark: compiled.benchmark,
+            compiled,
+            profiled,
+            levels,
+            designed,
+            evaluated,
+        })
+    }
+
+    /// Explore every benchmark in the registry, fanning the work out
+    /// over the session's worker threads. Results come back in registry
+    /// order regardless of scheduling.
+    ///
+    /// # Errors
+    ///
+    /// The first stage error encountered (work in flight completes).
+    pub fn explore_all(&self) -> Result<Vec<Exploration>, ExplorerError> {
+        self.map_all(|b| self.explore(b.name))
+    }
+
+    /// Run `f` for every registry benchmark on the session thread pool,
+    /// preserving registry order. `f` typically composes stage methods,
+    /// so all workers share the session caches.
+    ///
+    /// # Errors
+    ///
+    /// The first error any worker produced (in registry order).
+    pub fn map_all<T, F>(&self, f: F) -> Result<Vec<T>, ExplorerError>
+    where
+        T: Send,
+        F: Fn(&Benchmark) -> Result<T, ExplorerError> + Sync,
+    {
+        let benches: Vec<Benchmark> = self.registry.iter().copied().collect();
+        self.map_slice(&benches, f)
+    }
+
+    /// The worker pool behind [`Explorer::map_all`]: a shared atomic
+    /// work index over `items`, one result slot per item.
+    fn map_slice<I, T, F>(&self, items: &[I], f: F) -> Result<Vec<T>, ExplorerError>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(&I) -> Result<T, ExplorerError> + Sync,
+    {
+        let slots: Vec<Mutex<Option<Result<T, ExplorerError>>>> =
+            items.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(items.len().max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let r = f(&items[i]);
+                    *lock(&slots[i]) = Some(r);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                lock(&slot)
+                    .take()
+                    .expect("every slot is filled before scope exit")
+            })
+            .collect()
+    }
+
+    // -- cache plumbing ------------------------------------------------
+
+    fn cached<K, V, F>(
+        &self,
+        stage: Stage,
+        cache: &Cache<K, V>,
+        key: K,
+        compute: F,
+    ) -> Result<Arc<V>, ExplorerError>
+    where
+        K: Eq + Hash,
+        F: FnOnce() -> Result<V, ExplorerError>,
+    {
+        if let Some(v) = lock(cache).get(&key) {
+            self.counters.hits[stage as usize].fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(v));
+        }
+        // Compute outside the lock so independent keys proceed in
+        // parallel; a race on the same key keeps the first insertion
+        // (so repeated lookups stay pointer-identical).
+        self.counters.misses[stage as usize].fetch_add(1, Ordering::Relaxed);
+        let value = Arc::new(compute()?);
+        let mut map = lock(cache);
+        Ok(Arc::clone(map.entry(key).or_insert(value)))
+    }
+}
+
+/// Lock a session mutex, recovering from poisoning: cache maps are
+/// only mutated by whole-entry insertion, so a panicking worker cannot
+/// leave an entry half-written.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_indices_match_counter_layout() {
+        // `Stage as usize` indexes the counter arrays; pin the layout.
+        for (i, s) in Stage::all().into_iter().enumerate() {
+            assert_eq!(s as usize, i);
+        }
+    }
+
+    #[test]
+    fn unknown_benchmark_is_an_error_not_a_panic() {
+        let session = Explorer::new();
+        let err = session.compile("not-a-benchmark").unwrap_err();
+        assert!(matches!(err, ExplorerError::UnknownBenchmark { .. }));
+    }
+
+    #[test]
+    fn reset_clears_ephemeral_state_only() {
+        let session = Explorer::new().with_levels([OptLevel::Pipelined]);
+        session.profile("sewha").expect("profiles");
+        assert_eq!(session.cache_stats().compile.misses, 1);
+        session.reset();
+        assert_eq!(session.cache_stats(), CacheStats::default());
+        // permanent state survives: same configuration, fresh caches
+        assert_eq!(session.levels(), &[OptLevel::Pipelined]);
+        session.profile("sewha").expect("profiles again");
+        assert_eq!(session.cache_stats().profile.misses, 1);
+    }
+}

@@ -60,9 +60,7 @@ fn mac_is_prominent_at_every_level() {
     // processors) ranks near the top everywhere
     for level in OptLevel::all() {
         let report = combined_at(level);
-        let in_top5 = report
-            .top(5)
-            .any(|(s, _)| s.to_string() == "multiply-add");
+        let in_top5 = report.top(5).any(|(s, _)| s.to_string() == "multiply-add");
         assert!(in_top5, "multiply-add missing from top-5 at {level}");
     }
 }
@@ -124,8 +122,7 @@ fn figure1_design_loop_produces_speedup() {
         let bench = benches.find(name).expect("built-in");
         let program = bench.compile().expect("compiles");
         let profile = bench.profile(&program).expect("simulates");
-        let design = AsipDesigner::new(DesignConstraints::default())
-            .design_for(&program, &profile);
+        let design = AsipDesigner::new(DesignConstraints::default()).design_for(&program, &profile);
         let eval = evaluate(&program, &design, &bench.dataset()).expect("evaluates");
         assert!(eval.speedup >= 1.0, "{name}: slowdown {:.3}", eval.speedup);
         if eval.speedup > 1.05 {

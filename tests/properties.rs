@@ -2,9 +2,7 @@
 //! format round-trips, cleanup passes preserve observable behavior, and
 //! the optimizer conserves dynamic work.
 
-use asip_explorer::ir::{
-    parse_program, BinOp, Operand, Program, ProgramBuilder, Reg, Ty, UnOp,
-};
+use asip_explorer::ir::{parse_program, BinOp, Operand, Program, ProgramBuilder, Reg, Ty, UnOp};
 use asip_explorer::opt::{OptLevel, Optimizer};
 use asip_explorer::sim::{DataSet, Simulator};
 use proptest::prelude::*;
@@ -12,7 +10,7 @@ use proptest::prelude::*;
 /// Recipe for one random straight-line op.
 #[derive(Debug, Clone)]
 enum OpRecipe {
-    IntBin(u8, u8, u8),   // op selector, two operand selectors
+    IntBin(u8, u8, u8), // op selector, two operand selectors
     FloatBin(u8, u8, u8),
     IntUn(u8, u8),
     Load(u8),
