@@ -108,6 +108,21 @@ fn main() {
     }
 
     println!();
+    println!("== design stage reuses the analyze-stage schedule ==");
+    let schedule_runs = session.cache_stats().schedule.misses;
+    let designed = session.design("sewha").expect("built-ins design");
+    println!(
+        "  sewha design: {} extensions selected, optimizer runs added: {}",
+        designed.design.len(),
+        session.cache_stats().schedule.misses - schedule_runs
+    );
+    assert_eq!(
+        session.cache_stats().schedule.misses,
+        schedule_runs,
+        "the design stage must pull the cached schedule, not re-run the optimizer"
+    );
+
+    println!();
     let stats = session.cache_stats();
     println!("session cache: {stats}");
     assert_eq!(

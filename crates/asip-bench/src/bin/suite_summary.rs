@@ -53,5 +53,27 @@ fn main() {
         );
     }
     println!("{:-^75}", "");
+
+    // the deployment headline: one shared ASIP for the whole suite,
+    // served by the cached suite stage (every compile/profile/schedule
+    // above is a cache hit here)
+    let suite = session
+        .evaluate_suite()
+        .expect("built-ins evaluate as a suite");
+    let exts: Vec<String> = suite
+        .design
+        .extensions
+        .iter()
+        .map(|e| e.signature.to_string())
+        .collect();
+    match suite.geomean_speedup() {
+        Some(g) => println!(
+            "shared suite ASIP: {:.3}x geomean over {} benchmarks ({})",
+            g,
+            suite.benchmarks.len(),
+            exts.join(", ")
+        ),
+        None => println!("shared suite ASIP: n/a (empty suite)"),
+    }
     println!("session cache: {}", session.cache_stats());
 }

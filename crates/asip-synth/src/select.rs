@@ -4,9 +4,9 @@
 use crate::cost::ChainedUnit;
 use crate::extension::{AsipDesign, IsaExtension};
 use crate::rewrite;
-use asip_chains::{CoverageAnalyzer, DetectorConfig, SequenceReport};
+use asip_chains::{CoverageAnalyzer, DetectorConfig, SeqStats, SequenceReport};
 use asip_ir::Program;
-use asip_opt::{OptLevel, Optimizer};
+use asip_opt::{OptConfig, OptLevel, Optimizer, ScheduleGraph};
 use asip_sim::Profile;
 use serde::{Deserialize, Serialize};
 
@@ -35,18 +35,33 @@ impl Default for DesignConstraints {
 }
 
 /// Greedy benefit-per-area extension selection from compiler feedback.
+///
+/// The designer is split into a *pure selection core* and *convenience
+/// wrappers*. The core methods ([`AsipDesigner::design_from_report`],
+/// [`AsipDesigner::design_from_schedule`],
+/// [`AsipDesigner::design_from_schedules`]) consume precomputed
+/// compiler feedback and never run the optimizer, so a session that
+/// already holds a cached [`ScheduleGraph`] pays nothing extra for the
+/// design stage — and the schedule the designer sees is byte-identical
+/// to the one the analyze stage reported. The wrappers
+/// ([`AsipDesigner::design_for`], [`AsipDesigner::design_for_suite`])
+/// run the optimizer themselves, honoring the designer's
+/// [`OptConfig`], for callers without a session.
 #[derive(Debug, Clone, Copy)]
 pub struct AsipDesigner {
     constraints: DesignConstraints,
     detector: DetectorConfig,
+    opt_config: OptConfig,
 }
 
 impl AsipDesigner {
-    /// A designer with the given constraints and default detection.
+    /// A designer with the given constraints, default detection, and the
+    /// default optimizer configuration.
     pub fn new(constraints: DesignConstraints) -> Self {
         AsipDesigner {
             constraints,
             detector: DetectorConfig::default(),
+            opt_config: OptConfig::default(),
         }
     }
 
@@ -56,38 +71,41 @@ impl AsipDesigner {
         self
     }
 
+    /// Override the optimizer configuration used by the
+    /// [`AsipDesigner::design_for`] / [`AsipDesigner::design_for_suite`]
+    /// wrappers (the `design_from_*` core never runs the optimizer).
+    pub fn with_opt_config(mut self, config: OptConfig) -> Self {
+        self.opt_config = config;
+        self
+    }
+
     /// The constraints in use.
     pub fn constraints(&self) -> &DesignConstraints {
         &self.constraints
     }
 
-    /// Run the full feedback loop for one program: optimize, run the
-    /// iterative coverage analysis, then select extensions.
-    ///
-    /// Candidates whose signature never statically matches a fusable run
-    /// of the program are dropped before selection — the coverage
-    /// analysis reports *potential* chains (post-scheduling), and there
-    /// is no point spending silicon on a chain the rewriter can never
-    /// instantiate in this code.
-    pub fn design_for(&self, program: &Program, profile: &Profile) -> AsipDesign {
-        let graph = Optimizer::new(self.constraints.opt_level).run(program, profile);
+    /// The optimizer configuration the wrappers schedule with.
+    pub fn opt_config(&self) -> OptConfig {
+        self.opt_config
+    }
+
+    /// Run the iterative coverage study on one precomputed schedule and
+    /// aggregate it into a sequence report (frequencies only — the
+    /// coverage analysis consumes occurrence sets internally).
+    fn coverage_report(&self, graph: &ScheduleGraph) -> SequenceReport {
         let coverage = CoverageAnalyzer::new(self.detector)
             .with_floor(1.0)
             .with_max_sequences(16)
-            .analyze(&graph);
-        let report = SequenceReport::from_parts(
+            .analyze(graph);
+        SequenceReport::from_parts(
             graph.name.clone(),
             coverage
                 .entries
                 .iter()
-                .filter(|e| {
-                    !rewrite::is_fusable_signature(&e.signature)
-                        || crate::rewrite::Rewriter::count_static_matches(program, &e.signature) > 0
-                })
                 .map(|e| {
                     (
                         e.signature.clone(),
-                        asip_chains::SeqStats {
+                        SeqStats {
                             frequency: e.frequency,
                             occurrences: 0,
                         },
@@ -95,72 +113,83 @@ impl AsipDesigner {
                 })
                 .collect(),
             graph.total_profile_ops,
-        );
-        self.select(&report)
+        )
     }
 
-    /// Design one extension set for a whole application suite — the
-    /// paper's actual scenario ("an ASIP … tuned to a suite of
-    /// applications"). Each program's coverage study runs separately;
-    /// the per-benchmark results are averaged (every application counts
-    /// equally) and one extension set is selected. A candidate must
-    /// statically match in at least one program.
-    pub fn design_for_suite(&self, programs: &[(&Program, &Profile)]) -> AsipDesign {
-        assert!(!programs.is_empty(), "suite must not be empty");
-        let reports: Vec<SequenceReport> = programs
+    /// Select extensions for one program from its precomputed schedule.
+    ///
+    /// Candidates whose signature never statically matches a fusable run
+    /// of the program are dropped before selection — the coverage
+    /// analysis reports *potential* chains (post-scheduling), and there
+    /// is no point spending silicon on a chain the rewriter can never
+    /// instantiate in this code.
+    pub fn design_from_schedule(&self, graph: &ScheduleGraph, program: &Program) -> AsipDesign {
+        let report = self.coverage_report(graph);
+        self.design_from_report(&retain_matchable(&report, &[program]))
+    }
+
+    /// Select one extension set for a whole suite from precomputed
+    /// schedules — the paper's actual scenario ("an ASIP … tuned to a
+    /// suite of applications"). Each schedule's coverage study runs
+    /// separately; the per-benchmark results are averaged (every
+    /// application counts equally) and one extension set is selected. A
+    /// candidate must statically match in at least one program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `suite` is empty — there is nothing to design for.
+    pub fn design_from_schedules(&self, suite: &[(&ScheduleGraph, &Program)]) -> AsipDesign {
+        assert!(!suite.is_empty(), "suite must not be empty");
+        let reports: Vec<SequenceReport> = suite
             .iter()
-            .map(|(program, profile)| {
-                let graph = Optimizer::new(self.constraints.opt_level).run(program, profile);
-                let coverage = CoverageAnalyzer::new(self.detector)
-                    .with_floor(1.0)
-                    .with_max_sequences(16)
-                    .analyze(&graph);
-                SequenceReport::from_parts(
-                    graph.name.clone(),
-                    coverage
-                        .entries
-                        .iter()
-                        .map(|e| {
-                            (
-                                e.signature.clone(),
-                                asip_chains::SeqStats {
-                                    frequency: e.frequency,
-                                    occurrences: 0,
-                                },
-                            )
-                        })
-                        .collect(),
-                    graph.total_profile_ops,
-                )
-            })
+            .map(|(graph, _)| self.coverage_report(graph))
             .collect();
         let combined = asip_chains::combine(&reports);
-        let matchable = SequenceReport::from_parts(
-            combined.name.clone(),
-            combined
-                .entries()
-                .iter()
-                .filter(|(sig, _)| {
-                    !rewrite::is_fusable_signature(sig)
-                        || programs.iter().any(|(program, _)| {
-                            crate::rewrite::Rewriter::count_static_matches(program, sig) > 0
-                        })
-                })
-                .cloned()
-                .collect(),
-            combined.total_profile_ops,
-        );
-        self.select(&matchable)
+        let programs: Vec<&Program> = suite.iter().map(|(_, program)| *program).collect();
+        self.design_from_report(&retain_matchable(&combined, &programs))
+    }
+
+    /// Convenience wrapper: run the full feedback loop for one program —
+    /// optimize at the designer's level and [`OptConfig`], then
+    /// [`AsipDesigner::design_from_schedule`].
+    pub fn design_for(&self, program: &Program, profile: &Profile) -> AsipDesign {
+        let graph = Optimizer::new(self.constraints.opt_level)
+            .with_config(self.opt_config)
+            .run(program, profile);
+        self.design_from_schedule(&graph, program)
+    }
+
+    /// Convenience wrapper: optimize every suite member, then
+    /// [`AsipDesigner::design_from_schedules`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs` is empty.
+    pub fn design_for_suite(&self, programs: &[(&Program, &Profile)]) -> AsipDesign {
+        let graphs: Vec<ScheduleGraph> = programs
+            .iter()
+            .map(|(program, profile)| {
+                Optimizer::new(self.constraints.opt_level)
+                    .with_config(self.opt_config)
+                    .run(program, profile)
+            })
+            .collect();
+        let suite: Vec<(&ScheduleGraph, &Program)> = graphs
+            .iter()
+            .zip(programs)
+            .map(|(graph, (program, _))| (graph, *program))
+            .collect();
+        self.design_from_schedules(&suite)
     }
 
     /// Select extensions from an existing (possibly suite-combined)
-    /// sequence report.
+    /// sequence report — the pure selection core.
     ///
     /// Candidates must be implementable by the rewriter (pure arithmetic
     /// chains) and close timing; selection is greedy by
     /// benefit-per-area until the budget, opcode space, or candidate
     /// list runs out.
-    pub fn select(&self, report: &SequenceReport) -> AsipDesign {
+    pub fn design_from_report(&self, report: &SequenceReport) -> AsipDesign {
         let mut candidates: Vec<(f64, f64, &asip_chains::Signature)> = report
             .entries()
             .iter()
@@ -194,6 +223,34 @@ impl AsipDesigner {
         }
         design
     }
+
+    /// Alias for [`AsipDesigner::design_from_report`], kept for callers
+    /// written against the pre-split API.
+    pub fn select(&self, report: &SequenceReport) -> AsipDesign {
+        self.design_from_report(report)
+    }
+}
+
+/// Drop fusable candidates that never statically match any of
+/// `programs` — the rewriter could not instantiate them, so spending
+/// area on them is pure waste. Unfusable signatures pass through (the
+/// selection core filters them anyway).
+fn retain_matchable(report: &SequenceReport, programs: &[&Program]) -> SequenceReport {
+    SequenceReport::from_parts(
+        report.name.clone(),
+        report
+            .entries()
+            .iter()
+            .filter(|(sig, _)| {
+                !rewrite::is_fusable_signature(sig)
+                    || programs
+                        .iter()
+                        .any(|program| rewrite::Rewriter::count_static_matches(program, sig) > 0)
+            })
+            .cloned()
+            .collect(),
+        report.total_profile_ops,
+    )
 }
 
 #[cfg(test)]
@@ -270,6 +327,46 @@ mod tests {
             ..DesignConstraints::default()
         };
         assert!(AsipDesigner::new(fast).select(&r).is_empty());
+    }
+
+    #[test]
+    fn wrapper_agrees_with_schedule_core() {
+        // design_for is exactly "optimize, then design_from_schedule":
+        // a session holding the same schedule gets the same design
+        let benches = asip_benchmarks::registry();
+        let b = benches.find("sewha").expect("built-in");
+        let program = b.compile().expect("compiles");
+        let profile = b.profile(&program).expect("runs");
+        let designer = AsipDesigner::new(DesignConstraints::default());
+        let graph = Optimizer::new(designer.constraints().opt_level)
+            .with_config(designer.opt_config())
+            .run(&program, &profile);
+        assert_eq!(
+            designer.design_for(&program, &profile),
+            designer.design_from_schedule(&graph, &program)
+        );
+    }
+
+    #[test]
+    fn wrapper_honors_opt_config() {
+        // the headline bug: selection must follow the configured
+        // schedule, not a silently re-derived default one
+        let benches = asip_benchmarks::registry();
+        let b = benches.find("sewha").expect("built-in");
+        let program = b.compile().expect("compiles");
+        let profile = b.profile(&program).expect("runs");
+        let designer = AsipDesigner::new(DesignConstraints::default()).with_opt_config(OptConfig {
+            unroll: 4,
+            ..OptConfig::default()
+        });
+        let graph = Optimizer::new(designer.constraints().opt_level)
+            .with_config(designer.opt_config())
+            .run(&program, &profile);
+        assert_eq!(
+            designer.design_for(&program, &profile),
+            designer.design_from_schedule(&graph, &program),
+            "the wrapper must schedule with its own OptConfig"
+        );
     }
 
     #[test]

@@ -96,7 +96,7 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Warm the routine once, then time [`ITERS`] iterations.
+    /// Warm the routine once, then time `ITERS` iterations.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         std::hint::black_box(routine());
         let start = Instant::now();

@@ -7,7 +7,7 @@
 //! ChaCha like the real `StdRng`, but the experiments only require a
 //! *deterministic, well-mixed* stream, not a cryptographic one. Seeded
 //! streams are stable across platforms and releases, which is all the
-//! reproducibility contract [`asip_sim::DataGen`] needs.
+//! reproducibility contract of `asip_sim`'s data generation needs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

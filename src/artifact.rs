@@ -17,7 +17,9 @@ use asip_sim::Profile;
 use asip_synth::{AsipDesign, Evaluation};
 use std::sync::Arc;
 
-/// The six stages of the exploration pipeline, in paper order.
+/// The stages of the exploration pipeline: the six per-benchmark stages
+/// in paper order, then the two suite-level stages (one shared ASIP for
+/// a set of applications — the paper's actual deployment scenario).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Stage {
     /// Mini-C source → validated 3-address code (Figure 2, step 1).
@@ -32,11 +34,15 @@ pub enum Stage {
     Design,
     /// Measured speedup of the rewritten program (Figure 1, closed).
     Evaluate,
+    /// One extension set selected for a whole benchmark suite.
+    DesignSuite,
+    /// The suite design measured on every member.
+    EvaluateSuite,
 }
 
 impl Stage {
-    /// All stages in pipeline order.
-    pub fn all() -> [Stage; 6] {
+    /// All stages in pipeline order (suite stages last).
+    pub fn all() -> [Stage; 8] {
         [
             Stage::Compile,
             Stage::Profile,
@@ -44,6 +50,8 @@ impl Stage {
             Stage::Analyze,
             Stage::Design,
             Stage::Evaluate,
+            Stage::DesignSuite,
+            Stage::EvaluateSuite,
         ]
     }
 
@@ -56,6 +64,8 @@ impl Stage {
             Stage::Analyze => "analyze",
             Stage::Design => "design",
             Stage::Evaluate => "evaluate",
+            Stage::DesignSuite => "design-suite",
+            Stage::EvaluateSuite => "evaluate-suite",
         }
     }
 }
@@ -124,8 +134,60 @@ pub struct Evaluated {
     pub benchmark: Benchmark,
     /// The design that was applied.
     pub design: Arc<AsipDesign>,
-    /// Before/after cycle counts and speedup.
-    pub evaluation: Evaluation,
+    /// Before/after cycle counts and speedup (shared with the session
+    /// cache like every other artifact payload).
+    pub evaluation: Arc<Evaluation>,
+}
+
+/// Suite-design-stage artifact: one extension set shared by a suite.
+#[derive(Debug, Clone)]
+pub struct DesignedSuite {
+    /// The member benchmark names, sorted and deduplicated (the suite's
+    /// canonical identity — also its cache-key order).
+    pub benchmarks: Vec<String>,
+    /// The shared extension set selected from the combined feedback.
+    pub design: Arc<AsipDesign>,
+}
+
+/// Suite-evaluate-stage artifact: the shared design measured on every
+/// suite member.
+#[derive(Debug, Clone)]
+pub struct EvaluatedSuite {
+    /// The member benchmark names, sorted and deduplicated.
+    pub benchmarks: Vec<String>,
+    /// The shared extension set that was applied.
+    pub design: Arc<AsipDesign>,
+    /// Per-member measurements, in `benchmarks` order.
+    pub evaluations: Arc<Vec<(String, Evaluation)>>,
+}
+
+impl EvaluatedSuite {
+    /// The measured speedup of one member, if it is in the suite.
+    pub fn speedup_of(&self, name: &str) -> Option<f64> {
+        self.evaluations
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, e)| e.speedup)
+    }
+
+    /// Geometric-mean speedup over the members, or `None` for an empty
+    /// suite (the mean of zero factors is undefined, not `NaN`).
+    pub fn geomean_speedup(&self) -> Option<f64> {
+        geomean(self.evaluations.iter().map(|(_, e)| e.speedup))
+    }
+}
+
+/// Geometric mean of a speedup series, or `None` for an empty series
+/// (a mean of zero factors would otherwise divide 0 by 0 and print as
+/// `NaN`).
+pub fn geomean(speedups: impl IntoIterator<Item = f64>) -> Option<f64> {
+    let (count, log_sum) = speedups
+        .into_iter()
+        .fold((0u32, 0.0_f64), |(n, sum), s| (n + 1, sum + s.ln()));
+    if count == 0 {
+        return None;
+    }
+    Some((log_sum / f64::from(count)).exp())
 }
 
 /// A stage result at the API boundary: any artifact, tagged by stage.
@@ -147,6 +209,10 @@ pub enum Artifact {
     Designed(Designed),
     /// Evaluate-stage result.
     Evaluated(Evaluated),
+    /// Suite-design-stage result.
+    DesignedSuite(DesignedSuite),
+    /// Suite-evaluate-stage result.
+    EvaluatedSuite(EvaluatedSuite),
 }
 
 impl Artifact {
@@ -159,18 +225,23 @@ impl Artifact {
             Artifact::Analyzed(_) => Stage::Analyze,
             Artifact::Designed(_) => Stage::Design,
             Artifact::Evaluated(_) => Stage::Evaluate,
+            Artifact::DesignedSuite(_) => Stage::DesignSuite,
+            Artifact::EvaluatedSuite(_) => Stage::EvaluateSuite,
         }
     }
 
-    /// The benchmark the artifact belongs to.
-    pub fn benchmark(&self) -> &Benchmark {
+    /// The benchmark the artifact belongs to, for the per-benchmark
+    /// stages. Suite-level artifacts span many benchmarks and return
+    /// `None` — their members are in their `benchmarks` field.
+    pub fn benchmark(&self) -> Option<&Benchmark> {
         match self {
-            Artifact::Compiled(a) => &a.benchmark,
-            Artifact::Profiled(a) => &a.benchmark,
-            Artifact::Scheduled(a) => &a.benchmark,
-            Artifact::Analyzed(a) => &a.benchmark,
-            Artifact::Designed(a) => &a.benchmark,
-            Artifact::Evaluated(a) => &a.benchmark,
+            Artifact::Compiled(a) => Some(&a.benchmark),
+            Artifact::Profiled(a) => Some(&a.benchmark),
+            Artifact::Scheduled(a) => Some(&a.benchmark),
+            Artifact::Analyzed(a) => Some(&a.benchmark),
+            Artifact::Designed(a) => Some(&a.benchmark),
+            Artifact::Evaluated(a) => Some(&a.benchmark),
+            Artifact::DesignedSuite(_) | Artifact::EvaluatedSuite(_) => None,
         }
     }
 }
@@ -225,9 +296,39 @@ mod tests {
     #[test]
     fn stages_enumerate_in_pipeline_order() {
         let all = Stage::all();
-        assert_eq!(all.len(), 6);
+        assert_eq!(all.len(), 8);
         assert!(all.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(all[0].to_string(), "compile");
         assert_eq!(all[5].to_string(), "evaluate");
+        assert_eq!(all[6].to_string(), "design-suite");
+        assert_eq!(all[7].to_string(), "evaluate-suite");
+    }
+
+    #[test]
+    fn suite_geomean_is_guarded_against_empty_suites() {
+        let empty = EvaluatedSuite {
+            benchmarks: Vec::new(),
+            design: Arc::new(AsipDesign::default()),
+            evaluations: Arc::new(Vec::new()),
+        };
+        assert_eq!(empty.geomean_speedup(), None, "no NaN from 0/0");
+        assert_eq!(empty.speedup_of("fir"), None);
+
+        let one = EvaluatedSuite {
+            benchmarks: vec!["fir".into()],
+            design: Arc::new(AsipDesign::default()),
+            evaluations: Arc::new(vec![(
+                "fir".into(),
+                Evaluation {
+                    base_cycles: 200,
+                    asip_cycles: 100,
+                    speedup: 2.0,
+                    fused_chains: 1,
+                    extension_area: 0.0,
+                },
+            )]),
+        };
+        assert_eq!(one.geomean_speedup(), Some(2.0));
+        assert_eq!(one.speedup_of("fir"), Some(2.0));
     }
 }

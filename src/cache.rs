@@ -1,0 +1,192 @@
+//! The bounded LRU map behind every session stage cache.
+//!
+//! The `Explorer` session memoizes each pipeline stage; for the
+//! twelve-benchmark registry the maps stay tiny, but a long-lived
+//! session behind a service would otherwise grow without bound as
+//! sweeps visit ever more `(benchmark, configuration)` keys.
+//! [`LruCache`] bounds each stage map to a configurable number of
+//! entries: an insert over capacity evicts the least-recently-*used*
+//! entry (a cache hit refreshes recency), and every eviction is
+//! reported back so the session's `CacheStats` can account for it.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A hash map with an optional entry-count bound and least-recently-used
+/// eviction.
+///
+/// Recency is tracked with a monotonic tick stamped on every `get` and
+/// `insert`; eviction scans for the minimum stamp. The scan is `O(len)`,
+/// which is the right trade for stage caches: capacities are small, the
+/// values behind them cost milliseconds to recompute, and the map lives
+/// under a `Mutex` where a linked-list LRU would buy nothing.
+#[derive(Debug)]
+pub(crate) struct LruCache<K, V> {
+    map: HashMap<K, Entry<V>>,
+    capacity: Option<usize>,
+    tick: u64,
+}
+
+#[derive(Debug)]
+struct Entry<V> {
+    value: V,
+    last_used: u64,
+}
+
+impl<K, V> Default for LruCache<K, V> {
+    fn default() -> Self {
+        LruCache {
+            map: HashMap::new(),
+            capacity: None,
+            tick: 0,
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|e| {
+            e.last_used = tick;
+            &e.value
+        })
+    }
+
+    /// Insert (or replace) an entry, evicting least-recently-used
+    /// entries as needed to respect the capacity. Returns how many
+    /// entries were evicted (0 when unbounded or under capacity).
+    pub fn insert(&mut self, key: K, value: V) -> u64 {
+        let mut evicted = 0;
+        if let Some(cap) = self.capacity {
+            if !self.map.contains_key(&key) {
+                while self.map.len() >= cap.max(1) && self.evict_one() {
+                    evicted += 1;
+                }
+            }
+        }
+        self.tick += 1;
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: self.tick,
+            },
+        );
+        evicted
+    }
+
+    /// Set or clear the entry bound (`None` = unbounded; a bound of 0 is
+    /// treated as 1 so the cache always holds the newest entry).
+    /// Shrinking below the current size evicts immediately; returns the
+    /// eviction count.
+    pub fn set_capacity(&mut self, capacity: Option<usize>) -> u64 {
+        self.capacity = capacity;
+        let mut evicted = 0;
+        if let Some(cap) = capacity {
+            while self.map.len() > cap.max(1) && self.evict_one() {
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Drop every entry (the bound survives).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.tick = 0;
+    }
+
+    fn evict_one(&mut self) -> bool {
+        let oldest = self
+            .map
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| k.clone());
+        match oldest {
+            Some(k) => {
+                self.map.remove(&k);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_by_default() {
+        let mut c = LruCache::default();
+        for i in 0..100 {
+            assert_eq!(c.insert(i, i * 10), 0);
+        }
+        assert_eq!(c.len(), 100);
+        assert_eq!(c.get(&42), Some(&420));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::default();
+        c.set_capacity(Some(2));
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(&1)); // refresh a: b is now LRU
+        assert_eq!(c.insert("c", 3), 1);
+        assert_eq!(c.get(&"b"), None, "b was evicted, not a");
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"c"), Some(&3));
+    }
+
+    #[test]
+    fn replacing_an_entry_never_evicts() {
+        let mut c = LruCache::default();
+        c.set_capacity(Some(2));
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.insert("a", 10), 0, "replacement is not growth");
+        assert_eq!(c.get(&"a"), Some(&10));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_immediately() {
+        let mut c = LruCache::default();
+        for i in 0..5 {
+            c.insert(i, i);
+        }
+        assert_eq!(c.set_capacity(Some(2)), 3);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&3), Some(&3), "newest entries survive the shrink");
+        assert_eq!(c.get(&4), Some(&4));
+    }
+
+    #[test]
+    fn capacity_zero_keeps_the_newest_entry() {
+        let mut c = LruCache::default();
+        c.set_capacity(Some(0));
+        c.insert("a", 1);
+        assert_eq!(c.insert("b", 2), 1);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&"b"), Some(&2));
+    }
+
+    #[test]
+    fn clear_keeps_the_bound() {
+        let mut c = LruCache::default();
+        c.set_capacity(Some(1));
+        c.insert("a", 1);
+        c.clear();
+        assert_eq!(c.len(), 0);
+        c.insert("b", 2);
+        assert_eq!(c.insert("c", 3), 1, "the bound survived the clear");
+    }
+}

@@ -30,6 +30,8 @@ pub enum ExplorerError {
     /// The design-evaluation rerun failed (paper Figure 1: measuring the
     /// rewritten program on the proposed ASIP).
     Eval(SimError),
+    /// A suite-level stage was asked to design for zero benchmarks.
+    EmptySuite,
 }
 
 impl fmt::Display for ExplorerError {
@@ -45,6 +47,9 @@ impl fmt::Display for ExplorerError {
             ExplorerError::Ir(e) => write!(f, "IR validation failed: {e}"),
             ExplorerError::Sim(e) => write!(f, "profiling simulation failed: {e}"),
             ExplorerError::Eval(e) => write!(f, "design evaluation failed: {e}"),
+            ExplorerError::EmptySuite => {
+                write!(f, "suite stage requires at least one benchmark")
+            }
         }
     }
 }
@@ -52,7 +57,7 @@ impl fmt::Display for ExplorerError {
 impl std::error::Error for ExplorerError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ExplorerError::UnknownBenchmark { .. } => None,
+            ExplorerError::UnknownBenchmark { .. } | ExplorerError::EmptySuite => None,
             ExplorerError::Frontend(e) => Some(e),
             ExplorerError::Ir(e) => Some(e),
             ExplorerError::Sim(e) | ExplorerError::Eval(e) => Some(e),
@@ -109,6 +114,9 @@ mod tests {
         assert!(e.to_string().contains("`nope`"));
         let e = ExplorerError::Eval(SimError::StepLimit { limit: 7 });
         assert!(e.to_string().contains("design evaluation"));
+        let e = ExplorerError::EmptySuite;
+        assert!(e.to_string().contains("at least one benchmark"));
+        assert!(std::error::Error::source(&e).is_none());
     }
 
     #[test]

@@ -7,10 +7,17 @@
 //! The public API is the [`Explorer`] session: a builder-configured
 //! facade over the paper's Figure 1/2 pipeline with typed stage
 //! artifacts ([`Compiled`] → [`Profiled`] → [`Scheduled`] →
-//! [`Analyzed`] → [`Designed`] → [`Evaluated`]), per-stage memoization
-//! keyed by `(benchmark, configuration)`, a thread-pooled
-//! [`Explorer::explore_all`] over the whole Table-1 registry, and one
-//! unified [`ExplorerError`].
+//! [`Analyzed`] → [`Designed`] → [`Evaluated`], plus the suite-level
+//! [`DesignedSuite`] → [`EvaluatedSuite`] pair), per-stage memoization
+//! keyed by `(benchmark, configuration)` with single-flight computes
+//! and optional LRU bounds ([`Explorer::with_cache_capacity`]), a
+//! thread-pooled [`Explorer::explore_all`] over the whole Table-1
+//! registry, and one unified [`ExplorerError`].
+//!
+//! The design stage consumes the *same* cached schedule the analyze
+//! stage reports — session optimizer configuration included — so
+//! compiler feedback and extension selection can never silently
+//! diverge, and a design after an analyze costs zero optimizer runs.
 //!
 //! The workspace is organised as this facade over seven member crates:
 //!
@@ -31,11 +38,13 @@
 //! use asip_explorer::prelude::*;
 //!
 //! # fn main() -> Result<(), ExplorerError> {
-//! // one session for the whole exploration; every stage is memoized
+//! // one session for the whole exploration; every stage is memoized,
+//! // and the caches can be bounded for long-lived (service) sessions
 //! let session = Explorer::new()
 //!     .with_levels([OptLevel::None, OptLevel::Pipelined])
 //!     .with_detector(DetectorConfig::default())
-//!     .with_constraints(DesignConstraints::default());
+//!     .with_constraints(DesignConstraints::default())
+//!     .with_cache_capacity(256);
 //!
 //! // staged access: compile → profile → analyze, each cached
 //! let compiled = session.compile("fir")?;
@@ -44,10 +53,26 @@
 //! let analyzed = session.analyze("fir", OptLevel::Pipelined)?;
 //! assert!(analyzed.report.top(1).next().is_some());
 //!
+//! // the design stage reuses the analyze stage's cached schedule:
+//! // selecting extensions performs zero additional optimizer runs
+//! let schedule_runs = session.cache_stats().schedule.misses;
+//! let designed = session.design("fir")?;
+//! assert_eq!(session.cache_stats().schedule.misses, schedule_runs);
+//!
 //! // or the whole Figure-1 loop in one call (reusing the cache)
 //! let exploration = session.explore("fir")?;
 //! assert!(exploration.speedup() >= 1.0);
 //! assert!(session.cache_stats().compile.hits > 0);
+//!
+//! // the paper's deployment scenario: ONE shared ASIP tuned to a
+//! // whole suite, as a cached session stage of its own
+//! let suite = session.evaluate_suite_with(
+//!     &["fir", "sewha", "bspline"],
+//!     DesignConstraints::default(),
+//!     DetectorConfig::default(),
+//! )?;
+//! assert_eq!(suite.benchmarks.len(), 3);
+//! assert!(suite.geomean_speedup().expect("non-empty suite") >= 1.0);
 //! # Ok(())
 //! # }
 //! ```
@@ -64,11 +89,13 @@ pub use asip_sim as sim;
 pub use asip_synth as synth;
 
 pub mod artifact;
+mod cache;
 pub mod error;
 pub mod session;
 
 pub use artifact::{
-    Analyzed, Artifact, Compiled, Designed, Evaluated, Exploration, Profiled, Scheduled, Stage,
+    geomean, Analyzed, Artifact, Compiled, Designed, DesignedSuite, Evaluated, EvaluatedSuite,
+    Exploration, Profiled, Scheduled, Stage,
 };
 pub use error::ExplorerError;
 pub use session::{CacheStats, Explorer, StageStats};
@@ -76,7 +103,8 @@ pub use session::{CacheStats, Explorer, StageStats};
 /// Convenience re-exports for the common exploration flow.
 pub mod prelude {
     pub use crate::artifact::{
-        Analyzed, Artifact, Compiled, Designed, Evaluated, Exploration, Profiled, Scheduled, Stage,
+        Analyzed, Artifact, Compiled, Designed, DesignedSuite, Evaluated, EvaluatedSuite,
+        Exploration, Profiled, Scheduled, Stage,
     };
     pub use crate::error::ExplorerError;
     pub use crate::session::{CacheStats, Explorer, StageStats};

@@ -4,13 +4,29 @@
 //! An `Explorer` is a long-lived session object in the style of a
 //! compiler driver: *permanent* state (the benchmark registry and the
 //! stage configurations, fixed by the builder) and *ephemeral* state
-//! (per-stage artifact caches plus hit/miss counters, dropped by
-//! [`Explorer::reset`]). Every stage method is memoized on
+//! (per-stage artifact caches plus hit/miss/eviction counters, dropped
+//! by [`Explorer::reset`]). Every stage method is memoized on
 //! `(benchmark, stage parameters)`, so a sweep that revisits a
 //! benchmark under many detector or optimizer configurations compiles
 //! and simulates it exactly once — the expensive early stages are
 //! shared across the whole sweep, and [`Explorer::cache_stats`] proves
 //! it.
+//!
+//! Three properties make the session safe to park behind a long-lived
+//! service:
+//!
+//! - **Feedback coherence.** The design stage selects extensions from
+//!   the *same* cached [`ScheduleGraph`] the analyze stage reported
+//!   (the session's [`OptConfig`] included), instead of silently
+//!   re-running the optimizer under default knobs — so a
+//!   [`Explorer::design`] after an [`Explorer::analyze`] performs zero
+//!   additional optimizer runs.
+//! - **Single-flight computes.** Concurrent requests for the same
+//!   missing key block on the one in-flight computation instead of
+//!   duplicating it; each stage value is computed (and counted) once.
+//! - **Bounded caches.** [`Explorer::with_cache_capacity`] puts an LRU
+//!   bound on every stage cache; evictions and live entry counts are
+//!   surfaced through [`CacheStats`].
 //!
 //! ```
 //! use asip_explorer::Explorer;
@@ -28,8 +44,10 @@
 //! ```
 
 use crate::artifact::{
-    Analyzed, Compiled, Designed, Evaluated, Exploration, Profiled, Scheduled, Stage,
+    Analyzed, Compiled, Designed, DesignedSuite, Evaluated, EvaluatedSuite, Exploration, Profiled,
+    Scheduled, Stage,
 };
+use crate::cache::LruCache;
 use crate::error::ExplorerError;
 use asip_benchmarks::{Benchmark, Registry, DEFAULT_SEED};
 use asip_chains::{DetectorConfig, SequenceDetector, SequenceReport};
@@ -37,19 +55,25 @@ use asip_ir::Program;
 use asip_opt::{OptConfig, OptLevel, Optimizer, ScheduleGraph};
 use asip_sim::{Profile, Simulator};
 use asip_synth::{AsipDesign, AsipDesigner, DesignConstraints, Evaluation};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashSet};
 use std::fmt;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
-/// Hit/miss counters for one stage cache.
+/// Hit/miss/eviction counters (and the live entry count) for one stage
+/// cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StageStats {
     /// Requests served from the session cache.
     pub hits: u64,
     /// Requests that ran the stage.
     pub misses: u64,
+    /// Entries dropped by the LRU bound (see
+    /// [`Explorer::with_cache_capacity`]).
+    pub evictions: u64,
+    /// Entries currently resident in the cache.
+    pub entries: u64,
 }
 
 /// A snapshot of the session's per-stage cache counters.
@@ -67,6 +91,10 @@ pub struct CacheStats {
     pub design: StageStats,
     /// Evaluate-stage counters.
     pub evaluate: StageStats,
+    /// Suite-design-stage counters.
+    pub design_suite: StageStats,
+    /// Suite-evaluate-stage counters.
+    pub evaluate_suite: StageStats,
 }
 
 impl CacheStats {
@@ -79,6 +107,8 @@ impl CacheStats {
             Stage::Analyze => self.analyze,
             Stage::Design => self.design,
             Stage::Evaluate => self.evaluate,
+            Stage::DesignSuite => self.design_suite,
+            Stage::EvaluateSuite => self.evaluate_suite,
         }
     }
 
@@ -91,6 +121,16 @@ impl CacheStats {
     pub fn total_misses(&self) -> u64 {
         Stage::all().iter().map(|s| self.stage(*s).misses).sum()
     }
+
+    /// Total LRU evictions across stages.
+    pub fn total_evictions(&self) -> u64 {
+        Stage::all().iter().map(|s| self.stage(*s).evictions).sum()
+    }
+
+    /// Total entries currently resident across stage caches.
+    pub fn total_entries(&self) -> u64 {
+        Stage::all().iter().map(|s| self.stage(*s).entries).sum()
+    }
 }
 
 impl fmt::Display for CacheStats {
@@ -101,6 +141,9 @@ impl fmt::Display for CacheStats {
                 write!(f, "  ")?;
             }
             write!(f, "{stage}: {}h/{}m", st.hits, st.misses)?;
+            if st.evictions > 0 {
+                write!(f, "/{}ev", st.evictions)?;
+            }
         }
         Ok(())
     }
@@ -173,24 +216,63 @@ impl From<DesignConstraints> for ConsKey {
     }
 }
 
+/// Cache key of the suite-level stages: the *sorted, deduplicated*
+/// member set plus every configuration that feeds the suite design.
+type SuiteKey = (Vec<String>, u64, ConsKey, DetKey, OptKey);
+
 // -- the session -------------------------------------------------------
 
-type Cache<K, V> = Mutex<HashMap<K, Arc<V>>>;
+/// One stage's cache: a bounded LRU map of finished artifacts plus the
+/// set of keys currently being computed. A thread that misses on a key
+/// another thread is already computing waits on `ready` instead of
+/// duplicating the work (single-flight).
+#[derive(Debug)]
+struct StageCache<K, V> {
+    state: Mutex<CacheState<K, V>>,
+    ready: Condvar,
+}
+
+impl<K, V> Default for StageCache<K, V> {
+    fn default() -> Self {
+        StageCache {
+            state: Mutex::new(CacheState::default()),
+            ready: Condvar::new(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct CacheState<K, V> {
+    lru: LruCache<K, Arc<V>>,
+    inflight: HashSet<K>,
+}
+
+impl<K, V> Default for CacheState<K, V> {
+    fn default() -> Self {
+        CacheState {
+            lru: LruCache::default(),
+            inflight: HashSet::new(),
+        }
+    }
+}
 
 #[derive(Debug, Default)]
 struct Caches {
-    compile: Cache<String, Program>,
-    profile: Cache<(String, u64), Profile>,
-    schedule: Cache<(String, u64, OptLevel, OptKey), ScheduleGraph>,
-    analyze: Cache<(String, u64, OptLevel, OptKey, DetKey), SequenceReport>,
-    design: Cache<(String, u64, ConsKey, DetKey), AsipDesign>,
-    evaluate: Cache<(String, u64, ConsKey, DetKey), Evaluation>,
+    compile: StageCache<String, Program>,
+    profile: StageCache<(String, u64), Profile>,
+    schedule: StageCache<(String, u64, OptLevel, OptKey), ScheduleGraph>,
+    analyze: StageCache<(String, u64, OptLevel, OptKey, DetKey), SequenceReport>,
+    design: StageCache<(String, u64, ConsKey, DetKey, OptKey), AsipDesign>,
+    evaluate: StageCache<(String, u64, ConsKey, DetKey, OptKey), Evaluation>,
+    design_suite: StageCache<SuiteKey, AsipDesign>,
+    evaluate_suite: StageCache<SuiteKey, Vec<(String, Evaluation)>>,
 }
 
 #[derive(Debug, Default)]
 struct Counters {
-    hits: [AtomicU64; 6],
-    misses: [AtomicU64; 6],
+    hits: [AtomicU64; 8],
+    misses: [AtomicU64; 8],
+    evictions: [AtomicU64; 8],
 }
 
 /// A staged, cached, parallel design-space exploration session over the
@@ -205,6 +287,7 @@ pub struct Explorer {
     constraints: DesignConstraints,
     seed: u64,
     threads: usize,
+    cache_capacity: Option<usize>,
     caches: Caches,
     counters: Counters,
 }
@@ -221,6 +304,7 @@ impl Default for Explorer {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            cache_capacity: None,
             caches: Caches::default(),
             counters: Counters::default(),
         }
@@ -230,7 +314,8 @@ impl Default for Explorer {
 impl Explorer {
     /// A session over the Table-1 registry with default configuration:
     /// all three optimization levels, default detector and constraints,
-    /// the paper seed, and one worker per available core.
+    /// the paper seed, unbounded caches, and one worker per available
+    /// core.
     pub fn new() -> Self {
         Explorer::default()
     }
@@ -267,7 +352,10 @@ impl Explorer {
         self
     }
 
-    /// Set the default optimizer configuration.
+    /// Set the default optimizer configuration. Cached artifacts stay
+    /// valid — every stage key downstream of the optimizer includes the
+    /// config, so old and new schedules (and the designs selected from
+    /// them) coexist in the cache without cross-talk.
     pub fn with_opt_config(mut self, config: OptConfig) -> Self {
         self.opt_config = config;
         self
@@ -288,6 +376,44 @@ impl Explorer {
     /// Set the worker-thread count for [`Explorer::explore_all`].
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Bound every stage cache to at most `capacity` entries (least
+    /// recently used entries are evicted first; a capacity of 0 is
+    /// treated as 1). The default is unbounded, which is fine for the
+    /// twelve-benchmark registry but not for a session serving an open
+    /// stream of sweeps — evictions are counted per stage in
+    /// [`CacheStats`].
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        let cap = Some(capacity.max(1));
+        self.cache_capacity = cap;
+        let c = &self.caches;
+        let evicted = [
+            (Stage::Compile, lock(&c.compile.state).lru.set_capacity(cap)),
+            (Stage::Profile, lock(&c.profile.state).lru.set_capacity(cap)),
+            (
+                Stage::Schedule,
+                lock(&c.schedule.state).lru.set_capacity(cap),
+            ),
+            (Stage::Analyze, lock(&c.analyze.state).lru.set_capacity(cap)),
+            (Stage::Design, lock(&c.design.state).lru.set_capacity(cap)),
+            (
+                Stage::Evaluate,
+                lock(&c.evaluate.state).lru.set_capacity(cap),
+            ),
+            (
+                Stage::DesignSuite,
+                lock(&c.design_suite.state).lru.set_capacity(cap),
+            ),
+            (
+                Stage::EvaluateSuite,
+                lock(&c.evaluate_suite.state).lru.set_capacity(cap),
+            ),
+        ];
+        for (stage, n) in evicted {
+            self.counters.evictions[stage as usize].fetch_add(n, Ordering::Relaxed);
+        }
         self
     }
 
@@ -323,28 +449,51 @@ impl Explorer {
         self.seed
     }
 
+    /// The per-stage cache entry bound, if one was set.
+    pub fn cache_capacity(&self) -> Option<usize> {
+        self.cache_capacity
+    }
+
     // -- ephemeral-state management ------------------------------------
 
     /// Drop every cached artifact and zero the counters. Configuration
-    /// (registry, levels, stage parameters) is permanent and survives.
+    /// (registry, levels, stage parameters, cache bounds) is permanent
+    /// and survives.
     pub fn reset(&self) {
-        lock(&self.caches.compile).clear();
-        lock(&self.caches.profile).clear();
-        lock(&self.caches.schedule).clear();
-        lock(&self.caches.analyze).clear();
-        lock(&self.caches.design).clear();
-        lock(&self.caches.evaluate).clear();
-        for i in 0..6 {
+        lock(&self.caches.compile.state).lru.clear();
+        lock(&self.caches.profile.state).lru.clear();
+        lock(&self.caches.schedule.state).lru.clear();
+        lock(&self.caches.analyze.state).lru.clear();
+        lock(&self.caches.design.state).lru.clear();
+        lock(&self.caches.evaluate.state).lru.clear();
+        lock(&self.caches.design_suite.state).lru.clear();
+        lock(&self.caches.evaluate_suite.state).lru.clear();
+        for i in 0..8 {
             self.counters.hits[i].store(0, Ordering::Relaxed);
             self.counters.misses[i].store(0, Ordering::Relaxed);
+            self.counters.evictions[i].store(0, Ordering::Relaxed);
         }
     }
 
-    /// Snapshot the per-stage cache hit/miss counters.
+    /// Snapshot the per-stage cache hit/miss/eviction counters and live
+    /// entry counts.
     pub fn cache_stats(&self) -> CacheStats {
+        let c = &self.caches;
+        let entries: [u64; 8] = [
+            lock(&c.compile.state).lru.len() as u64,
+            lock(&c.profile.state).lru.len() as u64,
+            lock(&c.schedule.state).lru.len() as u64,
+            lock(&c.analyze.state).lru.len() as u64,
+            lock(&c.design.state).lru.len() as u64,
+            lock(&c.evaluate.state).lru.len() as u64,
+            lock(&c.design_suite.state).lru.len() as u64,
+            lock(&c.evaluate_suite.state).lru.len() as u64,
+        ];
         let get = |s: Stage| StageStats {
             hits: self.counters.hits[s as usize].load(Ordering::Relaxed),
             misses: self.counters.misses[s as usize].load(Ordering::Relaxed),
+            evictions: self.counters.evictions[s as usize].load(Ordering::Relaxed),
+            entries: entries[s as usize],
         };
         CacheStats {
             compile: get(Stage::Compile),
@@ -353,6 +502,8 @@ impl Explorer {
             analyze: get(Stage::Analyze),
             design: get(Stage::Design),
             evaluate: get(Stage::Evaluate),
+            design_suite: get(Stage::DesignSuite),
+            evaluate_suite: get(Stage::EvaluateSuite),
         }
     }
 
@@ -486,8 +637,11 @@ impl Explorer {
         })
     }
 
-    /// Design stage: run the feedback loop and select ISA extensions
-    /// under the session constraints.
+    /// Design stage: select ISA extensions under the session constraints
+    /// from the *cached* schedule at the constraints' feedback level —
+    /// the same graph [`Explorer::analyze`] reports, session
+    /// [`OptConfig`] included. After an `analyze` at that level, this
+    /// performs zero optimizer runs.
     ///
     /// # Errors
     ///
@@ -496,7 +650,11 @@ impl Explorer {
         self.design_with(name, self.constraints, self.detector)
     }
 
-    /// Design stage with explicit constraints and detector config.
+    /// Design stage with explicit constraints and detector config. The
+    /// schedule feeding selection still honors the session
+    /// [`OptConfig`], and the cache key includes it, so sessions (or
+    /// sweeps) differing only in optimizer knobs never share design
+    /// entries.
     ///
     /// # Errors
     ///
@@ -507,18 +665,19 @@ impl Explorer {
         constraints: DesignConstraints,
         detector: DetectorConfig,
     ) -> Result<Designed, ExplorerError> {
-        let profiled = self.profile(name)?;
+        let scheduled = self.schedule_with(name, constraints.opt_level, self.opt_config)?;
         let compiled = self.compile(name)?;
         let key = (
             name.to_string(),
             self.seed,
             ConsKey::from(constraints),
             DetKey::from(detector),
+            OptKey::from(self.opt_config),
         );
         let design = self.cached(Stage::Design, &self.caches.design, key, || {
             Ok(AsipDesigner::new(constraints)
                 .with_detector(detector)
-                .design_for(&compiled.program, &profiled.profile))
+                .design_from_schedule(&scheduled.graph, &compiled.program))
         })?;
         Ok(Designed {
             benchmark: compiled.benchmark,
@@ -556,6 +715,7 @@ impl Explorer {
             self.seed,
             ConsKey::from(constraints),
             DetKey::from(detector),
+            OptKey::from(self.opt_config),
         );
         let evaluation = self.cached(Stage::Evaluate, &self.caches.evaluate, key, || {
             let data = compiled.benchmark.dataset_with_seed(self.seed);
@@ -565,8 +725,149 @@ impl Explorer {
         Ok(Evaluated {
             benchmark: compiled.benchmark,
             design: designed.design,
-            evaluation: (*evaluation).clone(),
+            evaluation,
         })
+    }
+
+    // -- suite stages --------------------------------------------------
+
+    /// Suite-design stage over the whole registry: one shared extension
+    /// set tuned to every registered benchmark (the paper's "an ASIP …
+    /// tuned to a suite of applications"), under the session
+    /// constraints and detector.
+    ///
+    /// # Errors
+    ///
+    /// [`ExplorerError::EmptySuite`] for an empty registry, plus
+    /// earlier-stage errors for any member.
+    pub fn design_suite(&self) -> Result<DesignedSuite, ExplorerError> {
+        let names: Vec<&str> = self.registry.iter().map(|b| b.name).collect();
+        self.design_suite_with(&names, self.constraints, self.detector)
+    }
+
+    /// Suite-design stage for an explicit member set with explicit
+    /// constraints and detector config. The members are deduplicated
+    /// and sorted, so any ordering of the same set is the same cache
+    /// key; the key also carries the seed and every configuration that
+    /// feeds selection. Member schedules are computed in parallel on
+    /// the session thread pool (each a cache hit if already present).
+    ///
+    /// # Errors
+    ///
+    /// [`ExplorerError::EmptySuite`] when `names` is empty,
+    /// [`ExplorerError::UnknownBenchmark`] for an unregistered member,
+    /// plus earlier-stage errors.
+    pub fn design_suite_with(
+        &self,
+        names: &[&str],
+        constraints: DesignConstraints,
+        detector: DetectorConfig,
+    ) -> Result<DesignedSuite, ExplorerError> {
+        let members = self.suite_members(names)?;
+        let key = self.suite_key(&members, constraints, detector);
+        let opt = self.opt_config;
+        let design = self.cached(Stage::DesignSuite, &self.caches.design_suite, key, || {
+            let staged = self.map_slice(&members, |name| {
+                let scheduled = self.schedule_with(name, constraints.opt_level, opt)?;
+                let compiled = self.compile(name)?;
+                Ok((scheduled, compiled))
+            })?;
+            let suite: Vec<(&ScheduleGraph, &Program)> = staged
+                .iter()
+                .map(|(s, c)| (s.graph.as_ref(), c.program.as_ref()))
+                .collect();
+            Ok(AsipDesigner::new(constraints)
+                .with_detector(detector)
+                .design_from_schedules(&suite))
+        })?;
+        Ok(DesignedSuite {
+            benchmarks: members,
+            design,
+        })
+    }
+
+    /// Suite-evaluate stage over the whole registry: design one shared
+    /// extension set ([`Explorer::design_suite`]) and measure it on
+    /// every member.
+    ///
+    /// # Errors
+    ///
+    /// As [`Explorer::evaluate_suite_with`].
+    pub fn evaluate_suite(&self) -> Result<EvaluatedSuite, ExplorerError> {
+        let names: Vec<&str> = self.registry.iter().map(|b| b.name).collect();
+        self.evaluate_suite_with(&names, self.constraints, self.detector)
+    }
+
+    /// Suite-evaluate stage for an explicit member set: the shared
+    /// design is applied to each member program and measured on the
+    /// profiling simulator, in parallel over the session thread pool.
+    /// Results are keyed and ordered by the sorted member set.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Explorer::design_suite_with`] raises; measurement
+    /// failures surface as [`ExplorerError::Eval`].
+    pub fn evaluate_suite_with(
+        &self,
+        names: &[&str],
+        constraints: DesignConstraints,
+        detector: DetectorConfig,
+    ) -> Result<EvaluatedSuite, ExplorerError> {
+        let designed = self.design_suite_with(names, constraints, detector)?;
+        let key = self.suite_key(&designed.benchmarks, constraints, detector);
+        let design = Arc::clone(&designed.design);
+        let evaluations = self.cached(
+            Stage::EvaluateSuite,
+            &self.caches.evaluate_suite,
+            key,
+            || {
+                self.map_slice(&designed.benchmarks, |name| {
+                    let compiled = self.compile(name)?;
+                    let data = compiled.benchmark.dataset_with_seed(self.seed);
+                    let evaluation = asip_synth::evaluate(&compiled.program, &design, &data)
+                        .map_err(ExplorerError::Eval)?;
+                    Ok((name.clone(), evaluation))
+                })
+            },
+        )?;
+        Ok(EvaluatedSuite {
+            benchmarks: designed.benchmarks,
+            design: designed.design,
+            evaluations,
+        })
+    }
+
+    /// The one place a [`SuiteKey`] is built, so the design- and
+    /// evaluate-suite caches can never drift apart on which
+    /// configuration components distinguish entries.
+    fn suite_key(
+        &self,
+        members: &[String],
+        constraints: DesignConstraints,
+        detector: DetectorConfig,
+    ) -> SuiteKey {
+        (
+            members.to_vec(),
+            self.seed,
+            ConsKey::from(constraints),
+            DetKey::from(detector),
+            OptKey::from(self.opt_config),
+        )
+    }
+
+    /// Validate and canonicalize a suite member set: every name must
+    /// resolve, duplicates collapse, and the result is sorted so member
+    /// order never changes the cache key (or the combine order).
+    fn suite_members(&self, names: &[&str]) -> Result<Vec<String>, ExplorerError> {
+        if names.is_empty() {
+            return Err(ExplorerError::EmptySuite);
+        }
+        let mut members = BTreeSet::new();
+        for name in names {
+            self.benchmark(name)?;
+            members.insert((*name).to_string());
+        }
+        Ok(members.into_iter().collect())
     }
 
     /// Run the complete pipeline for one benchmark: every configured
@@ -660,28 +961,67 @@ impl Explorer {
 
     // -- cache plumbing ------------------------------------------------
 
+    /// Memoize one stage computation with single-flight semantics: a
+    /// cache hit returns the shared artifact; the first thread to miss
+    /// on a key computes it (counted as exactly one miss) while any
+    /// other thread asking for the same key waits on the result instead
+    /// of duplicating the work. If the computation fails or panics, the
+    /// in-flight claim is released so a waiter can retry.
     fn cached<K, V, F>(
         &self,
         stage: Stage,
-        cache: &Cache<K, V>,
+        cache: &StageCache<K, V>,
         key: K,
         compute: F,
     ) -> Result<Arc<V>, ExplorerError>
     where
-        K: Eq + Hash,
+        K: Eq + Hash + Clone,
         F: FnOnce() -> Result<V, ExplorerError>,
     {
-        if let Some(v) = lock(cache).get(&key) {
-            self.counters.hits[stage as usize].fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(v));
+        {
+            let mut state = lock(&cache.state);
+            loop {
+                if let Some(v) = state.lru.get(&key) {
+                    self.counters.hits[stage as usize].fetch_add(1, Ordering::Relaxed);
+                    return Ok(Arc::clone(v));
+                }
+                if !state.inflight.contains(&key) {
+                    break;
+                }
+                state = cache
+                    .ready
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            state.inflight.insert(key.clone());
         }
-        // Compute outside the lock so independent keys proceed in
-        // parallel; a race on the same key keeps the first insertion
-        // (so repeated lookups stay pointer-identical).
+        // This thread owns the computation for `key`; the claim is
+        // released (and waiters woken) on every exit path, panics
+        // included, via the guard.
+        let claim = InflightClaim {
+            cache,
+            key: key.clone(),
+        };
         self.counters.misses[stage as usize].fetch_add(1, Ordering::Relaxed);
         let value = Arc::new(compute()?);
-        let mut map = lock(cache);
-        Ok(Arc::clone(map.entry(key).or_insert(value)))
+        let evicted = lock(&cache.state).lru.insert(key, Arc::clone(&value));
+        self.counters.evictions[stage as usize].fetch_add(evicted, Ordering::Relaxed);
+        drop(claim);
+        Ok(value)
+    }
+}
+
+/// Releases a single-flight claim on drop (success, error, or panic)
+/// and wakes every thread waiting for the key.
+struct InflightClaim<'a, K: Eq + Hash + Clone, V> {
+    cache: &'a StageCache<K, V>,
+    key: K,
+}
+
+impl<K: Eq + Hash + Clone, V> Drop for InflightClaim<'_, K, V> {
+    fn drop(&mut self) {
+        lock(&self.cache.state).inflight.remove(&self.key);
+        self.cache.ready.notify_all();
     }
 }
 
@@ -702,6 +1042,7 @@ mod tests {
         for (i, s) in Stage::all().into_iter().enumerate() {
             assert_eq!(s as usize, i);
         }
+        assert_eq!(Stage::all().len(), 8);
     }
 
     #[test]
@@ -722,5 +1063,37 @@ mod tests {
         assert_eq!(session.levels(), &[OptLevel::Pipelined]);
         session.profile("sewha").expect("profiles again");
         assert_eq!(session.cache_stats().profile.misses, 1);
+    }
+
+    #[test]
+    fn suite_members_sort_dedup_and_validate() {
+        let session = Explorer::new();
+        let members = session
+            .suite_members(&["fir", "sewha", "fir", "bspline"])
+            .expect("all registered");
+        assert_eq!(members, ["bspline", "fir", "sewha"]);
+        assert!(matches!(
+            session.suite_members(&[]).unwrap_err(),
+            ExplorerError::EmptySuite
+        ));
+        assert!(matches!(
+            session.suite_members(&["fir", "nope"]).unwrap_err(),
+            ExplorerError::UnknownBenchmark { .. }
+        ));
+    }
+
+    #[test]
+    fn failed_compute_releases_the_inflight_claim() {
+        let session = Explorer::new();
+        let cache: StageCache<u32, u32> = StageCache::default();
+        let err = session.cached(Stage::Compile, &cache, 7, || Err(ExplorerError::EmptySuite));
+        assert!(err.is_err());
+        // the claim is gone: a retry computes (it would deadlock or
+        // panic otherwise) and succeeds
+        let v = session
+            .cached(Stage::Compile, &cache, 7, || Ok(99))
+            .expect("retry succeeds");
+        assert_eq!(*v, 99);
+        assert!(lock(&cache.state).inflight.is_empty());
     }
 }

@@ -242,5 +242,109 @@ fn exploration_exposes_typed_stage_artifacts() {
     // the unified artifact enum tags each stage
     let art = asip_explorer::Artifact::Compiled(exploration.compiled.clone());
     assert_eq!(art.stage(), Stage::Compile);
-    assert_eq!(art.benchmark().name, "sewha");
+    assert_eq!(art.benchmark().expect("per-benchmark stage").name, "sewha");
+    // suite artifacts span many benchmarks: no single owner
+    let suite = session.design_suite().expect("designs the suite");
+    let art = asip_explorer::Artifact::DesignedSuite(suite);
+    assert_eq!(art.stage(), Stage::DesignSuite);
+    assert!(art.benchmark().is_none());
+}
+
+#[test]
+fn design_reuses_the_cached_analyze_schedule() {
+    // the headline fix: after an analyze at the feedback level, the
+    // design and evaluate stages must perform ZERO optimizer runs —
+    // selection reads the session's cached schedule, so design feedback
+    // is byte-identical to what the analyze stage reported
+    let session = Explorer::new();
+    let level = session.constraints().opt_level;
+    session.analyze("sewha", level).expect("analyzes");
+    let schedule_runs = session.cache_stats().schedule.misses;
+    let designed = session.design("sewha").expect("designs");
+    assert!(!designed.design.is_empty());
+    session.evaluate("sewha").expect("evaluates");
+    assert_eq!(
+        session.cache_stats().schedule.misses,
+        schedule_runs,
+        "design/evaluate must not add schedule-stage misses"
+    );
+}
+
+#[test]
+fn design_respects_the_session_opt_config() {
+    // regression for the headline bug: the design stage used to re-run
+    // the optimizer with a DEFAULT OptConfig, so two sessions differing
+    // only in optimizer knobs produced the same design; and the design
+    // cache key omitted the config, so a session whose config changed
+    // mid-flight served stale cross-config hits
+    let sensitive = OptConfig {
+        unroll: 1,
+        width: 1,
+        hoist_passes: 0,
+        if_convert_max_ops: 0,
+        ..OptConfig::default()
+    };
+    let tuned = Explorer::new();
+    let detuned = Explorer::new().with_opt_config(sensitive);
+    let d_tuned = tuned.design("fir").expect("designs");
+    let d_detuned = detuned.design("fir").expect("designs");
+    assert_ne!(
+        *d_tuned.design, *d_detuned.design,
+        "sessions differing only in OptConfig must see different feedback"
+    );
+
+    // same session, config changed through the builder mid-flight: the
+    // OptKey in the design/evaluate cache keys must force a recompute
+    // rather than serve the other config's entry
+    let session = Explorer::new();
+    let before = session.design("fir").expect("designs");
+    let session = session.with_opt_config(sensitive);
+    let after = session.design("fir").expect("designs");
+    assert_eq!(
+        session.cache_stats().design.misses,
+        2,
+        "a different OptConfig is a different design cache key"
+    );
+    assert_eq!(session.cache_stats().design.hits, 0);
+    assert!(!std::sync::Arc::ptr_eq(&before.design, &after.design));
+    assert_eq!(*d_detuned.design, *after.design, "recompute, not staleness");
+}
+
+#[test]
+fn concurrent_same_key_requests_single_flight() {
+    // two workers racing the same missing key must not both run the
+    // stage: one computes, the rest wait and share the artifact, and
+    // the miss is counted exactly once
+    let session = Explorer::new();
+    let barrier = std::sync::Barrier::new(8);
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            scope.spawn(|| {
+                barrier.wait();
+                session
+                    .schedule("dft", OptLevel::Pipelined)
+                    .expect("schedules");
+            });
+        }
+    });
+    let stats = session.cache_stats();
+    assert_eq!(stats.compile.misses, 1, "one compile despite the race");
+    assert_eq!(stats.profile.misses, 1, "one profile despite the race");
+    assert_eq!(stats.schedule.misses, 1, "one schedule despite the race");
+    assert_eq!(
+        stats.schedule.hits + stats.schedule.misses,
+        8,
+        "every racer was served (and counted) exactly once"
+    );
+}
+
+#[test]
+fn evaluated_shares_the_cached_evaluation_arc() {
+    // the Evaluation payload rides the same Arc as every other stage
+    // artifact — a second evaluate must not deep-clone it
+    let session = Explorer::new();
+    let e1 = session.evaluate("sewha").expect("evaluates");
+    let e2 = session.evaluate("sewha").expect("evaluates");
+    assert!(Arc::ptr_eq(&e1.evaluation, &e2.evaluation));
+    assert!(Arc::ptr_eq(&e1.design, &e2.design));
 }

@@ -1,0 +1,181 @@
+//! Integration tests for the suite-level session stages
+//! (`design_suite` / `evaluate_suite`) and the session cache bounds:
+//! suite cache identity, key sensitivity to the member set / registry /
+//! seed, parallel determinism, and LRU eviction accounting.
+
+use asip_explorer::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn suite_design_is_cached_and_identity_preserving() {
+    // the acceptance scenario: designing the whole 12-benchmark
+    // registry twice must hit the suite cache the second time and hand
+    // back the same Arc, not a recompute
+    let session = Explorer::new();
+    let d1 = session.design_suite().expect("designs the suite");
+    let d2 = session.design_suite().expect("designs the suite");
+    assert_eq!(d1.benchmarks.len(), session.registry().len());
+    assert!(
+        Arc::ptr_eq(&d1.design, &d2.design),
+        "second suite design must be a cache hit, same Arc"
+    );
+    let stats = session.cache_stats();
+    assert_eq!(stats.design_suite.misses, 1);
+    assert_eq!(stats.design_suite.hits, 1);
+    assert!(
+        !d1.design.is_empty(),
+        "the combined feedback should propose extensions"
+    );
+
+    // the evaluate stage rides the same cache discipline
+    let e1 = session.evaluate_suite().expect("evaluates the suite");
+    let e2 = session.evaluate_suite().expect("evaluates the suite");
+    assert!(Arc::ptr_eq(&e1.evaluations, &e2.evaluations));
+    assert!(Arc::ptr_eq(&e1.design, &d1.design), "same shared design");
+    assert_eq!(session.cache_stats().evaluate_suite.misses, 1);
+    assert_eq!(e1.evaluations.len(), session.registry().len());
+}
+
+#[test]
+fn suite_key_is_order_insensitive_but_member_sensitive() {
+    let session = Explorer::new();
+    let cons = DesignConstraints::default();
+    let det = DetectorConfig::default();
+    let a = session
+        .design_suite_with(&["sewha", "fir", "bspline"], cons, det)
+        .expect("designs");
+    // same set, different order and a duplicate: same canonical key
+    let b = session
+        .design_suite_with(&["bspline", "sewha", "fir", "sewha"], cons, det)
+        .expect("designs");
+    assert_eq!(a.benchmarks, b.benchmarks, "canonical sorted member set");
+    assert!(Arc::ptr_eq(&a.design, &b.design));
+    assert_eq!(session.cache_stats().design_suite.misses, 1);
+
+    // a different member set is a different design
+    let c = session
+        .design_suite_with(&["sewha", "fir"], cons, det)
+        .expect("designs");
+    assert_eq!(session.cache_stats().design_suite.misses, 2);
+    assert!(!Arc::ptr_eq(&a.design, &c.design));
+
+    // empty and unknown member sets are errors, not panics
+    assert!(matches!(
+        session.design_suite_with(&[], cons, det).unwrap_err(),
+        ExplorerError::EmptySuite
+    ));
+    assert!(matches!(
+        session
+            .design_suite_with(&["sewha", "nope"], cons, det)
+            .unwrap_err(),
+        ExplorerError::UnknownBenchmark { .. }
+    ));
+}
+
+#[test]
+fn suite_key_is_sensitive_to_registry_and_seed() {
+    // replacing a registry entry drops cached artifacts entirely…
+    let session = Explorer::new();
+    let before = session.design_suite().expect("designs");
+    let replacement = Benchmark {
+        name: "fir",
+        description: "user kernel shadowing the built-in",
+        paper_lines: 4,
+        data_description: "4 random integers",
+        source: r#"
+            input int x[4];
+            output int y[4];
+            void main() {
+                int i;
+                for (i = 0; i < 4; i = i + 1) { y[i] = x[i] * 2; }
+            }
+        "#,
+        data: DataSpec::Ints { name: "x", n: 4 },
+    };
+    let session = session.with_benchmark(replacement);
+    let after = session.design_suite().expect("designs");
+    assert!(
+        !Arc::ptr_eq(&before.design, &after.design),
+        "registry changes must not serve the old suite design"
+    );
+    assert_eq!(session.cache_stats().design_suite.misses, 1);
+
+    // …while a seed change keeps the caches but must miss the suite key
+    // (the seed reshapes every profile, hence the combined feedback)
+    let session = session.with_seed(2027);
+    session.design_suite().expect("designs");
+    assert_eq!(
+        session.cache_stats().design_suite.misses,
+        2,
+        "a new seed is a new suite cache key"
+    );
+}
+
+#[test]
+fn evaluate_suite_is_deterministic_across_thread_counts() {
+    let run = |threads: usize| {
+        let session = Explorer::new().with_threads(threads).with_seed(2026);
+        session.evaluate_suite().expect("evaluates the suite")
+    };
+    let serial = run(1);
+    let parallel = run(8);
+    assert_eq!(serial.benchmarks, parallel.benchmarks);
+    assert_eq!(
+        *serial.design, *parallel.design,
+        "suite selection is deterministic regardless of scheduling"
+    );
+    assert_eq!(
+        *serial.evaluations, *parallel.evaluations,
+        "per-member measurements agree across thread counts"
+    );
+    assert_eq!(serial.geomean_speedup(), parallel.geomean_speedup());
+    assert!(serial.geomean_speedup().expect("non-empty") >= 1.0);
+}
+
+#[test]
+fn cache_capacity_bounds_evict_and_recompute() {
+    // capacity 1: compiling a second benchmark evicts the first, so
+    // returning to it is a fresh miss and the eviction is accounted
+    let session = Explorer::new().with_cache_capacity(1);
+    assert_eq!(session.cache_capacity(), Some(1));
+    let a1 = session.compile("sewha").expect("compiles");
+    session.compile("fir").expect("compiles");
+    let stats = session.cache_stats();
+    assert_eq!(stats.compile.evictions, 1, "sewha was evicted");
+    assert_eq!(stats.compile.entries, 1, "the bound holds");
+    let a2 = session.compile("sewha").expect("compiles");
+    let stats = session.cache_stats();
+    assert_eq!(stats.compile.misses, 3, "eviction forces a recompute");
+    assert_eq!(stats.compile.hits, 0);
+    assert_eq!(stats.compile.evictions, 2);
+    assert!(
+        !Arc::ptr_eq(&a1.program, &a2.program),
+        "the evicted artifact is genuinely gone"
+    );
+    assert!(stats.total_evictions() >= 2);
+
+    // an unbounded session never evicts
+    let unbounded = Explorer::new();
+    assert_eq!(unbounded.cache_capacity(), None);
+    unbounded.compile("sewha").expect("compiles");
+    unbounded.compile("fir").expect("compiles");
+    assert_eq!(unbounded.cache_stats().total_evictions(), 0);
+    assert_eq!(unbounded.cache_stats().compile.entries, 2);
+}
+
+#[test]
+fn bounded_session_still_serves_hot_keys() {
+    // LRU, not FIFO: the hot benchmark survives a sweep touching others
+    let session = Explorer::new().with_cache_capacity(2);
+    let hot = session.compile("sewha").expect("compiles");
+    for name in ["fir", "bspline", "flatten"] {
+        session.compile("sewha").expect("compiles"); // refresh recency
+        session.compile(name).expect("compiles");
+    }
+    let again = session.compile("sewha").expect("compiles");
+    assert!(
+        Arc::ptr_eq(&hot.program, &again.program),
+        "the most-recently-used entry survives every eviction round"
+    );
+    assert_eq!(session.cache_stats().compile.misses, 4);
+}
