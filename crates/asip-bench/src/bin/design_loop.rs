@@ -24,7 +24,7 @@ fn print_geomean(label: &str, geo: Option<f64>) {
 
 fn main() {
     let constraints = DesignConstraints::default();
-    let session = Explorer::new().with_constraints(constraints);
+    let session = asip_bench::with_shared_store(Explorer::new().with_constraints(constraints));
     println!(
         "Design loop: area budget {:.0}, clock {:.0} ns, max {} extensions, feedback level: {}",
         constraints.area_budget,

@@ -14,7 +14,7 @@ use asip_sim::{ClassMix, Simulator};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let name = args.get(1).map(String::as_str).unwrap_or("fir");
-    let session = Explorer::new();
+    let session = asip_bench::with_shared_store(Explorer::new());
     let compiled = match session.compile(name) {
         Ok(c) => c,
         Err(ExplorerError::UnknownBenchmark { .. }) => {

@@ -33,7 +33,7 @@ fn out_dir() -> PathBuf {
 fn main() -> std::io::Result<()> {
     let dir = out_dir();
     std::fs::create_dir_all(&dir)?;
-    let session = Explorer::new();
+    let session = asip_bench::with_shared_store(Explorer::new());
 
     // Figures 3/4 + 5/6 share the suite analysis per length
     for (len, fig) in [(2usize, "fig3_len2"), (4, "fig4_len4")] {
@@ -117,6 +117,15 @@ fn main() -> std::io::Result<()> {
     }
 
     println!("wrote figure data to {}", dir.display());
-    println!("session cache: {}", session.cache_stats());
+    let stats = session.cache_stats();
+    println!("session cache: {stats}");
+    println!(
+        "disk store:    {} hits, {} misses, {} writes, {} corrupt (rerun this binary — or any \
+         other bench binary — to see the whole pipeline served from disk)",
+        stats.total_disk_hits(),
+        stats.total_disk_misses(),
+        stats.total_disk_writes(),
+        stats.total_disk_corrupt()
+    );
     Ok(())
 }

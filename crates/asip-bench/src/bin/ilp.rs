@@ -21,7 +21,7 @@ fn main() {
         "benchmark", "w=1", "w=2", "w=4", "w=8", "w=16", "peak ILP", "rec. w"
     );
     println!("{:-^90}", "");
-    let session = Explorer::new();
+    let session = asip_bench::with_shared_store(Explorer::new());
     let rows = session
         .map_all(|b| {
             let compiled = session.compile(b.name)?;

@@ -17,7 +17,7 @@ fn main() {
         "benchmark", "insts", "dyn ops", "ILP", "cov L0", "cov L1", "cov L2", "speedup"
     );
     println!("{:-^75}", "");
-    let session = Explorer::new();
+    let session = asip_bench::with_shared_store(Explorer::new());
     let analyzer = CoverageAnalyzer::new(DetectorConfig::default());
     let rows = session
         .map_all(|b| {

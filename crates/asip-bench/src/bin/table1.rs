@@ -12,7 +12,7 @@ fn main() {
         "Benchmark", "Lines C", "(ours)", "Description"
     );
     println!("{:-^100}", "");
-    let session = Explorer::new();
+    let session = asip_bench::with_shared_store(Explorer::new());
     for b in session.registry().iter() {
         let ours = b.source.lines().count();
         println!(

@@ -20,7 +20,7 @@ const PAPER: &[(&str, f64, f64)] = &[
 
 fn main() {
     let all = std::env::args().any(|a| a == "--all");
-    let session = Explorer::new();
+    let session = asip_bench::with_shared_store(Explorer::new());
     let names: Vec<&str> = if all {
         session.registry().iter().map(|b| b.name).collect()
     } else {

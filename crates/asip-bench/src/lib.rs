@@ -29,6 +29,7 @@ use asip_explorer::Explorer;
 use asip_ir::Program;
 use asip_opt::{OptLevel, ScheduleGraph};
 use asip_sim::Profile;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// A fully analyzed benchmark: program, profile and one schedule graph
@@ -47,10 +48,45 @@ pub struct AnalyzedBenchmark {
     pub reports: [Arc<SequenceReport>; 3],
 }
 
+/// The artifact-store directory shared by every bench binary, so the
+/// twelve benchmarks are compiled, profiled and scheduled once *across*
+/// the whole reproduction run instead of once per binary.
+///
+/// Defaults to `target/asip-store` under the *workspace root* (resolved
+/// from this crate's compile-time manifest path, so invoking a binary
+/// from any working directory still shares one store, and `cargo clean`
+/// clears it). The `ASIP_STORE` environment variable overrides the
+/// location (resolved against the caller's working directory as usual);
+/// setting it to `0`, `off` or the empty string disables persistence
+/// entirely.
+pub fn store_dir() -> Option<PathBuf> {
+    match std::env::var("ASIP_STORE") {
+        Ok(v) if v.is_empty() || v == "0" || v == "off" => None,
+        Ok(v) => Some(PathBuf::from(v)),
+        // crates/asip-bench → two levels up is the workspace root
+        Err(_) => Some(
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("target/asip-store"),
+        ),
+    }
+}
+
+/// Attach the shared bench artifact store ([`store_dir`]) to a session;
+/// a no-op when persistence is disabled via `ASIP_STORE`.
+pub fn with_shared_store(session: Explorer) -> Explorer {
+    match store_dir() {
+        Some(dir) => session.with_store(dir),
+        None => session,
+    }
+}
+
 /// A session configured the way the paper's experiments run: all three
-/// levels, the given detector, default constraints and seed.
+/// levels, the given detector, default constraints and seed — and the
+/// shared on-disk artifact store, so separate binaries reuse each
+/// other's compile/profile/schedule work.
 pub fn session(config: DetectorConfig) -> Explorer {
-    Explorer::new().with_detector(config)
+    with_shared_store(Explorer::new().with_detector(config))
 }
 
 /// Compile, profile and analyze one benchmark at all three levels on
@@ -154,9 +190,17 @@ pub fn length_arg() -> usize {
 mod tests {
     use super::*;
 
+    /// A storeless session: these tests pin exact memory-tier miss
+    /// counts, which a warm shared store would (correctly) turn into
+    /// disk hits — persistence behavior is covered by the facade's
+    /// `tests/persistence.rs`.
+    fn hermetic_session(config: DetectorConfig) -> Explorer {
+        Explorer::new().with_detector(config)
+    }
+
     #[test]
     fn analyze_one_benchmark_all_levels() {
-        let s = session(DetectorConfig::default());
+        let s = hermetic_session(DetectorConfig::default());
         let a = analyze_benchmark(&s, "bspline");
         assert_eq!(a.bench.name, "bspline");
         for g in &a.graphs {
@@ -177,7 +221,7 @@ mod tests {
 
     #[test]
     fn suite_analysis_is_cache_shared_across_detectors() {
-        let s = session(DetectorConfig::default());
+        let s = hermetic_session(DetectorConfig::default());
         let a2 = analyze_benchmark_with(&s, "sewha", DetectorConfig::default().with_length(2));
         let a4 = analyze_benchmark_with(&s, "sewha", DetectorConfig::default().with_length(4));
         assert!(Arc::ptr_eq(&a2.program, &a4.program), "one compile");

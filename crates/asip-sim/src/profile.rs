@@ -70,6 +70,30 @@ impl Profile {
             .filter(|(_, &c)| c > 0)
             .map(|(i, &c)| (InstId(i as u32), c))
     }
+
+    /// The raw per-instruction counts, indexed by [`InstId`]. Together
+    /// with [`Profile::block_counts`] and [`Profile::total_ops`] this is
+    /// the profile's complete state, exposed so artifact stores can
+    /// serialize profiles without reflective serialization support.
+    pub fn inst_counts(&self) -> &[u64] {
+        &self.inst_counts
+    }
+
+    /// The raw per-block entry counts, indexed by [`BlockId`].
+    pub fn block_counts(&self) -> &[u64] {
+        &self.block_counts
+    }
+
+    /// Reassemble a profile from the parts exposed by
+    /// [`Profile::inst_counts`], [`Profile::block_counts`] and
+    /// [`Profile::total_ops`] (the decode half of profile persistence).
+    pub fn from_parts(inst_counts: Vec<u64>, block_counts: Vec<u64>, total_ops: u64) -> Self {
+        Profile {
+            inst_counts,
+            block_counts,
+            total_ops,
+        }
+    }
 }
 
 #[cfg(test)]

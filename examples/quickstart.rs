@@ -13,7 +13,18 @@
 use asip_explorer::prelude::*;
 
 fn main() -> Result<(), ExplorerError> {
-    let session = Explorer::new();
+    // Share the bench binaries' on-disk artifact store (override with
+    // ASIP_STORE=<dir>, disable with ASIP_STORE=0): a rerun of this
+    // example — or a prior run of any bench binary — serves the whole
+    // pipeline from disk instead of recomputing it. The default lives
+    // under the workspace target dir regardless of the working
+    // directory this example is launched from.
+    let store = std::env::var("ASIP_STORE")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/target/asip-store").into());
+    let session = match store.as_str() {
+        "" | "0" | "off" => Explorer::new(),
+        dir => Explorer::new().with_store(dir),
+    };
 
     // 1. compile a benchmark (step 1: the front end)
     let compiled = session.compile("fir")?;

@@ -11,7 +11,7 @@
 
 use asip_benchmarks::Benchmark;
 use asip_chains::SequenceReport;
-use asip_ir::Program;
+use asip_ir::{OpClass, Program};
 use asip_opt::{OptLevel, ScheduleGraph};
 use asip_sim::Profile;
 use asip_synth::{AsipDesign, Evaluation};
@@ -289,6 +289,847 @@ impl Exploration {
     }
 }
 
+// -- the artifact codec ------------------------------------------------
+//
+// The offline build links a no-op `serde` shim, so derive-based
+// serialization is unavailable; stage payloads are persisted with this
+// hand-rolled self-describing binary codec instead. Every value carries
+// a one-byte type tag, so a decoder reading skewed bytes fails with a
+// typed [`CodecError`] instead of misinterpreting them. Swapping in the
+// real serde later is mechanical: replace each `ArtifactCodec` impl
+// with the already-present derives and re-point the store at
+// `bincode`/`serde_json`.
+
+/// Type tags of the self-describing binary artifact encoding. One tag
+/// byte precedes every encoded value; see `docs/persistence.md` for the
+/// full framing specification.
+mod tag {
+    /// Unsigned 64-bit integer (8 bytes little-endian follow).
+    pub const U64: u8 = 0x01;
+    /// Signed 64-bit integer (8 bytes little-endian follow).
+    pub const I64: u8 = 0x02;
+    /// IEEE-754 double (8 bytes little-endian bit pattern follow).
+    pub const F64: u8 = 0x03;
+    /// Boolean (1 byte follows: 0 or 1).
+    pub const BOOL: u8 = 0x04;
+    /// UTF-8 string (u64 little-endian byte length, then the bytes).
+    pub const STR: u8 = 0x05;
+    /// Sequence header (u64 little-endian element count; the elements
+    /// follow, each self-tagged).
+    pub const SEQ: u8 = 0x06;
+    /// Absent optional value (no payload).
+    pub const NONE: u8 = 0x07;
+    /// Present optional value (the value follows, self-tagged).
+    pub const SOME: u8 = 0x08;
+}
+
+/// Write half of the artifact codec: a growing byte buffer with one
+/// `put_*` method per primitive of the encoding.
+///
+/// ```
+/// use asip_explorer::artifact::{ArtifactCodec, Decoder, Encoder};
+///
+/// let mut enc = Encoder::new();
+/// enc.put_str("fir");
+/// enc.put_u64(1995);
+/// let bytes = enc.into_bytes();
+///
+/// let mut dec = Decoder::new(&bytes);
+/// assert_eq!(dec.str()?, "fir");
+/// assert_eq!(dec.u64()?, 1995);
+/// dec.finish()?;
+/// # Ok::<(), asip_explorer::error::CodecError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append an unsigned integer.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.push(tag::U64);
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a signed integer.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.push(tag::I64);
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a float (by exact bit pattern — NaNs round-trip).
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.push(tag::F64);
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Append a boolean.
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(tag::BOOL);
+        self.buf.push(u8::from(v));
+    }
+
+    /// Append a string.
+    pub fn put_str(&mut self, v: &str) {
+        self.buf.push(tag::STR);
+        self.buf.extend_from_slice(&(v.len() as u64).to_le_bytes());
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    /// Append a sequence header; the caller then encodes exactly `len`
+    /// elements.
+    pub fn put_seq(&mut self, len: usize) {
+        self.buf.push(tag::SEQ);
+        self.buf.extend_from_slice(&(len as u64).to_le_bytes());
+    }
+
+    /// Append an optional value.
+    pub fn put_option<T: ArtifactCodec>(&mut self, v: Option<&T>) {
+        match v {
+            None => self.buf.push(tag::NONE),
+            Some(v) => {
+                self.buf.push(tag::SOME);
+                v.encode(self);
+            }
+        }
+    }
+}
+
+/// Read half of the artifact codec: a cursor over encoded bytes that
+/// validates every type tag. See [`Encoder`] for a round-trip example.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+use crate::error::CodecError;
+
+impl<'a> Decoder<'a> {
+    /// A decoder over `bytes`, positioned at the start.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Decoder { bytes, pos: 0 }
+    }
+
+    /// Current read offset (for error reporting).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(CodecError::Truncated { at: self.pos })?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn expect_tag(&mut self, expected: u8) -> Result<(), CodecError> {
+        let at = self.pos;
+        let found = self.take(1)?[0];
+        if found == expected {
+            Ok(())
+        } else {
+            Err(CodecError::Tag {
+                at,
+                expected,
+                found,
+            })
+        }
+    }
+
+    fn raw_u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Read an unsigned integer.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        self.expect_tag(tag::U64)?;
+        self.raw_u64()
+    }
+
+    /// Read an unsigned integer that must fit `usize`.
+    pub fn usize(&mut self) -> Result<usize, CodecError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| CodecError::Invalid {
+            detail: format!("{v} does not fit usize"),
+        })
+    }
+
+    /// Read an unsigned integer that must fit `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        let v = self.u64()?;
+        u32::try_from(v).map_err(|_| CodecError::Invalid {
+            detail: format!("{v} does not fit u32"),
+        })
+    }
+
+    /// Read a signed integer.
+    pub fn i64(&mut self) -> Result<i64, CodecError> {
+        self.expect_tag(tag::I64)?;
+        self.raw_u64().map(|v| v as i64)
+    }
+
+    /// Read a float.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        self.expect_tag(tag::F64)?;
+        self.raw_u64().map(f64::from_bits)
+    }
+
+    /// Read a boolean.
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        self.expect_tag(tag::BOOL)?;
+        match self.take(1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CodecError::Invalid {
+                detail: format!("boolean byte {other:#04x}"),
+            }),
+        }
+    }
+
+    /// Read a string.
+    pub fn str(&mut self) -> Result<String, CodecError> {
+        self.expect_tag(tag::STR)?;
+        let len = self.raw_u64()?;
+        let len = usize::try_from(len).map_err(|_| CodecError::Invalid {
+            detail: format!("string length {len} does not fit usize"),
+        })?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| CodecError::Invalid {
+            detail: format!("string is not UTF-8: {e}"),
+        })
+    }
+
+    /// Read a sequence header, returning the element count. The caller
+    /// then decodes exactly that many elements.
+    pub fn seq(&mut self) -> Result<usize, CodecError> {
+        self.expect_tag(tag::SEQ)?;
+        let len = self.raw_u64()?;
+        usize::try_from(len).map_err(|_| CodecError::Invalid {
+            detail: format!("sequence length {len} does not fit usize"),
+        })
+    }
+
+    /// Read an optional value.
+    pub fn option<T: ArtifactCodec>(&mut self) -> Result<Option<T>, CodecError> {
+        let at = self.pos;
+        match self.take(1)?[0] {
+            t if t == tag::NONE => Ok(None),
+            t if t == tag::SOME => Ok(Some(T::decode(self)?)),
+            found => Err(CodecError::Tag {
+                at,
+                expected: tag::SOME,
+                found,
+            }),
+        }
+    }
+
+    /// Assert that every byte was consumed (corrupted entries often
+    /// decode to a structurally valid prefix; this catches the rest).
+    pub fn finish(self) -> Result<(), CodecError> {
+        let remaining = self.bytes.len() - self.pos;
+        if remaining == 0 {
+            Ok(())
+        } else {
+            Err(CodecError::Trailing { remaining })
+        }
+    }
+}
+
+/// Binary encode/decode for one artifact payload type.
+///
+/// Implemented by every stage payload the
+/// [`Explorer`](crate::Explorer) caches ([`Program`], [`Profile`],
+/// [`ScheduleGraph`], [`SequenceReport`], [`AsipDesign`],
+/// [`Evaluation`] and the suite evaluation vector), plus the primitives
+/// they are built from. `decode(encode(x)) == x` for every valid value;
+/// decoding arbitrary bytes returns a [`CodecError`], never panics.
+///
+/// ```
+/// use asip_explorer::artifact::{ArtifactCodec, Decoder, Encoder};
+/// use asip_explorer::synth::Evaluation;
+///
+/// let e = Evaluation {
+///     base_cycles: 200, asip_cycles: 100, speedup: 2.0,
+///     fused_chains: 3, extension_area: 512.0,
+/// };
+/// let mut enc = Encoder::new();
+/// e.encode(&mut enc);
+/// let bytes = enc.into_bytes();
+/// let mut dec = Decoder::new(&bytes);
+/// assert_eq!(Evaluation::decode(&mut dec)?, e);
+/// dec.finish()?;
+/// # Ok::<(), asip_explorer::error::CodecError>(())
+/// ```
+pub trait ArtifactCodec: Sized {
+    /// Append this value's encoding to `enc`.
+    fn encode(&self, enc: &mut Encoder);
+
+    /// Decode one value from the cursor.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] on truncated, mistyped or invalid bytes.
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError>;
+
+    /// Encode into a fresh byte vector.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        enc.into_bytes()
+    }
+
+    /// Decode from a complete byte slice, requiring full consumption.
+    ///
+    /// # Errors
+    ///
+    /// As [`ArtifactCodec::decode`], plus [`CodecError::Trailing`] when
+    /// bytes are left over.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut dec = Decoder::new(bytes);
+        let v = Self::decode(&mut dec)?;
+        dec.finish()?;
+        Ok(v)
+    }
+}
+
+impl ArtifactCodec for u32 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(u64::from(*self));
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        dec.u32()
+    }
+}
+
+impl ArtifactCodec for u64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(*self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        dec.u64()
+    }
+}
+
+impl ArtifactCodec for usize {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(*self as u64);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        dec.usize()
+    }
+}
+
+impl ArtifactCodec for i64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_i64(*self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        dec.i64()
+    }
+}
+
+impl ArtifactCodec for f64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_f64(*self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        dec.f64()
+    }
+}
+
+impl ArtifactCodec for bool {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_bool(*self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        dec.bool()
+    }
+}
+
+impl ArtifactCodec for String {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        dec.str()
+    }
+}
+
+impl<T: ArtifactCodec> ArtifactCodec for Vec<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_seq(self.len());
+        for v in self {
+            v.encode(enc);
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let len = dec.seq()?;
+        // Cap the up-front reservation: a corrupted length must not
+        // allocate gigabytes before element decoding fails.
+        let mut out = Vec::with_capacity(len.min(1024));
+        for _ in 0..len {
+            out.push(T::decode(dec)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: ArtifactCodec, B: ArtifactCodec> ArtifactCodec for (A, B) {
+    fn encode(&self, enc: &mut Encoder) {
+        self.0.encode(enc);
+        self.1.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok((A::decode(dec)?, B::decode(dec)?))
+    }
+}
+
+impl<T: ArtifactCodec> ArtifactCodec for Option<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_option(self.as_ref());
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        dec.option()
+    }
+}
+
+// -- IR ids and operands -----------------------------------------------
+
+use asip_ir::{BinOp, Inst, InstKind, Operand, UnOp};
+use asip_opt::NodeId;
+
+impl ArtifactCodec for asip_ir::Reg {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(u64::from(self.0));
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(asip_ir::Reg(dec.u32()?))
+    }
+}
+
+impl ArtifactCodec for asip_ir::ArrayId {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(u64::from(self.0));
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(asip_ir::ArrayId(dec.u32()?))
+    }
+}
+
+impl ArtifactCodec for asip_ir::BlockId {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(u64::from(self.0));
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(asip_ir::BlockId(dec.u32()?))
+    }
+}
+
+impl ArtifactCodec for asip_ir::InstId {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(u64::from(self.0));
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(asip_ir::InstId(dec.u32()?))
+    }
+}
+
+impl ArtifactCodec for NodeId {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(u64::from(self.0));
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(NodeId(dec.u32()?))
+    }
+}
+
+/// Decode a mnemonic string through `FromStr` (the IR's mnemonics are
+/// stable public vocabulary, which makes them better version-skew
+/// detectors than raw discriminant integers).
+fn parse_mnemonic<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, CodecError> {
+    s.parse().map_err(|_| CodecError::Invalid {
+        detail: format!("unknown {what} mnemonic `{s}`"),
+    })
+}
+
+impl ArtifactCodec for BinOp {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(self.mnemonic());
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        parse_mnemonic(&dec.str()?, "binary op")
+    }
+}
+
+impl ArtifactCodec for UnOp {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(self.mnemonic());
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        parse_mnemonic(&dec.str()?, "unary op")
+    }
+}
+
+impl ArtifactCodec for OpClass {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(self.paper_name());
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        parse_mnemonic(&dec.str()?, "op class")
+    }
+}
+
+impl ArtifactCodec for Operand {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            Operand::Reg(r) => {
+                enc.put_u64(0);
+                r.encode(enc);
+            }
+            Operand::ImmInt(v) => {
+                enc.put_u64(1);
+                enc.put_i64(*v);
+            }
+            Operand::ImmFloat(v) => {
+                enc.put_u64(2);
+                enc.put_f64(*v);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match dec.u64()? {
+            0 => Ok(Operand::Reg(asip_ir::Reg::decode(dec)?)),
+            1 => Ok(Operand::ImmInt(dec.i64()?)),
+            2 => Ok(Operand::ImmFloat(dec.f64()?)),
+            v => Err(CodecError::Invalid {
+                detail: format!("operand variant {v}"),
+            }),
+        }
+    }
+}
+
+impl ArtifactCodec for Inst {
+    fn encode(&self, enc: &mut Encoder) {
+        self.id.encode(enc);
+        match &self.kind {
+            InstKind::Binary { op, dst, lhs, rhs } => {
+                enc.put_u64(0);
+                op.encode(enc);
+                dst.encode(enc);
+                lhs.encode(enc);
+                rhs.encode(enc);
+            }
+            InstKind::Unary { op, dst, src } => {
+                enc.put_u64(1);
+                op.encode(enc);
+                dst.encode(enc);
+                src.encode(enc);
+            }
+            InstKind::Load { dst, array, index } => {
+                enc.put_u64(2);
+                dst.encode(enc);
+                array.encode(enc);
+                index.encode(enc);
+            }
+            InstKind::Store {
+                array,
+                index,
+                value,
+            } => {
+                enc.put_u64(3);
+                array.encode(enc);
+                index.encode(enc);
+                value.encode(enc);
+            }
+            InstKind::Branch {
+                cond,
+                then_target,
+                else_target,
+            } => {
+                enc.put_u64(4);
+                cond.encode(enc);
+                then_target.encode(enc);
+                else_target.encode(enc);
+            }
+            InstKind::Jump { target } => {
+                enc.put_u64(5);
+                target.encode(enc);
+            }
+            InstKind::Ret { value } => {
+                enc.put_u64(6);
+                value.encode(enc);
+            }
+            InstKind::Chained {
+                ext,
+                dst,
+                inputs,
+                ops,
+            } => {
+                enc.put_u64(7);
+                ext.encode(enc);
+                dst.encode(enc);
+                inputs.encode(enc);
+                ops.encode(enc);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let id = asip_ir::InstId::decode(dec)?;
+        let kind = match dec.u64()? {
+            0 => InstKind::Binary {
+                op: BinOp::decode(dec)?,
+                dst: asip_ir::Reg::decode(dec)?,
+                lhs: Operand::decode(dec)?,
+                rhs: Operand::decode(dec)?,
+            },
+            1 => InstKind::Unary {
+                op: UnOp::decode(dec)?,
+                dst: asip_ir::Reg::decode(dec)?,
+                src: Operand::decode(dec)?,
+            },
+            2 => InstKind::Load {
+                dst: asip_ir::Reg::decode(dec)?,
+                array: asip_ir::ArrayId::decode(dec)?,
+                index: Operand::decode(dec)?,
+            },
+            3 => InstKind::Store {
+                array: asip_ir::ArrayId::decode(dec)?,
+                index: Operand::decode(dec)?,
+                value: Operand::decode(dec)?,
+            },
+            4 => InstKind::Branch {
+                cond: Operand::decode(dec)?,
+                then_target: asip_ir::BlockId::decode(dec)?,
+                else_target: asip_ir::BlockId::decode(dec)?,
+            },
+            5 => InstKind::Jump {
+                target: asip_ir::BlockId::decode(dec)?,
+            },
+            6 => InstKind::Ret {
+                value: Option::<Operand>::decode(dec)?,
+            },
+            7 => InstKind::Chained {
+                ext: u32::decode(dec)?,
+                dst: asip_ir::Reg::decode(dec)?,
+                inputs: Vec::<Operand>::decode(dec)?,
+                ops: Vec::<BinOp>::decode(dec)?,
+            },
+            v => {
+                return Err(CodecError::Invalid {
+                    detail: format!("instruction variant {v}"),
+                })
+            }
+        };
+        Ok(Inst { id, kind })
+    }
+}
+
+// -- stage payloads ----------------------------------------------------
+
+impl ArtifactCodec for Program {
+    /// Programs persist through the IR's lossless textual format (see
+    /// [`asip_ir::parse_program`]): the dump is validated on decode, so
+    /// a bit-flipped program file is rejected rather than simulated.
+    /// `next_inst_id` is carried explicitly because the text encodes
+    /// only the *used* ids.
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(&self.to_string());
+        enc.put_u64(u64::from(self.next_inst_id));
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let text = dec.str()?;
+        let next = dec.u32()?;
+        let mut program = asip_ir::parse_program(&text).map_err(|e| CodecError::Invalid {
+            detail: format!("program text rejected: {e}"),
+        })?;
+        program.next_inst_id = program.next_inst_id.max(next);
+        Ok(program)
+    }
+}
+
+impl ArtifactCodec for Profile {
+    fn encode(&self, enc: &mut Encoder) {
+        self.inst_counts().to_vec().encode(enc);
+        self.block_counts().to_vec().encode(enc);
+        enc.put_u64(self.total_ops());
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let inst_counts = Vec::<u64>::decode(dec)?;
+        let block_counts = Vec::<u64>::decode(dec)?;
+        let total_ops = dec.u64()?;
+        Ok(Profile::from_parts(inst_counts, block_counts, total_ops))
+    }
+}
+
+impl ArtifactCodec for asip_opt::ScheduledOp {
+    fn encode(&self, enc: &mut Encoder) {
+        self.inst.encode(enc);
+        self.orig.encode(enc);
+        enc.put_f64(self.weight);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(asip_opt::ScheduledOp {
+            inst: Inst::decode(dec)?,
+            orig: asip_ir::InstId::decode(dec)?,
+            weight: dec.f64()?,
+        })
+    }
+}
+
+impl ArtifactCodec for asip_opt::SchedNode {
+    fn encode(&self, enc: &mut Encoder) {
+        self.ops.encode(enc);
+        self.succs.encode(enc);
+        self.preds.encode(enc);
+        self.block.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(asip_opt::SchedNode {
+            ops: Vec::decode(dec)?,
+            succs: Vec::decode(dec)?,
+            preds: Vec::decode(dec)?,
+            block: asip_ir::BlockId::decode(dec)?,
+        })
+    }
+}
+
+impl ArtifactCodec for ScheduleGraph {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(&self.name);
+        self.nodes.encode(enc);
+        self.entry.encode(enc);
+        self.arrays_float.encode(enc);
+        enc.put_u64(self.total_profile_ops);
+        enc.put_bool(self.region_chaining);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let graph = ScheduleGraph {
+            name: dec.str()?,
+            nodes: Vec::decode(dec)?,
+            entry: NodeId::decode(dec)?,
+            arrays_float: Vec::decode(dec)?,
+            total_profile_ops: dec.u64()?,
+            region_chaining: dec.bool()?,
+        };
+        // Re-validate structure: a decoded graph feeds the detector and
+        // the design stage, which index nodes unchecked.
+        graph
+            .check_invariants()
+            .map_err(|detail| CodecError::Invalid { detail })?;
+        Ok(graph)
+    }
+}
+
+impl ArtifactCodec for asip_chains::Signature {
+    fn encode(&self, enc: &mut Encoder) {
+        self.classes().to_vec().encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let classes = Vec::<OpClass>::decode(dec)?;
+        if classes.len() < 2 {
+            return Err(CodecError::Invalid {
+                detail: format!("signature of length {}", classes.len()),
+            });
+        }
+        Ok(asip_chains::Signature::new(classes))
+    }
+}
+
+impl ArtifactCodec for asip_chains::SeqStats {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_f64(self.frequency);
+        enc.put_u64(self.occurrences as u64);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(asip_chains::SeqStats {
+            frequency: dec.f64()?,
+            occurrences: dec.usize()?,
+        })
+    }
+}
+
+impl ArtifactCodec for SequenceReport {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(&self.name);
+        self.entries().to_vec().encode(enc);
+        enc.put_u64(self.total_profile_ops);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let name = dec.str()?;
+        let entries = Vec::decode(dec)?;
+        let total = dec.u64()?;
+        // from_parts re-sorts, so a tampered entry order cannot change
+        // what `top(n)` reports.
+        Ok(SequenceReport::from_parts(name, entries, total))
+    }
+}
+
+impl ArtifactCodec for asip_synth::IsaExtension {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(u64::from(self.id));
+        self.signature.encode(enc);
+        enc.put_f64(self.area);
+        enc.put_f64(self.expected_benefit);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(asip_synth::IsaExtension {
+            id: dec.u32()?,
+            signature: asip_chains::Signature::decode(dec)?,
+            area: dec.f64()?,
+            expected_benefit: dec.f64()?,
+        })
+    }
+}
+
+impl ArtifactCodec for AsipDesign {
+    fn encode(&self, enc: &mut Encoder) {
+        self.extensions.encode(enc);
+        enc.put_f64(self.extension_area);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(AsipDesign {
+            extensions: Vec::decode(dec)?,
+            extension_area: dec.f64()?,
+        })
+    }
+}
+
+impl ArtifactCodec for Evaluation {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.base_cycles);
+        enc.put_u64(self.asip_cycles);
+        enc.put_f64(self.speedup);
+        enc.put_u64(self.fused_chains as u64);
+        enc.put_f64(self.extension_area);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(Evaluation {
+            base_cycles: dec.u64()?,
+            asip_cycles: dec.u64()?,
+            speedup: dec.f64()?,
+            fused_chains: dec.usize()?,
+            extension_area: dec.f64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,5 +1171,119 @@ mod tests {
         };
         assert_eq!(one.geomean_speedup(), Some(2.0));
         assert_eq!(one.speedup_of("fir"), Some(2.0));
+    }
+
+    fn round_trip<T: ArtifactCodec + PartialEq + std::fmt::Debug>(v: &T) {
+        let bytes = v.to_bytes();
+        let back = T::from_bytes(&bytes).expect("decodes");
+        assert_eq!(&back, v);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(&0u64);
+        round_trip(&u64::MAX);
+        round_trip(&(-42i64));
+        round_trip(&f64::NEG_INFINITY);
+        round_trip(&3.25f64);
+        round_trip(&true);
+        round_trip(&String::from("héllo"));
+        round_trip(&vec![1u64, 2, 3]);
+        round_trip(&Some(7u64));
+        round_trip(&None::<u64>);
+        round_trip(&(String::from("k"), 2.5f64));
+        // NaN round-trips by bit pattern (PartialEq can't see it)
+        let nan_bits = f64::NAN.to_bits();
+        let back = f64::from_bytes(&f64::from_bits(nan_bits).to_bytes()).expect("decodes");
+        assert_eq!(back.to_bits(), nan_bits);
+    }
+
+    #[test]
+    fn decode_rejects_tag_and_truncation_errors() {
+        use crate::error::CodecError;
+        // wrong tag
+        let bytes = 5u64.to_bytes();
+        assert!(matches!(
+            f64::from_bytes(&bytes),
+            Err(CodecError::Tag { .. })
+        ));
+        // truncation
+        assert!(matches!(
+            u64::from_bytes(&bytes[..4]),
+            Err(CodecError::Truncated { .. })
+        ));
+        // trailing garbage
+        let mut long = bytes.clone();
+        long.push(0xFF);
+        assert!(matches!(
+            u64::from_bytes(&long),
+            Err(CodecError::Trailing { remaining: 1 })
+        ));
+        // empty input
+        assert!(u64::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn stage_payloads_round_trip() {
+        // compile / profile / schedule / analyze / design / evaluate
+        // payloads for a real benchmark survive encode → decode exactly
+        let bench = asip_benchmarks::registry();
+        let bench = bench.find("sewha").expect("built-in");
+        let program = bench.compile().expect("compiles");
+        round_trip(&program);
+
+        let profile = bench.profile(&program).expect("profiles");
+        round_trip(&profile);
+
+        let graph = asip_opt::Optimizer::new(OptLevel::Pipelined).run(&program, &profile);
+        round_trip(&graph);
+
+        let report = asip_chains::SequenceDetector::new(asip_chains::DetectorConfig::default())
+            .analyze(&graph);
+        round_trip(&report);
+
+        let design = asip_synth::AsipDesigner::new(asip_synth::DesignConstraints::default())
+            .design_from_schedule(&graph, &program);
+        round_trip(&design);
+
+        let evaluation =
+            asip_synth::evaluate(&program, &design, &bench.dataset()).expect("evaluates");
+        round_trip(&evaluation);
+        round_trip(&vec![(String::from("sewha"), evaluation)]);
+    }
+
+    #[test]
+    fn chained_instructions_round_trip() {
+        use asip_ir::{BinOp, Inst, InstId, InstKind, Operand, Reg};
+        let inst = Inst::new(
+            InstId(9),
+            InstKind::Chained {
+                ext: 2,
+                dst: Reg(4),
+                inputs: vec![
+                    Operand::Reg(Reg(1)),
+                    Operand::imm_int(3),
+                    Operand::imm_float(0.5),
+                ],
+                ops: vec![BinOp::Mul, BinOp::Add],
+            },
+        );
+        round_trip(&inst);
+    }
+
+    #[test]
+    fn decoded_graph_is_revalidated() {
+        let bench = asip_benchmarks::registry();
+        let bench = bench.find("sewha").expect("built-in");
+        let program = bench.compile().expect("compiles");
+        let profile = bench.profile(&program).expect("profiles");
+        let mut graph = ScheduleGraph::sequential(&program, &profile);
+        // break edge symmetry, encode, and watch decode reject it
+        graph.nodes[0].succs.push(asip_opt::NodeId(2));
+        let bytes = graph.to_bytes();
+        assert!(matches!(
+            ScheduleGraph::from_bytes(&bytes),
+            Err(crate::error::CodecError::Invalid { .. })
+        ));
     }
 }

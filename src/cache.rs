@@ -1,13 +1,30 @@
 //! The bounded LRU map behind every session stage cache.
 //!
-//! The `Explorer` session memoizes each pipeline stage; for the
-//! twelve-benchmark registry the maps stay tiny, but a long-lived
-//! session behind a service would otherwise grow without bound as
-//! sweeps visit ever more `(benchmark, configuration)` keys.
+//! The [`Explorer`](crate::Explorer) session memoizes each pipeline
+//! stage; for the twelve-benchmark registry the maps stay tiny, but a
+//! long-lived session behind a service would otherwise grow without
+//! bound as sweeps visit ever more `(benchmark, configuration)` keys.
 //! [`LruCache`] bounds each stage map to a configurable number of
 //! entries: an insert over capacity evicts the least-recently-*used*
 //! entry (a cache hit refreshes recency), and every eviction is
-//! reported back so the session's `CacheStats` can account for it.
+//! reported back so the session's [`CacheStats`](crate::CacheStats) can
+//! account for it. The map itself is synchronous and unsynchronized —
+//! the session wraps one per stage in a `Mutex` — and it never touches
+//! disk; the persistent tier below it lives in [`crate::store`].
+//!
+//! ```
+//! use asip_explorer::cache::LruCache;
+//!
+//! let mut cache = LruCache::default(); // unbounded until told otherwise
+//! cache.set_capacity(Some(2));
+//! cache.insert("fir", 1);
+//! cache.insert("sewha", 2);
+//! assert_eq!(cache.get(&"fir"), Some(&1)); // refreshes "fir"
+//! let evicted = cache.insert("dft", 3);    // over capacity…
+//! assert_eq!(evicted, 1);                  // …evicts LRU "sewha"
+//! assert_eq!(cache.get(&"sewha"), None);
+//! assert_eq!(cache.len(), 2);
+//! ```
 
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -21,7 +38,7 @@ use std::hash::Hash;
 /// values behind them cost milliseconds to recompute, and the map lives
 /// under a `Mutex` where a linked-list LRU would buy nothing.
 #[derive(Debug)]
-pub(crate) struct LruCache<K, V> {
+pub struct LruCache<K, V> {
     map: HashMap<K, Entry<V>>,
     capacity: Option<usize>,
     tick: u64,
@@ -95,6 +112,11 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// Current number of entries.
     pub fn len(&self) -> usize {
         self.map.len()
+    }
+
+    /// True when the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
     }
 
     /// Drop every entry (the bound survives).

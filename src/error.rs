@@ -13,6 +13,68 @@ use asip_ir::IrError;
 use asip_sim::SimError;
 use std::fmt;
 
+/// A failure while decoding a persisted artifact (see
+/// [`ArtifactCodec`](crate::artifact::ArtifactCodec) and the
+/// [`store`](crate::store) module).
+///
+/// Decode failures are *expected* inputs for the session's disk tier: a
+/// truncated, corrupted or version-skewed store entry must degrade to a
+/// recompute, never to a session error. The variants exist so codec
+/// users outside the session (tools inspecting a store directly) can
+/// tell truncation from tag skew from semantic rejection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The byte stream ended in the middle of a value.
+    Truncated {
+        /// Offset at which more bytes were needed.
+        at: usize,
+    },
+    /// A value's leading tag byte did not match the expected type.
+    Tag {
+        /// Offset of the offending tag byte.
+        at: usize,
+        /// The tag the decoder expected.
+        expected: u8,
+        /// The tag actually found.
+        found: u8,
+    },
+    /// The bytes decoded structurally but describe an invalid value
+    /// (unknown mnemonic, impossible length, failed re-validation).
+    Invalid {
+        /// Human-readable description of the rejection.
+        detail: String,
+    },
+    /// Decoding finished with unconsumed bytes left over.
+    Trailing {
+        /// Number of unread bytes remaining.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { at } => {
+                write!(f, "artifact bytes truncated at offset {at}")
+            }
+            CodecError::Tag {
+                at,
+                expected,
+                found,
+            } => write!(
+                f,
+                "artifact tag mismatch at offset {at}: expected {expected:#04x}, found {found:#04x}"
+            ),
+            CodecError::Invalid { detail } => write!(f, "invalid artifact payload: {detail}"),
+            CodecError::Trailing { remaining } => {
+                write!(f, "artifact decoded with {remaining} trailing bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
 /// Any failure raised by an [`Explorer`](crate::Explorer) session.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ExplorerError {

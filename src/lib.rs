@@ -19,6 +19,13 @@
 //! compiler feedback and extension selection can never silently
 //! diverge, and a design after an analyze costs zero optimizer runs.
 //!
+//! Sessions can also persist their artifacts *across* processes:
+//! [`Explorer::with_store`] layers a content-addressed on-disk
+//! [`ArtifactStore`] under the in-memory caches, so the eleven
+//! paper-reproduction binaries share one pipeline run instead of each
+//! recompiling, re-profiling and re-scheduling the suite (see the
+//! [`store`] module and `docs/persistence.md`).
+//!
 //! The workspace is organised as this facade over seven member crates:
 //!
 //! - [`ir`] — the three-address intermediate representation and CFG.
@@ -89,16 +96,18 @@ pub use asip_sim as sim;
 pub use asip_synth as synth;
 
 pub mod artifact;
-mod cache;
+pub mod cache;
 pub mod error;
 pub mod session;
+pub mod store;
 
 pub use artifact::{
-    geomean, Analyzed, Artifact, Compiled, Designed, DesignedSuite, Evaluated, EvaluatedSuite,
-    Exploration, Profiled, Scheduled, Stage,
+    geomean, Analyzed, Artifact, ArtifactCodec, Compiled, Designed, DesignedSuite, Evaluated,
+    EvaluatedSuite, Exploration, Profiled, Scheduled, Stage,
 };
-pub use error::ExplorerError;
+pub use error::{CodecError, ExplorerError};
 pub use session::{CacheStats, Explorer, StageStats};
+pub use store::{ArtifactStore, DiskStats};
 
 /// Convenience re-exports for the common exploration flow.
 pub mod prelude {
@@ -108,6 +117,7 @@ pub mod prelude {
     };
     pub use crate::error::ExplorerError;
     pub use crate::session::{CacheStats, Explorer, StageStats};
+    pub use crate::store::{ArtifactStore, DiskStats};
     pub use asip_benchmarks::{registry, Benchmark, DataSpec};
     pub use asip_chains::{
         CoverageAnalyzer, DetectorConfig, SequenceDetector, SequenceReport, Signature,

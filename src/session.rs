@@ -12,7 +12,7 @@
 //! shared across the whole sweep, and [`Explorer::cache_stats`] proves
 //! it.
 //!
-//! Three properties make the session safe to park behind a long-lived
+//! Four properties make the session safe to park behind a long-lived
 //! service:
 //!
 //! - **Feedback coherence.** The design stage selects extensions from
@@ -27,6 +27,11 @@
 //! - **Bounded caches.** [`Explorer::with_cache_capacity`] puts an LRU
 //!   bound on every stage cache; evictions and live entry counts are
 //!   surfaced through [`CacheStats`].
+//! - **Optional persistence.** [`Explorer::with_store`] layers an
+//!   on-disk, content-addressed artifact store under the memory caches
+//!   so separate processes share work; corrupted or stale entries fall
+//!   back to recompute, and the disk tier's hit/miss/write/corrupt
+//!   counters are part of [`CacheStats`] (see [`crate::store`]).
 //!
 //! ```
 //! use asip_explorer::Explorer;
@@ -44,36 +49,55 @@
 //! ```
 
 use crate::artifact::{
-    Analyzed, Compiled, Designed, DesignedSuite, Evaluated, EvaluatedSuite, Exploration, Profiled,
-    Scheduled, Stage,
+    Analyzed, ArtifactCodec, Compiled, Designed, DesignedSuite, Evaluated, EvaluatedSuite,
+    Exploration, Profiled, Scheduled, Stage,
 };
 use crate::cache::LruCache;
 use crate::error::ExplorerError;
-use asip_benchmarks::{Benchmark, Registry, DEFAULT_SEED};
+use crate::store::{ArtifactStore, StableHasher};
+use asip_benchmarks::{Benchmark, DataSpec, Registry, DEFAULT_SEED};
 use asip_chains::{DetectorConfig, SequenceDetector, SequenceReport};
-use asip_ir::Program;
+use asip_ir::{OpClass, Program};
 use asip_opt::{OptConfig, OptLevel, Optimizer, ScheduleGraph};
 use asip_sim::{Profile, Simulator};
 use asip_synth::{AsipDesign, AsipDesigner, DesignConstraints, Evaluation};
 use std::collections::{BTreeSet, HashSet};
 use std::fmt;
 use std::hash::Hash;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// Hit/miss/eviction counters (and the live entry count) for one stage
-/// cache.
+/// cache, plus the disk-tier counters for the same stage when a store is
+/// attached ([`Explorer::with_store`]).
+///
+/// The memory and disk tiers count disjoint outcomes: a request is
+/// either a memory `hit`, a disk hit (`disk_hits` — the artifact was
+/// decoded from disk, *not* recomputed, and does not count as a miss),
+/// or a `miss` (the stage actually ran). `misses` therefore always
+/// equals the number of times the stage's computation executed in this
+/// session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StageStats {
-    /// Requests served from the session cache.
+    /// Requests served from the in-memory session cache.
     pub hits: u64,
-    /// Requests that ran the stage.
+    /// Requests that ran the stage (neither cache tier could serve).
     pub misses: u64,
     /// Entries dropped by the LRU bound (see
     /// [`Explorer::with_cache_capacity`]).
     pub evictions: u64,
-    /// Entries currently resident in the cache.
+    /// Entries currently resident in the in-memory cache.
     pub entries: u64,
+    /// Requests served by decoding a persisted artifact (no recompute).
+    pub disk_hits: u64,
+    /// Disk probes that found no entry (the stage then ran).
+    pub disk_misses: u64,
+    /// Artifacts written through to the store.
+    pub disk_writes: u64,
+    /// Store entries rejected as corrupted or version-skewed (the stage
+    /// then ran and the entry was rewritten).
+    pub disk_corrupt: u64,
 }
 
 /// A snapshot of the session's per-stage cache counters.
@@ -131,6 +155,37 @@ impl CacheStats {
     pub fn total_entries(&self) -> u64 {
         Stage::all().iter().map(|s| self.stage(*s).entries).sum()
     }
+
+    /// Total disk-tier hits across stages (artifacts decoded from the
+    /// store instead of recomputed).
+    pub fn total_disk_hits(&self) -> u64 {
+        Stage::all().iter().map(|s| self.stage(*s).disk_hits).sum()
+    }
+
+    /// Total disk-tier misses across stages.
+    pub fn total_disk_misses(&self) -> u64 {
+        Stage::all()
+            .iter()
+            .map(|s| self.stage(*s).disk_misses)
+            .sum()
+    }
+
+    /// Total artifacts written through to the store across stages.
+    pub fn total_disk_writes(&self) -> u64 {
+        Stage::all()
+            .iter()
+            .map(|s| self.stage(*s).disk_writes)
+            .sum()
+    }
+
+    /// Total corrupted/version-skewed store entries rejected across
+    /// stages.
+    pub fn total_disk_corrupt(&self) -> u64 {
+        Stage::all()
+            .iter()
+            .map(|s| self.stage(*s).disk_corrupt)
+            .sum()
+    }
 }
 
 impl fmt::Display for CacheStats {
@@ -143,6 +198,18 @@ impl fmt::Display for CacheStats {
             write!(f, "{stage}: {}h/{}m", st.hits, st.misses)?;
             if st.evictions > 0 {
                 write!(f, "/{}ev", st.evictions)?;
+            }
+        }
+        let (dh, dm, dw, dc) = (
+            self.total_disk_hits(),
+            self.total_disk_misses(),
+            self.total_disk_writes(),
+            self.total_disk_corrupt(),
+        );
+        if dh + dm + dw + dc > 0 {
+            write!(f, "  disk: {dh}h/{dm}m/{dw}w")?;
+            if dc > 0 {
+                write!(f, "/{dc}corrupt")?;
             }
         }
         Ok(())
@@ -288,6 +355,7 @@ pub struct Explorer {
     seed: u64,
     threads: usize,
     cache_capacity: Option<usize>,
+    store: Option<ArtifactStore>,
     caches: Caches,
     counters: Counters,
 }
@@ -305,6 +373,7 @@ impl Default for Explorer {
                 .map(|n| n.get())
                 .unwrap_or(1),
             cache_capacity: None,
+            store: None,
             caches: Caches::default(),
             counters: Counters::default(),
         }
@@ -417,6 +486,26 @@ impl Explorer {
         self
     }
 
+    /// Attach a persistent [`ArtifactStore`] rooted at `dir` as a
+    /// read-through/write-through tier under the in-memory caches, so
+    /// stage artifacts survive the process and separate binaries share
+    /// work (see the [`store`](crate::store) module docs for the disk
+    /// layout).
+    ///
+    /// Lookup order per stage request: memory cache → disk store →
+    /// compute (then write through to both tiers). Store keys hash the
+    /// benchmark *source bytes*, the data spec, the seed and every
+    /// configuration the stage depends on, so a store directory can be
+    /// shared by sessions with different configurations — they simply
+    /// address different entries. Missing, corrupted or version-skewed
+    /// entries silently fall back to recompute; the per-stage disk
+    /// counters in [`CacheStats`] make hits, misses and corruption
+    /// observable.
+    pub fn with_store(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.store = Some(ArtifactStore::open(dir));
+        self
+    }
+
     // -- accessors -----------------------------------------------------
 
     /// The session's benchmark registry.
@@ -454,11 +543,20 @@ impl Explorer {
         self.cache_capacity
     }
 
+    /// The attached artifact store, if [`Explorer::with_store`] was
+    /// called.
+    pub fn store(&self) -> Option<&ArtifactStore> {
+        self.store.as_ref()
+    }
+
     // -- ephemeral-state management ------------------------------------
 
-    /// Drop every cached artifact and zero the counters. Configuration
-    /// (registry, levels, stage parameters, cache bounds) is permanent
-    /// and survives.
+    /// Drop every cached in-memory artifact and zero the counters (the
+    /// disk-tier counters included). Configuration (registry, levels,
+    /// stage parameters, cache bounds) is permanent and survives — as do
+    /// the *entries* of an attached store: they are persistent state,
+    /// shared with other processes, and stay valid because their keys
+    /// hash artifact content identity rather than session history.
     pub fn reset(&self) {
         lock(&self.caches.compile.state).lru.clear();
         lock(&self.caches.profile.state).lru.clear();
@@ -472,6 +570,9 @@ impl Explorer {
             self.counters.hits[i].store(0, Ordering::Relaxed);
             self.counters.misses[i].store(0, Ordering::Relaxed);
             self.counters.evictions[i].store(0, Ordering::Relaxed);
+        }
+        if let Some(store) = &self.store {
+            store.reset_counters();
         }
     }
 
@@ -489,11 +590,22 @@ impl Explorer {
             lock(&c.design_suite.state).lru.len() as u64,
             lock(&c.evaluate_suite.state).lru.len() as u64,
         ];
-        let get = |s: Stage| StageStats {
-            hits: self.counters.hits[s as usize].load(Ordering::Relaxed),
-            misses: self.counters.misses[s as usize].load(Ordering::Relaxed),
-            evictions: self.counters.evictions[s as usize].load(Ordering::Relaxed),
-            entries: entries[s as usize],
+        let get = |s: Stage| {
+            let disk = self
+                .store
+                .as_ref()
+                .map(|store| store.stats(s))
+                .unwrap_or_default();
+            StageStats {
+                hits: self.counters.hits[s as usize].load(Ordering::Relaxed),
+                misses: self.counters.misses[s as usize].load(Ordering::Relaxed),
+                evictions: self.counters.evictions[s as usize].load(Ordering::Relaxed),
+                entries: entries[s as usize],
+                disk_hits: disk.hits,
+                disk_misses: disk.misses,
+                disk_writes: disk.writes,
+                disk_corrupt: disk.corrupt,
+            }
         };
         CacheStats {
             compile: get(Stage::Compile),
@@ -528,10 +640,12 @@ impl Explorer {
     /// Unknown benchmarks and front-end failures.
     pub fn compile(&self, name: &str) -> Result<Compiled, ExplorerError> {
         let benchmark = self.benchmark(name)?;
+        let disk = || self.disk_key(Stage::Compile, |h| hash_benchmark(h, &benchmark));
         let program = self.cached(
             Stage::Compile,
             &self.caches.compile,
             name.to_string(),
+            disk,
             || Ok(benchmark.compile()?),
         )?;
         Ok(Compiled { benchmark, program })
@@ -546,10 +660,17 @@ impl Explorer {
     pub fn profile(&self, name: &str) -> Result<Profiled, ExplorerError> {
         let compiled = self.compile(name)?;
         let seed = self.seed;
+        let disk = || {
+            self.disk_key(Stage::Profile, |h| {
+                hash_benchmark(h, &compiled.benchmark);
+                h.write_u64(seed);
+            })
+        };
         let profile = self.cached(
             Stage::Profile,
             &self.caches.profile,
             (name.to_string(), seed),
+            disk,
             || {
                 let data = compiled.benchmark.dataset_with_seed(seed);
                 Ok(Simulator::new(&compiled.program).run(&data)?.profile)
@@ -586,7 +707,15 @@ impl Explorer {
         let profiled = self.profile(name)?;
         let compiled = self.compile(name)?;
         let key = (name.to_string(), self.seed, level, OptKey::from(config));
-        let graph = self.cached(Stage::Schedule, &self.caches.schedule, key, || {
+        let disk = || {
+            self.disk_key(Stage::Schedule, |h| {
+                hash_benchmark(h, &compiled.benchmark);
+                h.write_u64(self.seed);
+                hash_level(h, level);
+                hash_opt_config(h, config);
+            })
+        };
+        let graph = self.cached(Stage::Schedule, &self.caches.schedule, key, disk, || {
             Ok(Optimizer::new(level)
                 .with_config(config)
                 .run(&compiled.program, &profiled.profile))
@@ -627,7 +756,16 @@ impl Explorer {
             OptKey::from(opt),
             DetKey::from(detector),
         );
-        let report = self.cached(Stage::Analyze, &self.caches.analyze, key, || {
+        let disk = || {
+            self.disk_key(Stage::Analyze, |h| {
+                hash_benchmark(h, &scheduled.benchmark);
+                h.write_u64(self.seed);
+                hash_level(h, level);
+                hash_opt_config(h, opt);
+                hash_detector(h, detector);
+            })
+        };
+        let report = self.cached(Stage::Analyze, &self.caches.analyze, key, disk, || {
             Ok(SequenceDetector::new(detector).analyze(&scheduled.graph))
         })?;
         Ok(Analyzed {
@@ -674,7 +812,16 @@ impl Explorer {
             DetKey::from(detector),
             OptKey::from(self.opt_config),
         );
-        let design = self.cached(Stage::Design, &self.caches.design, key, || {
+        let disk = || {
+            self.disk_key(Stage::Design, |h| {
+                hash_benchmark(h, &compiled.benchmark);
+                h.write_u64(self.seed);
+                hash_constraints(h, constraints);
+                hash_detector(h, detector);
+                hash_opt_config(h, self.opt_config);
+            })
+        };
+        let design = self.cached(Stage::Design, &self.caches.design, key, disk, || {
             Ok(AsipDesigner::new(constraints)
                 .with_detector(detector)
                 .design_from_schedule(&scheduled.graph, &compiled.program))
@@ -717,7 +864,16 @@ impl Explorer {
             DetKey::from(detector),
             OptKey::from(self.opt_config),
         );
-        let evaluation = self.cached(Stage::Evaluate, &self.caches.evaluate, key, || {
+        let disk = || {
+            self.disk_key(Stage::Evaluate, |h| {
+                hash_benchmark(h, &compiled.benchmark);
+                h.write_u64(self.seed);
+                hash_constraints(h, constraints);
+                hash_detector(h, detector);
+                hash_opt_config(h, self.opt_config);
+            })
+        };
+        let evaluation = self.cached(Stage::Evaluate, &self.caches.evaluate, key, disk, || {
             let data = compiled.benchmark.dataset_with_seed(self.seed);
             asip_synth::evaluate(&compiled.program, &designed.design, &data)
                 .map_err(ExplorerError::Eval)
@@ -766,20 +922,31 @@ impl Explorer {
         let members = self.suite_members(names)?;
         let key = self.suite_key(&members, constraints, detector);
         let opt = self.opt_config;
-        let design = self.cached(Stage::DesignSuite, &self.caches.design_suite, key, || {
-            let staged = self.map_slice(&members, |name| {
-                let scheduled = self.schedule_with(name, constraints.opt_level, opt)?;
-                let compiled = self.compile(name)?;
-                Ok((scheduled, compiled))
-            })?;
-            let suite: Vec<(&ScheduleGraph, &Program)> = staged
-                .iter()
-                .map(|(s, c)| (s.graph.as_ref(), c.program.as_ref()))
-                .collect();
-            Ok(AsipDesigner::new(constraints)
-                .with_detector(detector)
-                .design_from_schedules(&suite))
-        })?;
+        let disk = || {
+            self.disk_key(Stage::DesignSuite, |h| {
+                self.hash_suite(h, &members, constraints, detector)
+            })
+        };
+        let design = self.cached(
+            Stage::DesignSuite,
+            &self.caches.design_suite,
+            key,
+            disk,
+            || {
+                let staged = self.map_slice(&members, |name| {
+                    let scheduled = self.schedule_with(name, constraints.opt_level, opt)?;
+                    let compiled = self.compile(name)?;
+                    Ok((scheduled, compiled))
+                })?;
+                let suite: Vec<(&ScheduleGraph, &Program)> = staged
+                    .iter()
+                    .map(|(s, c)| (s.graph.as_ref(), c.program.as_ref()))
+                    .collect();
+                Ok(AsipDesigner::new(constraints)
+                    .with_detector(detector)
+                    .design_from_schedules(&suite))
+            },
+        )?;
         Ok(DesignedSuite {
             benchmarks: members,
             design,
@@ -816,10 +983,16 @@ impl Explorer {
         let designed = self.design_suite_with(names, constraints, detector)?;
         let key = self.suite_key(&designed.benchmarks, constraints, detector);
         let design = Arc::clone(&designed.design);
+        let disk = || {
+            self.disk_key(Stage::EvaluateSuite, |h| {
+                self.hash_suite(h, &designed.benchmarks, constraints, detector)
+            })
+        };
         let evaluations = self.cached(
             Stage::EvaluateSuite,
             &self.caches.evaluate_suite,
             key,
+            disk,
             || {
                 self.map_slice(&designed.benchmarks, |name| {
                     let compiled = self.compile(name)?;
@@ -853,6 +1026,30 @@ impl Explorer {
             DetKey::from(detector),
             OptKey::from(self.opt_config),
         )
+    }
+
+    /// The disk-tier analogue of [`Explorer::suite_key`]: feed the
+    /// content identity of every (already validated, sorted) member plus
+    /// the seed and every configuration that feeds suite selection.
+    fn hash_suite(
+        &self,
+        h: &mut StableHasher,
+        members: &[String],
+        constraints: DesignConstraints,
+        detector: DetectorConfig,
+    ) {
+        h.write_usize(members.len());
+        for name in members {
+            let bench = self
+                .registry
+                .find(name)
+                .expect("suite members are validated against the registry");
+            hash_benchmark(h, bench);
+        }
+        h.write_u64(self.seed);
+        hash_constraints(h, constraints);
+        hash_detector(h, detector);
+        hash_opt_config(h, self.opt_config);
     }
 
     /// Validate and canonicalize a suite member set: every name must
@@ -961,22 +1158,32 @@ impl Explorer {
 
     // -- cache plumbing ------------------------------------------------
 
-    /// Memoize one stage computation with single-flight semantics: a
-    /// cache hit returns the shared artifact; the first thread to miss
-    /// on a key computes it (counted as exactly one miss) while any
+    /// Memoize one stage computation with single-flight semantics and an
+    /// optional disk tier. A memory hit returns the shared artifact; the
+    /// first thread to miss on a key claims the computation while any
     /// other thread asking for the same key waits on the result instead
-    /// of duplicating the work. If the computation fails or panics, the
-    /// in-flight claim is released so a waiter can retry.
-    fn cached<K, V, F>(
+    /// of duplicating the work. The claiming thread then consults the
+    /// artifact store (when one is attached and the stage produced a
+    /// stable key via `disk_key` — a *closure* so the source-bytes hash
+    /// is only paid after a memory miss, not on the hot hit path): a
+    /// decodable entry is promoted into the memory cache *without*
+    /// running the stage or counting a miss; otherwise the stage runs
+    /// (one counted miss) and the result is written through to disk. If
+    /// the computation fails or panics, the in-flight claim is released
+    /// so a waiter can retry.
+    fn cached<K, V, F, D>(
         &self,
         stage: Stage,
         cache: &StageCache<K, V>,
         key: K,
+        disk_key: D,
         compute: F,
     ) -> Result<Arc<V>, ExplorerError>
     where
         K: Eq + Hash + Clone,
+        V: ArtifactCodec,
         F: FnOnce() -> Result<V, ExplorerError>,
+        D: FnOnce() -> Option<u64>,
     {
         {
             let mut state = lock(&cache.state);
@@ -1002,13 +1209,119 @@ impl Explorer {
             cache,
             key: key.clone(),
         };
+        let disk_key = disk_key();
+        if let (Some(store), Some(h)) = (self.store.as_ref(), disk_key) {
+            if let Some(v) = store.load::<V>(stage, h) {
+                let value = Arc::new(v);
+                let evicted = lock(&cache.state).lru.insert(key, Arc::clone(&value));
+                self.counters.evictions[stage as usize].fetch_add(evicted, Ordering::Relaxed);
+                drop(claim);
+                return Ok(value);
+            }
+        }
         self.counters.misses[stage as usize].fetch_add(1, Ordering::Relaxed);
         let value = Arc::new(compute()?);
+        if let (Some(store), Some(h)) = (self.store.as_ref(), disk_key) {
+            store.save(stage, h, value.as_ref());
+        }
         let evicted = lock(&cache.state).lru.insert(key, Arc::clone(&value));
         self.counters.evictions[stage as usize].fetch_add(evicted, Ordering::Relaxed);
         drop(claim);
         Ok(value)
     }
+
+    // -- disk-key derivation -------------------------------------------
+
+    /// Derive the stable store key for one stage request, or `None` when
+    /// no store is attached (keys are only worth hashing if a disk tier
+    /// will consume them). The closure feeds every input the artifact is
+    /// a pure function of; the common prefix (format version + stage
+    /// name) is folded in here so no two stages can collide.
+    fn disk_key(&self, stage: Stage, feed: impl FnOnce(&mut StableHasher)) -> Option<u64> {
+        self.store.as_ref()?;
+        let mut h = StableHasher::new();
+        h.write_u64(u64::from(crate::store::FORMAT_VERSION));
+        // The crate version is part of every key: stage artifacts are
+        // functions of the stage *algorithms*, not just their inputs, so
+        // a new release must never be served a previous release's
+        // artifacts. (Unreleased algorithm changes still require a
+        // FORMAT_VERSION bump — see its docs.)
+        h.write_str(env!("CARGO_PKG_VERSION"));
+        h.write_str(stage.name());
+        feed(&mut h);
+        Some(h.finish())
+    }
+}
+
+/// Feed a benchmark's content identity: the name, the *source bytes*
+/// (so a replaced registry entry can never serve the old program) and
+/// the input-data specification.
+fn hash_benchmark(h: &mut StableHasher, b: &Benchmark) {
+    h.write_str(b.name);
+    h.write_str(b.source);
+    hash_data_spec(h, b.data);
+}
+
+fn hash_data_spec(h: &mut StableHasher, spec: DataSpec) {
+    match spec {
+        DataSpec::Floats { name, n } => {
+            h.write_str("floats");
+            h.write_str(name);
+            h.write_usize(n);
+        }
+        DataSpec::Ints { name, n } => {
+            h.write_str("ints");
+            h.write_str(name);
+            h.write_usize(n);
+        }
+        DataSpec::Image { name, w, h: height } => {
+            h.write_str("image");
+            h.write_str(name);
+            h.write_usize(w);
+            h.write_usize(height);
+        }
+        DataSpec::Multi { specs } => {
+            h.write_str("multi");
+            h.write_usize(specs.len());
+            for &inner in specs {
+                hash_data_spec(h, inner);
+            }
+        }
+    }
+}
+
+fn hash_level(h: &mut StableHasher, level: OptLevel) {
+    h.write_usize(level as usize);
+}
+
+fn hash_opt_config(h: &mut StableHasher, c: OptConfig) {
+    h.write_usize(c.unroll);
+    h.write_bool(c.merge_blocks);
+    h.write_usize(c.width);
+    h.write_usize(c.hoist_passes);
+    h.write_usize(c.if_convert_max_ops);
+}
+
+/// Feed a detector configuration. The chainable-class policy is a
+/// function pointer, whose address is useless across processes (ASLR);
+/// its observable behavior — the truth table over every [`OpClass`] —
+/// is hashed instead, so two processes with the same policy share
+/// entries and different policies never collide.
+fn hash_detector(h: &mut StableHasher, c: DetectorConfig) {
+    h.write_usize(c.min_len);
+    h.write_usize(c.max_len);
+    h.write_usize(c.window);
+    h.write_f64(c.prune_floor);
+    for &class in OpClass::all() {
+        h.write_bool((c.chainable)(class));
+    }
+}
+
+fn hash_constraints(h: &mut StableHasher, c: DesignConstraints) {
+    h.write_f64(c.area_budget);
+    h.write_f64(c.clock_ns);
+    h.write_usize(c.max_extensions);
+    hash_level(h, c.opt_level);
 }
 
 /// Releases a single-flight claim on drop (success, error, or panic)
@@ -1086,12 +1399,18 @@ mod tests {
     fn failed_compute_releases_the_inflight_claim() {
         let session = Explorer::new();
         let cache: StageCache<u32, u32> = StageCache::default();
-        let err = session.cached(Stage::Compile, &cache, 7, || Err(ExplorerError::EmptySuite));
+        let err = session.cached(
+            Stage::Compile,
+            &cache,
+            7,
+            || None,
+            || Err(ExplorerError::EmptySuite),
+        );
         assert!(err.is_err());
         // the claim is gone: a retry computes (it would deadlock or
         // panic otherwise) and succeeds
         let v = session
-            .cached(Stage::Compile, &cache, 7, || Ok(99))
+            .cached(Stage::Compile, &cache, 7, || None, || Ok(99))
             .expect("retry succeeds");
         assert_eq!(*v, 99);
         assert!(lock(&cache.state).inflight.is_empty());

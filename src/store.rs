@@ -1,0 +1,495 @@
+//! The on-disk artifact store: a persistent, content-addressed tier
+//! under the [`Explorer`](crate::Explorer) session caches.
+//!
+//! The in-memory stage caches die with the process, so each of the
+//! paper-reproduction binaries would otherwise recompile, re-profile
+//! and re-schedule the same twelve benchmarks from scratch.
+//! [`ArtifactStore`] serializes stage artifacts to disk keyed by a
+//! stable content hash, turning a full reproduction run (many binaries,
+//! one pipeline) from N× pipeline cost into ~1×: the first binary
+//! populates the store, every later one reads it.
+//!
+//! # Layout
+//!
+//! One file per artifact, addressed entirely by content identity:
+//!
+//! ```text
+//! <dir>/<stage-name>/<16-hex-digit key>.art
+//! ```
+//!
+//! The key is a [`StableHasher`] (FNV-1a 64) digest of everything the
+//! artifact is a pure function of — benchmark *source bytes* (not just
+//! the name), data spec, seed, stage name, every relevant configuration
+//! and [`FORMAT_VERSION`]. Each file carries a self-describing header
+//! (magic, version, stage, payload length, payload checksum) ahead of an
+//! [`ArtifactCodec`] payload. The full specification lives in
+//! `docs/persistence.md`.
+//!
+//! # Fallback semantics
+//!
+//! The store **never fails a session request**. A missing entry is a
+//! miss; a truncated, corrupted or version-skewed entry is counted as
+//! `corrupt` and treated as a miss; an unwritable directory silently
+//! disables write-back. The worst possible outcome of deleting or
+//! damaging store files is recomputation — `rm -rf` of the store
+//! directory is always safe, including while sessions are running.
+//!
+//! ```
+//! use asip_explorer::artifact::Stage;
+//! use asip_explorer::store::{ArtifactStore, StableHasher};
+//! use asip_explorer::synth::Evaluation;
+//!
+//! let dir = std::env::temp_dir().join(format!("asip-store-doc-{}", std::process::id()));
+//! let store = ArtifactStore::open(&dir);
+//!
+//! // derive a stable key from the inputs the value depends on
+//! let mut hasher = StableHasher::new();
+//! hasher.write_str("sewha");
+//! hasher.write_u64(1995);
+//! let key = hasher.finish();
+//!
+//! // write-through, then read back
+//! let value = Evaluation {
+//!     base_cycles: 200, asip_cycles: 100, speedup: 2.0,
+//!     fused_chains: 3, extension_area: 512.0,
+//! };
+//! assert!(store.save(Stage::Evaluate, key, &value));
+//! assert_eq!(store.load::<Evaluation>(Stage::Evaluate, key), Some(value));
+//! assert_eq!(store.stats(Stage::Evaluate).hits, 1);
+//!
+//! // a missing key is a counted miss, not an error
+//! assert_eq!(store.load::<Evaluation>(Stage::Evaluate, key ^ 1), None);
+//! assert_eq!(store.stats(Stage::Evaluate).misses, 1);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+use crate::artifact::{ArtifactCodec, Stage};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Version of the on-disk artifact format. Bump on **any** change to the
+/// codec encodings, the file header, the key derivation, *or the
+/// semantics of a pipeline stage* (optimizer heuristics, simulator
+/// costs, detector rules, …) — cached artifacts are functions of the
+/// stage algorithms, not just their inputs, and a warm store must never
+/// replay an old algorithm's output as current. On a bump, old entries
+/// fail the header check (and new keys diverge, since the version and
+/// the crate version are both hashed into every key), so stale artifacts
+/// degrade to recomputes instead of decoding wrongly.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Magic bytes opening every artifact file.
+const MAGIC: [u8; 8] = *b"ASIPART\n";
+
+/// A stable (cross-process, cross-platform) FNV-1a 64-bit hasher for
+/// deriving store keys.
+///
+/// `std::hash` is explicitly not guaranteed stable across releases or
+/// processes, so store keys are built on this fixed algorithm instead.
+/// Variable-length fields are length-prefixed (`write_str`) so adjacent
+/// fields can never alias under concatenation.
+#[derive(Debug, Clone)]
+pub struct StableHasher(u64);
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+impl StableHasher {
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        StableHasher(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Feed raw bytes (no length prefix — compose with `write_u64` or
+    /// use [`StableHasher::write_str`] for variable-length fields).
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Feed an unsigned integer (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feed a `usize` (widened to 64 bits).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Feed a boolean.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write(&[u8::from(v)]);
+    }
+
+    /// Feed a float by exact bit pattern.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Feed a length-prefixed string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Disk-tier counters: one bundle per stage (or summed across stages by
+/// [`ArtifactStore::totals`]). Every [`ArtifactStore::load`] increments
+/// exactly one of `hits`, `misses` or `corrupt`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiskStats {
+    /// Entries found on disk, validated and decoded.
+    pub hits: u64,
+    /// Probes that found no entry file.
+    pub misses: u64,
+    /// Artifacts written through to disk.
+    pub writes: u64,
+    /// Entry files present but rejected (bad magic, version skew, wrong
+    /// stage, checksum or decode failure) and recomputed instead.
+    pub corrupt: u64,
+}
+
+impl DiskStats {
+    /// Component-wise sum.
+    fn add(self, other: DiskStats) -> DiskStats {
+        DiskStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            writes: self.writes + other.writes,
+            corrupt: self.corrupt + other.corrupt,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct StageCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+    corrupt: AtomicU64,
+}
+
+/// A persistent, content-addressed artifact store rooted at one
+/// directory. See the [module docs](self) for layout and fallback
+/// semantics, and [`Explorer::with_store`](crate::Explorer::with_store)
+/// for the session integration.
+///
+/// Multiple stores (in one process or many) may share a directory:
+/// writes are atomic (temp file + rename), and since keys are content
+/// hashes, concurrent writers of the same key write identical bytes.
+#[derive(Debug)]
+pub struct ArtifactStore {
+    dir: PathBuf,
+    counters: [StageCounters; 8],
+}
+
+impl ArtifactStore {
+    /// A store rooted at `dir`. No I/O happens here: the directory is
+    /// created lazily on first write, and a missing directory simply
+    /// means every load misses.
+    pub fn open(dir: impl Into<PathBuf>) -> Self {
+        ArtifactStore {
+            dir: dir.into(),
+            counters: Default::default(),
+        }
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file an artifact lives in: `<dir>/<stage>/<key as 16 hex
+    /// digits>.art`. Exposed for inspection and tests; entries may be
+    /// deleted (or the whole directory removed) at any time.
+    pub fn entry_path(&self, stage: Stage, key: u64) -> PathBuf {
+        self.dir.join(stage.name()).join(format!("{key:016x}.art"))
+    }
+
+    /// Read and decode the artifact stored under `(stage, key)`.
+    ///
+    /// Returns `None` — counting a miss — when no entry file exists, and
+    /// `None` — counting `corrupt` — when a file exists but fails any
+    /// validation step (magic, version, stage, length, checksum, codec
+    /// decode). Never errors and never panics on hostile bytes.
+    pub fn load<V: ArtifactCodec>(&self, stage: Stage, key: u64) -> Option<V> {
+        let counters = &self.counters[stage as usize];
+        let bytes = match fs::read(self.entry_path(stage, key)) {
+            Ok(bytes) => bytes,
+            Err(_) => {
+                counters.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match decode_entry::<V>(&bytes, stage) {
+            Some(v) => {
+                counters.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                counters.corrupt.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Encode `value` and write it under `(stage, key)`, atomically
+    /// (temp file + rename, so readers never observe a partial entry).
+    ///
+    /// Returns whether the write landed; failures (unwritable directory,
+    /// disk full) are swallowed — persistence is an optimization, never
+    /// a correctness requirement.
+    pub fn save<V: ArtifactCodec>(&self, stage: Stage, key: u64, value: &V) -> bool {
+        let path = self.entry_path(stage, key);
+        let Some(parent) = path.parent() else {
+            return false;
+        };
+        if fs::create_dir_all(parent).is_err() {
+            return false;
+        }
+        let payload = value.to_bytes();
+        let mut bytes = Vec::with_capacity(payload.len() + 64);
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        let stage_name = stage.name().as_bytes();
+        bytes.push(stage_name.len() as u8);
+        bytes.extend_from_slice(stage_name);
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&checksum(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+
+        // Unique per writer: the pid alone is not enough, because two
+        // sessions (or threads) in one process may race on the same key
+        // — a shared tmp path would let one writer rename the other's
+        // half-written file into place.
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        if fs::write(&tmp, &bytes).is_err() {
+            fs::remove_file(&tmp).ok();
+            return false;
+        }
+        if fs::rename(&tmp, &path).is_err() {
+            fs::remove_file(&tmp).ok();
+            return false;
+        }
+        self.counters[stage as usize]
+            .writes
+            .fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Snapshot one stage's disk counters.
+    pub fn stats(&self, stage: Stage) -> DiskStats {
+        let c = &self.counters[stage as usize];
+        DiskStats {
+            hits: c.hits.load(Ordering::Relaxed),
+            misses: c.misses.load(Ordering::Relaxed),
+            writes: c.writes.load(Ordering::Relaxed),
+            corrupt: c.corrupt.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Disk counters summed over every stage.
+    pub fn totals(&self) -> DiskStats {
+        Stage::all()
+            .into_iter()
+            .fold(DiskStats::default(), |acc, s| acc.add(self.stats(s)))
+    }
+
+    /// Zero the counters (the on-disk entries are untouched — they are
+    /// the persistent state; the counters are per-session bookkeeping).
+    pub fn reset_counters(&self) {
+        for c in &self.counters {
+            c.hits.store(0, Ordering::Relaxed);
+            c.misses.store(0, Ordering::Relaxed);
+            c.writes.store(0, Ordering::Relaxed);
+            c.corrupt.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// FNV-1a 64 over the payload (the same algorithm as [`StableHasher`],
+/// kept separate so the checksum is independent of key derivation).
+fn checksum(payload: &[u8]) -> u64 {
+    let mut h = StableHasher::new();
+    h.write(payload);
+    h.finish()
+}
+
+/// Validate a complete entry file and decode its payload. Any failure
+/// returns `None`; the caller counts it as `corrupt`.
+fn decode_entry<V: ArtifactCodec>(bytes: &[u8], stage: Stage) -> Option<V> {
+    let rest = bytes.strip_prefix(&MAGIC)?;
+    let (version, rest) = split_u32(rest)?;
+    if version != FORMAT_VERSION {
+        return None;
+    }
+    let (&name_len, rest) = rest.split_first()?;
+    let name_len = usize::from(name_len);
+    if rest.len() < name_len {
+        return None;
+    }
+    let (name, rest) = rest.split_at(name_len);
+    if name != stage.name().as_bytes() {
+        return None;
+    }
+    let (payload_len, rest) = split_u64(rest)?;
+    let (expected_sum, payload) = split_u64(rest)?;
+    if payload.len() as u64 != payload_len || checksum(payload) != expected_sum {
+        return None;
+    }
+    V::from_bytes(payload).ok()
+}
+
+fn split_u32(bytes: &[u8]) -> Option<(u32, &[u8])> {
+    let (head, rest) = bytes.split_first_chunk::<4>()?;
+    Some((u32::from_le_bytes(*head), rest))
+}
+
+fn split_u64(bytes: &[u8]) -> Option<(u64, &[u8])> {
+    let (head, rest) = bytes.split_first_chunk::<8>()?;
+    Some((u64::from_le_bytes(*head), rest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> ArtifactStore {
+        let dir =
+            std::env::temp_dir().join(format!("asip-store-unit-{tag}-{}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
+        ArtifactStore::open(dir)
+    }
+
+    #[test]
+    fn stable_hasher_is_deterministic_and_length_prefixed() {
+        let digest = |f: &dyn Fn(&mut StableHasher)| {
+            let mut h = StableHasher::new();
+            f(&mut h);
+            h.finish()
+        };
+        assert_eq!(
+            digest(&|h| h.write_str("abc")),
+            digest(&|h| h.write_str("abc"))
+        );
+        // "ab" + "c" must not alias "a" + "bc"
+        assert_ne!(
+            digest(&|h| {
+                h.write_str("ab");
+                h.write_str("c");
+            }),
+            digest(&|h| {
+                h.write_str("a");
+                h.write_str("bc");
+            })
+        );
+        // the canonical FNV-1a 64 test vector
+        let mut h = StableHasher::new();
+        h.write(b"");
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn save_load_round_trip_with_counters() {
+        let store = temp_store("roundtrip");
+        assert_eq!(store.load::<u64>(Stage::Compile, 1), None);
+        assert_eq!(store.stats(Stage::Compile).misses, 1);
+
+        assert!(store.save(Stage::Compile, 1, &42u64));
+        assert_eq!(store.load::<u64>(Stage::Compile, 1), Some(42));
+        let stats = store.stats(Stage::Compile);
+        assert_eq!((stats.hits, stats.misses, stats.writes), (1, 1, 1));
+        // other stages are unaffected; totals sum
+        assert_eq!(store.stats(Stage::Profile), DiskStats::default());
+        assert_eq!(store.totals().hits, 1);
+        fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn keys_and_stages_address_distinct_entries() {
+        let store = temp_store("address");
+        store.save(Stage::Compile, 7, &1u64);
+        store.save(Stage::Compile, 8, &2u64);
+        store.save(Stage::Profile, 7, &3u64);
+        assert_eq!(store.load::<u64>(Stage::Compile, 7), Some(1));
+        assert_eq!(store.load::<u64>(Stage::Compile, 8), Some(2));
+        assert_eq!(store.load::<u64>(Stage::Profile, 7), Some(3));
+        fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn corrupted_entries_count_corrupt_and_miss_to_none() {
+        let store = temp_store("corrupt");
+        store.save(Stage::Analyze, 5, &String::from("report"));
+        let path = store.entry_path(Stage::Analyze, 5);
+
+        // flip a payload byte: checksum rejects
+        let mut bytes = fs::read(&path).expect("entry exists");
+        *bytes.last_mut().expect("nonempty") ^= 0xFF;
+        fs::write(&path, &bytes).expect("writable");
+        assert_eq!(store.load::<String>(Stage::Analyze, 5), None);
+        assert_eq!(store.stats(Stage::Analyze).corrupt, 1);
+
+        // truncate mid-header
+        fs::write(&path, &bytes[..10]).expect("writable");
+        assert_eq!(store.load::<String>(Stage::Analyze, 5), None);
+
+        // version skew (bytes 8..12) rejects even with a valid payload
+        store.save(Stage::Analyze, 5, &String::from("report"));
+        let mut bytes = fs::read(&path).expect("entry exists");
+        bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        fs::write(&path, &bytes).expect("writable");
+        assert_eq!(store.load::<String>(Stage::Analyze, 5), None);
+        assert_eq!(store.stats(Stage::Analyze).corrupt, 3);
+
+        // a wrong-stage read of a valid entry is also rejected
+        store.save(Stage::Analyze, 5, &String::from("report"));
+        let copy = store.entry_path(Stage::Design, 5);
+        fs::create_dir_all(copy.parent().expect("has parent")).expect("mkdir");
+        fs::copy(&path, &copy).expect("copies");
+        assert_eq!(store.load::<String>(Stage::Design, 5), None);
+        assert_eq!(store.stats(Stage::Design).corrupt, 1);
+        fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn unwritable_directory_degrades_to_no_store() {
+        // a path under a *file* can never be created
+        let blocker =
+            std::env::temp_dir().join(format!("asip-store-blocker-{}", std::process::id()));
+        fs::write(&blocker, b"file, not dir").expect("temp writable");
+        let store = ArtifactStore::open(blocker.join("store"));
+        assert!(!store.save(Stage::Compile, 1, &1u64));
+        assert_eq!(store.totals().writes, 0);
+        assert_eq!(store.load::<u64>(Stage::Compile, 1), None);
+        fs::remove_file(&blocker).ok();
+    }
+
+    #[test]
+    fn reset_counters_keeps_entries() {
+        let store = temp_store("reset");
+        store.save(Stage::Compile, 3, &9u64);
+        store.load::<u64>(Stage::Compile, 3);
+        store.reset_counters();
+        assert_eq!(store.totals(), DiskStats::default());
+        assert_eq!(store.load::<u64>(Stage::Compile, 3), Some(9));
+        fs::remove_dir_all(store.dir()).ok();
+    }
+}
