@@ -1,0 +1,144 @@
+//! The perf-trajectory seed: cold vs warm session costs and simulator
+//! throughput, with a machine-readable JSON summary so future changes
+//! can be checked against a recorded baseline.
+//!
+//! ```text
+//! cargo bench --bench explore
+//! ```
+//!
+//! Three series are measured:
+//!
+//! - **cold `explore_all`** — a fresh storeless session runs the full
+//!   Figure-1 pipeline over the whole Table-1 registry (compile,
+//!   profile, three schedules, three analyses, design, evaluate per
+//!   benchmark), fanned out on the session thread pool;
+//! - **warm `explore_all`** — the same session again (every stage a
+//!   typed-cache hit), and a *store-warm* fresh session over a
+//!   populated artifact store (every stage prefetched in parallel and
+//!   decoded from staged bytes — `prefetch_hits` in the summary proves
+//!   the path taken);
+//! - **simulator throughput** — dynamic ops interpreted per second on
+//!   the largest Table-1 benchmark (largest by profiled dynamic op
+//!   count, resolved at run time from the warm session).
+//!
+//! The summary is written to `ASIP_BENCH_JSON` (default
+//! `target/asip-bench-explore.json`, workspace-relative) as a flat JSON
+//! object; the values are milliseconds and ops/second. The JSON is
+//! hand-rendered because the workspace's serde is the offline no-op
+//! shim.
+
+use asip_explorer::Explorer;
+use criterion::Criterion;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Wall-clock one call, in milliseconds.
+fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+fn summary_path() -> PathBuf {
+    match std::env::var("ASIP_BENCH_JSON") {
+        Ok(p) if !p.is_empty() => PathBuf::from(p),
+        _ => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("target/asip-bench-explore.json"),
+    }
+}
+
+fn main() {
+    let mut rows: Vec<(String, f64)> = Vec::new();
+
+    // -- cold vs warm explore_all (in-memory) --------------------------
+    let session = Explorer::new();
+    let (cold, cold_ms) = time_ms(|| session.explore_all().expect("pipeline runs"));
+    assert_eq!(cold.len(), session.registry().len());
+    let (_, warm_ms) = time_ms(|| session.explore_all().expect("pipeline replays"));
+    println!("bench explore_all/cold                               {cold_ms:>12.1} ms");
+    println!("bench explore_all/warm-memory                        {warm_ms:>12.1} ms");
+    rows.push(("cold_explore_all_ms".into(), cold_ms));
+    rows.push(("warm_explore_all_ms".into(), warm_ms));
+
+    // -- store-warm explore_all (parallel prefetch from disk) ----------
+    let dir = std::env::temp_dir().join(format!("asip-bench-explore-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    Explorer::new()
+        .with_store(&dir)
+        .explore_all()
+        .expect("populates the store");
+    let store_warm = Explorer::new().with_store(&dir);
+    let (_, disk_ms) = time_ms(|| store_warm.explore_all().expect("replays from disk"));
+    let stats = store_warm.cache_stats();
+    assert_eq!(stats.total_misses(), 0, "a warm store recomputes nothing");
+    let prefetch_hits = stats.total_prefetch_hits();
+    println!("bench explore_all/warm-store                         {disk_ms:>12.1} ms");
+    rows.push(("store_warm_explore_all_ms".into(), disk_ms));
+    rows.push(("store_warm_prefetch_hits".into(), prefetch_hits as f64));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // -- simulator throughput on the largest benchmark -----------------
+    let largest = session
+        .registry()
+        .iter()
+        .copied()
+        .collect::<Vec<_>>()
+        .into_iter()
+        .max_by_key(|b| {
+            session
+                .profile(b.name)
+                .expect("profiled during explore_all")
+                .profile
+                .total_ops()
+        })
+        .expect("registry is non-empty");
+    let program = session.compile(largest.name).expect("cached").program;
+    let data = largest.dataset();
+    let total_ops = session
+        .profile(largest.name)
+        .expect("cached")
+        .profile
+        .total_ops();
+    let mut c = Criterion::default();
+    c.bench_function(&format!("simulator/run/{}", largest.name), |b| {
+        b.iter(|| {
+            asip_explorer::sim::Simulator::new(&program)
+                .run(std::hint::black_box(&data))
+                .expect("runs")
+                .profile
+                .total_ops()
+        });
+    });
+    // an independent timed pass for the JSON summary (the criterion
+    // shim prints but does not expose its measurement)
+    let (_, sim_ms) = time_ms(|| {
+        asip_explorer::sim::Simulator::new(&program)
+            .run(&data)
+            .expect("runs")
+    });
+    let ops_per_sec = total_ops as f64 / (sim_ms / 1e3);
+    println!(
+        "bench simulator/{}: {total_ops} dynamic ops, {:.2} Mops/s",
+        largest.name,
+        ops_per_sec / 1e6
+    );
+    rows.push((
+        format!("sim_{}_dynamic_ops", largest.name),
+        total_ops as f64,
+    ));
+    rows.push((format!("sim_{}_ops_per_sec", largest.name), ops_per_sec));
+
+    // -- JSON summary --------------------------------------------------
+    let mut json = String::from("{\n  \"schema\": 1");
+    for (k, v) in &rows {
+        json.push_str(&format!(",\n  \"{k}\": {v:.3}"));
+    }
+    json.push_str("\n}\n");
+    let path = summary_path();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote bench summary to {}", path.display()),
+        Err(e) => eprintln!("could not write bench summary to {}: {e}", path.display()),
+    }
+}

@@ -124,15 +124,8 @@ fn main() {
 
     println!();
     let stats = session.cache_stats();
-    println!("session cache: {stats}");
-    println!(
-        "disk store:    {} hits, {} misses, {} writes, {} corrupt — a second run serves \
-         compile/profile/schedule from disk",
-        stats.total_disk_hits(),
-        stats.total_disk_misses(),
-        stats.total_disk_writes(),
-        stats.total_disk_corrupt()
-    );
+    asip_bench::print_cache_report(&session);
+    println!("(a second run serves compile/profile/schedule from disk)");
     // Each of the two benchmarks is compiled and simulated exactly once
     // across all four studies: either this run computed it (a miss) or a
     // previous bench binary's run left it in the shared store (a disk

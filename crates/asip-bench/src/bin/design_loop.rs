@@ -87,5 +87,5 @@ fn main() {
     }
     print_geomean("shared design", suite.geomean_speedup());
     println!();
-    println!("session cache: {}", session.cache_stats());
+    asip_bench::print_cache_report(&session);
 }

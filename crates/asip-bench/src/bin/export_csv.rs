@@ -117,15 +117,10 @@ fn main() -> std::io::Result<()> {
     }
 
     println!("wrote figure data to {}", dir.display());
-    let stats = session.cache_stats();
-    println!("session cache: {stats}");
+    asip_bench::print_cache_report(&session);
     println!(
-        "disk store:    {} hits, {} misses, {} writes, {} corrupt (rerun this binary — or any \
-         other bench binary — to see the whole pipeline served from disk)",
-        stats.total_disk_hits(),
-        stats.total_disk_misses(),
-        stats.total_disk_writes(),
-        stats.total_disk_corrupt()
+        "(rerun this binary — or any other bench binary — to see the whole pipeline served \
+         from disk)"
     );
     Ok(())
 }

@@ -1,0 +1,169 @@
+//! Maintenance CLI for the shared on-disk artifact store, over the same
+//! tier API the sessions use (`asip_explorer::store::ArtifactStore`).
+//!
+//! ```text
+//! cargo run --release -p asip-bench --bin store -- stats
+//! cargo run --release -p asip-bench --bin store -- gc [--max-bytes N[K|M|G]] [--max-age SECS]
+//! cargo run --release -p asip-bench --bin store -- verify
+//! ```
+//!
+//! The store location follows the bench convention (`target/asip-store`
+//! under the workspace root, `ASIP_STORE` overrides) or an explicit
+//! `--dir PATH`.
+//!
+//! - `stats` prints the per-stage entry/byte accounting from the
+//!   manifest-backed snapshot (rebuilding the index by scan when the
+//!   manifest is missing or damaged).
+//! - `gc` evicts oldest-written entries first until the given byte
+//!   and/or age budgets hold, rewrites the manifest atomically, and
+//!   prints a report. With no budget it only refreshes the manifest.
+//! - `verify` walks every entry and validates it end to end (header,
+//!   checksum, full typed decode); exit code 2 when anything is
+//!   corrupt, so CI can gate on store health. Corrupt entries are left
+//!   in place — sessions heal them on the next request — but `gc` or
+//!   plain `rm` can be used to drop them eagerly.
+//!
+//! Every operation is safe against concurrent sessions: readers of a
+//! GC'd entry degrade to a recompute, never to a wrong result.
+
+use asip_explorer::artifact::Stage;
+use asip_explorer::store::{ArtifactStore, StoreGcConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: store [--dir PATH] <stats | gc [--max-bytes N[K|M|G]] [--max-age SECS] | verify>"
+    );
+    std::process::exit(1)
+}
+
+/// Parse `N`, `NK`, `NM` or `NG` (binary units) into bytes.
+fn parse_bytes(s: &str) -> Option<u64> {
+    let (digits, shift) = match s.chars().last()? {
+        'K' | 'k' => (&s[..s.len() - 1], 10),
+        'M' | 'm' => (&s[..s.len() - 1], 20),
+        'G' | 'g' => (&s[..s.len() - 1], 30),
+        _ => (s, 0),
+    };
+    digits.parse::<u64>().ok()?.checked_shl(shift)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dir: Option<PathBuf> = None;
+    let mut command: Option<String> = None;
+    let mut gc_config = StoreGcConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dir" => {
+                dir = Some(PathBuf::from(args.get(i + 1).unwrap_or_else(|| usage())));
+                i += 2;
+            }
+            "--max-bytes" => {
+                let v = args.get(i + 1).and_then(|s| parse_bytes(s));
+                gc_config.max_bytes = Some(v.unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--max-age" => {
+                let v = args.get(i + 1).and_then(|s| s.parse().ok());
+                gc_config.max_age = Some(Duration::from_secs(v.unwrap_or_else(|| usage())));
+                i += 2;
+            }
+            cmd @ ("stats" | "gc" | "verify") if command.is_none() => {
+                command = Some(cmd.to_string());
+                i += 1;
+            }
+            _ => usage(),
+        }
+    }
+    let Some(command) = command else { usage() };
+    let dir = dir.or_else(asip_bench::store_dir).unwrap_or_else(|| {
+        eprintln!("store: persistence is disabled via ASIP_STORE; pass --dir PATH");
+        std::process::exit(1)
+    });
+    let store = ArtifactStore::open(&dir);
+    println!("store: {}", dir.display());
+
+    match command.as_str() {
+        "stats" => {
+            let manifest = store.snapshot();
+            println!("{:>15} {:>8} {:>12}", "stage", "entries", "bytes");
+            for stage in Stage::all() {
+                let (entries, bytes) = manifest.stage_usage(stage);
+                if entries > 0 {
+                    println!(
+                        "{:>15} {entries:>8} {:>12}",
+                        stage.name(),
+                        asip_bench::human_bytes(bytes)
+                    );
+                }
+            }
+            println!(
+                "{:>15} {:>8} {:>12}",
+                "total",
+                manifest.len(),
+                asip_bench::human_bytes(manifest.total_bytes())
+            );
+            println!(
+                "manifest: {}",
+                if store.manifest_path().is_file() {
+                    "present"
+                } else {
+                    "absent (index rebuilt by scan)"
+                }
+            );
+            ExitCode::SUCCESS
+        }
+        "gc" => {
+            let report = store.gc(&gc_config);
+            println!(
+                "scanned  {} entries, {}",
+                report.scanned_entries,
+                asip_bench::human_bytes(report.scanned_bytes)
+            );
+            println!(
+                "evicted  {} entries, {}",
+                report.evicted_entries,
+                asip_bench::human_bytes(report.evicted_bytes)
+            );
+            for stage in Stage::all() {
+                let n = report.evicted_per_stage[stage as usize];
+                if n > 0 {
+                    println!("         - {}: {n}", stage.name());
+                }
+            }
+            println!(
+                "retained {} entries, {} (manifest rewritten)",
+                report.retained_entries,
+                asip_bench::human_bytes(report.retained_bytes)
+            );
+            ExitCode::SUCCESS
+        }
+        "verify" => {
+            let report = store.verify();
+            println!(
+                "verified {} entries ({}): {} ok, {} corrupt",
+                report.ok + report.corrupt,
+                asip_bench::human_bytes(report.bytes),
+                report.ok,
+                report.corrupt
+            );
+            for stage in Stage::all() {
+                let bad = report.corrupt_per_stage[stage as usize];
+                if bad > 0 {
+                    println!("         - {}: {bad} corrupt", stage.name());
+                }
+            }
+            if report.corrupt > 0 {
+                println!("corrupt entries recompute (and heal) on the next session request");
+                ExitCode::from(2)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        _ => usage(),
+    }
+}

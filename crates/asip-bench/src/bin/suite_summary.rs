@@ -75,5 +75,5 @@ fn main() {
         ),
         None => println!("shared suite ASIP: n/a (empty suite)"),
     }
-    println!("session cache: {}", session.cache_stats());
+    asip_bench::print_cache_report(&session);
 }

@@ -69,5 +69,5 @@ fn main() {
         );
     }
     println!();
-    println!("session cache: {}", session.cache_stats());
+    asip_bench::print_cache_report(&session);
 }

@@ -168,6 +168,58 @@ pub fn combined_reports(suite: &[AnalyzedBenchmark]) -> [SequenceReport; 3] {
     [per_level(0), per_level(1), per_level(2)]
 }
 
+/// Render a byte count with a binary-unit suffix (`1536` → `"1.5 KiB"`).
+pub fn human_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.1} {}", UNITS[unit])
+    }
+}
+
+/// Print the standard end-of-run cache report every bench binary closes
+/// with: the per-stage memory counters, then one line per attached tier
+/// (disk, staging memory, custom) with its hit/miss/write/corrupt
+/// counters and byte totals, then prefetch/GC activity when any
+/// happened. One formatter for all binaries, so the report (and the new
+/// tier counters) can never drift between them.
+pub fn print_cache_report(session: &Explorer) {
+    let stats = session.cache_stats();
+    println!("session cache: {stats}");
+    for (name, t) in session.tier_totals() {
+        println!(
+            "{name:>14}: {}h/{}m/{}w{} — {} entries, {}",
+            t.hits,
+            t.misses,
+            t.writes,
+            if t.corrupt > 0 {
+                format!("/{}corrupt", t.corrupt)
+            } else {
+                String::new()
+            },
+            t.entries,
+            human_bytes(t.bytes),
+        );
+    }
+    let (prefetch, gc) = (stats.total_prefetch_hits(), stats.total_gc_evictions());
+    if prefetch > 0 {
+        println!(
+            "{:>14}: {prefetch} artifacts decoded from prefetched bytes",
+            "prefetch"
+        );
+    }
+    if gc > 0 {
+        println!("{:>14}: {gc} store entries evicted this session", "gc");
+    }
+}
+
 /// Render an ASCII bar for figure-style output.
 pub fn bar(value: f64, max: f64, width: usize) -> String {
     if max <= 0.0 {
@@ -228,6 +280,37 @@ mod tests {
         assert!(Arc::ptr_eq(&a2.graphs[1], &a4.graphs[1]), "one schedule");
         assert_eq!(s.cache_stats().compile.misses, 1);
         assert_eq!(s.cache_stats().schedule.misses, 3, "one per level");
+    }
+
+    #[test]
+    fn asip_store_env_disables_the_disk_tier_entirely() {
+        // Env mutation is process-global; this is the only test (in this
+        // binary) that touches ASIP_STORE, and the hermetic sessions
+        // above never read it.
+        for off in ["0", "off", ""] {
+            std::env::set_var("ASIP_STORE", off);
+            assert_eq!(store_dir(), None, "ASIP_STORE={off:?} must disable");
+            let session = session(DetectorConfig::default());
+            assert!(session.store().is_none());
+            assert!(session.tier_stack().is_empty(), "no tiers at all");
+            session.compile("fir").expect("compiles without a store");
+            let stats = session.cache_stats();
+            assert_eq!(stats.total_disk_hits() + stats.total_disk_misses(), 0);
+            assert_eq!(stats.total_disk_writes(), 0);
+            assert_eq!(stats.total_prefetch_hits(), 0);
+        }
+        std::env::set_var("ASIP_STORE", "some/explicit/dir");
+        assert!(store_dir().is_some());
+        std::env::remove_var("ASIP_STORE");
+        assert!(store_dir().is_some(), "default store location");
+    }
+
+    #[test]
+    fn human_bytes_picks_sane_units() {
+        assert_eq!(human_bytes(0), "0 B");
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(1536), "1.5 KiB");
+        assert_eq!(human_bytes(3 << 20), "3.0 MiB");
     }
 
     #[test]

@@ -55,7 +55,8 @@ impl Stage {
         ]
     }
 
-    /// Stable lowercase name (used in stats displays).
+    /// Stable lowercase name (used in stats displays, store directory
+    /// names and the store manifest).
     pub fn name(self) -> &'static str {
         match self {
             Stage::Compile => "compile",
@@ -67,6 +68,13 @@ impl Stage {
             Stage::DesignSuite => "design-suite",
             Stage::EvaluateSuite => "evaluate-suite",
         }
+    }
+
+    /// The inverse of [`Stage::name`], for parsers of on-disk state
+    /// (store manifests, stage directory names). Unknown names are
+    /// `None`, never a panic — on-disk state is untrusted input.
+    pub fn from_name(name: &str) -> Option<Stage> {
+        Stage::all().into_iter().find(|s| s.name() == name)
     }
 }
 
@@ -394,6 +402,17 @@ impl Encoder {
         self.buf.extend_from_slice(&(len as u64).to_le_bytes());
     }
 
+    /// Append a whole slice as a sequence (header plus every element),
+    /// without requiring the caller to own a `Vec` — the stage payloads
+    /// that expose their data as slices encode through this instead of
+    /// cloning with `to_vec()` first.
+    pub fn put_elems<T: ArtifactCodec>(&mut self, items: &[T]) {
+        self.put_seq(items.len());
+        for v in items {
+            v.encode(self);
+        }
+    }
+
     /// Append an optional value.
     pub fn put_option<T: ArtifactCodec>(&mut self, v: Option<&T>) {
         match v {
@@ -607,6 +626,20 @@ pub trait ArtifactCodec: Sized {
         dec.finish()?;
         Ok(v)
     }
+}
+
+/// Decode a batch of independently-encoded payloads of one artifact
+/// type, returning one result per payload (order preserved). For batch
+/// consumers of staged/persisted artifacts (e.g. tools sweeping a store
+/// directory): a single damaged payload yields one `Err` entry instead
+/// of aborting the whole batch.
+pub fn decode_batch<V: ArtifactCodec>(
+    payloads: impl IntoIterator<Item = impl AsRef<[u8]>>,
+) -> Vec<Result<V, CodecError>> {
+    payloads
+        .into_iter()
+        .map(|p| V::from_bytes(p.as_ref()))
+        .collect()
 }
 
 impl ArtifactCodec for u32 {
@@ -966,8 +999,8 @@ impl ArtifactCodec for Program {
 
 impl ArtifactCodec for Profile {
     fn encode(&self, enc: &mut Encoder) {
-        self.inst_counts().to_vec().encode(enc);
-        self.block_counts().to_vec().encode(enc);
+        enc.put_elems(self.inst_counts());
+        enc.put_elems(self.block_counts());
         enc.put_u64(self.total_ops());
     }
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
@@ -1039,7 +1072,7 @@ impl ArtifactCodec for ScheduleGraph {
 
 impl ArtifactCodec for asip_chains::Signature {
     fn encode(&self, enc: &mut Encoder) {
-        self.classes().to_vec().encode(enc);
+        enc.put_elems(self.classes());
     }
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
         let classes = Vec::<OpClass>::decode(dec)?;
@@ -1068,7 +1101,7 @@ impl ArtifactCodec for asip_chains::SeqStats {
 impl ArtifactCodec for SequenceReport {
     fn encode(&self, enc: &mut Encoder) {
         enc.put_str(&self.name);
-        self.entries().to_vec().encode(enc);
+        enc.put_elems(self.entries());
         enc.put_u64(self.total_profile_ops);
     }
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
@@ -1196,6 +1229,16 @@ mod tests {
         let nan_bits = f64::NAN.to_bits();
         let back = f64::from_bytes(&f64::from_bits(nan_bits).to_bytes()).expect("decodes");
         assert_eq!(back.to_bits(), nan_bits);
+    }
+
+    #[test]
+    fn decode_batch_isolates_damaged_payloads() {
+        let payloads = vec![1u64.to_bytes(), b"junk".to_vec(), 3u64.to_bytes()];
+        let out = decode_batch::<u64>(&payloads);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], Ok(1));
+        assert!(out[1].is_err(), "one bad payload does not abort the batch");
+        assert_eq!(out[2], Ok(3));
     }
 
     #[test]

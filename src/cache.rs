@@ -1,4 +1,6 @@
-//! The bounded LRU map behind every session stage cache.
+//! The in-memory caches: the bounded LRU map behind every typed session
+//! stage cache, and the byte-budgeted [`MemoryTier`] staging tier of the
+//! [tier stack](crate::tier).
 //!
 //! The [`Explorer`](crate::Explorer) session memoizes each pipeline
 //! stage; for the twelve-benchmark registry the maps stay tiny, but a
@@ -9,8 +11,15 @@
 //! entry (a cache hit refreshes recency), and every eviction is
 //! reported back so the session's [`CacheStats`](crate::CacheStats) can
 //! account for it. The map itself is synchronous and unsynchronized —
-//! the session wraps one per stage in a `Mutex` — and it never touches
-//! disk; the persistent tier below it lives in [`crate::store`].
+//! the session wraps one per stage in a `Mutex`.
+//!
+//! [`MemoryTier`] reuses the same LRU as an [`ArtifactTier`]: a
+//! thread-safe map of
+//! *encoded payload bytes* keyed by `(Stage, u64)`, bounded by a byte
+//! budget instead of an entry count. The session's suite prefetcher
+//! stages warm disk payloads here in parallel so stage requests decode
+//! from memory; nothing is written through on the compute path (decoded
+//! values live in the typed LRUs above).
 //!
 //! ```
 //! use asip_explorer::cache::LruCache;
@@ -26,8 +35,11 @@
 //! assert_eq!(cache.len(), 2);
 //! ```
 
+use crate::artifact::Stage;
+use crate::tier::{ArtifactTier, TierCounters, TierRead, TierStats};
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::sync::Mutex;
 
 /// A hash map with an optional entry-count bound and least-recently-used
 /// eviction.
@@ -119,25 +131,214 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.map.is_empty()
     }
 
+    /// Whether `key` is present, without refreshing its recency.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
     /// Drop every entry (the bound survives).
     pub fn clear(&mut self) {
         self.map.clear();
         self.tick = 0;
     }
 
-    fn evict_one(&mut self) -> bool {
+    /// Remove one entry, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.map.remove(key).map(|e| e.value)
+    }
+
+    /// Remove and return the least-recently-used entry, or `None` when
+    /// empty. This is the primitive byte-budgeted callers
+    /// ([`MemoryTier`]) build on: they need the evicted *value* back to
+    /// keep their size accounting exact.
+    pub fn pop_lru(&mut self) -> Option<(K, V)> {
         let oldest = self
             .map
             .iter()
             .min_by_key(|(_, e)| e.last_used)
-            .map(|(k, _)| k.clone());
-        match oldest {
-            Some(k) => {
-                self.map.remove(&k);
-                true
-            }
-            None => false,
+            .map(|(k, _)| k.clone())?;
+        let value = self.map.remove(&oldest)?.value;
+        Some((oldest, value))
+    }
+
+    fn evict_one(&mut self) -> bool {
+        self.pop_lru().is_some()
+    }
+}
+
+// -- the in-memory staging tier ----------------------------------------
+
+/// Default byte budget of a [`MemoryTier`]: generous next to a full
+/// warm-suite prefetch (a complete twelve-benchmark pipeline is a few
+/// MiB of payloads) while bounding a pathological sweep.
+pub const DEFAULT_STAGING_BUDGET: u64 = 64 << 20;
+
+#[derive(Debug, Default)]
+struct MemoryState {
+    lru: LruCache<(Stage, u64), Vec<u8>>,
+    bytes: u64,
+    stage_entries: [u64; 8],
+    stage_bytes: [u64; 8],
+}
+
+impl MemoryState {
+    fn insert(&mut self, stage: Stage, key: u64, payload: &[u8], budget: u64) {
+        if let Some(old) = self.lru.remove(&(stage, key)) {
+            self.forget(stage, old.len() as u64);
         }
+        self.lru.insert((stage, key), payload.to_vec());
+        self.bytes += payload.len() as u64;
+        self.stage_entries[stage as usize] += 1;
+        self.stage_bytes[stage as usize] += payload.len() as u64;
+        while self.bytes > budget {
+            let Some(((s, _), evicted)) = self.lru.pop_lru() else {
+                break;
+            };
+            self.forget(s, evicted.len() as u64);
+        }
+    }
+
+    fn forget(&mut self, stage: Stage, bytes: u64) {
+        self.bytes -= bytes;
+        self.stage_entries[stage as usize] -= 1;
+        self.stage_bytes[stage as usize] -= bytes;
+    }
+}
+
+/// The in-memory byte tier: a thread-safe, byte-budgeted LRU of encoded
+/// artifact payloads implementing [`ArtifactTier`].
+///
+/// This is the stack's *staging* tier
+/// ([`persistent`](ArtifactTier::persistent)` == false`): computed
+/// artifacts are not written through to it — they already live, decoded,
+/// in the session's typed stage caches. Its entries come from the
+/// parallel suite prefetcher
+/// ([`Explorer::prefetch`](crate::Explorer::prefetch)), which batch-reads
+/// warm disk payloads into it so the subsequent stage requests decode
+/// from memory instead of performing serial disk reads; every request it
+/// serves is counted as a `prefetch_hit` in
+/// [`CacheStats`](crate::CacheStats).
+///
+/// ```
+/// use asip_explorer::artifact::Stage;
+/// use asip_explorer::cache::MemoryTier;
+/// use asip_explorer::tier::{ArtifactTier, TierRead};
+///
+/// let tier = MemoryTier::with_budget(1024);
+/// assert!(tier.put(Stage::Compile, 7, b"payload"));
+/// assert!(tier.contains(Stage::Compile, 7));
+/// assert!(matches!(tier.get(Stage::Compile, 7), TierRead::Hit(p) if p == b"payload"));
+/// assert!(matches!(tier.get(Stage::Compile, 8), TierRead::Miss));
+/// assert_eq!(tier.totals().bytes, 7);
+/// assert!(!tier.persistent(), "a staging buffer, not a store");
+/// ```
+#[derive(Debug)]
+pub struct MemoryTier {
+    state: Mutex<MemoryState>,
+    counters: TierCounters,
+    budget: u64,
+}
+
+impl Default for MemoryTier {
+    fn default() -> Self {
+        MemoryTier::new()
+    }
+}
+
+impl MemoryTier {
+    /// A staging tier with the [default byte
+    /// budget](DEFAULT_STAGING_BUDGET).
+    pub fn new() -> Self {
+        MemoryTier::with_budget(DEFAULT_STAGING_BUDGET)
+    }
+
+    /// A staging tier bounded to at most `budget` payload bytes;
+    /// least-recently-used entries are evicted first when an insert
+    /// overflows the budget. A budget of 0 keeps nothing (every `put`
+    /// inserts, then immediately evicts back under budget).
+    pub fn with_budget(budget: u64) -> Self {
+        MemoryTier {
+            state: Mutex::new(MemoryState::default()),
+            counters: TierCounters::default(),
+            budget,
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Drop every staged payload (counters are untouched; use
+    /// [`ArtifactTier::reset_counters`] for those).
+    pub fn clear(&self) {
+        let mut state = crate::tier::lock(&self.state);
+        *state = MemoryState::default();
+    }
+}
+
+impl ArtifactTier for MemoryTier {
+    fn name(&self) -> &'static str {
+        "memory"
+    }
+
+    fn get(&self, stage: Stage, key: u64) -> TierRead {
+        let mut state = crate::tier::lock(&self.state);
+        match state.lru.get(&(stage, key)) {
+            Some(payload) => {
+                let payload = payload.clone();
+                self.counters.count_hit(stage);
+                TierRead::Hit(payload)
+            }
+            None => {
+                self.counters.count_miss(stage);
+                TierRead::Miss
+            }
+        }
+    }
+
+    fn put(&self, stage: Stage, key: u64, payload: &[u8]) -> bool {
+        let mut state = crate::tier::lock(&self.state);
+        state.insert(stage, key, payload, self.budget);
+        self.counters.count_write(stage);
+        true
+    }
+
+    fn contains(&self, stage: Stage, key: u64) -> bool {
+        crate::tier::lock(&self.state)
+            .lru
+            .contains_key(&(stage, key))
+    }
+
+    fn stats(&self, stage: Stage) -> TierStats {
+        let occupancy = {
+            let state = crate::tier::lock(&self.state);
+            (
+                state.stage_entries[stage as usize],
+                state.stage_bytes[stage as usize],
+            )
+        };
+        TierStats {
+            entries: occupancy.0,
+            bytes: occupancy.1,
+            ..self.counters.snapshot(stage)
+        }
+    }
+
+    fn persistent(&self) -> bool {
+        false
+    }
+
+    fn mark_corrupt(&self, stage: Stage, key: u64) {
+        let mut state = crate::tier::lock(&self.state);
+        if let Some(old) = state.lru.remove(&(stage, key)) {
+            state.forget(stage, old.len() as u64);
+        }
+        self.counters.demote_hit(stage);
+    }
+
+    fn reset_counters(&self) {
+        self.counters.reset();
     }
 }
 
@@ -210,5 +411,55 @@ mod tests {
         assert_eq!(c.len(), 0);
         c.insert("b", 2);
         assert_eq!(c.insert("c", 3), 1, "the bound survived the clear");
+    }
+
+    #[test]
+    fn pop_lru_returns_oldest_first() {
+        let mut c = LruCache::default();
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(&1)); // refresh a: b is now LRU
+        assert_eq!(c.pop_lru(), Some(("b", 2)));
+        assert_eq!(c.pop_lru(), Some(("a", 1)));
+        assert_eq!(c.pop_lru(), None);
+    }
+
+    #[test]
+    fn memory_tier_respects_its_byte_budget_lru_first() {
+        let tier = MemoryTier::with_budget(10);
+        tier.put(Stage::Compile, 1, b"aaaa"); // 4 bytes
+        tier.put(Stage::Profile, 2, b"bbbb"); // 8 bytes
+                                              // refresh entry 1, then overflow: entry 2 is LRU and must go
+        assert!(matches!(tier.get(Stage::Compile, 1), TierRead::Hit(_)));
+        tier.put(Stage::Schedule, 3, b"cccc"); // 12 > 10 → evict
+        assert!(tier.contains(Stage::Compile, 1));
+        assert!(!tier.contains(Stage::Profile, 2), "LRU entry evicted");
+        assert!(tier.contains(Stage::Schedule, 3));
+        let totals = tier.totals();
+        assert_eq!(totals.bytes, 8);
+        assert_eq!(totals.entries, 2);
+        // per-stage occupancy adds up
+        assert_eq!(tier.stats(Stage::Compile).bytes, 4);
+        assert_eq!(tier.stats(Stage::Profile).entries, 0);
+    }
+
+    #[test]
+    fn memory_tier_replacement_keeps_accounting_exact() {
+        let tier = MemoryTier::with_budget(100);
+        tier.put(Stage::Compile, 1, b"xxxxxxxx");
+        tier.put(Stage::Compile, 1, b"yy");
+        assert_eq!(tier.totals().bytes, 2, "old size released on replace");
+        assert_eq!(tier.totals().entries, 1);
+        // mark_corrupt always follows a hit in the stack's flow
+        assert!(matches!(tier.get(Stage::Compile, 1), TierRead::Hit(_)));
+        tier.mark_corrupt(Stage::Compile, 1);
+        assert_eq!(tier.totals().hits, 0, "the hit was demoted");
+        assert_eq!(tier.totals().bytes, 0);
+        assert_eq!(tier.totals().entries, 0);
+        assert_eq!(tier.totals().corrupt, 1);
+        tier.clear();
+        let tier = MemoryTier::with_budget(0);
+        tier.put(Stage::Compile, 1, b"z");
+        assert_eq!(tier.totals().entries, 0, "zero budget keeps nothing");
     }
 }

@@ -24,7 +24,14 @@
 //! [`ArtifactStore`] under the in-memory caches, so the eleven
 //! paper-reproduction binaries share one pipeline run instead of each
 //! recompiling, re-profiling and re-scheduling the suite (see the
-//! [`store`] module and `docs/persistence.md`).
+//! [`store`] module and `docs/persistence.md`). Caching is organised as
+//! an explicit [tier stack](tier): every cache layer implements the
+//! pluggable [`ArtifactTier`] interface — the in-memory staging tier,
+//! the disk store, and any custom tier added via
+//! [`Explorer::with_tier`] — with read-through, write-through, parallel
+//! warm-suite prefetch ([`Explorer::prefetch`]) and size/age-budgeted
+//! store GC ([`ArtifactStore::gc`], surfaced as the `asip-bench`
+//! `store` maintenance binary).
 //!
 //! The workspace is organised as this facade over seven member crates:
 //!
@@ -100,14 +107,17 @@ pub mod cache;
 pub mod error;
 pub mod session;
 pub mod store;
+pub mod tier;
 
 pub use artifact::{
     geomean, Analyzed, Artifact, ArtifactCodec, Compiled, Designed, DesignedSuite, Evaluated,
     EvaluatedSuite, Exploration, Profiled, Scheduled, Stage,
 };
+pub use cache::MemoryTier;
 pub use error::{CodecError, ExplorerError};
 pub use session::{CacheStats, Explorer, StageStats};
-pub use store::{ArtifactStore, DiskStats};
+pub use store::{ArtifactStore, DiskStats, GcReport, Manifest, StoreGcConfig, VerifyReport};
+pub use tier::{ArtifactTier, TierRead, TierStack, TierStats};
 
 /// Convenience re-exports for the common exploration flow.
 pub mod prelude {
@@ -117,7 +127,8 @@ pub mod prelude {
     };
     pub use crate::error::ExplorerError;
     pub use crate::session::{CacheStats, Explorer, StageStats};
-    pub use crate::store::{ArtifactStore, DiskStats};
+    pub use crate::store::{ArtifactStore, DiskStats, GcReport, StoreGcConfig};
+    pub use crate::tier::{ArtifactTier, TierStats};
     pub use asip_benchmarks::{registry, Benchmark, DataSpec};
     pub use asip_chains::{
         CoverageAnalyzer, DetectorConfig, SequenceDetector, SequenceReport, Signature,

@@ -12,7 +12,7 @@
 //! shared across the whole sweep, and [`Explorer::cache_stats`] proves
 //! it.
 //!
-//! Four properties make the session safe to park behind a long-lived
+//! Five properties make the session safe to park behind a long-lived
 //! service:
 //!
 //! - **Feedback coherence.** The design stage selects extensions from
@@ -27,11 +27,21 @@
 //! - **Bounded caches.** [`Explorer::with_cache_capacity`] puts an LRU
 //!   bound on every stage cache; evictions and live entry counts are
 //!   surfaced through [`CacheStats`].
-//! - **Optional persistence.** [`Explorer::with_store`] layers an
+//! - **Pluggable persistence.** [`Explorer::with_store`] attaches an
 //!   on-disk, content-addressed artifact store under the memory caches
-//!   so separate processes share work; corrupted or stale entries fall
-//!   back to recompute, and the disk tier's hit/miss/write/corrupt
-//!   counters are part of [`CacheStats`] (see [`crate::store`]).
+//!   so separate processes share work. Every stage request flows
+//!   through one generic [`TierStack`] (see [`crate::tier`]): typed
+//!   memory cache → staging byte tier → disk → compute, with
+//!   write-through of computed artifacts; [`Explorer::with_tier`] plugs
+//!   in additional tiers (e.g. a future shared remote store) behind the
+//!   same [`ArtifactTier`] interface. Corrupted or stale entries fall
+//!   back to recompute, and the disk tier's
+//!   hit/miss/write/corrupt/byte counters are part of [`CacheStats`].
+//! - **Parallel warm starts.** [`Explorer::explore_all`] and the suite
+//!   stages [`prefetch`](Explorer::prefetch) their persisted artifacts
+//!   on the session thread pool before fan-out, so a warm run performs
+//!   its disk reads concurrently instead of one file at a time
+//!   (`prefetch_hits` in [`CacheStats`] shows the effect).
 //!
 //! ```
 //! use asip_explorer::Explorer;
@@ -52,52 +62,68 @@ use crate::artifact::{
     Analyzed, ArtifactCodec, Compiled, Designed, DesignedSuite, Evaluated, EvaluatedSuite,
     Exploration, Profiled, Scheduled, Stage,
 };
-use crate::cache::LruCache;
+use crate::cache::MemoryTier;
 use crate::error::ExplorerError;
 use crate::store::{ArtifactStore, StableHasher};
+use crate::tier::{lock, ArtifactTier, StageCache, TierStack, TierStats};
 use asip_benchmarks::{Benchmark, DataSpec, Registry, DEFAULT_SEED};
 use asip_chains::{DetectorConfig, SequenceDetector, SequenceReport};
 use asip_ir::{OpClass, Program};
 use asip_opt::{OptConfig, OptLevel, Optimizer, ScheduleGraph};
 use asip_sim::{Profile, Simulator};
 use asip_synth::{AsipDesign, AsipDesigner, DesignConstraints, Evaluation};
-use std::collections::{BTreeSet, HashSet};
+use std::collections::BTreeSet;
 use std::fmt;
 use std::hash::Hash;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Hit/miss/eviction counters (and the live entry count) for one stage
 /// cache, plus the disk-tier counters for the same stage when a store is
 /// attached ([`Explorer::with_store`]).
 ///
-/// The memory and disk tiers count disjoint outcomes: a request is
-/// either a memory `hit`, a disk hit (`disk_hits` — the artifact was
-/// decoded from disk, *not* recomputed, and does not count as a miss),
-/// or a `miss` (the stage actually ran). `misses` therefore always
-/// equals the number of times the stage's computation executed in this
-/// session.
+/// The tiers count disjoint outcomes: a request is either a memory
+/// `hit`, a prefetch hit (`prefetch_hits` — decoded from bytes the
+/// parallel prefetcher staged in memory), a disk hit (`disk_hits` — the
+/// artifact was decoded from disk, *not* recomputed), or a `miss` (the
+/// stage actually ran). `misses` therefore always equals the number of
+/// times the stage's computation executed in this session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StageStats {
     /// Requests served from the in-memory session cache.
     pub hits: u64,
-    /// Requests that ran the stage (neither cache tier could serve).
+    /// Requests that ran the stage (no cache tier could serve).
     pub misses: u64,
     /// Entries dropped by the LRU bound (see
     /// [`Explorer::with_cache_capacity`]).
     pub evictions: u64,
     /// Entries currently resident in the in-memory cache.
     pub entries: u64,
+    /// Requests served by decoding bytes staged in the in-memory byte
+    /// tier by the parallel suite prefetcher
+    /// ([`Explorer::prefetch`]) — no recompute *and* no request-path
+    /// disk read.
+    pub prefetch_hits: u64,
     /// Requests served by decoding a persisted artifact (no recompute).
+    /// Prefetched entries count here at staging time, so a warm
+    /// prefetched run still shows one disk hit per artifact read.
     pub disk_hits: u64,
-    /// Disk probes that found no entry (the stage then ran).
+    /// Disk probes that found no entry (the stage then ran, or — for a
+    /// prefetch probe — nothing was staged).
     pub disk_misses: u64,
     /// Artifacts written through to the store.
     pub disk_writes: u64,
     /// Store entries rejected as corrupted or version-skewed (the stage
     /// then ran and the entry was rewritten).
     pub disk_corrupt: u64,
+    /// On-disk bytes currently held by this stage's store entries
+    /// (whole files; session-local view — see
+    /// [`ArtifactStore::snapshot`] for the authoritative index).
+    pub disk_bytes: u64,
+    /// Store entries this session's [`ArtifactStore::gc`] passes
+    /// evicted for this stage.
+    pub gc_evictions: u64,
 }
 
 /// A snapshot of the session's per-stage cache counters.
@@ -186,6 +212,28 @@ impl CacheStats {
             .map(|s| self.stage(*s).disk_corrupt)
             .sum()
     }
+
+    /// Total requests served from prefetch-staged bytes across stages.
+    pub fn total_prefetch_hits(&self) -> u64 {
+        Stage::all()
+            .iter()
+            .map(|s| self.stage(*s).prefetch_hits)
+            .sum()
+    }
+
+    /// Total store entries evicted by this session's GC passes.
+    pub fn total_gc_evictions(&self) -> u64 {
+        Stage::all()
+            .iter()
+            .map(|s| self.stage(*s).gc_evictions)
+            .sum()
+    }
+
+    /// Total on-disk bytes across every stage's store entries
+    /// (session-local view).
+    pub fn total_disk_bytes(&self) -> u64 {
+        Stage::all().iter().map(|s| self.stage(*s).disk_bytes).sum()
+    }
 }
 
 impl fmt::Display for CacheStats {
@@ -211,6 +259,14 @@ impl fmt::Display for CacheStats {
             if dc > 0 {
                 write!(f, "/{dc}corrupt")?;
             }
+        }
+        let pf = self.total_prefetch_hits();
+        if pf > 0 {
+            write!(f, "  prefetch: {pf}h")?;
+        }
+        let gc = self.total_gc_evictions();
+        if gc > 0 {
+            write!(f, "  gc: {gc}ev")?;
         }
         Ok(())
     }
@@ -289,40 +345,9 @@ type SuiteKey = (Vec<String>, u64, ConsKey, DetKey, OptKey);
 
 // -- the session -------------------------------------------------------
 
-/// One stage's cache: a bounded LRU map of finished artifacts plus the
-/// set of keys currently being computed. A thread that misses on a key
-/// another thread is already computing waits on `ready` instead of
-/// duplicating the work (single-flight).
-#[derive(Debug)]
-struct StageCache<K, V> {
-    state: Mutex<CacheState<K, V>>,
-    ready: Condvar,
-}
-
-impl<K, V> Default for StageCache<K, V> {
-    fn default() -> Self {
-        StageCache {
-            state: Mutex::new(CacheState::default()),
-            ready: Condvar::new(),
-        }
-    }
-}
-
-#[derive(Debug)]
-struct CacheState<K, V> {
-    lru: LruCache<K, Arc<V>>,
-    inflight: HashSet<K>,
-}
-
-impl<K, V> Default for CacheState<K, V> {
-    fn default() -> Self {
-        CacheState {
-            lru: LruCache::default(),
-            inflight: HashSet::new(),
-        }
-    }
-}
-
+/// The typed front caches: one single-flighted, counter-carrying
+/// [`StageCache`] per pipeline stage (see [`crate::tier`]). The
+/// byte-level tiers below them live in the session's [`TierStack`].
 #[derive(Debug, Default)]
 struct Caches {
     compile: StageCache<String, Program>,
@@ -335,11 +360,56 @@ struct Caches {
     evaluate_suite: StageCache<SuiteKey, Vec<(String, Evaluation)>>,
 }
 
-#[derive(Debug, Default)]
-struct Counters {
-    hits: [AtomicU64; 8],
-    misses: [AtomicU64; 8],
-    evictions: [AtomicU64; 8],
+impl Caches {
+    /// Run `f` over every stage cache's counter-facing surface, in
+    /// stage order. The typed caches have eight distinct types, so
+    /// uniform access goes through this visitor instead of an array.
+    fn for_each(&self, mut f: impl FnMut(Stage, &dyn StageCacheOps)) {
+        f(Stage::Compile, &self.compile);
+        f(Stage::Profile, &self.profile);
+        f(Stage::Schedule, &self.schedule);
+        f(Stage::Analyze, &self.analyze);
+        f(Stage::Design, &self.design);
+        f(Stage::Evaluate, &self.evaluate);
+        f(Stage::DesignSuite, &self.design_suite);
+        f(Stage::EvaluateSuite, &self.evaluate_suite);
+    }
+}
+
+/// The type-erased slice of [`StageCache`] the session needs for
+/// uniform bookkeeping (capacity, reset, counter snapshots).
+trait StageCacheOps {
+    fn set_capacity(&self, capacity: Option<usize>) -> u64;
+    fn reset(&self);
+    fn front_stats(&self) -> FrontStats;
+}
+
+/// A snapshot of one typed cache's counters and occupancy.
+#[derive(Debug, Clone, Copy, Default)]
+struct FrontStats {
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    prefetch_hits: u64,
+    entries: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> StageCacheOps for StageCache<K, V> {
+    fn set_capacity(&self, capacity: Option<usize>) -> u64 {
+        StageCache::set_capacity(self, capacity)
+    }
+    fn reset(&self) {
+        StageCache::reset(self)
+    }
+    fn front_stats(&self) -> FrontStats {
+        FrontStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            prefetch_hits: self.prefetch_hits.load(Ordering::Relaxed),
+            entries: self.len() as u64,
+        }
+    }
 }
 
 /// A staged, cached, parallel design-space exploration session over the
@@ -355,9 +425,11 @@ pub struct Explorer {
     seed: u64,
     threads: usize,
     cache_capacity: Option<usize>,
-    store: Option<ArtifactStore>,
+    store: Option<Arc<ArtifactStore>>,
+    extra_tiers: Vec<Arc<dyn ArtifactTier>>,
+    staging: Option<Arc<MemoryTier>>,
+    tiers: TierStack,
     caches: Caches,
-    counters: Counters,
 }
 
 impl Default for Explorer {
@@ -374,8 +446,10 @@ impl Default for Explorer {
                 .unwrap_or(1),
             cache_capacity: None,
             store: None,
+            extra_tiers: Vec::new(),
+            staging: None,
+            tiers: TierStack::new(),
             caches: Caches::default(),
-            counters: Counters::default(),
         }
     }
 }
@@ -457,32 +531,9 @@ impl Explorer {
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
         let cap = Some(capacity.max(1));
         self.cache_capacity = cap;
-        let c = &self.caches;
-        let evicted = [
-            (Stage::Compile, lock(&c.compile.state).lru.set_capacity(cap)),
-            (Stage::Profile, lock(&c.profile.state).lru.set_capacity(cap)),
-            (
-                Stage::Schedule,
-                lock(&c.schedule.state).lru.set_capacity(cap),
-            ),
-            (Stage::Analyze, lock(&c.analyze.state).lru.set_capacity(cap)),
-            (Stage::Design, lock(&c.design.state).lru.set_capacity(cap)),
-            (
-                Stage::Evaluate,
-                lock(&c.evaluate.state).lru.set_capacity(cap),
-            ),
-            (
-                Stage::DesignSuite,
-                lock(&c.design_suite.state).lru.set_capacity(cap),
-            ),
-            (
-                Stage::EvaluateSuite,
-                lock(&c.evaluate_suite.state).lru.set_capacity(cap),
-            ),
-        ];
-        for (stage, n) in evicted {
-            self.counters.evictions[stage as usize].fetch_add(n, Ordering::Relaxed);
-        }
+        self.caches.for_each(|_, cache| {
+            cache.set_capacity(cap);
+        });
         self
     }
 
@@ -492,18 +543,53 @@ impl Explorer {
     /// work (see the [`store`](crate::store) module docs for the disk
     /// layout).
     ///
-    /// Lookup order per stage request: memory cache → disk store →
-    /// compute (then write through to both tiers). Store keys hash the
-    /// benchmark *source bytes*, the data spec, the seed and every
-    /// configuration the stage depends on, so a store directory can be
-    /// shared by sessions with different configurations — they simply
-    /// address different entries. Missing, corrupted or version-skewed
-    /// entries silently fall back to recompute; the per-stage disk
-    /// counters in [`CacheStats`] make hits, misses and corruption
-    /// observable.
+    /// Lookup order per stage request: typed memory cache → staging
+    /// byte tier → disk store → compute (then write through to every
+    /// persistent tier) — one [`TierStack`] walk, see [`crate::tier`].
+    /// Store keys hash the benchmark *source bytes*, the data spec, the
+    /// seed and every configuration the stage depends on, so a store
+    /// directory can be shared by sessions with different
+    /// configurations — they simply address different entries. Missing,
+    /// corrupted or version-skewed entries silently fall back to
+    /// recompute; the per-stage disk counters in [`CacheStats`] make
+    /// hits, misses and corruption observable.
     pub fn with_store(mut self, dir: impl Into<PathBuf>) -> Self {
-        self.store = Some(ArtifactStore::open(dir));
+        self.store = Some(Arc::new(ArtifactStore::open(dir)));
+        self.rebuild_tiers();
         self
+    }
+
+    /// Plug an additional [`ArtifactTier`] into the bottom of the tier
+    /// stack (probed after the staging tier and the disk store, written
+    /// through like any persistent tier). This is the extension point
+    /// for a shared remote tier — an HTTP or object-store cache CI and
+    /// teammates populate together — which needs nothing beyond the
+    /// trait's five methods.
+    pub fn with_tier(mut self, tier: Arc<dyn ArtifactTier>) -> Self {
+        self.extra_tiers.push(tier);
+        self.rebuild_tiers();
+        self
+    }
+
+    /// Reassemble the tier stack from its parts: a fresh staging byte
+    /// tier on top (prefetch target), then the disk store, then any
+    /// custom tiers in registration order.
+    fn rebuild_tiers(&mut self) {
+        let mut stack = TierStack::new();
+        if self.store.is_some() || !self.extra_tiers.is_empty() {
+            let staging = Arc::new(MemoryTier::new());
+            self.staging = Some(Arc::clone(&staging));
+            stack.push(staging);
+            if let Some(store) = &self.store {
+                stack.push(Arc::clone(store) as Arc<dyn ArtifactTier>);
+            }
+            for tier in &self.extra_tiers {
+                stack.push(Arc::clone(tier));
+            }
+        } else {
+            self.staging = None;
+        }
+        self.tiers = stack;
     }
 
     // -- accessors -----------------------------------------------------
@@ -546,65 +632,70 @@ impl Explorer {
     /// The attached artifact store, if [`Explorer::with_store`] was
     /// called.
     pub fn store(&self) -> Option<&ArtifactStore> {
-        self.store.as_ref()
+        self.store.as_deref()
+    }
+
+    /// The session's tier stack (empty for a storeless session). Useful
+    /// for inspecting per-tier [`TierStats`] beyond the per-stage
+    /// aggregation in [`CacheStats`].
+    pub fn tier_stack(&self) -> &TierStack {
+        &self.tiers
+    }
+
+    /// `(tier name, summed stats)` for every tier in the stack, top to
+    /// bottom — the per-tier byte totals next to the hit/miss counters.
+    pub fn tier_totals(&self) -> Vec<(&'static str, TierStats)> {
+        self.tiers
+            .tiers()
+            .iter()
+            .map(|t| (t.name(), t.totals()))
+            .collect()
     }
 
     // -- ephemeral-state management ------------------------------------
 
-    /// Drop every cached in-memory artifact and zero the counters (the
-    /// disk-tier counters included). Configuration (registry, levels,
-    /// stage parameters, cache bounds) is permanent and survives — as do
-    /// the *entries* of an attached store: they are persistent state,
-    /// shared with other processes, and stay valid because their keys
-    /// hash artifact content identity rather than session history.
+    /// Drop every cached in-memory artifact (the staging byte tier
+    /// included) and zero the counters (disk-tier counters included).
+    /// Configuration (registry, levels, stage parameters, cache bounds)
+    /// is permanent and survives — as do the *entries* of an attached
+    /// store: they are persistent state, shared with other processes,
+    /// and stay valid because their keys hash artifact content identity
+    /// rather than session history.
     pub fn reset(&self) {
-        lock(&self.caches.compile.state).lru.clear();
-        lock(&self.caches.profile.state).lru.clear();
-        lock(&self.caches.schedule.state).lru.clear();
-        lock(&self.caches.analyze.state).lru.clear();
-        lock(&self.caches.design.state).lru.clear();
-        lock(&self.caches.evaluate.state).lru.clear();
-        lock(&self.caches.design_suite.state).lru.clear();
-        lock(&self.caches.evaluate_suite.state).lru.clear();
-        for i in 0..8 {
-            self.counters.hits[i].store(0, Ordering::Relaxed);
-            self.counters.misses[i].store(0, Ordering::Relaxed);
-            self.counters.evictions[i].store(0, Ordering::Relaxed);
+        self.caches.for_each(|_, cache| cache.reset());
+        if let Some(staging) = &self.staging {
+            staging.clear();
         }
-        if let Some(store) = &self.store {
-            store.reset_counters();
-        }
+        self.tiers.reset_counters();
     }
 
     /// Snapshot the per-stage cache hit/miss/eviction counters and live
-    /// entry counts.
+    /// entry counts, joined with the disk tier's counters and byte
+    /// totals when a store is attached.
     pub fn cache_stats(&self) -> CacheStats {
-        let c = &self.caches;
-        let entries: [u64; 8] = [
-            lock(&c.compile.state).lru.len() as u64,
-            lock(&c.profile.state).lru.len() as u64,
-            lock(&c.schedule.state).lru.len() as u64,
-            lock(&c.analyze.state).lru.len() as u64,
-            lock(&c.design.state).lru.len() as u64,
-            lock(&c.evaluate.state).lru.len() as u64,
-            lock(&c.design_suite.state).lru.len() as u64,
-            lock(&c.evaluate_suite.state).lru.len() as u64,
-        ];
+        let mut fronts = [FrontStats::default(); 8];
+        self.caches.for_each(|stage, cache| {
+            fronts[stage as usize] = cache.front_stats();
+        });
         let get = |s: Stage| {
-            let disk = self
+            let front = fronts[s as usize];
+            let (disk, gc_evictions) = self
                 .store
                 .as_ref()
-                .map(|store| store.stats(s))
+                .map(|store| (store.as_ref().stats(s), store.gc_evictions(s)))
                 .unwrap_or_default();
             StageStats {
-                hits: self.counters.hits[s as usize].load(Ordering::Relaxed),
-                misses: self.counters.misses[s as usize].load(Ordering::Relaxed),
-                evictions: self.counters.evictions[s as usize].load(Ordering::Relaxed),
-                entries: entries[s as usize],
+                hits: front.hits,
+                misses: front.misses,
+                evictions: front.evictions,
+                entries: front.entries,
+                prefetch_hits: front.prefetch_hits,
                 disk_hits: disk.hits,
                 disk_misses: disk.misses,
                 disk_writes: disk.writes,
                 disk_corrupt: disk.corrupt,
+                disk_bytes: disk.bytes,
+                gc_evictions,
             }
         };
         CacheStats {
@@ -640,7 +731,7 @@ impl Explorer {
     /// Unknown benchmarks and front-end failures.
     pub fn compile(&self, name: &str) -> Result<Compiled, ExplorerError> {
         let benchmark = self.benchmark(name)?;
-        let disk = || self.disk_key(Stage::Compile, |h| hash_benchmark(h, &benchmark));
+        let disk = || self.key_compile(&benchmark);
         let program = self.cached(
             Stage::Compile,
             &self.caches.compile,
@@ -660,12 +751,7 @@ impl Explorer {
     pub fn profile(&self, name: &str) -> Result<Profiled, ExplorerError> {
         let compiled = self.compile(name)?;
         let seed = self.seed;
-        let disk = || {
-            self.disk_key(Stage::Profile, |h| {
-                hash_benchmark(h, &compiled.benchmark);
-                h.write_u64(seed);
-            })
-        };
+        let disk = || self.key_profile(&compiled.benchmark);
         let profile = self.cached(
             Stage::Profile,
             &self.caches.profile,
@@ -707,14 +793,7 @@ impl Explorer {
         let profiled = self.profile(name)?;
         let compiled = self.compile(name)?;
         let key = (name.to_string(), self.seed, level, OptKey::from(config));
-        let disk = || {
-            self.disk_key(Stage::Schedule, |h| {
-                hash_benchmark(h, &compiled.benchmark);
-                h.write_u64(self.seed);
-                hash_level(h, level);
-                hash_opt_config(h, config);
-            })
-        };
+        let disk = || self.key_schedule(&compiled.benchmark, level, config);
         let graph = self.cached(Stage::Schedule, &self.caches.schedule, key, disk, || {
             Ok(Optimizer::new(level)
                 .with_config(config)
@@ -756,15 +835,7 @@ impl Explorer {
             OptKey::from(opt),
             DetKey::from(detector),
         );
-        let disk = || {
-            self.disk_key(Stage::Analyze, |h| {
-                hash_benchmark(h, &scheduled.benchmark);
-                h.write_u64(self.seed);
-                hash_level(h, level);
-                hash_opt_config(h, opt);
-                hash_detector(h, detector);
-            })
-        };
+        let disk = || self.key_analyze(&scheduled.benchmark, level, opt, detector);
         let report = self.cached(Stage::Analyze, &self.caches.analyze, key, disk, || {
             Ok(SequenceDetector::new(detector).analyze(&scheduled.graph))
         })?;
@@ -812,15 +883,7 @@ impl Explorer {
             DetKey::from(detector),
             OptKey::from(self.opt_config),
         );
-        let disk = || {
-            self.disk_key(Stage::Design, |h| {
-                hash_benchmark(h, &compiled.benchmark);
-                h.write_u64(self.seed);
-                hash_constraints(h, constraints);
-                hash_detector(h, detector);
-                hash_opt_config(h, self.opt_config);
-            })
-        };
+        let disk = || self.key_design(Stage::Design, &compiled.benchmark, constraints, detector);
         let design = self.cached(Stage::Design, &self.caches.design, key, disk, || {
             Ok(AsipDesigner::new(constraints)
                 .with_detector(detector)
@@ -864,15 +927,7 @@ impl Explorer {
             DetKey::from(detector),
             OptKey::from(self.opt_config),
         );
-        let disk = || {
-            self.disk_key(Stage::Evaluate, |h| {
-                hash_benchmark(h, &compiled.benchmark);
-                h.write_u64(self.seed);
-                hash_constraints(h, constraints);
-                hash_detector(h, detector);
-                hash_opt_config(h, self.opt_config);
-            })
-        };
+        let disk = || self.key_design(Stage::Evaluate, &compiled.benchmark, constraints, detector);
         let evaluation = self.cached(Stage::Evaluate, &self.caches.evaluate, key, disk, || {
             let data = compiled.benchmark.dataset_with_seed(self.seed);
             asip_synth::evaluate(&compiled.program, &designed.design, &data)
@@ -933,6 +988,10 @@ impl Explorer {
             key,
             disk,
             || {
+                // a warm-but-not-memoized suite reads its members'
+                // compile/profile/schedule artifacts from disk: stage
+                // them in parallel first (no-op without a store)
+                self.prefetch_keys(self.member_stage_keys(&members, constraints.opt_level, opt));
                 let staged = self.map_slice(&members, |name| {
                     let scheduled = self.schedule_with(name, constraints.opt_level, opt)?;
                     let compiled = self.compile(name)?;
@@ -994,6 +1053,18 @@ impl Explorer {
             key,
             disk,
             || {
+                // each member measurement starts from its compiled
+                // program: stage the not-yet-memoized reads in parallel
+                let keys = designed
+                    .benchmarks
+                    .iter()
+                    .filter(|name| !self.caches.compile.contains_key(*name))
+                    .filter_map(|name| {
+                        let bench = self.registry.find(name)?;
+                        self.key_compile(bench).map(|k| (Stage::Compile, k))
+                    })
+                    .collect();
+                self.prefetch_keys(keys);
                 self.map_slice(&designed.benchmarks, |name| {
                     let compiled = self.compile(name)?;
                     let data = compiled.benchmark.dataset_with_seed(self.seed);
@@ -1099,10 +1170,17 @@ impl Explorer {
     /// over the session's worker threads. Results come back in registry
     /// order regardless of scheduling.
     ///
+    /// When a store is attached, the suite's persisted artifacts are
+    /// [prefetched](Explorer::prefetch) in parallel on the same thread
+    /// pool before the fan-out, so a warm run performs its disk reads
+    /// concurrently instead of one file at a time per worker.
+    ///
     /// # Errors
     ///
     /// The first stage error encountered (work in flight completes).
     pub fn explore_all(&self) -> Result<Vec<Exploration>, ExplorerError> {
+        let names: Vec<&str> = self.registry.iter().map(|b| b.name).collect();
+        self.prefetch(&names)?;
         self.map_all(|b| self.explore(b.name))
     }
 
@@ -1158,19 +1236,13 @@ impl Explorer {
 
     // -- cache plumbing ------------------------------------------------
 
-    /// Memoize one stage computation with single-flight semantics and an
-    /// optional disk tier. A memory hit returns the shared artifact; the
-    /// first thread to miss on a key claims the computation while any
-    /// other thread asking for the same key waits on the result instead
-    /// of duplicating the work. The claiming thread then consults the
-    /// artifact store (when one is attached and the stage produced a
-    /// stable key via `disk_key` — a *closure* so the source-bytes hash
-    /// is only paid after a memory miss, not on the hot hit path): a
-    /// decodable entry is promoted into the memory cache *without*
-    /// running the stage or counting a miss; otherwise the stage runs
-    /// (one counted miss) and the result is written through to disk. If
-    /// the computation fails or panics, the in-flight claim is released
-    /// so a waiter can retry.
+    /// Memoize one stage computation through the session's
+    /// [`TierStack`]: typed memory cache → staging byte tier → disk →
+    /// compute, single-flighted, with write-through of computed
+    /// artifacts to every persistent tier. `disk_key` stays a *closure*
+    /// so the source-bytes hash is only paid after a memory miss, not on
+    /// the hot hit path. See [`TierStack::get_or_compute`] for the full
+    /// semantics (this wrapper exists so stage methods read naturally).
     fn cached<K, V, F, D>(
         &self,
         stage: Stage,
@@ -1185,60 +1257,21 @@ impl Explorer {
         F: FnOnce() -> Result<V, ExplorerError>,
         D: FnOnce() -> Option<u64>,
     {
-        {
-            let mut state = lock(&cache.state);
-            loop {
-                if let Some(v) = state.lru.get(&key) {
-                    self.counters.hits[stage as usize].fetch_add(1, Ordering::Relaxed);
-                    return Ok(Arc::clone(v));
-                }
-                if !state.inflight.contains(&key) {
-                    break;
-                }
-                state = cache
-                    .ready
-                    .wait(state)
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
-            }
-            state.inflight.insert(key.clone());
-        }
-        // This thread owns the computation for `key`; the claim is
-        // released (and waiters woken) on every exit path, panics
-        // included, via the guard.
-        let claim = InflightClaim {
-            cache,
-            key: key.clone(),
-        };
-        let disk_key = disk_key();
-        if let (Some(store), Some(h)) = (self.store.as_ref(), disk_key) {
-            if let Some(v) = store.load::<V>(stage, h) {
-                let value = Arc::new(v);
-                let evicted = lock(&cache.state).lru.insert(key, Arc::clone(&value));
-                self.counters.evictions[stage as usize].fetch_add(evicted, Ordering::Relaxed);
-                drop(claim);
-                return Ok(value);
-            }
-        }
-        self.counters.misses[stage as usize].fetch_add(1, Ordering::Relaxed);
-        let value = Arc::new(compute()?);
-        if let (Some(store), Some(h)) = (self.store.as_ref(), disk_key) {
-            store.save(stage, h, value.as_ref());
-        }
-        let evicted = lock(&cache.state).lru.insert(key, Arc::clone(&value));
-        self.counters.evictions[stage as usize].fetch_add(evicted, Ordering::Relaxed);
-        drop(claim);
-        Ok(value)
+        self.tiers
+            .get_or_compute(stage, cache, key, disk_key, compute)
     }
 
-    // -- disk-key derivation -------------------------------------------
+    // -- tier-key derivation -------------------------------------------
 
-    /// Derive the stable store key for one stage request, or `None` when
-    /// no store is attached (keys are only worth hashing if a disk tier
-    /// will consume them). The closure feeds every input the artifact is
-    /// a pure function of; the common prefix (format version + stage
-    /// name) is folded in here so no two stages can collide.
+    /// Derive the stable cross-tier key for one stage request, or `None`
+    /// when the tier stack is empty (keys are only worth hashing if a
+    /// tier will consume them). The closure feeds every input the
+    /// artifact is a pure function of; the common prefix (format version
+    /// + stage name) is folded in here so no two stages can collide.
     fn disk_key(&self, stage: Stage, feed: impl FnOnce(&mut StableHasher)) -> Option<u64> {
-        self.store.as_ref()?;
+        if self.tiers.is_empty() {
+            return None;
+        }
         let mut h = StableHasher::new();
         h.write_u64(u64::from(crate::store::FORMAT_VERSION));
         // The crate version is part of every key: stage artifacts are
@@ -1250,6 +1283,209 @@ impl Explorer {
         h.write_str(stage.name());
         feed(&mut h);
         Some(h.finish())
+    }
+
+    // -- per-stage key recipes -----------------------------------------
+    //
+    // One function per stage, shared by the stage methods (lazily, after
+    // a memory miss) and the suite prefetcher (eagerly, to know what to
+    // stage) — so the two can never disagree on what identifies an
+    // artifact.
+
+    fn key_compile(&self, b: &Benchmark) -> Option<u64> {
+        self.disk_key(Stage::Compile, |h| hash_benchmark(h, b))
+    }
+
+    fn key_profile(&self, b: &Benchmark) -> Option<u64> {
+        self.disk_key(Stage::Profile, |h| {
+            hash_benchmark(h, b);
+            h.write_u64(self.seed);
+        })
+    }
+
+    fn key_schedule(&self, b: &Benchmark, level: OptLevel, config: OptConfig) -> Option<u64> {
+        self.disk_key(Stage::Schedule, |h| {
+            hash_benchmark(h, b);
+            h.write_u64(self.seed);
+            hash_level(h, level);
+            hash_opt_config(h, config);
+        })
+    }
+
+    fn key_analyze(
+        &self,
+        b: &Benchmark,
+        level: OptLevel,
+        opt: OptConfig,
+        detector: DetectorConfig,
+    ) -> Option<u64> {
+        self.disk_key(Stage::Analyze, |h| {
+            hash_benchmark(h, b);
+            h.write_u64(self.seed);
+            hash_level(h, level);
+            hash_opt_config(h, opt);
+            hash_detector(h, detector);
+        })
+    }
+
+    fn key_design(
+        &self,
+        stage: Stage,
+        b: &Benchmark,
+        constraints: DesignConstraints,
+        detector: DetectorConfig,
+    ) -> Option<u64> {
+        debug_assert!(matches!(stage, Stage::Design | Stage::Evaluate));
+        self.disk_key(stage, |h| {
+            hash_benchmark(h, b);
+            h.write_u64(self.seed);
+            hash_constraints(h, constraints);
+            hash_detector(h, detector);
+            hash_opt_config(h, self.opt_config);
+        })
+    }
+
+    // -- parallel suite prefetch ---------------------------------------
+
+    /// Stage the persisted artifacts of `names` into the in-memory byte
+    /// tier, reading the persistent tiers in parallel on the session
+    /// thread pool. For each benchmark this covers every stage the
+    /// session's configuration would request (compile, profile, the
+    /// configured levels' schedules and analyses, the design-feedback
+    /// schedule, design and evaluate). Subsequent stage requests decode
+    /// the staged bytes instead of performing their own serial disk
+    /// reads, and count as `prefetch_hits` in [`CacheStats`].
+    ///
+    /// A no-op (returning 0, after validating the names) when the
+    /// session cannot stage — no store attached, or no staging tier
+    /// above a persistent one. Returns the number of artifacts staged;
+    /// entries already staged, absent from every persistent tier, or
+    /// already resident in the typed caches (a memory-warm session
+    /// re-reads nothing from disk) contribute nothing.
+    /// [`Explorer::explore_all`] and the suite stages call this
+    /// automatically; call it directly when warming a custom request
+    /// pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`ExplorerError::UnknownBenchmark`] for an unregistered name.
+    pub fn prefetch(&self, names: &[&str]) -> Result<usize, ExplorerError> {
+        let benches: Vec<Benchmark> = names
+            .iter()
+            .map(|name| self.benchmark(name))
+            .collect::<Result<_, _>>()?;
+        if !self.tiers.can_stage() {
+            return Ok(0);
+        }
+        let opt_key = OptKey::from(self.opt_config);
+        let det_key = DetKey::from(self.detector);
+        let cons_key = ConsKey::from(self.constraints);
+        let mut keys: Vec<(Stage, u64)> = Vec::new();
+        for bench in &benches {
+            let name = bench.name.to_string();
+            if !self.caches.compile.contains_key(&name) {
+                if let Some(k) = self.key_compile(bench) {
+                    keys.push((Stage::Compile, k));
+                }
+            }
+            if !self.caches.profile.contains_key(&(name.clone(), self.seed)) {
+                if let Some(k) = self.key_profile(bench) {
+                    keys.push((Stage::Profile, k));
+                }
+            }
+            // every configured level, plus the design stage's feedback
+            // level (which may not be in the configured list)
+            let mut levels: BTreeSet<OptLevel> = self.levels.iter().copied().collect();
+            levels.insert(self.constraints.opt_level);
+            for level in levels {
+                let typed = (name.clone(), self.seed, level, opt_key);
+                if !self.caches.schedule.contains_key(&typed) {
+                    if let Some(k) = self.key_schedule(bench, level, self.opt_config) {
+                        keys.push((Stage::Schedule, k));
+                    }
+                }
+            }
+            for &level in &self.levels {
+                let typed = (name.clone(), self.seed, level, opt_key, det_key);
+                if !self.caches.analyze.contains_key(&typed) {
+                    if let Some(k) = self.key_analyze(bench, level, self.opt_config, self.detector)
+                    {
+                        keys.push((Stage::Analyze, k));
+                    }
+                }
+            }
+            let typed = (name.clone(), self.seed, cons_key, det_key, opt_key);
+            if !self.caches.design.contains_key(&typed) {
+                if let Some(k) =
+                    self.key_design(Stage::Design, bench, self.constraints, self.detector)
+                {
+                    keys.push((Stage::Design, k));
+                }
+            }
+            if !self.caches.evaluate.contains_key(&typed) {
+                if let Some(k) =
+                    self.key_design(Stage::Evaluate, bench, self.constraints, self.detector)
+                {
+                    keys.push((Stage::Evaluate, k));
+                }
+            }
+        }
+        Ok(self.prefetch_keys(keys))
+    }
+
+    /// The member-level keys a suite stage's computation will request
+    /// and cannot serve from the typed caches: compile, profile and the
+    /// feedback-level schedule for each (already validated) member.
+    fn member_stage_keys(
+        &self,
+        members: &[String],
+        level: OptLevel,
+        opt: OptConfig,
+    ) -> Vec<(Stage, u64)> {
+        let opt_key = OptKey::from(opt);
+        let mut keys = Vec::new();
+        for name in members {
+            let Some(bench) = self.registry.find(name) else {
+                continue;
+            };
+            if !self.caches.compile.contains_key(name) {
+                if let Some(k) = self.key_compile(bench) {
+                    keys.push((Stage::Compile, k));
+                }
+            }
+            if !self.caches.profile.contains_key(&(name.clone(), self.seed)) {
+                if let Some(k) = self.key_profile(bench) {
+                    keys.push((Stage::Profile, k));
+                }
+            }
+            let typed = (name.clone(), self.seed, level, opt_key);
+            if !self.caches.schedule.contains_key(&typed) {
+                if let Some(k) = self.key_schedule(bench, level, opt) {
+                    keys.push((Stage::Schedule, k));
+                }
+            }
+        }
+        keys
+    }
+
+    /// Stage an explicit key set in parallel on the session thread
+    /// pool, returning how many entries were staged. Infallible: a key
+    /// that cannot be staged is simply skipped.
+    fn prefetch_keys(&self, mut keys: Vec<(Stage, u64)>) -> usize {
+        if !self.tiers.can_stage() || keys.is_empty() {
+            return 0;
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        let staged = AtomicUsize::new(0);
+        let result: Result<Vec<()>, ExplorerError> = self.map_slice(&keys, |&(stage, key)| {
+            if self.tiers.stage_in(stage, key) {
+                staged.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(())
+        });
+        debug_assert!(result.is_ok(), "staging work is infallible");
+        staged.into_inner()
     }
 }
 
@@ -1324,27 +1560,6 @@ fn hash_constraints(h: &mut StableHasher, c: DesignConstraints) {
     hash_level(h, c.opt_level);
 }
 
-/// Releases a single-flight claim on drop (success, error, or panic)
-/// and wakes every thread waiting for the key.
-struct InflightClaim<'a, K: Eq + Hash + Clone, V> {
-    cache: &'a StageCache<K, V>,
-    key: K,
-}
-
-impl<K: Eq + Hash + Clone, V> Drop for InflightClaim<'_, K, V> {
-    fn drop(&mut self) {
-        lock(&self.cache.state).inflight.remove(&self.key);
-        self.cache.ready.notify_all();
-    }
-}
-
-/// Lock a session mutex, recovering from poisoning: cache maps are
-/// only mutated by whole-entry insertion, so a panicking worker cannot
-/// leave an entry half-written.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1396,23 +1611,27 @@ mod tests {
     }
 
     #[test]
-    fn failed_compute_releases_the_inflight_claim() {
+    fn storeless_sessions_have_an_empty_tier_stack() {
         let session = Explorer::new();
-        let cache: StageCache<u32, u32> = StageCache::default();
-        let err = session.cached(
-            Stage::Compile,
-            &cache,
-            7,
-            || None,
-            || Err(ExplorerError::EmptySuite),
-        );
-        assert!(err.is_err());
-        // the claim is gone: a retry computes (it would deadlock or
-        // panic otherwise) and succeeds
-        let v = session
-            .cached(Stage::Compile, &cache, 7, || None, || Ok(99))
-            .expect("retry succeeds");
-        assert_eq!(*v, 99);
-        assert!(lock(&cache.state).inflight.is_empty());
+        assert!(session.tier_stack().is_empty());
+        assert!(session.tier_totals().is_empty());
+        // and never pay key hashing
+        assert_eq!(session.disk_key(Stage::Compile, |_| {}), None);
+    }
+
+    #[test]
+    fn with_store_builds_a_staging_plus_disk_stack() {
+        let dir = std::env::temp_dir().join(format!("asip-session-stack-{}", std::process::id()));
+        let session = Explorer::new().with_store(&dir);
+        let names: Vec<&str> = session
+            .tier_stack()
+            .tiers()
+            .iter()
+            .map(|t| t.name())
+            .collect();
+        assert_eq!(names, ["memory", "disk"]);
+        assert!(session.tier_stack().can_stage());
+        assert_eq!(session.tier_totals().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,5 +1,6 @@
-//! The on-disk artifact store: a persistent, content-addressed tier
-//! under the [`Explorer`](crate::Explorer) session caches.
+//! The on-disk artifact store: the persistent tier of the
+//! [tier stack](crate::tier) under the [`Explorer`](crate::Explorer)
+//! session caches.
 //!
 //! The in-memory stage caches die with the process, so each of the
 //! paper-reproduction binaries would otherwise recompile, re-profile
@@ -11,9 +12,11 @@
 //!
 //! # Layout
 //!
-//! One file per artifact, addressed entirely by content identity:
+//! One file per artifact, addressed entirely by content identity, plus
+//! a manifest index at the root:
 //!
 //! ```text
+//! <dir>/manifest.tsv
 //! <dir>/<stage-name>/<16-hex-digit key>.art
 //! ```
 //!
@@ -22,8 +25,23 @@
 //! the name), data spec, seed, stage name, every relevant configuration
 //! and [`FORMAT_VERSION`]. Each file carries a self-describing header
 //! (magic, version, stage, payload length, payload checksum) ahead of an
-//! [`ArtifactCodec`] payload. The full specification lives in
+//! [`ArtifactCodec`] payload. The manifest is an *index cache* over the
+//! entry files (per-stage byte/entry accounting and precise write
+//! times); the directory is always the authority, and a missing or
+//! damaged manifest is rebuilt by scan. The full specification lives in
 //! `docs/persistence.md`.
+//!
+//! # Garbage collection
+//!
+//! Config sweeps accrete entries forever without a bound, so the store
+//! garbage-collects on request: [`ArtifactStore::gc`] takes a
+//! [`StoreGcConfig`] byte and/or age budget and evicts
+//! least-recently-*written* entries first (LRU by mtime) until the
+//! store fits. GC is safe against concurrent readers — an entry deleted
+//! mid-read degrades to a miss or a checksum rejection, never a wrong
+//! hit — and a post-GC run simply recomputes and heals whatever it
+//! needs. The `asip-bench` `store` binary (`store gc|stats|verify`)
+//! exposes this as a maintenance CLI.
 //!
 //! # Fallback semantics
 //!
@@ -36,7 +54,7 @@
 //!
 //! ```
 //! use asip_explorer::artifact::Stage;
-//! use asip_explorer::store::{ArtifactStore, StableHasher};
+//! use asip_explorer::store::{ArtifactStore, StableHasher, StoreGcConfig};
 //! use asip_explorer::synth::Evaluation;
 //!
 //! let dir = std::env::temp_dir().join(format!("asip-store-doc-{}", std::process::id()));
@@ -55,18 +73,27 @@
 //! };
 //! assert!(store.save(Stage::Evaluate, key, &value));
 //! assert_eq!(store.load::<Evaluation>(Stage::Evaluate, key), Some(value));
-//! assert_eq!(store.stats(Stage::Evaluate).hits, 1);
+//! assert_eq!(store.disk_stats(Stage::Evaluate).hits, 1);
 //!
 //! // a missing key is a counted miss, not an error
 //! assert_eq!(store.load::<Evaluation>(Stage::Evaluate, key ^ 1), None);
-//! assert_eq!(store.stats(Stage::Evaluate).misses, 1);
+//! assert_eq!(store.disk_stats(Stage::Evaluate).misses, 1);
+//!
+//! // a zero byte budget evicts everything; the next run recomputes
+//! let report = store.gc(&StoreGcConfig::default().with_max_bytes(0));
+//! assert_eq!(report.evicted_entries, 1);
+//! assert_eq!(store.snapshot().total_bytes(), 0);
 //! # std::fs::remove_dir_all(&dir).ok();
 //! ```
 
 use crate::artifact::{ArtifactCodec, Stage};
+use crate::tier::{ArtifactTier, TierCounters, TierRead, TierStats};
+use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 /// Version of the on-disk artifact format. Bump on **any** change to the
 /// codec encodings, the file header, the key derivation, *or the
@@ -77,10 +104,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// fail the header check (and new keys diverge, since the version and
 /// the crate version are both hashed into every key), so stale artifacts
 /// degrade to recomputes instead of decoding wrongly.
+///
+/// The manifest is *not* covered by this version: it is an index cache,
+/// rebuilt by scan whenever unreadable (it carries its own header line).
 pub const FORMAT_VERSION: u32 = 1;
 
 /// Magic bytes opening every artifact file.
 const MAGIC: [u8; 8] = *b"ASIPART\n";
+
+/// Header line opening every manifest file.
+const MANIFEST_HEADER: &str = "asip-manifest v1";
 
 /// A stable (cross-process, cross-platform) FNV-1a 64-bit hasher for
 /// deriving store keys.
@@ -106,6 +139,11 @@ impl StableHasher {
 
     /// Feed raw bytes (no length prefix — compose with `write_u64` or
     /// use [`StableHasher::write_str`] for variable-length fields).
+    ///
+    /// FNV-1a folds each byte into the running state sequentially —
+    /// the per-byte loop here is the algorithm itself, not a buffer
+    /// copy (the buffer-building paths in [`crate::artifact::Encoder`]
+    /// and [`ArtifactStore::save`] all use bulk `extend_from_slice`).
     pub fn write(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= u64::from(b);
@@ -146,8 +184,8 @@ impl StableHasher {
 }
 
 /// Disk-tier counters: one bundle per stage (or summed across stages by
-/// [`ArtifactStore::totals`]). Every [`ArtifactStore::load`] increments
-/// exactly one of `hits`, `misses` or `corrupt`.
+/// [`ArtifactStore::disk_totals`]). Every [`ArtifactStore::load`]
+/// increments exactly one of `hits`, `misses` or `corrupt`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DiskStats {
     /// Entries found on disk, validated and decoded.
@@ -173,18 +211,202 @@ impl DiskStats {
     }
 }
 
-#[derive(Debug, Default)]
-struct StageCounters {
-    hits: AtomicU64,
-    misses: AtomicU64,
-    writes: AtomicU64,
-    corrupt: AtomicU64,
+// -- the manifest ------------------------------------------------------
+
+/// One store entry as recorded in the [`Manifest`]: its address, its
+/// on-disk file size, and its write time (nanoseconds since the Unix
+/// epoch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// The pipeline stage the entry belongs to.
+    pub stage: Stage,
+    /// The content-hash key (the file name without extension).
+    pub key: u64,
+    /// Whole-file size in bytes (header + payload).
+    pub bytes: u64,
+    /// Write time in nanoseconds since the Unix epoch. GC evicts
+    /// entries in ascending `mtime_ns` order (LRU by write time).
+    pub mtime_ns: u128,
+}
+
+impl ManifestEntry {
+    fn render(&self) -> String {
+        format!(
+            "{}\t{:016x}\t{}\t{}\n",
+            self.stage.name(),
+            self.key,
+            self.bytes,
+            self.mtime_ns
+        )
+    }
+
+    fn parse(line: &str) -> Option<ManifestEntry> {
+        let mut fields = line.split('\t');
+        let stage = Stage::from_name(fields.next()?)?;
+        let key = u64::from_str_radix(fields.next()?, 16).ok()?;
+        let bytes = fields.next()?.parse().ok()?;
+        let mtime_ns = fields.next()?.parse().ok()?;
+        if fields.next().is_some() {
+            return None;
+        }
+        Some(ManifestEntry {
+            stage,
+            key,
+            bytes,
+            mtime_ns,
+        })
+    }
+}
+
+/// An index of every entry in a store directory: per-stage byte and
+/// entry accounting plus an mtime-ordered view for GC.
+///
+/// A manifest is obtained from [`ArtifactStore::snapshot`] (directory
+/// scan reconciled with the persisted index — see the [module
+/// docs](self)) and persisted at `<dir>/manifest.tsv` by GC. It is an
+/// index *cache*: the entry files are authoritative, and a missing,
+/// stale or corrupted manifest file is silently rebuilt by scan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Every entry, sorted oldest-write-first (then by stage name and
+    /// key, so ordering is total and deterministic under mtime ties).
+    pub entries: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    /// Sort entries into the canonical eviction order.
+    fn canonicalize(&mut self) {
+        self.entries.sort_by(|a, b| {
+            (a.mtime_ns, a.stage.name(), a.key).cmp(&(b.mtime_ns, b.stage.name(), b.key))
+        });
+    }
+
+    /// Total on-disk bytes across every entry.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(entry count, byte total)` for one stage.
+    pub fn stage_usage(&self, stage: Stage) -> (u64, u64) {
+        self.entries
+            .iter()
+            .filter(|e| e.stage == stage)
+            .fold((0, 0), |(n, b), e| (n + 1, b + e.bytes))
+    }
+
+    /// Serialize to the manifest file format.
+    fn render(&self) -> String {
+        let mut out = String::with_capacity(32 + self.entries.len() * 48);
+        out.push_str(MANIFEST_HEADER);
+        out.push('\n');
+        for e in &self.entries {
+            out.push_str(&e.render());
+        }
+        out
+    }
+
+    /// Parse a manifest file. Any anomaly — wrong header, malformed
+    /// line, trailing fields — rejects the whole manifest (`None`), and
+    /// the caller rebuilds by scan.
+    fn parse(text: &str) -> Option<Manifest> {
+        let mut lines = text.lines();
+        if lines.next()? != MANIFEST_HEADER {
+            return None;
+        }
+        let mut entries = Vec::new();
+        for line in lines {
+            entries.push(ManifestEntry::parse(line)?);
+        }
+        let mut m = Manifest { entries };
+        m.canonicalize();
+        Some(m)
+    }
+}
+
+// -- GC ----------------------------------------------------------------
+
+/// Budgets for [`ArtifactStore::gc`]. Unset fields don't constrain;
+/// the default config evicts nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreGcConfig {
+    /// Keep at most this many on-disk bytes (whole files, headers
+    /// included), evicting least-recently-written entries first.
+    pub max_bytes: Option<u64>,
+    /// Evict every entry written longer than this ago.
+    pub max_age: Option<Duration>,
+}
+
+impl StoreGcConfig {
+    /// Set the byte budget.
+    pub fn with_max_bytes(mut self, max_bytes: u64) -> Self {
+        self.max_bytes = Some(max_bytes);
+        self
+    }
+
+    /// Set the age budget.
+    pub fn with_max_age(mut self, max_age: Duration) -> Self {
+        self.max_age = Some(max_age);
+        self
+    }
+}
+
+/// What one [`ArtifactStore::gc`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Entries found by the pre-GC snapshot.
+    pub scanned_entries: u64,
+    /// Their total on-disk bytes.
+    pub scanned_bytes: u64,
+    /// Entries evicted (files removed).
+    pub evicted_entries: u64,
+    /// Bytes those entries occupied.
+    pub evicted_bytes: u64,
+    /// Entries surviving the pass.
+    pub retained_entries: u64,
+    /// Bytes they occupy.
+    pub retained_bytes: u64,
+    /// Evicted-entry counts per stage, indexed by `Stage as usize`.
+    pub evicted_per_stage: [u64; 8],
+}
+
+/// What an [`ArtifactStore::verify`] walk found.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Entries whose header, checksum and typed payload all validated.
+    pub ok: u64,
+    /// Entries rejected at any validation step.
+    pub corrupt: u64,
+    /// Bytes across every inspected entry.
+    pub bytes: u64,
+    /// Per-stage ok counts, indexed by `Stage as usize`.
+    pub ok_per_stage: [u64; 8],
+    /// Per-stage corrupt counts, indexed by `Stage as usize`.
+    pub corrupt_per_stage: [u64; 8],
+}
+
+/// Session-local knowledge of one on-disk entry (size and precise write
+/// time), backing the cheap per-stage occupancy stats.
+#[derive(Debug, Clone, Copy)]
+struct EntryMeta {
+    bytes: u64,
+    mtime_ns: u128,
 }
 
 /// A persistent, content-addressed artifact store rooted at one
-/// directory. See the [module docs](self) for layout and fallback
+/// directory. See the [module docs](self) for layout, GC and fallback
 /// semantics, and [`Explorer::with_store`](crate::Explorer::with_store)
-/// for the session integration.
+/// for the session integration. In the [tier stack](crate::tier) it is
+/// the canonical persistent [`ArtifactTier`] (`name() == "disk"`).
 ///
 /// Multiple stores (in one process or many) may share a directory:
 /// writes are atomic (temp file + rename), and since keys are content
@@ -192,7 +414,13 @@ struct StageCounters {
 #[derive(Debug)]
 pub struct ArtifactStore {
     dir: PathBuf,
-    counters: [StageCounters; 8],
+    counters: TierCounters,
+    gc_evicted: [AtomicU64; 8],
+    /// Lazy session-local index of the directory (sizes + precise write
+    /// times), populated by the first occupancy query and kept in sync
+    /// by this session's saves and GC passes. Other processes' writes
+    /// only appear after the next [`ArtifactStore::snapshot`].
+    index: Mutex<Option<HashMap<(Stage, u64), EntryMeta>>>,
 }
 
 impl ArtifactStore {
@@ -202,13 +430,20 @@ impl ArtifactStore {
     pub fn open(dir: impl Into<PathBuf>) -> Self {
         ArtifactStore {
             dir: dir.into(),
-            counters: Default::default(),
+            counters: TierCounters::default(),
+            gc_evicted: Default::default(),
+            index: Mutex::new(None),
         }
     }
 
     /// The store's root directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The manifest index file (`<dir>/manifest.tsv`).
+    pub fn manifest_path(&self) -> PathBuf {
+        self.dir.join("manifest.tsv")
     }
 
     /// The file an artifact lives in: `<dir>/<stage>/<key as 16 hex
@@ -225,23 +460,15 @@ impl ArtifactStore {
     /// validation step (magic, version, stage, length, checksum, codec
     /// decode). Never errors and never panics on hostile bytes.
     pub fn load<V: ArtifactCodec>(&self, stage: Stage, key: u64) -> Option<V> {
-        let counters = &self.counters[stage as usize];
-        let bytes = match fs::read(self.entry_path(stage, key)) {
-            Ok(bytes) => bytes,
-            Err(_) => {
-                counters.misses.fetch_add(1, Ordering::Relaxed);
-                return None;
-            }
-        };
-        match decode_entry::<V>(&bytes, stage) {
-            Some(v) => {
-                counters.hits.fetch_add(1, Ordering::Relaxed);
-                Some(v)
-            }
-            None => {
-                counters.corrupt.fetch_add(1, Ordering::Relaxed);
-                None
-            }
+        match self.get(stage, key) {
+            TierRead::Hit(payload) => match V::from_bytes(&payload) {
+                Ok(v) => Some(v),
+                Err(_) => {
+                    self.mark_corrupt(stage, key);
+                    None
+                }
+            },
+            TierRead::Miss | TierRead::Corrupt => None,
         }
     }
 
@@ -252,6 +479,327 @@ impl ArtifactStore {
     /// disk full) are swallowed — persistence is an optimization, never
     /// a correctness requirement.
     pub fn save<V: ArtifactCodec>(&self, stage: Stage, key: u64, value: &V) -> bool {
+        self.put(stage, key, &value.to_bytes())
+    }
+
+    /// Snapshot one stage's disk counters.
+    pub fn disk_stats(&self, stage: Stage) -> DiskStats {
+        let s = self.counters.snapshot(stage);
+        DiskStats {
+            hits: s.hits,
+            misses: s.misses,
+            writes: s.writes,
+            corrupt: s.corrupt,
+        }
+    }
+
+    /// Disk counters summed over every stage.
+    pub fn disk_totals(&self) -> DiskStats {
+        Stage::all()
+            .into_iter()
+            .fold(DiskStats::default(), |acc, s| acc.add(self.disk_stats(s)))
+    }
+
+    /// Entries this session's GC passes evicted for one stage.
+    pub fn gc_evictions(&self, stage: Stage) -> u64 {
+        self.gc_evicted[stage as usize].load(Ordering::Relaxed)
+    }
+
+    // -- manifest, GC, verify ------------------------------------------
+
+    /// Index the store: scan the stage directories (the authority on
+    /// which entries exist and how big they are), then reconcile write
+    /// times against the persisted manifest and this session's own
+    /// writes, which both record sub-filesystem-granularity timestamps.
+    /// A missing or corrupted manifest file degrades to the pure scan.
+    pub fn snapshot(&self) -> Manifest {
+        let mut scan = self.scan();
+        let persisted: HashMap<(Stage, u64), ManifestEntry> =
+            fs::read_to_string(self.manifest_path())
+                .ok()
+                .and_then(|text| Manifest::parse(&text))
+                .map(|m| {
+                    m.entries
+                        .into_iter()
+                        .map(|e| ((e.stage, e.key), e))
+                        .collect()
+                })
+                .unwrap_or_default();
+        {
+            let index = crate::tier::lock(&self.index);
+            for e in &mut scan.entries {
+                // Prefer this session's own record, then the manifest —
+                // but only while the file size still matches (a size
+                // change means another process rewrote the entry).
+                if let Some(meta) = index
+                    .as_ref()
+                    .and_then(|ix| ix.get(&(e.stage, e.key)))
+                    .filter(|m| m.bytes == e.bytes)
+                {
+                    e.mtime_ns = meta.mtime_ns;
+                } else if let Some(p) = persisted
+                    .get(&(e.stage, e.key))
+                    .filter(|p| p.bytes == e.bytes)
+                {
+                    e.mtime_ns = p.mtime_ns;
+                }
+            }
+        }
+        scan.canonicalize();
+        scan
+    }
+
+    /// Rebuild the index purely from the directory (file sizes and
+    /// filesystem mtimes). Unknown files are ignored.
+    fn scan(&self) -> Manifest {
+        let mut entries = Vec::new();
+        for stage in Stage::all() {
+            let Ok(dir) = fs::read_dir(self.dir.join(stage.name())) else {
+                continue;
+            };
+            for file in dir.flatten() {
+                let path = file.path();
+                if path.extension().is_none_or(|e| e != "art") {
+                    continue;
+                }
+                let Some(key) = path
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .and_then(|s| u64::from_str_radix(s, 16).ok())
+                else {
+                    continue;
+                };
+                let Ok(meta) = file.metadata() else {
+                    continue;
+                };
+                entries.push(ManifestEntry {
+                    stage,
+                    key,
+                    bytes: meta.len(),
+                    mtime_ns: meta
+                        .modified()
+                        .ok()
+                        .and_then(|t| t.duration_since(UNIX_EPOCH).ok())
+                        .map(|d| d.as_nanos())
+                        .unwrap_or(0),
+                });
+            }
+        }
+        let mut m = Manifest { entries };
+        m.canonicalize();
+        m
+    }
+
+    /// Persist a manifest atomically (temp file + rename). Failures are
+    /// swallowed: the manifest is an index cache, and the next reader
+    /// rebuilds by scan.
+    fn write_manifest(&self, manifest: &Manifest) -> bool {
+        let path = self.manifest_path();
+        if fs::create_dir_all(&self.dir).is_err() {
+            return false;
+        }
+        let tmp = unique_tmp(&path);
+        if fs::write(&tmp, manifest.render()).is_err() {
+            fs::remove_file(&tmp).ok();
+            return false;
+        }
+        if fs::rename(&tmp, &path).is_err() {
+            fs::remove_file(&tmp).ok();
+            return false;
+        }
+        true
+    }
+
+    /// Garbage-collect the store against `config`: evict every entry
+    /// older than `max_age`, then least-recently-written entries until
+    /// at most `max_bytes` remain, and atomically rewrite the manifest
+    /// to the retained set.
+    ///
+    /// GC never blocks or corrupts concurrent readers — a removed entry
+    /// degrades to a miss (or a checksum rejection) and is recomputed —
+    /// and like every store operation it cannot fail: undeletable files
+    /// are simply retained.
+    pub fn gc(&self, config: &StoreGcConfig) -> GcReport {
+        let manifest = self.snapshot();
+        let mut report = GcReport {
+            scanned_entries: manifest.len() as u64,
+            scanned_bytes: manifest.total_bytes(),
+            ..GcReport::default()
+        };
+        let now_ns = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0);
+        let cutoff_ns = config
+            .max_age
+            .map(|age| now_ns.saturating_sub(age.as_nanos()));
+
+        let mut remaining_bytes = report.scanned_bytes;
+        let mut retained = Vec::with_capacity(manifest.len());
+        // entries are canonically sorted oldest-first: walk them in
+        // order, evicting while a budget is still exceeded — the oldest
+        // entries go first, and eviction stops the moment the remainder
+        // fits
+        for e in &manifest.entries {
+            let too_old = cutoff_ns.is_some_and(|cut| e.mtime_ns < cut);
+            let over_budget = config.max_bytes.is_some_and(|max| remaining_bytes > max);
+            if (too_old || over_budget) && self.evict_entry(e) {
+                remaining_bytes -= e.bytes;
+                report.evicted_entries += 1;
+                report.evicted_bytes += e.bytes;
+                report.evicted_per_stage[e.stage as usize] += 1;
+                self.gc_evicted[e.stage as usize].fetch_add(1, Ordering::Relaxed);
+            } else {
+                retained.push(*e);
+            }
+        }
+        let mut retained = Manifest { entries: retained };
+        retained.canonicalize();
+        report.retained_entries = retained.len() as u64;
+        report.retained_bytes = retained.total_bytes();
+        self.write_manifest(&retained);
+        // Reconcile the session-local index by *removing* the evicted
+        // keys rather than replacing it wholesale — a save landing on
+        // another thread between our snapshot and here must keep its
+        // (newer) record.
+        {
+            let mut index = crate::tier::lock(&self.index);
+            if let Some(ix) = index.as_mut() {
+                ix.retain(|&(stage, key), _| self.entry_path(stage, key).is_file());
+                for e in &retained.entries {
+                    ix.entry((e.stage, e.key)).or_insert(EntryMeta {
+                        bytes: e.bytes,
+                        mtime_ns: e.mtime_ns,
+                    });
+                }
+            }
+        }
+        report
+    }
+
+    fn evict_entry(&self, e: &ManifestEntry) -> bool {
+        match fs::remove_file(self.entry_path(e.stage, e.key)) {
+            Ok(()) => true,
+            // Already gone (another GC raced us): the bytes are freed
+            // either way, so treat it as evicted.
+            Err(err) => err.kind() == std::io::ErrorKind::NotFound,
+        }
+    }
+
+    /// Walk every entry and validate it end to end: header, checksum,
+    /// and a full typed decode of the payload against its stage's
+    /// artifact type. Counters are untouched — this is a maintenance
+    /// walk, not the request path — and nothing is deleted; pair with
+    /// [`ArtifactStore::gc`] or plain `rm` to act on the report.
+    ///
+    /// An entry that disappears between the snapshot and its read was
+    /// deleted by a concurrent session (GC, healing) — that is normal
+    /// operation, not corruption, and is skipped entirely.
+    pub fn verify(&self) -> VerifyReport {
+        let manifest = self.snapshot();
+        let mut report = VerifyReport::default();
+        for e in &manifest.entries {
+            let bytes = match fs::read(self.entry_path(e.stage, e.key)) {
+                Ok(bytes) => bytes,
+                Err(err) if err.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(_) => {
+                    report.corrupt += 1;
+                    report.corrupt_per_stage[e.stage as usize] += 1;
+                    report.bytes += e.bytes;
+                    continue;
+                }
+            };
+            report.bytes += bytes.len() as u64;
+            let valid = validate_entry(&bytes, e.stage)
+                .is_some_and(|payload| decode_stage_payload(e.stage, payload));
+            if valid {
+                report.ok += 1;
+                report.ok_per_stage[e.stage as usize] += 1;
+            } else {
+                report.corrupt += 1;
+                report.corrupt_per_stage[e.stage as usize] += 1;
+            }
+        }
+        report
+    }
+
+    fn index_insert(&self, stage: Stage, key: u64, bytes: u64) {
+        let mut index = crate::tier::lock(&self.index);
+        if let Some(ix) = index.as_mut() {
+            let mtime_ns = SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0);
+            ix.insert((stage, key), EntryMeta { bytes, mtime_ns });
+        }
+    }
+
+    fn index_remove(&self, stage: Stage, key: u64) {
+        let mut index = crate::tier::lock(&self.index);
+        if let Some(ix) = index.as_mut() {
+            ix.remove(&(stage, key));
+        }
+    }
+
+    /// Per-stage `(entries, bytes)` from the session-local index,
+    /// populating it by snapshot on first use. The snapshot happens
+    /// outside the index lock (snapshot itself consults the index for
+    /// mtime overlay), so a racing initializer just discards its scan.
+    fn stage_usage(&self, stage: Stage) -> (u64, u64) {
+        if crate::tier::lock(&self.index).is_none() {
+            let snapshot = self.snapshot();
+            let fresh: HashMap<(Stage, u64), EntryMeta> = snapshot
+                .entries
+                .iter()
+                .map(|e| {
+                    (
+                        (e.stage, e.key),
+                        EntryMeta {
+                            bytes: e.bytes,
+                            mtime_ns: e.mtime_ns,
+                        },
+                    )
+                })
+                .collect();
+            crate::tier::lock(&self.index).get_or_insert(fresh);
+        }
+        crate::tier::lock(&self.index)
+            .as_ref()
+            .map(|ix| {
+                ix.iter()
+                    .filter(|((s, _), _)| *s == stage)
+                    .fold((0, 0), |(n, b), (_, m)| (n + 1, b + m.bytes))
+            })
+            .unwrap_or((0, 0))
+    }
+}
+
+impl ArtifactTier for ArtifactStore {
+    fn name(&self) -> &'static str {
+        "disk"
+    }
+
+    fn get(&self, stage: Stage, key: u64) -> TierRead {
+        let bytes = match fs::read(self.entry_path(stage, key)) {
+            Ok(bytes) => bytes,
+            Err(_) => {
+                self.counters.count_miss(stage);
+                return TierRead::Miss;
+            }
+        };
+        match validate_entry(&bytes, stage) {
+            Some(payload) => {
+                self.counters.count_hit(stage);
+                TierRead::Hit(payload.to_vec())
+            }
+            None => {
+                self.counters.count_corrupt(stage);
+                TierRead::Corrupt
+            }
+        }
+    }
+
+    fn put(&self, stage: Stage, key: u64, payload: &[u8]) -> bool {
         let path = self.entry_path(stage, key);
         let Some(parent) = path.parent() else {
             return false;
@@ -259,7 +807,6 @@ impl ArtifactStore {
         if fs::create_dir_all(parent).is_err() {
             return false;
         }
-        let payload = value.to_bytes();
         let mut bytes = Vec::with_capacity(payload.len() + 64);
         bytes.extend_from_slice(&MAGIC);
         bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
@@ -267,19 +814,10 @@ impl ArtifactStore {
         bytes.push(stage_name.len() as u8);
         bytes.extend_from_slice(stage_name);
         bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        bytes.extend_from_slice(&checksum(&payload).to_le_bytes());
-        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&checksum(payload).to_le_bytes());
+        bytes.extend_from_slice(payload);
 
-        // Unique per writer: the pid alone is not enough, because two
-        // sessions (or threads) in one process may race on the same key
-        // — a shared tmp path would let one writer rename the other's
-        // half-written file into place.
-        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
-        let tmp = path.with_extension(format!(
-            "tmp.{}.{}",
-            std::process::id(),
-            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
-        ));
+        let tmp = unique_tmp(&path);
         if fs::write(&tmp, &bytes).is_err() {
             fs::remove_file(&tmp).ok();
             return false;
@@ -288,40 +826,53 @@ impl ArtifactStore {
             fs::remove_file(&tmp).ok();
             return false;
         }
-        self.counters[stage as usize]
-            .writes
-            .fetch_add(1, Ordering::Relaxed);
+        self.counters.count_write(stage);
+        self.index_insert(stage, key, bytes.len() as u64);
         true
     }
 
-    /// Snapshot one stage's disk counters.
-    pub fn stats(&self, stage: Stage) -> DiskStats {
-        let c = &self.counters[stage as usize];
-        DiskStats {
-            hits: c.hits.load(Ordering::Relaxed),
-            misses: c.misses.load(Ordering::Relaxed),
-            writes: c.writes.load(Ordering::Relaxed),
-            corrupt: c.corrupt.load(Ordering::Relaxed),
+    fn contains(&self, stage: Stage, key: u64) -> bool {
+        self.entry_path(stage, key).is_file()
+    }
+
+    fn stats(&self, stage: Stage) -> TierStats {
+        let (entries, bytes) = self.stage_usage(stage);
+        TierStats {
+            entries,
+            bytes,
+            ..self.counters.snapshot(stage)
         }
     }
 
-    /// Disk counters summed over every stage.
-    pub fn totals(&self) -> DiskStats {
-        Stage::all()
-            .into_iter()
-            .fold(DiskStats::default(), |acc, s| acc.add(self.stats(s)))
+    fn persistent(&self) -> bool {
+        true
     }
 
-    /// Zero the counters (the on-disk entries are untouched — they are
-    /// the persistent state; the counters are per-session bookkeeping).
-    pub fn reset_counters(&self) {
-        for c in &self.counters {
-            c.hits.store(0, Ordering::Relaxed);
-            c.misses.store(0, Ordering::Relaxed);
-            c.writes.store(0, Ordering::Relaxed);
-            c.corrupt.store(0, Ordering::Relaxed);
+    fn mark_corrupt(&self, stage: Stage, key: u64) {
+        self.counters.demote_hit(stage);
+        fs::remove_file(self.entry_path(stage, key)).ok();
+        self.index_remove(stage, key);
+    }
+
+    fn reset_counters(&self) {
+        self.counters.reset();
+        for c in &self.gc_evicted {
+            c.store(0, Ordering::Relaxed);
         }
     }
+}
+
+/// A process-unique temp path next to `path`. The pid alone is not
+/// enough, because two sessions (or threads) in one process may race on
+/// the same key — a shared tmp path would let one writer rename the
+/// other's half-written file into place.
+fn unique_tmp(path: &Path) -> PathBuf {
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    path.with_extension(format!(
+        "tmp.{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
 }
 
 /// FNV-1a 64 over the payload (the same algorithm as [`StableHasher`],
@@ -332,9 +883,12 @@ fn checksum(payload: &[u8]) -> u64 {
     h.finish()
 }
 
-/// Validate a complete entry file and decode its payload. Any failure
-/// returns `None`; the caller counts it as `corrupt`.
-fn decode_entry<V: ArtifactCodec>(bytes: &[u8], stage: Stage) -> Option<V> {
+/// Validate a complete entry file's framing — magic, version, stage
+/// name, payload length, checksum — and return the payload slice. Any
+/// failure returns `None`; the caller counts it as `corrupt`. Typed
+/// payload decoding is the next layer up (the tier stack or
+/// [`ArtifactStore::load`]).
+fn validate_entry(bytes: &[u8], stage: Stage) -> Option<&[u8]> {
     let rest = bytes.strip_prefix(&MAGIC)?;
     let (version, rest) = split_u32(rest)?;
     if version != FORMAT_VERSION {
@@ -354,7 +908,24 @@ fn decode_entry<V: ArtifactCodec>(bytes: &[u8], stage: Stage) -> Option<V> {
     if payload.len() as u64 != payload_len || checksum(payload) != expected_sum {
         return None;
     }
-    V::from_bytes(payload).ok()
+    Some(payload)
+}
+
+/// Typed-decode one validated payload against the artifact type of
+/// `stage` (decoded and dropped immediately — verification never holds
+/// more than one payload's decode in memory).
+fn decode_stage_payload(stage: Stage, payload: &[u8]) -> bool {
+    match stage {
+        Stage::Compile => asip_ir::Program::from_bytes(payload).is_ok(),
+        Stage::Profile => asip_sim::Profile::from_bytes(payload).is_ok(),
+        Stage::Schedule => asip_opt::ScheduleGraph::from_bytes(payload).is_ok(),
+        Stage::Analyze => asip_chains::SequenceReport::from_bytes(payload).is_ok(),
+        Stage::Design | Stage::DesignSuite => asip_synth::AsipDesign::from_bytes(payload).is_ok(),
+        Stage::Evaluate => asip_synth::Evaluation::from_bytes(payload).is_ok(),
+        Stage::EvaluateSuite => {
+            Vec::<(String, asip_synth::Evaluation)>::from_bytes(payload).is_ok()
+        }
+    }
 }
 
 fn split_u32(bytes: &[u8]) -> Option<(u32, &[u8])> {
@@ -410,15 +981,15 @@ mod tests {
     fn save_load_round_trip_with_counters() {
         let store = temp_store("roundtrip");
         assert_eq!(store.load::<u64>(Stage::Compile, 1), None);
-        assert_eq!(store.stats(Stage::Compile).misses, 1);
+        assert_eq!(store.disk_stats(Stage::Compile).misses, 1);
 
         assert!(store.save(Stage::Compile, 1, &42u64));
         assert_eq!(store.load::<u64>(Stage::Compile, 1), Some(42));
-        let stats = store.stats(Stage::Compile);
+        let stats = store.disk_stats(Stage::Compile);
         assert_eq!((stats.hits, stats.misses, stats.writes), (1, 1, 1));
         // other stages are unaffected; totals sum
-        assert_eq!(store.stats(Stage::Profile), DiskStats::default());
-        assert_eq!(store.totals().hits, 1);
+        assert_eq!(store.disk_stats(Stage::Profile), DiskStats::default());
+        assert_eq!(store.disk_totals().hits, 1);
         fs::remove_dir_all(store.dir()).ok();
     }
 
@@ -445,7 +1016,7 @@ mod tests {
         *bytes.last_mut().expect("nonempty") ^= 0xFF;
         fs::write(&path, &bytes).expect("writable");
         assert_eq!(store.load::<String>(Stage::Analyze, 5), None);
-        assert_eq!(store.stats(Stage::Analyze).corrupt, 1);
+        assert_eq!(store.disk_stats(Stage::Analyze).corrupt, 1);
 
         // truncate mid-header
         fs::write(&path, &bytes[..10]).expect("writable");
@@ -457,7 +1028,7 @@ mod tests {
         bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
         fs::write(&path, &bytes).expect("writable");
         assert_eq!(store.load::<String>(Stage::Analyze, 5), None);
-        assert_eq!(store.stats(Stage::Analyze).corrupt, 3);
+        assert_eq!(store.disk_stats(Stage::Analyze).corrupt, 3);
 
         // a wrong-stage read of a valid entry is also rejected
         store.save(Stage::Analyze, 5, &String::from("report"));
@@ -465,7 +1036,22 @@ mod tests {
         fs::create_dir_all(copy.parent().expect("has parent")).expect("mkdir");
         fs::copy(&path, &copy).expect("copies");
         assert_eq!(store.load::<String>(Stage::Design, 5), None);
-        assert_eq!(store.stats(Stage::Design).corrupt, 1);
+        assert_eq!(store.disk_stats(Stage::Design).corrupt, 1);
+        fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn typed_decode_failure_demotes_the_hit_and_heals() {
+        let store = temp_store("demote");
+        store.save(Stage::Compile, 9, &String::from("not a u64"));
+        // framing is valid, the typed decode is not
+        assert_eq!(store.load::<u64>(Stage::Compile, 9), None);
+        let stats = store.disk_stats(Stage::Compile);
+        assert_eq!((stats.hits, stats.corrupt), (0, 1), "hit was demoted");
+        assert!(
+            !store.contains(Stage::Compile, 9),
+            "undecodable entry removed so the rewrite is not shadowed"
+        );
         fs::remove_dir_all(store.dir()).ok();
     }
 
@@ -477,8 +1063,11 @@ mod tests {
         fs::write(&blocker, b"file, not dir").expect("temp writable");
         let store = ArtifactStore::open(blocker.join("store"));
         assert!(!store.save(Stage::Compile, 1, &1u64));
-        assert_eq!(store.totals().writes, 0);
+        assert_eq!(store.disk_totals().writes, 0);
         assert_eq!(store.load::<u64>(Stage::Compile, 1), None);
+        // maintenance ops are equally unbothered
+        assert_eq!(store.snapshot(), Manifest::default());
+        assert_eq!(store.gc(&StoreGcConfig::default()).scanned_entries, 0);
         fs::remove_file(&blocker).ok();
     }
 
@@ -488,8 +1077,161 @@ mod tests {
         store.save(Stage::Compile, 3, &9u64);
         store.load::<u64>(Stage::Compile, 3);
         store.reset_counters();
-        assert_eq!(store.totals(), DiskStats::default());
+        assert_eq!(store.disk_totals(), DiskStats::default());
         assert_eq!(store.load::<u64>(Stage::Compile, 3), Some(9));
+        fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn manifest_round_trips_and_rejects_damage() {
+        let m = Manifest {
+            entries: vec![
+                ManifestEntry {
+                    stage: Stage::Profile,
+                    key: 0xdead_beef,
+                    bytes: 128,
+                    mtime_ns: 1_000,
+                },
+                ManifestEntry {
+                    stage: Stage::Compile,
+                    key: 1,
+                    bytes: 64,
+                    mtime_ns: 500,
+                },
+            ],
+        };
+        let parsed = Manifest::parse(&m.render()).expect("round-trips");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(
+            parsed.entries[0].stage,
+            Stage::Compile,
+            "parse canonicalizes oldest-first"
+        );
+        assert_eq!(parsed.total_bytes(), 192);
+        assert_eq!(parsed.stage_usage(Stage::Profile), (1, 128));
+
+        assert!(Manifest::parse("wrong header\n").is_none());
+        assert!(
+            Manifest::parse("asip-manifest v1\ncompile\tzz\t1\t2\n").is_none(),
+            "malformed key rejects the manifest"
+        );
+        assert!(
+            Manifest::parse("asip-manifest v1\nnot-a-stage\t0\t1\t2\n").is_none(),
+            "unknown stage rejects the manifest"
+        );
+    }
+
+    #[test]
+    fn snapshot_scans_and_gc_respects_byte_budget_oldest_first() {
+        let store = temp_store("gc-bytes");
+        store.save(Stage::Compile, 1, &1u64);
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        store.save(Stage::Profile, 2, &2u64);
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        store.save(Stage::Schedule, 3, &3u64);
+
+        let m = store.snapshot();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.entries[0].key, 1, "snapshot is mtime-ordered");
+        // budget for exactly the newest entry: the two oldest go
+        let entry_bytes = m.entries[2].bytes;
+        assert!(entry_bytes > 0);
+        let report = store.gc(&StoreGcConfig::default().with_max_bytes(entry_bytes));
+        assert_eq!(report.scanned_entries, 3);
+        assert_eq!(report.evicted_entries, 2);
+        assert_eq!(report.retained_entries, 1);
+        assert!(report.retained_bytes <= entry_bytes);
+        assert_eq!(report.evicted_per_stage[Stage::Compile as usize], 1);
+        assert_eq!(report.evicted_per_stage[Stage::Profile as usize], 1);
+        assert!(!store.contains(Stage::Compile, 1));
+        assert!(!store.contains(Stage::Profile, 2));
+        assert!(store.contains(Stage::Schedule, 3), "newest survives");
+        assert_eq!(store.gc_evictions(Stage::Compile), 1);
+
+        // the manifest was rewritten to the retained set
+        let m = store.snapshot();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.entries[0].key, 3);
+        fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn gc_age_budget_and_unbounded_config_are_honored() {
+        let store = temp_store("gc-age");
+        store.save(Stage::Compile, 1, &1u64);
+        let unbounded = store.gc(&StoreGcConfig::default());
+        assert_eq!(unbounded.evicted_entries, 0, "no budgets, no evictions");
+
+        // everything is older than a zero age budget
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let report = store.gc(&StoreGcConfig::default().with_max_age(Duration::ZERO));
+        assert_eq!(report.evicted_entries, 1);
+        assert_eq!(store.snapshot().len(), 0);
+
+        // a generous age budget keeps fresh entries
+        store.save(Stage::Compile, 2, &2u64);
+        let report = store.gc(&StoreGcConfig::default().with_max_age(Duration::from_secs(3600)));
+        assert_eq!(report.evicted_entries, 0);
+        assert_eq!(report.retained_entries, 1);
+        fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn manifest_loss_or_damage_rebuilds_by_scan() {
+        let store = temp_store("manifest-loss");
+        store.save(Stage::Compile, 1, &1u64);
+        store.save(Stage::Profile, 2, &2u64);
+        store.gc(&StoreGcConfig::default()); // writes the manifest
+        assert!(store.manifest_path().is_file());
+
+        // delete the manifest: snapshot still sees both entries
+        fs::remove_file(store.manifest_path()).expect("removable");
+        assert_eq!(store.snapshot().len(), 2);
+
+        // corrupt the manifest: ignored, rebuilt by scan
+        fs::write(store.manifest_path(), b"garbage\nmore garbage").expect("writable");
+        assert_eq!(store.snapshot().len(), 2);
+        let report = store.gc(&StoreGcConfig::default().with_max_bytes(0));
+        assert_eq!(report.evicted_entries, 2);
+        fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn verify_reports_valid_and_corrupt_entries() {
+        let store = temp_store("verify");
+        let reg = asip_benchmarks::registry();
+        let program = reg
+            .find("fir")
+            .expect("built-in")
+            .compile()
+            .expect("compiles");
+        store.save(Stage::Compile, 1, &program);
+        store.save(
+            Stage::Evaluate,
+            2,
+            &asip_synth::Evaluation {
+                base_cycles: 2,
+                asip_cycles: 1,
+                speedup: 2.0,
+                fused_chains: 0,
+                extension_area: 0.0,
+            },
+        );
+        let clean = store.verify();
+        assert_eq!((clean.ok, clean.corrupt), (2, 0));
+        assert_eq!(clean.ok_per_stage[Stage::Compile as usize], 1);
+        assert!(clean.bytes > 0);
+
+        // payload damage and type confusion are both caught
+        let path = store.entry_path(Stage::Compile, 1);
+        let mut bytes = fs::read(&path).expect("readable");
+        *bytes.last_mut().expect("nonempty") ^= 0xFF;
+        fs::write(&path, &bytes).expect("writable");
+        // a structurally valid file holding the wrong payload type
+        store.save(Stage::Profile, 3, &String::from("not a profile"));
+        let dirty = store.verify();
+        assert_eq!((dirty.ok, dirty.corrupt), (1, 2));
+        assert_eq!(dirty.corrupt_per_stage[Stage::Profile as usize], 1);
         fs::remove_dir_all(store.dir()).ok();
     }
 }

@@ -1,0 +1,261 @@
+//! Tier-stack integration tests: GC budgets must actually bound the
+//! store (and stay safe against live readers), a warm `explore_all`
+//! must serve from prefetch-staged bytes with zero recomputes, and a
+//! custom tier must be a drop-in through `Explorer::with_tier`.
+
+use asip_explorer::prelude::*;
+use asip_explorer::{MemoryTier, TierRead};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn store_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("asip-gc-{tag}-{}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// The acceptance path: a config sweep overflows a byte budget, `gc`
+/// shrinks the store below it (oldest-written entries first), and a
+/// subsequent run is still *correct* — it recomputes what was evicted,
+/// returns identical results, and heals the store back to warm.
+#[test]
+fn gc_bounds_a_config_sweep_and_the_next_run_recomputes_and_heals() {
+    let dir = store_dir("sweep");
+    let tweaked = OptConfig {
+        unroll: 4,
+        ..OptConfig::default()
+    };
+
+    let baseline = Explorer::new().with_store(&dir);
+    let expected_a = baseline
+        .analyze_with(
+            "sewha",
+            OptLevel::Pipelined,
+            OptConfig::default(),
+            DetectorConfig::default(),
+        )
+        .expect("analyzes");
+    let expected_b = baseline
+        .analyze_with(
+            "sewha",
+            OptLevel::Pipelined,
+            tweaked,
+            DetectorConfig::default(),
+        )
+        .expect("analyzes");
+
+    let store = baseline.store().expect("attached");
+    let full = store.snapshot();
+    assert!(full.len() >= 4, "the sweep persisted several artifacts");
+    // a byte budget smaller than the sweep: GC must shrink below it
+    let budget = full.total_bytes() / 2;
+    let report = store.gc(&StoreGcConfig::default().with_max_bytes(budget));
+    assert!(report.evicted_entries > 0, "{report:?}");
+    assert!(report.retained_bytes <= budget, "{report:?}");
+    assert!(store.snapshot().total_bytes() <= budget);
+    // and the eviction count surfaces through the session's CacheStats
+    assert_eq!(
+        baseline.cache_stats().total_gc_evictions(),
+        report.evicted_entries
+    );
+    assert!(baseline.cache_stats().total_disk_bytes() <= budget);
+
+    // a fresh session re-runs the sweep: partial recompute, identical
+    // results, store healed
+    let replay = Explorer::new().with_store(&dir);
+    let again_a = replay
+        .analyze_with(
+            "sewha",
+            OptLevel::Pipelined,
+            OptConfig::default(),
+            DetectorConfig::default(),
+        )
+        .expect("replays");
+    let again_b = replay
+        .analyze_with(
+            "sewha",
+            OptLevel::Pipelined,
+            tweaked,
+            DetectorConfig::default(),
+        )
+        .expect("replays");
+    assert_eq!(expected_a.report, again_a.report);
+    assert_eq!(expected_b.report, again_b.report);
+    assert!(
+        replay.cache_stats().total_misses() > 0,
+        "evicted stages recomputed: {}",
+        replay.cache_stats()
+    );
+
+    // healed: a third session replays the whole sweep with zero
+    // recomputes
+    let third = Explorer::new().with_store(&dir);
+    for config in [OptConfig::default(), tweaked] {
+        third
+            .analyze_with(
+                "sewha",
+                OptLevel::Pipelined,
+                config,
+                DetectorConfig::default(),
+            )
+            .expect("warm replay");
+    }
+    assert_eq!(third.cache_stats().total_misses(), 0);
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// GC deleting entries under a live reader must never corrupt a hit:
+/// every load observes either a miss (recompute in real sessions) or
+/// the complete, checksum-valid value — never torn bytes.
+#[test]
+fn gc_racing_concurrent_readers_never_corrupts_a_hit() {
+    let dir = store_dir("race");
+    let store = ArtifactStore::open(&dir);
+    let value: Vec<u64> = (0..512).collect();
+    store.save(Stage::Compile, 1, &value);
+
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            for _ in 0..200 {
+                store.gc(&StoreGcConfig::default().with_max_bytes(0));
+                store.save(Stage::Compile, 1, &value);
+            }
+            done.store(true, Ordering::Release);
+        });
+        for _ in 0..3 {
+            scope.spawn(|| {
+                let mut hits = 0u32;
+                while !done.load(Ordering::Acquire) {
+                    if let Some(read) = store.load::<Vec<u64>>(Stage::Compile, 1) {
+                        assert_eq!(read, value, "a hit must always be the full value");
+                        hits += 1;
+                    }
+                }
+                let _ = hits;
+            });
+        }
+    });
+    let stats = store.disk_totals();
+    assert_eq!(stats.corrupt, 0, "no torn reads: {stats:?}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// A warm `explore_all` stages every persisted artifact in parallel
+/// before fan-out and recomputes nothing; `prefetch_hits` makes the
+/// path observable per stage.
+#[test]
+fn warm_explore_all_prefetches_with_zero_recomputes() {
+    let dir = store_dir("prefetch");
+    // level-0 feedback end to end keeps the test quick without losing
+    // any stage coverage
+    let constraints = DesignConstraints {
+        opt_level: OptLevel::None,
+        ..DesignConstraints::default()
+    };
+    let session = || {
+        Explorer::new()
+            .with_levels([OptLevel::None])
+            .with_constraints(constraints)
+            .with_store(&dir)
+    };
+
+    let first = session();
+    let cold = first.explore_all().expect("cold run");
+    assert!(first.cache_stats().total_disk_writes() > 0);
+    assert_eq!(
+        first.cache_stats().total_prefetch_hits(),
+        0,
+        "nothing to stage on a cold store"
+    );
+
+    let warm = session();
+    let replay = warm.explore_all().expect("warm run");
+    let stats = warm.cache_stats();
+    assert_eq!(stats.total_misses(), 0, "zero recomputes: {stats}");
+    for stage in [
+        Stage::Compile,
+        Stage::Profile,
+        Stage::Schedule,
+        Stage::Analyze,
+        Stage::Design,
+        Stage::Evaluate,
+    ] {
+        assert!(
+            stats.stage(stage).prefetch_hits > 0,
+            "stage {stage} should be served from prefetched bytes: {stats}"
+        );
+    }
+    // prefetched requests skip the request-path disk read entirely:
+    // every disk hit happened inside the parallel prefetcher
+    assert_eq!(stats.total_prefetch_hits(), stats.total_disk_hits());
+    assert_eq!(cold.len(), replay.len());
+    for (a, b) in cold.iter().zip(replay.iter()) {
+        assert_eq!(a.evaluated.evaluation, b.evaluated.evaluation);
+    }
+
+    // a memory-warm session re-reads nothing: the typed caches already
+    // hold every artifact, so a further explore_all touches no tier
+    let before = warm.cache_stats();
+    warm.explore_all().expect("memory-warm run");
+    let after = warm.cache_stats();
+    assert_eq!(after.total_disk_hits(), before.total_disk_hits());
+    assert_eq!(after.total_prefetch_hits(), before.total_prefetch_hits());
+    assert_eq!(after.total_misses(), 0);
+
+    // prefetch validates names even when it cannot stage
+    assert!(matches!(
+        Explorer::new().prefetch(&["not-a-benchmark"]),
+        Err(ExplorerError::UnknownBenchmark { .. })
+    ));
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// The pluggable-tier contract: a custom tier (here an in-memory
+/// stand-in for a shared remote cache) drops into the stack via
+/// `with_tier` with nothing but the trait impl, receives write-through,
+/// and serves a second session with zero recomputes.
+#[derive(Debug)]
+struct RemoteLike(MemoryTier);
+
+impl ArtifactTier for RemoteLike {
+    fn name(&self) -> &'static str {
+        "remote-like"
+    }
+    fn get(&self, stage: Stage, key: u64) -> TierRead {
+        self.0.get(stage, key)
+    }
+    fn put(&self, stage: Stage, key: u64, payload: &[u8]) -> bool {
+        self.0.put(stage, key, payload)
+    }
+    fn contains(&self, stage: Stage, key: u64) -> bool {
+        self.0.contains(stage, key)
+    }
+    fn stats(&self, stage: Stage) -> TierStats {
+        self.0.stats(stage)
+    }
+    fn persistent(&self) -> bool {
+        true // unlike the staging buffer, this tier receives write-through
+    }
+    fn reset_counters(&self) {
+        self.0.reset_counters()
+    }
+}
+
+#[test]
+fn a_custom_tier_is_a_drop_in_through_with_tier() {
+    let remote = Arc::new(RemoteLike(MemoryTier::with_budget(64 << 20)));
+
+    let first = Explorer::new().with_tier(remote.clone());
+    let computed = first.profile("sewha").expect("computes");
+    assert!(remote.totals().writes > 0, "write-through reached the tier");
+    assert!(first.cache_stats().profile.misses > 0);
+
+    // a second session sharing the tier replays without recomputing
+    let second = Explorer::new().with_tier(remote.clone());
+    let replayed = second.profile("sewha").expect("served by the tier");
+    assert_eq!(second.cache_stats().total_misses(), 0);
+    assert_eq!(computed.profile, replayed.profile);
+}
