@@ -1,12 +1,12 @@
-//! The perf-trajectory seed: cold vs warm session costs and simulator
-//! throughput, with a machine-readable JSON summary so future changes
-//! can be checked against a recorded baseline.
+//! The perf-trajectory harness: cold vs warm session costs and
+//! simulator throughput, with a machine-readable JSON summary diffed
+//! against the checked-in baseline (`benches/baseline.json`).
 //!
 //! ```text
 //! cargo bench --bench explore
 //! ```
 //!
-//! Three series are measured:
+//! Four series families are measured:
 //!
 //! - **cold `explore_all`** — a fresh storeless session runs the full
 //!   Figure-1 pipeline over the whole Table-1 registry (compile,
@@ -17,19 +17,32 @@
 //!   populated artifact store (every stage prefetched in parallel and
 //!   decoded from staged bytes — `prefetch_hits` in the summary proves
 //!   the path taken);
-//! - **simulator throughput** — dynamic ops interpreted per second on
-//!   the largest Table-1 benchmark (largest by profiled dynamic op
-//!   count, resolved at run time from the warm session).
+//! - **simulator throughput** — dynamic ops interpreted per second by
+//!   the pre-decoded engine on the largest Table-1 benchmark (largest
+//!   by profiled dynamic op count, resolved at run time from the warm
+//!   session), decode amortized out by reusing one [`sim::Engine`];
+//! - **decode cost** — the one-time `Program` → `DecodedProgram`
+//!   lowering for the same benchmark, so the amortization story stays
+//!   measured.
 //!
 //! The summary is written to `ASIP_BENCH_JSON` (default
 //! `target/asip-bench-explore.json`, workspace-relative) as a flat JSON
 //! object; the values are milliseconds and ops/second. The JSON is
 //! hand-rendered because the workspace's serde is the offline no-op
-//! shim.
+//! shim. Series names are *stable* (no benchmark name embedded) so the
+//! perf gate can diff run against baseline; when
+//! `benches/baseline.json` exists the comparison table is printed at
+//! the end of the run (the CI gate is the `asip-bench` `perf` binary —
+//! see `docs/perf.md`).
+//!
+//! [`sim::Engine`]: asip_explorer::sim::Engine
 
+use asip_explorer::perf;
+use asip_explorer::sim;
 use asip_explorer::Explorer;
 use criterion::Criterion;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Wall-clock one call, in milliseconds.
@@ -39,10 +52,14 @@ fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, start.elapsed().as_secs_f64() * 1e3)
 }
 
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
 fn summary_path() -> PathBuf {
     match std::env::var("ASIP_BENCH_JSON") {
         Ok(p) if !p.is_empty() => PathBuf::from(p),
-        _ => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("target/asip-bench-explore.json"),
+        _ => workspace_root().join("target/asip-bench-explore.json"),
     }
 }
 
@@ -98,10 +115,21 @@ fn main() {
         .expect("cached")
         .profile
         .total_ops();
+
+    // decode cost: the one-time lowering the engine amortizes away
+    const DECODE_REPS: u32 = 64;
+    let (_, decode_total_ms) = time_ms(|| {
+        for _ in 0..DECODE_REPS {
+            std::hint::black_box(sim::DecodedProgram::decode(std::hint::black_box(&program)));
+        }
+    });
+    let decode_ms = decode_total_ms / DECODE_REPS as f64;
+
+    let engine = sim::Engine::new(Arc::clone(&program));
     let mut c = Criterion::default();
     c.bench_function(&format!("simulator/run/{}", largest.name), |b| {
         b.iter(|| {
-            asip_explorer::sim::Simulator::new(&program)
+            engine
                 .run(std::hint::black_box(&data))
                 .expect("runs")
                 .profile
@@ -109,26 +137,23 @@ fn main() {
         });
     });
     // an independent timed pass for the JSON summary (the criterion
-    // shim prints but does not expose its measurement)
-    let (_, sim_ms) = time_ms(|| {
-        asip_explorer::sim::Simulator::new(&program)
-            .run(&data)
-            .expect("runs")
-    });
+    // shim prints but does not expose its measurement): best of a few
+    // runs, so one scheduler hiccup cannot fail the gate
+    let sim_ms = (0..5)
+        .map(|_| time_ms(|| engine.run(&data).expect("runs")).1)
+        .fold(f64::INFINITY, f64::min);
     let ops_per_sec = total_ops as f64 / (sim_ms / 1e3);
     println!(
-        "bench simulator/{}: {total_ops} dynamic ops, {:.2} Mops/s",
+        "bench simulator/{}: {total_ops} dynamic ops, {:.2} Mops/s, decode {decode_ms:.3} ms",
         largest.name,
         ops_per_sec / 1e6
     );
-    rows.push((
-        format!("sim_{}_dynamic_ops", largest.name),
-        total_ops as f64,
-    ));
-    rows.push((format!("sim_{}_ops_per_sec", largest.name), ops_per_sec));
+    rows.push(("sim_dynamic_ops".into(), total_ops as f64));
+    rows.push(("sim_decode_ms".into(), decode_ms));
+    rows.push(("sim_ops_per_sec".into(), ops_per_sec));
 
     // -- JSON summary --------------------------------------------------
-    let mut json = String::from("{\n  \"schema\": 1");
+    let mut json = String::from("{\n  \"schema\": 2");
     for (k, v) in &rows {
         json.push_str(&format!(",\n  \"{k}\": {v:.3}"));
     }
@@ -137,8 +162,29 @@ fn main() {
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent).ok();
     }
+    // the CI perf gate reads this file right after the bench step, so
+    // a failed write must fail the run, not just log
     match std::fs::write(&path, &json) {
         Ok(()) => println!("wrote bench summary to {}", path.display()),
-        Err(e) => eprintln!("could not write bench summary to {}: {e}", path.display()),
+        Err(e) => panic!("could not write bench summary to {}: {e}", path.display()),
+    }
+
+    // -- baseline comparison (informational here; the CI gate is the
+    //    `perf` binary, which exits non-zero) -------------------------
+    let baseline_path = workspace_root().join("benches/baseline.json");
+    if baseline_path.is_file() {
+        match (
+            perf::load_summary(&baseline_path),
+            perf::parse_summary(&json),
+        ) {
+            (Ok(baseline), Ok(current)) => {
+                println!("\nbaseline comparison ({}):", baseline_path.display());
+                println!(
+                    "{}",
+                    perf::compare(&baseline, &current, perf::DEFAULT_TOLERANCE_PCT)
+                );
+            }
+            (Err(e), _) | (_, Err(e)) => eprintln!("baseline comparison skipped: {e}"),
+        }
     }
 }

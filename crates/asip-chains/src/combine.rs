@@ -24,10 +24,15 @@ pub fn combine(reports: &[SequenceReport]) -> CombinedReport {
     let mut avg: BTreeMap<Signature, SeqStats> = BTreeMap::new();
     for r in reports {
         for (sig, stats) in r.entries() {
-            let e = avg.entry(sig.clone()).or_insert(SeqStats {
-                frequency: 0.0,
-                occurrences: 0,
-            });
+            // probe by reference first: a map hit (the common case once
+            // the first report is in) must not clone the signature
+            let e = match avg.get_mut(sig) {
+                Some(e) => e,
+                None => avg.entry(sig.clone()).or_insert(SeqStats {
+                    frequency: 0.0,
+                    occurrences: 0,
+                }),
+            };
             e.frequency += stats.frequency / n;
             e.occurrences += stats.occurrences;
         }
@@ -55,10 +60,13 @@ pub fn combine_pooled(reports: &[SequenceReport]) -> CombinedReport {
     for r in reports {
         for (sig, stats) in r.entries() {
             let ops = stats.frequency / 100.0 * r.total_profile_ops as f64;
-            let e = pooled.entry(sig.clone()).or_insert(SeqStats {
-                frequency: 0.0,
-                occurrences: 0,
-            });
+            let e = match pooled.get_mut(sig) {
+                Some(e) => e,
+                None => pooled.entry(sig.clone()).or_insert(SeqStats {
+                    frequency: 0.0,
+                    occurrences: 0,
+                }),
+            };
             e.frequency += if suite_total == 0 {
                 0.0
             } else {

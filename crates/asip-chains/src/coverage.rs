@@ -83,20 +83,21 @@ impl CoverageAnalyzer {
     pub fn analyze(&self, graph: &ScheduleGraph) -> CoverageReport {
         let detector = SequenceDetector::new(self.config);
         let mut consumed: HashSet<OpRef> = HashSet::new();
-        let mut chosen: HashSet<Signature> = HashSet::new();
-        let mut entries = Vec::new();
+        let mut entries: Vec<CoverageEntry> = Vec::new();
 
         for _round in 0..self.max_sequences {
             let occurrences = detector.occurrences_filtered(graph, |r| consumed.contains(&r));
+            // the already-selected set is tiny (≤ max_sequences), so a
+            // scan over it beats maintaining a second owned set of
+            // cloned signatures
             let candidates: Vec<Occurrence> = occurrences
                 .into_iter()
-                .filter(|o| !chosen.contains(&o.signature))
+                .filter(|o| entries.iter().all(|e| e.signature != o.signature))
                 .collect();
             let Some((signature, freq, selected)) = best_signature(graph, &candidates, &consumed)
             else {
                 break;
             };
-            chosen.insert(signature.clone());
             if freq < self.significance_floor {
                 break;
             }
@@ -128,7 +129,8 @@ fn best_signature(
     for o in occurrences {
         by_sig.entry(&o.signature).or_default().push(o);
     }
-    let mut best: Option<(Signature, f64, Vec<Occurrence>)> = None;
+    // borrow while comparing candidates; clone the winner exactly once
+    let mut best: Option<(&Signature, f64, Vec<Occurrence>)> = None;
     for (sig, occs) in by_sig {
         let (freq, selected) = crate::detect::select_non_overlapping(graph, &occs, consumed);
         let better = match &best {
@@ -136,10 +138,10 @@ fn best_signature(
             Some((_, bf, _)) => freq > *bf,
         };
         if better && freq > 0.0 {
-            best = Some((sig.clone(), freq, selected));
+            best = Some((sig, freq, selected));
         }
     }
-    best
+    best.map(|(sig, freq, selected)| (sig.clone(), freq, selected))
 }
 
 #[cfg(test)]

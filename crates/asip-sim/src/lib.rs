@@ -8,6 +8,15 @@
 //! optimizer and the sequence detection analyzer consume those counts as
 //! the *dynamic frequency* weights of the paper's result tables.
 //!
+//! Execution goes through the pre-decoded engine in [`decode`]: the
+//! program is lowered once into a dense slot-indexed instruction array
+//! and the hot loop runs over copy-only structs with block-granular
+//! step accounting and profiles derived from block entry counts.
+//! [`Simulator`] is the borrowing one-shot facade; [`Engine`] owns its
+//! program and amortizes the decode over many runs; the original
+//! walk-the-IR interpreter is retained in [`mod@reference`] as the
+//! executable specification the differential tests compare against.
+//!
 //! ## Example
 //!
 //! ```
@@ -38,13 +47,17 @@
 #![warn(missing_docs)]
 
 pub mod data;
+pub mod decode;
 pub mod error;
 pub mod machine;
 pub mod profile;
+pub mod reference;
 pub mod trace;
 
 pub use data::{DataGen, DataSet};
+pub use decode::{DecodedProgram, Engine};
 pub use error::{Result, SimError};
 pub use machine::{Execution, Simulator};
 pub use profile::Profile;
+pub use reference::ReferenceSimulator;
 pub use trace::{ClassMix, RingTrace, TraceEvent, TraceSink};

@@ -1,12 +1,30 @@
-//! The interpreter proper.
+//! The simulator facade and the shared operation semantics.
+//!
+//! [`Simulator`] keeps the original borrowing one-shot API but now
+//! executes through the pre-decoded engine (see [`crate::decode`]): a
+//! `run` lowers the program once into a [`crate::DecodedProgram`] and
+//! drives the tight slot-indexed loop instead of walking the IR per
+//! dynamic operation. Callers that run the same program repeatedly
+//! should hold a [`crate::Engine`] (decode once, run many); the
+//! original per-instruction interpreter survives as
+//! [`crate::reference::ReferenceSimulator`], the executable spec the
+//! differential tests compare against.
+//!
+//! [`eval_binop`] and [`eval_unop`] define the operation semantics
+//! shared by the engine, the reference interpreter and the rewriter
+//! contract.
 
 use crate::data::DataSet;
-use crate::error::{Result, SimError};
+use crate::decode::DecodedProgram;
+use crate::error::Result;
 use crate::profile::Profile;
-use asip_ir::{ArrayKind, BinOp, Inst, InstKind, Operand, Program, Reg, Ty, UnOp, Value};
+use asip_ir::{BinOp, Program, UnOp, Value};
+
+/// The default dynamic step limit (100 million ops).
+pub(crate) const DEFAULT_STEP_LIMIT: u64 = 100_000_000;
 
 /// Result of one simulated run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Execution {
     /// Dynamic counts per instruction and block.
     pub profile: Profile,
@@ -32,6 +50,11 @@ impl Execution {
 /// virtual registers, word-addressed array memory. Division by zero
 /// yields zero (integer) or IEEE semantics (float) so random-data
 /// benchmarks never trap.
+///
+/// Each `run` decodes the program and executes the decoded form; the
+/// decode cost is linear in the *static* instruction count and is
+/// dwarfed by any profiling run. To amortize it away entirely, decode
+/// once into a [`crate::Engine`].
 #[derive(Debug)]
 pub struct Simulator<'p> {
     program: &'p Program,
@@ -43,7 +66,7 @@ impl<'p> Simulator<'p> {
     pub fn new(program: &'p Program) -> Self {
         Simulator {
             program,
-            step_limit: 100_000_000,
+            step_limit: DEFAULT_STEP_LIMIT,
         }
     }
 
@@ -57,13 +80,13 @@ impl<'p> Simulator<'p> {
     ///
     /// # Errors
     ///
-    /// - [`SimError::UnboundInput`] / [`SimError::WrongLength`] /
-    ///   [`SimError::WrongType`] if the data set does not match the
+    /// - [`crate::SimError::UnboundInput`] / [`crate::SimError::WrongLength`] /
+    ///   [`crate::SimError::WrongType`] if the data set does not match the
     ///   program's input declarations;
-    /// - [`SimError::OutOfBounds`] on a bad array access;
-    /// - [`SimError::StepLimit`] if execution runs away.
+    /// - [`crate::SimError::OutOfBounds`] on a bad array access;
+    /// - [`crate::SimError::StepLimit`] if execution runs away.
     pub fn run(&self, data: &DataSet) -> Result<Execution> {
-        self.run_inner(data, None)
+        DecodedProgram::decode(self.program).execute(data, self.step_limit)
     }
 
     /// Run with an execution-trace observer (see [`crate::trace`]).
@@ -76,187 +99,13 @@ impl<'p> Simulator<'p> {
         data: &DataSet,
         sink: &mut dyn crate::trace::TraceSink,
     ) -> Result<Execution> {
-        self.run_inner(data, Some(sink))
+        DecodedProgram::decode(self.program).execute_traced(
+            self.program,
+            data,
+            self.step_limit,
+            sink,
+        )
     }
-
-    fn run_inner(
-        &self,
-        data: &DataSet,
-        mut sink: Option<&mut dyn crate::trace::TraceSink>,
-    ) -> Result<Execution> {
-        let program = self.program;
-        let mut memory: Vec<Vec<Value>> = Vec::with_capacity(program.arrays.len());
-        for decl in &program.arrays {
-            match decl.kind {
-                ArrayKind::Input => {
-                    let bound = data.get(&decl.name).ok_or_else(|| SimError::UnboundInput {
-                        name: decl.name.clone(),
-                    })?;
-                    if bound.len() != decl.len {
-                        return Err(SimError::WrongLength {
-                            name: decl.name.clone(),
-                            expected: decl.len,
-                            got: bound.len(),
-                        });
-                    }
-                    if bound.iter().any(|v| v.ty() != decl.ty) {
-                        return Err(SimError::WrongType {
-                            name: decl.name.clone(),
-                        });
-                    }
-                    memory.push(bound.to_vec());
-                }
-                ArrayKind::Output | ArrayKind::Internal => {
-                    memory.push(vec![Value::zero(decl.ty); decl.len]);
-                }
-            }
-        }
-
-        let mut regs: Vec<Value> = program.reg_types.iter().map(|&t| Value::zero(t)).collect();
-        let mut profile = Profile::new(program.next_inst_id as usize, program.blocks.len());
-        let mut steps: u64 = 0;
-        let mut block = program.entry;
-
-        'outer: loop {
-            profile.bump_block(block);
-            let insts = &program.block(block).insts;
-            for inst in insts {
-                steps += 1;
-                if steps > self.step_limit {
-                    return Err(SimError::StepLimit {
-                        limit: self.step_limit,
-                    });
-                }
-                profile.bump_inst(inst.id);
-                let flow = self.step(inst, &mut regs, &mut memory)?;
-                if let Some(sink) = sink.as_deref_mut() {
-                    sink.event(&crate::trace::TraceEvent {
-                        step: steps,
-                        block,
-                        inst,
-                        wrote: inst.dst().map(|d| regs[d.index()]),
-                    });
-                }
-                match flow {
-                    Flow::Next => {}
-                    Flow::Goto(b) => {
-                        block = b;
-                        continue 'outer;
-                    }
-                    Flow::Halt(v) => {
-                        return Ok(Execution {
-                            profile,
-                            memory,
-                            result: v,
-                        })
-                    }
-                }
-            }
-            // validation guarantees a terminator, so this is unreachable
-            unreachable!("block fell through without terminator");
-        }
-    }
-
-    fn step(&self, inst: &Inst, regs: &mut [Value], memory: &mut [Vec<Value>]) -> Result<Flow> {
-        let read = |o: &Operand, regs: &[Value]| -> Value {
-            match o {
-                Operand::Reg(r) => regs[r.index()],
-                Operand::ImmInt(v) => Value::Int(*v),
-                Operand::ImmFloat(v) => Value::Float(*v),
-            }
-        };
-        let write = |r: Reg, v: Value, regs: &mut [Value]| {
-            regs[r.index()] = v;
-        };
-
-        match &inst.kind {
-            InstKind::Binary { op, dst, lhs, rhs } => {
-                let a = read(lhs, regs);
-                let b = read(rhs, regs);
-                write(*dst, eval_binop(*op, a, b), regs);
-                Ok(Flow::Next)
-            }
-            InstKind::Unary { op, dst, src } => {
-                let v = read(src, regs);
-                write(*dst, eval_unop(*op, v), regs);
-                Ok(Flow::Next)
-            }
-            InstKind::Load { dst, array, index } => {
-                let addr = read(index, regs).as_int();
-                let decl = self.program.array(*array);
-                let mem = &memory[array.index()];
-                let slot = decl.element_of(addr).ok_or_else(|| SimError::OutOfBounds {
-                    name: decl.name.clone(),
-                    index: addr,
-                    len: mem.len(),
-                })?;
-                let v = mem[slot];
-                write(*dst, v, regs);
-                Ok(Flow::Next)
-            }
-            InstKind::Store {
-                array,
-                index,
-                value,
-            } => {
-                let addr = read(index, regs).as_int();
-                let v = read(value, regs);
-                let decl = self.program.array(*array);
-                let len = memory[array.index()].len();
-                let slot = decl.element_of(addr).ok_or_else(|| SimError::OutOfBounds {
-                    name: decl.name.clone(),
-                    index: addr,
-                    len,
-                })?;
-                let mem = &mut memory[array.index()];
-                // stores coerce to the array element type, like C
-                mem[slot] = match self.program.array(*array).ty {
-                    Ty::Int => Value::Int(v.as_int()),
-                    Ty::Float => Value::Float(v.as_float()),
-                };
-                Ok(Flow::Next)
-            }
-            InstKind::Branch {
-                cond,
-                then_target,
-                else_target,
-            } => {
-                let c = read(cond, regs);
-                Ok(Flow::Goto(if c.is_truthy() {
-                    *then_target
-                } else {
-                    *else_target
-                }))
-            }
-            InstKind::Jump { target } => Ok(Flow::Goto(*target)),
-            InstKind::Ret { value } => Ok(Flow::Halt(value.as_ref().map(|v| read(v, regs)))),
-            InstKind::Chained {
-                dst, inputs, ops, ..
-            } => {
-                // the contract shared with asip-synth's rewriter:
-                // acc = ops[0](inputs[0], inputs[1]);
-                // acc = ops[i](acc, inputs[i + 1]) for the rest
-                let zero = Operand::ImmInt(0);
-                let a = read(inputs.first().unwrap_or(&zero), regs);
-                let b = read(inputs.get(1).unwrap_or(&zero), regs);
-                let mut acc = match ops.first() {
-                    Some(&op) => eval_binop(op, a, b),
-                    None => a,
-                };
-                for (op, i) in ops.iter().skip(1).zip(inputs.iter().skip(2)) {
-                    acc = eval_binop(*op, acc, read(i, regs));
-                }
-                write(*dst, acc, regs);
-                Ok(Flow::Next)
-            }
-        }
-    }
-}
-
-enum Flow {
-    Next,
-    Goto(asip_ir::BlockId),
-    Halt(Option<Value>),
 }
 
 /// Evaluate a binary operation with C-like semantics.
@@ -322,7 +171,8 @@ pub fn eval_unop(op: UnOp, v: Value) -> Value {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use asip_ir::{Operand, ProgramBuilder};
+    use crate::error::SimError;
+    use asip_ir::{Operand, ProgramBuilder, Ty};
 
     fn sum_loop_program(n: i64) -> Program {
         // acc = sum_{i<n} x[i]*x[i]

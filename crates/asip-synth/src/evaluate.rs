@@ -3,8 +3,9 @@
 use crate::extension::AsipDesign;
 use crate::rewrite::{RewriteStats, Rewriter};
 use asip_ir::Program;
-use asip_sim::{DataSet, SimError, Simulator};
+use asip_sim::{DataSet, Engine, SimError, Simulator};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Measured effect of applying a design to one benchmark.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -39,9 +40,43 @@ pub fn evaluate(
     data: &DataSet,
 ) -> Result<Evaluation, SimError> {
     let base = Simulator::new(program).run(data)?;
+    finish_evaluation(program, base, design, data)
+}
+
+/// As [`evaluate`], but the baseline run reuses an already-decoded
+/// [`Engine`] for the program — the path the `Explorer` session takes,
+/// where the same base program is profiled and re-measured many times
+/// (three opt levels, suite sweeps, evaluate re-runs) and should decode
+/// exactly once.
+///
+/// # Errors
+///
+/// Propagates simulator errors from either run.
+///
+/// # Panics
+///
+/// As [`evaluate`]: panics if the rewritten program computes different
+/// outputs.
+pub fn evaluate_with_engine(
+    base_engine: &Engine,
+    design: &AsipDesign,
+    data: &DataSet,
+) -> Result<Evaluation, SimError> {
+    let base = base_engine.run(data)?;
+    finish_evaluation(base_engine.program(), base, design, data)
+}
+
+/// The shared tail of [`evaluate`]/[`evaluate_with_engine`]: rewrite,
+/// measure the rewritten program, compare outputs.
+fn finish_evaluation(
+    program: &Program,
+    base: asip_sim::Execution,
+    design: &AsipDesign,
+    data: &DataSet,
+) -> Result<Evaluation, SimError> {
     let mut rewritten = program.clone();
     let stats: RewriteStats = Rewriter::new(design.clone()).apply(&mut rewritten);
-    let after = Simulator::new(&rewritten).run(data)?;
+    let after = Engine::new(Arc::new(rewritten)).run(data)?;
     assert_eq!(
         base.memory, after.memory,
         "rewritten program must compute identical outputs"

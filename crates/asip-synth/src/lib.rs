@@ -49,7 +49,7 @@ pub mod rewrite;
 pub mod select;
 
 pub use cost::{fu_area, fu_delay_ns, ChainedUnit};
-pub use evaluate::{evaluate, Evaluation};
+pub use evaluate::{evaluate, evaluate_with_engine, Evaluation};
 pub use extension::{AsipDesign, IsaExtension};
 pub use report::DesignReport;
 pub use rewrite::Rewriter;

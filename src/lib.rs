@@ -105,6 +105,7 @@ pub use asip_synth as synth;
 pub mod artifact;
 pub mod cache;
 pub mod error;
+pub mod perf;
 pub mod session;
 pub mod store;
 pub mod tier;

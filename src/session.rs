@@ -62,15 +62,15 @@ use crate::artifact::{
     Analyzed, ArtifactCodec, Compiled, Designed, DesignedSuite, Evaluated, EvaluatedSuite,
     Exploration, Profiled, Scheduled, Stage,
 };
-use crate::cache::MemoryTier;
+use crate::cache::{LruCache, MemoryTier};
 use crate::error::ExplorerError;
-use crate::store::{ArtifactStore, StableHasher};
+use crate::store::{ArtifactStore, StableHasher, StoreGcConfig};
 use crate::tier::{lock, ArtifactTier, StageCache, TierStack, TierStats};
 use asip_benchmarks::{Benchmark, DataSpec, Registry, DEFAULT_SEED};
 use asip_chains::{DetectorConfig, SequenceDetector, SequenceReport};
 use asip_ir::{OpClass, Program};
 use asip_opt::{OptConfig, OptLevel, Optimizer, ScheduleGraph};
-use asip_sim::{Profile, Simulator};
+use asip_sim::{Engine, Profile};
 use asip_synth::{AsipDesign, AsipDesigner, DesignConstraints, Evaluation};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -430,6 +430,11 @@ pub struct Explorer {
     staging: Option<Arc<MemoryTier>>,
     tiers: TierStack,
     caches: Caches,
+    /// Decoded simulator engines, keyed by benchmark name. Not a stage
+    /// cache: engines are derived (never persisted) artifacts that the
+    /// profile and evaluate stages share so one session decodes each
+    /// program exactly once.
+    engines: Mutex<LruCache<String, Arc<Engine>>>,
 }
 
 impl Default for Explorer {
@@ -450,6 +455,7 @@ impl Default for Explorer {
             staging: None,
             tiers: TierStack::new(),
             caches: Caches::default(),
+            engines: Mutex::new(LruCache::default()),
         }
     }
 }
@@ -534,6 +540,7 @@ impl Explorer {
         self.caches.for_each(|_, cache| {
             cache.set_capacity(cap);
         });
+        lock(&self.engines).set_capacity(cap);
         self
     }
 
@@ -557,6 +564,21 @@ impl Explorer {
         self.store = Some(Arc::new(ArtifactStore::open(dir)));
         self.rebuild_tiers();
         self
+    }
+
+    /// As [`Explorer::with_store`], plus one budgeted
+    /// [`ArtifactStore::gc`] pass at attach time, so long-lived hosts
+    /// (bench machines, services) keep the shared store inside a
+    /// standing budget without a manual `store gc` invocation. The
+    /// evictions are counted in [`StageStats::gc_evictions`] like any
+    /// other GC pass; an empty or fresh store makes the pass a cheap
+    /// no-op.
+    pub fn with_store_gc(self, dir: impl Into<PathBuf>, config: StoreGcConfig) -> Self {
+        let session = self.with_store(dir);
+        if let Some(store) = &session.store {
+            store.gc(&config);
+        }
+        session
     }
 
     /// Plug an additional [`ArtifactTier`] into the bottom of the tier
@@ -663,6 +685,7 @@ impl Explorer {
     /// rather than session history.
     pub fn reset(&self) {
         self.caches.for_each(|_, cache| cache.reset());
+        lock(&self.engines).clear();
         if let Some(staging) = &self.staging {
             staging.clear();
         }
@@ -742,6 +765,29 @@ impl Explorer {
         Ok(Compiled { benchmark, program })
     }
 
+    /// The session's decoded simulator [`Engine`] for a benchmark:
+    /// the compiled program lowered once into the pre-decoded execution
+    /// form (see [`asip_sim::decode`]) and cached, so every simulation
+    /// the session performs for this program — the profile stage, the
+    /// evaluate stage's baseline re-run, suite sweeps — shares one
+    /// decode. The cache is dropped by [`Explorer::reset`] and bounded
+    /// by [`Explorer::with_cache_capacity`] like the stage caches.
+    ///
+    /// # Errors
+    ///
+    /// Compile-stage errors.
+    pub fn engine(&self, name: &str) -> Result<Arc<Engine>, ExplorerError> {
+        if let Some(engine) = lock(&self.engines).get(&name.to_string()) {
+            return Ok(Arc::clone(engine));
+        }
+        let compiled = self.compile(name)?;
+        let engine = Arc::new(Engine::new(Arc::clone(&compiled.program)));
+        // a concurrent decode of the same program is benign (decode is
+        // cheap and pure); last writer wins
+        lock(&self.engines).insert(name.to_string(), Arc::clone(&engine));
+        Ok(engine)
+    }
+
     /// Profile stage: run the benchmark on its seeded Table-1 input
     /// data and collect per-instruction dynamic counts.
     ///
@@ -759,7 +805,7 @@ impl Explorer {
             disk,
             || {
                 let data = compiled.benchmark.dataset_with_seed(seed);
-                Ok(Simulator::new(&compiled.program).run(&data)?.profile)
+                Ok(self.engine(name)?.run(&data)?.profile)
             },
         )?;
         Ok(Profiled {
@@ -930,7 +976,7 @@ impl Explorer {
         let disk = || self.key_design(Stage::Evaluate, &compiled.benchmark, constraints, detector);
         let evaluation = self.cached(Stage::Evaluate, &self.caches.evaluate, key, disk, || {
             let data = compiled.benchmark.dataset_with_seed(self.seed);
-            asip_synth::evaluate(&compiled.program, &designed.design, &data)
+            asip_synth::evaluate_with_engine(&*self.engine(name)?, &designed.design, &data)
                 .map_err(ExplorerError::Eval)
         })?;
         Ok(Evaluated {
@@ -1068,8 +1114,9 @@ impl Explorer {
                 self.map_slice(&designed.benchmarks, |name| {
                     let compiled = self.compile(name)?;
                     let data = compiled.benchmark.dataset_with_seed(self.seed);
-                    let evaluation = asip_synth::evaluate(&compiled.program, &design, &data)
-                        .map_err(ExplorerError::Eval)?;
+                    let evaluation =
+                        asip_synth::evaluate_with_engine(&*self.engine(name)?, &design, &data)
+                            .map_err(ExplorerError::Eval)?;
                     Ok((name.clone(), evaluation))
                 })
             },

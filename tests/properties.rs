@@ -4,8 +4,9 @@
 
 use asip_explorer::ir::{parse_program, BinOp, Operand, Program, ProgramBuilder, Reg, Ty, UnOp};
 use asip_explorer::opt::{OptLevel, Optimizer};
-use asip_explorer::sim::{DataSet, Simulator};
+use asip_explorer::sim::{DataSet, Engine, ReferenceSimulator, Simulator};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 /// Recipe for one random straight-line op.
 #[derive(Debug, Clone)]
@@ -193,5 +194,35 @@ proptest! {
         let b = Simulator::new(&p).run(&dataset()).expect("runs");
         prop_assert_eq!(a.profile, b.profile);
         prop_assert_eq!(a.memory, b.memory);
+    }
+
+    #[test]
+    fn decoded_engine_matches_the_reference_interpreter(recipes in prop::collection::vec(op_recipe(), 1..40), with_loop in any::<bool>()) {
+        // the differential property behind the engine rewrite: on any
+        // generated program, the pre-decoded engine and the retained
+        // reference interpreter are byte-identical
+        let p = build_program(&recipes, with_loop);
+        let reference = ReferenceSimulator::new(&p).run(&dataset()).expect("runs");
+        let engine = Engine::new(Arc::new(p)).run(&dataset()).expect("runs");
+        prop_assert_eq!(engine.profile, reference.profile);
+        prop_assert_eq!(engine.memory, reference.memory);
+        prop_assert_eq!(engine.result, reference.result);
+    }
+
+    #[test]
+    fn decoded_engine_step_limits_match_the_reference(recipes in prop::collection::vec(op_recipe(), 1..20), limit in 0u64..64) {
+        // whatever the limit lands on (mid-block included), both
+        // interpreters agree on success vs StepLimit and on the payload
+        let p = build_program(&recipes, true);
+        let reference = ReferenceSimulator::new(&p).with_step_limit(limit).run(&dataset());
+        let engine = Engine::new(Arc::new(p)).with_step_limit(limit).run(&dataset());
+        match (reference, engine) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.profile, b.profile);
+                prop_assert_eq!(a.memory, b.memory);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "diverged at limit {}: {:?} vs {:?}", limit, a, b),
+        }
     }
 }

@@ -259,3 +259,46 @@ fn a_custom_tier_is_a_drop_in_through_with_tier() {
     assert_eq!(second.cache_stats().total_misses(), 0);
     assert_eq!(computed.profile, replayed.profile);
 }
+
+#[test]
+fn with_store_gc_enforces_a_standing_budget_at_attach_time() {
+    let dir = store_dir("attach");
+
+    // populate a store well past the standing budget
+    let warm = Explorer::new().with_store(&dir);
+    warm.explore("sewha").expect("populates");
+    warm.explore("fir").expect("populates");
+    let before = warm.store().expect("attached").snapshot();
+    assert!(before.len() > 2, "several artifacts persisted");
+    let budget = before.total_bytes() / 3;
+    drop(warm);
+
+    // a long-lived host reattaches with a standing budget: the attach
+    // itself runs one budgeted GC pass, counted like any other
+    let session =
+        Explorer::new().with_store_gc(&dir, StoreGcConfig::default().with_max_bytes(budget));
+    let after = session.store().expect("attached").snapshot();
+    assert!(
+        after.total_bytes() <= budget,
+        "attach-time GC enforced the budget ({} > {budget})",
+        after.total_bytes()
+    );
+    assert!(after.len() < before.len());
+    assert!(
+        session.cache_stats().total_gc_evictions() > 0,
+        "attach-time evictions surface in CacheStats"
+    );
+
+    // the session still serves every request correctly (evicted
+    // entries recompute and heal)
+    session
+        .explore("sewha")
+        .expect("recomputes what GC dropped");
+
+    // an in-budget reattach is a no-op
+    let calm =
+        Explorer::new().with_store_gc(&dir, StoreGcConfig::default().with_max_bytes(u64::MAX));
+    assert_eq!(calm.cache_stats().total_gc_evictions(), 0);
+
+    fs::remove_dir_all(&dir).ok();
+}
