@@ -13,10 +13,12 @@
 //!   profile, three schedules, three analyses, design, evaluate per
 //!   benchmark), fanned out on the session thread pool;
 //! - **warm `explore_all`** — the same session again (every stage a
-//!   typed-cache hit), and a *store-warm* fresh session over a
-//!   populated artifact store (every stage prefetched in parallel and
-//!   decoded from staged bytes — `prefetch_hits` in the summary proves
-//!   the path taken);
+//!   typed-cache hit), a *store-warm* fresh session over a populated
+//!   artifact store (every stage prefetched in parallel and decoded
+//!   from staged bytes — `prefetch_hits` in the summary proves the
+//!   path taken), and a *remote-warm* storeless session served by an
+//!   in-process `serve` daemon on loopback over that same store (the
+//!   batched prefetch turns the warm-up into one round trip);
 //! - **simulator throughput** — dynamic ops interpreted per second by
 //!   the pre-decoded engine on the largest Table-1 benchmark (largest
 //!   by profiled dynamic op count, resolved at run time from the warm
@@ -91,6 +93,28 @@ fn main() {
     println!("bench explore_all/warm-store                         {disk_ms:>12.1} ms");
     rows.push(("store_warm_explore_all_ms".into(), disk_ms));
     rows.push(("store_warm_prefetch_hits".into(), prefetch_hits as f64));
+
+    // -- remote-warm explore_all (loopback daemon over the same store) -
+    {
+        use asip_explorer::remote::{serve, Endpoint, RetryPolicy, ServeOptions};
+        let server_session = Arc::new(Explorer::new().with_store(&dir));
+        let handle = serve(
+            server_session,
+            &Endpoint::Tcp("127.0.0.1:0".into()),
+            ServeOptions::default(),
+        )
+        .expect("daemon binds loopback");
+        let remote_warm = Explorer::new()
+            .with_remote(&handle.endpoint().to_string(), RetryPolicy::default())
+            .expect("endpoint parses");
+        let (_, remote_ms) = time_ms(|| remote_warm.explore_all().expect("replays over the wire"));
+        let stats = remote_warm.cache_stats();
+        assert_eq!(stats.total_misses(), 0, "a warm daemon recomputes nothing");
+        assert!(stats.total_remote_hits() > 0, "served over the wire");
+        println!("bench explore_all/warm-remote                        {remote_ms:>12.1} ms");
+        rows.push(("remote_warm_explore_all_ms".into(), remote_ms));
+        handle.shutdown();
+    }
     std::fs::remove_dir_all(&dir).ok();
 
     // -- simulator throughput on the largest benchmark -----------------

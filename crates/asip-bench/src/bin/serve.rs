@@ -1,0 +1,207 @@
+//! Exploration-as-a-service daemon: park one warm [`Explorer`] session
+//! (full tier stack resident) behind a socket and serve artifact
+//! operations to every client on the network.
+//!
+//! ```text
+//! cargo run --release -p asip-bench --bin serve                  # daemon on 127.0.0.1:4995
+//! cargo run --release -p asip-bench --bin serve -- --addr unix:/tmp/asip.sock
+//! cargo run --release -p asip-bench --bin serve -- --check ADDR  # end-to-end client check
+//! cargo run --release -p asip-bench --bin serve -- --stop ADDR   # clean remote shutdown
+//! ```
+//!
+//! **Daemon mode** (default) opens the shared bench store (`--store
+//! PATH` overrides the usual `ASIP_STORE` convention), warms it with a
+//! full `explore_all` pass unless `--no-warm` is given, binds `--addr`
+//! (default `127.0.0.1:4995`; `host:0` picks an ephemeral port and
+//! prints it) and serves until a client sends the `shutdown` op
+//! (`serve --stop ADDR`). Shutdown drains in-flight connections and
+//! flushes the store manifest.
+//!
+//! **Check mode** (`--check ADDR`) is the CI smoke path: it runs
+//! `explore_all` on two consecutive *storeless* client sessions against
+//! the daemon and requires the second to perform zero recomputes with
+//! every artifact served as a remote hit. Exit code 3 when the
+//! guarantee does not hold, so CI gates on it.
+//!
+//! **Stop mode** (`--stop ADDR`) asks the daemon to shut down cleanly;
+//! exit code 2 when no daemon answers.
+
+use asip_explorer::remote::{serve, Endpoint, RemoteTier, RetryPolicy, ServeOptions};
+use asip_explorer::Explorer;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+/// The default daemon address; the port nods to the paper's year.
+const DEFAULT_ADDR: &str = "127.0.0.1:4995";
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve [--addr ADDR] [--store PATH] [--no-warm]\n       serve --check ADDR\n       serve --stop ADDR"
+    );
+    std::process::exit(1)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut store: Option<PathBuf> = None;
+    let mut warm = true;
+    let mut check: Option<String> = None;
+    let mut stop: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                addr = args.get(i + 1).unwrap_or_else(|| usage()).clone();
+                i += 2;
+            }
+            "--store" => {
+                store = Some(PathBuf::from(args.get(i + 1).unwrap_or_else(|| usage())));
+                i += 2;
+            }
+            "--no-warm" => {
+                warm = false;
+                i += 1;
+            }
+            "--check" => {
+                check = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
+                i += 2;
+            }
+            "--stop" => {
+                stop = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    if let Some(addr) = check {
+        return run_check(&addr);
+    }
+    if let Some(addr) = stop {
+        return run_stop(&addr);
+    }
+    run_daemon(&addr, store, warm)
+}
+
+fn run_daemon(addr: &str, store: Option<PathBuf>, warm: bool) -> ExitCode {
+    let endpoint = match Endpoint::parse(addr) {
+        Ok(e) => e,
+        Err(detail) => {
+            eprintln!("serve: invalid --addr `{addr}`: {detail}");
+            return ExitCode::from(1);
+        }
+    };
+    let dir = store.or_else(asip_bench::store_dir);
+    let Some(dir) = dir else {
+        eprintln!("serve: persistence is disabled via ASIP_STORE; pass --store PATH");
+        eprintln!("       (a storeless daemon has no persistent tier to serve from)");
+        return ExitCode::from(1);
+    };
+    let session = Arc::new(Explorer::new().with_store(&dir));
+    println!("store: {}", dir.display());
+    if warm {
+        print!("warming the stack with explore_all … ");
+        match session.explore_all() {
+            Ok(explorations) => println!("{} benchmarks ready", explorations.len()),
+            Err(e) => {
+                eprintln!("serve: warm-up failed: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    let handle = match serve(Arc::clone(&session), &endpoint, ServeOptions::default()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("serve: cannot bind {endpoint}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    println!(
+        "serving on {} (stop with: serve --stop {0})",
+        handle.endpoint()
+    );
+    let stats = handle.join();
+    println!(
+        "served {} requests over {} connections: {} hits / {} misses, {} in, {} out, {} frame errors",
+        stats.requests,
+        stats.connections,
+        stats.hits,
+        stats.misses,
+        asip_bench::human_bytes(stats.bytes_in),
+        asip_bench::human_bytes(stats.bytes_out),
+        stats.frame_errors,
+    );
+    asip_bench::print_cache_report(&session);
+    ExitCode::SUCCESS
+}
+
+/// One storeless client pass: `explore_all` against the daemon only.
+/// Returns the session for counter inspection, or an error string.
+fn client_pass(addr: &str) -> Result<Explorer, String> {
+    let session = Explorer::new()
+        .with_remote(addr, RetryPolicy::default())
+        .map_err(|e| e.to_string())?;
+    let explorations = session.explore_all().map_err(|e| e.to_string())?;
+    if explorations.is_empty() {
+        return Err("explore_all returned no benchmarks".into());
+    }
+    Ok(session)
+}
+
+fn run_check(addr: &str) -> ExitCode {
+    // pass 1 may compute (a cold server has nothing to serve) — its
+    // write-through populates the daemon for everyone
+    println!("check pass 1 (may compute; populates the daemon) …");
+    let first = match client_pass(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: check pass 1 failed: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    asip_bench::print_cache_report(&first);
+    // pass 2 is the guarantee: a brand-new storeless session must be
+    // served entirely by the daemon — zero recomputes, all remote hits
+    println!("check pass 2 (must be all remote hits) …");
+    let second = match client_pass(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: check pass 2 failed: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    asip_bench::print_cache_report(&second);
+    let stats = second.cache_stats();
+    let (misses, remote_hits) = (stats.total_misses(), stats.total_remote_hits());
+    let wire_errors = stats.remote.errors + stats.remote.skipped;
+    if misses > 0 || remote_hits == 0 || wire_errors > 0 {
+        eprintln!(
+            "serve: check FAILED: {misses} recomputes, {remote_hits} remote hits, {wire_errors} wire errors (want 0 / >0 / 0)"
+        );
+        return ExitCode::from(3);
+    }
+    println!("check OK: 0 recomputes, {remote_hits} remote hits, no wire errors");
+    ExitCode::SUCCESS
+}
+
+fn run_stop(addr: &str) -> ExitCode {
+    let endpoint = match Endpoint::parse(addr) {
+        Ok(e) => e,
+        Err(detail) => {
+            eprintln!("serve: invalid address `{addr}`: {detail}");
+            return ExitCode::from(1);
+        }
+    };
+    let tier = RemoteTier::new(endpoint, RetryPolicy::default());
+    match tier.shutdown_server() {
+        Ok(()) => {
+            println!("daemon at {} acknowledged shutdown", tier.endpoint());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve: stop {} failed: {e}", tier.endpoint());
+            ExitCode::from(2)
+        }
+    }
+}

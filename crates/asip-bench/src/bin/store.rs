@@ -5,11 +5,17 @@
 //! cargo run --release -p asip-bench --bin store -- stats
 //! cargo run --release -p asip-bench --bin store -- gc [--max-bytes N[K|M|G]] [--max-age SECS]
 //! cargo run --release -p asip-bench --bin store -- verify
+//! cargo run --release -p asip-bench --bin store -- --remote ADDR ping
+//! cargo run --release -p asip-bench --bin store -- --remote ADDR stats
 //! ```
 //!
 //! The store location follows the bench convention (`target/asip-store`
 //! under the workspace root, `ASIP_STORE` overrides) or an explicit
-//! `--dir PATH`.
+//! `--dir PATH`. With `--remote ADDR` (`host:port` or `unix:/path`) the
+//! `ping` and `stats` commands run against a live `serve` daemon
+//! instead of a local directory: `ping` probes liveness and prints the
+//! server's version triple (exit code 2 when unreachable), `stats`
+//! prints the daemon's request counters and tier totals.
 //!
 //! - `stats` prints the per-stage entry/byte accounting from the
 //!   manifest-backed snapshot (rebuilding the index by scan when the
@@ -27,6 +33,7 @@
 //! GC'd entry degrade to a recompute, never to a wrong result.
 
 use asip_explorer::artifact::Stage;
+use asip_explorer::remote::{Endpoint, RemoteTier, RetryPolicy};
 use asip_explorer::store::{ArtifactStore, StoreGcConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -34,9 +41,85 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: store [--dir PATH] <stats | gc [--max-bytes N[K|M|G]] [--max-age SECS] | verify>"
+        "usage: store [--dir PATH] <stats | gc [--max-bytes N[K|M|G]] [--max-age SECS] | verify>\n       store --remote ADDR <ping | stats>"
     );
     std::process::exit(1)
+}
+
+/// Run `ping` or `stats` against a live `serve` daemon.
+fn remote_command(addr: &str, command: &str) -> ExitCode {
+    let endpoint = match Endpoint::parse(addr) {
+        Ok(e) => e,
+        Err(detail) => {
+            eprintln!("store: invalid --remote address `{addr}`: {detail}");
+            return ExitCode::from(1);
+        }
+    };
+    let tier = RemoteTier::new(endpoint, RetryPolicy::default());
+    match command {
+        "ping" => match tier.ping() {
+            Ok(info) => {
+                println!(
+                    "server at {} is alive: proto v{}, store format v{}, crate v{}",
+                    tier.endpoint(),
+                    info.proto_version,
+                    info.format_version,
+                    info.crate_version
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("store: ping {} failed: {e}", tier.endpoint());
+                ExitCode::from(2)
+            }
+        },
+        "stats" => match tier.server_stats() {
+            Ok(s) => {
+                println!("server at {}", tier.endpoint());
+                println!(
+                    "requests: {} ({} gets, {} batch keys, {} puts, {} contains, {} pings)",
+                    s.requests, s.gets, s.batch_keys, s.puts, s.contains, s.pings
+                );
+                println!(
+                    "served:   {} hits / {} misses, {} in, {} out, {} connections, {} frame errors",
+                    s.hits,
+                    s.misses,
+                    asip_bench::human_bytes(s.bytes_in),
+                    asip_bench::human_bytes(s.bytes_out),
+                    s.connections,
+                    s.frame_errors
+                );
+                let computes: Vec<String> = s
+                    .stage_computes
+                    .iter()
+                    .filter(|(_, n)| *n > 0)
+                    .map(|(name, n)| format!("{name}: {n}"))
+                    .collect();
+                if !computes.is_empty() {
+                    println!("computes: {}", computes.join(", "));
+                }
+                for (name, t) in &s.tier_totals {
+                    println!(
+                        "{name:>14}: {}h/{}m/{}w — {} entries, {}",
+                        t.hits,
+                        t.misses,
+                        t.writes,
+                        t.entries,
+                        asip_bench::human_bytes(t.bytes)
+                    );
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("store: stats {} failed: {e}", tier.endpoint());
+                ExitCode::from(2)
+            }
+        },
+        _ => {
+            eprintln!("store: only `ping` and `stats` work with --remote");
+            ExitCode::from(1)
+        }
+    }
 }
 
 /// Parse `N`, `NK`, `NM` or `NG` (binary units) into bytes.
@@ -53,6 +136,7 @@ fn parse_bytes(s: &str) -> Option<u64> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut dir: Option<PathBuf> = None;
+    let mut remote: Option<String> = None;
     let mut command: Option<String> = None;
     let mut gc_config = StoreGcConfig::default();
     let mut i = 0;
@@ -60,6 +144,10 @@ fn main() -> ExitCode {
         match args[i].as_str() {
             "--dir" => {
                 dir = Some(PathBuf::from(args.get(i + 1).unwrap_or_else(|| usage())));
+                i += 2;
+            }
+            "--remote" => {
+                remote = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
                 i += 2;
             }
             "--max-bytes" => {
@@ -72,7 +160,7 @@ fn main() -> ExitCode {
                 gc_config.max_age = Some(Duration::from_secs(v.unwrap_or_else(|| usage())));
                 i += 2;
             }
-            cmd @ ("stats" | "gc" | "verify") if command.is_none() => {
+            cmd @ ("stats" | "gc" | "verify" | "ping") if command.is_none() => {
                 command = Some(cmd.to_string());
                 i += 1;
             }
@@ -80,6 +168,13 @@ fn main() -> ExitCode {
         }
     }
     let Some(command) = command else { usage() };
+    if let Some(addr) = remote {
+        return remote_command(&addr, &command);
+    }
+    if command == "ping" {
+        eprintln!("store: `ping` requires --remote ADDR");
+        return ExitCode::from(1);
+    }
     let dir = dir.or_else(asip_bench::store_dir).unwrap_or_else(|| {
         eprintln!("store: persistence is disabled via ASIP_STORE; pass --dir PATH");
         std::process::exit(1)

@@ -186,10 +186,11 @@ pub fn human_bytes(bytes: u64) -> String {
 
 /// Print the standard end-of-run cache report every bench binary closes
 /// with: the per-stage memory counters, then one line per attached tier
-/// (disk, staging memory, custom) with its hit/miss/write/corrupt
-/// counters and byte totals, then prefetch/GC activity when any
-/// happened. One formatter for all binaries, so the report (and the new
-/// tier counters) can never drift between them.
+/// (disk, staging memory, remote, custom) with its hit/miss/write/
+/// corrupt counters and byte totals, then remote wire traffic and
+/// prefetch/GC activity when any happened. One formatter for all
+/// binaries, so the report (and the new tier counters) can never drift
+/// between them.
 pub fn print_cache_report(session: &Explorer) {
     let stats = session.cache_stats();
     println!("session cache: {stats}");
@@ -206,6 +207,19 @@ pub fn print_cache_report(session: &Explorer) {
             },
             t.entries,
             human_bytes(t.bytes),
+        );
+    }
+    let r = stats.remote;
+    if r.requests + r.skipped > 0 {
+        println!(
+            "{:>14}: {} requests ({} retries, {} errors, {} skipped) — {} sent, {} received",
+            "remote wire",
+            r.requests,
+            r.retries,
+            r.errors,
+            r.skipped,
+            human_bytes(r.bytes_sent),
+            human_bytes(r.bytes_received),
         );
     }
     let (prefetch, gc) = (stats.total_prefetch_hits(), stats.total_gc_evictions());

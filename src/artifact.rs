@@ -329,6 +329,11 @@ mod tag {
     pub const NONE: u8 = 0x07;
     /// Present optional value (the value follows, self-tagged).
     pub const SOME: u8 = 0x08;
+    /// Raw byte string (u64 little-endian byte length, then the bytes
+    /// verbatim). Carries opaque payloads — e.g. already-encoded
+    /// artifacts traveling through the wire protocol — without
+    /// re-interpreting them.
+    pub const BYTES: u8 = 0x09;
 }
 
 /// Write half of the artifact codec: a growing byte buffer with one
@@ -393,6 +398,16 @@ impl Encoder {
         self.buf.push(tag::STR);
         self.buf.extend_from_slice(&(v.len() as u64).to_le_bytes());
         self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    /// Append an opaque byte string verbatim. The counterpart of
+    /// [`Decoder::bytes`]; used for payloads that are already encoded
+    /// (a nested artifact moving through the remote protocol) and must
+    /// round-trip untouched.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.buf.push(tag::BYTES);
+        self.buf.extend_from_slice(&(v.len() as u64).to_le_bytes());
+        self.buf.extend_from_slice(v);
     }
 
     /// Append a sequence header; the caller then encodes exactly `len`
@@ -533,6 +548,16 @@ impl<'a> Decoder<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|e| CodecError::Invalid {
             detail: format!("string is not UTF-8: {e}"),
         })
+    }
+
+    /// Read an opaque byte string written by [`Encoder::put_bytes`].
+    pub fn bytes(&mut self) -> Result<Vec<u8>, CodecError> {
+        self.expect_tag(tag::BYTES)?;
+        let len = self.raw_u64()?;
+        let len = usize::try_from(len).map_err(|_| CodecError::Invalid {
+            detail: format!("byte-string length {len} does not fit usize"),
+        })?;
+        Ok(self.take(len)?.to_vec())
     }
 
     /// Read a sequence header, returning the element count. The caller

@@ -75,6 +75,81 @@ impl fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
+/// A failure inside the remote artifact protocol (see
+/// [`crate::remote`]).
+///
+/// Like [`CodecError`], these are *expected* inputs for the session: the
+/// remote tier maps every one of them to a counted miss so the next
+/// tier (or the computation) serves the request — a flaky or absent
+/// server degrades throughput, never correctness. The variants exist so
+/// the `serve`/`store` binaries and the fault-injection tests can tell
+/// connection loss from frame damage from version skew.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RemoteError {
+    /// A socket operation failed (connect refused, reset, closed
+    /// mid-frame).
+    Io {
+        /// Human-readable description of the I/O failure.
+        detail: String,
+    },
+    /// A read or write did not complete within the configured
+    /// [`RetryPolicy`](crate::remote::RetryPolicy) timeout.
+    Timeout,
+    /// A frame failed structural validation (bad magic, length out of
+    /// bounds, checksum mismatch, undecodable body).
+    Frame {
+        /// Human-readable description of the rejection.
+        detail: String,
+    },
+    /// The peer speaks a different protocol version.
+    VersionSkew {
+        /// The version the peer announced in its frame header.
+        peer: u32,
+    },
+    /// The request was not attempted: the server is marked unhealthy
+    /// and the re-probe interval has not elapsed.
+    Unavailable,
+    /// The peer answered with a well-formed frame that violates the
+    /// protocol (wrong response kind, mismatched request id) or an
+    /// explicit error response.
+    Protocol {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RemoteError::Io { detail } => write!(f, "remote i/o failed: {detail}"),
+            RemoteError::Timeout => write!(f, "remote request timed out"),
+            RemoteError::Frame { detail } => write!(f, "remote frame rejected: {detail}"),
+            RemoteError::VersionSkew { peer } => {
+                write!(f, "remote protocol version skew: peer speaks v{peer}")
+            }
+            RemoteError::Unavailable => {
+                write!(f, "remote server marked unhealthy (re-probe pending)")
+            }
+            RemoteError::Protocol { detail } => {
+                write!(f, "remote protocol violation: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+impl From<std::io::Error> for RemoteError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => RemoteError::Timeout,
+            _ => RemoteError::Io {
+                detail: e.to_string(),
+            },
+        }
+    }
+}
+
 /// Any failure raised by an [`Explorer`](crate::Explorer) session.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ExplorerError {
@@ -82,6 +157,17 @@ pub enum ExplorerError {
     UnknownBenchmark {
         /// The name that failed to resolve.
         name: String,
+    },
+    /// [`Explorer::with_remote`](crate::Explorer::with_remote) was
+    /// given an address that does not parse as an
+    /// [`Endpoint`](crate::remote::Endpoint). Runtime server failures
+    /// are *not* errors — they degrade to counted recomputes — but a
+    /// malformed address is a configuration bug worth failing loudly.
+    InvalidEndpoint {
+        /// The address that failed to parse.
+        addr: String,
+        /// Why it was rejected.
+        detail: String,
     },
     /// The compile stage rejected the source (paper step 1).
     Frontend(FrontendError),
@@ -105,6 +191,9 @@ impl fmt::Display for ExplorerError {
                     "unknown benchmark `{name}` (not in the session registry)"
                 )
             }
+            ExplorerError::InvalidEndpoint { addr, detail } => {
+                write!(f, "invalid remote endpoint `{addr}`: {detail}")
+            }
             ExplorerError::Frontend(e) => write!(f, "compile stage failed: {e}"),
             ExplorerError::Ir(e) => write!(f, "IR validation failed: {e}"),
             ExplorerError::Sim(e) => write!(f, "profiling simulation failed: {e}"),
@@ -119,7 +208,9 @@ impl fmt::Display for ExplorerError {
 impl std::error::Error for ExplorerError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ExplorerError::UnknownBenchmark { .. } | ExplorerError::EmptySuite => None,
+            ExplorerError::UnknownBenchmark { .. }
+            | ExplorerError::InvalidEndpoint { .. }
+            | ExplorerError::EmptySuite => None,
             ExplorerError::Frontend(e) => Some(e),
             ExplorerError::Ir(e) => Some(e),
             ExplorerError::Sim(e) | ExplorerError::Eval(e) => Some(e),

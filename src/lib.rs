@@ -33,6 +33,15 @@
 //! store GC ([`ArtifactStore::gc`], surfaced as the `asip-bench`
 //! `store` maintenance binary).
 //!
+//! Finally, artifacts can cross *machine* boundaries: the [`remote`]
+//! module provides a `serve` daemon (the `asip-bench` `serve` binary)
+//! that keeps one warm session resident behind a TCP or Unix socket,
+//! and a [`RemoteTier`] clients insert between staging and disk via
+//! [`Explorer::with_remote`] — with explicit retry/timeout/backoff
+//! ([`RetryPolicy`]) and graceful degradation: any server failure is a
+//! counted miss that falls back to local compute, never an error (see
+//! `docs/serve.md`).
+//!
 //! The workspace is organised as this facade over seven member crates:
 //!
 //! - [`ir`] — the three-address intermediate representation and CFG.
@@ -106,6 +115,7 @@ pub mod artifact;
 pub mod cache;
 pub mod error;
 pub mod perf;
+pub mod remote;
 pub mod session;
 pub mod store;
 pub mod tier;
@@ -115,7 +125,8 @@ pub use artifact::{
     EvaluatedSuite, Exploration, Profiled, Scheduled, Stage,
 };
 pub use cache::MemoryTier;
-pub use error::{CodecError, ExplorerError};
+pub use error::{CodecError, ExplorerError, RemoteError};
+pub use remote::{serve, Endpoint, RemoteTier, RemoteTotals, RetryPolicy, ServeOptions};
 pub use session::{CacheStats, Explorer, StageStats};
 pub use store::{ArtifactStore, DiskStats, GcReport, Manifest, StoreGcConfig, VerifyReport};
 pub use tier::{ArtifactTier, TierRead, TierStack, TierStats};
@@ -127,6 +138,7 @@ pub mod prelude {
         Exploration, Profiled, Scheduled, Stage,
     };
     pub use crate::error::ExplorerError;
+    pub use crate::remote::{RemoteTier, RemoteTotals, RetryPolicy};
     pub use crate::session::{CacheStats, Explorer, StageStats};
     pub use crate::store::{ArtifactStore, DiskStats, GcReport, StoreGcConfig};
     pub use crate::tier::{ArtifactTier, TierStats};

@@ -1,0 +1,500 @@
+//! The daemon half of exploration-as-a-service: [`serve`] runs one warm
+//! [`Explorer`] session behind a socket and answers artifact operations
+//! from its tier stack.
+//!
+//! The daemon is deliberately thin: it does not compute on behalf of
+//! clients (a `get` miss is a miss — the *client* computes and writes
+//! the result back through `put`), so a slow client cannot occupy the
+//! server with stage work. What the server provides is its resident
+//! tier stack — staging memory plus disk store — shared across every
+//! client process, and a `stats` op exposing its own session counters
+//! so tests can observe single-flight behaviour fleet-wide.
+//!
+//! Threading model: one accept thread polls the listener under a short
+//! interval so the stop flag stays responsive; each accepted connection
+//! gets its own thread that serves frames until the peer hangs up, the
+//! idle timeout passes, or shutdown is requested. Shutdown (the
+//! [`Request::Shutdown`](crate::remote::Request) op or
+//! [`ServerHandle::request_shutdown`]) stops the accept loop, waits
+//! bounded for in-flight connections to drain, and flushes the store
+//! manifest so a later cold start sees every entry.
+
+use crate::remote::proto::{
+    read_frame_after, write_frame, Request, Response, ServeStats, ServerInfo, PROTO_VERSION,
+};
+use crate::remote::transport::{Conn, Endpoint, Listener};
+use crate::session::Explorer;
+use crate::store::{StoreGcConfig, FORMAT_VERSION};
+use crate::tier::TierRead;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables of a [`serve`] daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Bound on each read/write once a frame has started, and on how
+    /// long an idle connection is kept open.
+    pub io_timeout: Duration,
+    /// How often the accept loop and idle connections re-check the
+    /// stop flag; the upper bound on shutdown latency per thread.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServeOptions {
+    /// Ten-second I/O and idle bound, 50ms stop-flag poll.
+    fn default() -> Self {
+        ServeOptions {
+            io_timeout: Duration::from_secs(10),
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+/// How long [`serve`]'s shutdown path waits for in-flight connections
+/// before abandoning them (their threads still exit on their next
+/// stop-flag poll; only the *wait* is bounded).
+const DRAIN_BOUND: Duration = Duration::from_secs(5);
+
+#[derive(Debug, Default)]
+struct ServeCounters {
+    requests: AtomicU64,
+    gets: AtomicU64,
+    batch_keys: AtomicU64,
+    puts: AtomicU64,
+    contains: AtomicU64,
+    pings: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    connections: AtomicU64,
+    frame_errors: AtomicU64,
+}
+
+struct Shared {
+    session: Arc<Explorer>,
+    counters: ServeCounters,
+    stop: AtomicBool,
+    active: AtomicUsize,
+    options: ServeOptions,
+}
+
+impl Shared {
+    fn add(&self, cell: &AtomicU64, n: u64) {
+        cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Assemble the stats reply: wire counters from the daemon,
+    /// per-stage compute counts and tier totals from the session.
+    fn stats(&self) -> ServeStats {
+        let cache = self.session.cache_stats();
+        let c = &self.counters;
+        ServeStats {
+            requests: c.requests.load(Ordering::Relaxed),
+            gets: c.gets.load(Ordering::Relaxed),
+            batch_keys: c.batch_keys.load(Ordering::Relaxed),
+            puts: c.puts.load(Ordering::Relaxed),
+            contains: c.contains.load(Ordering::Relaxed),
+            pings: c.pings.load(Ordering::Relaxed),
+            hits: c.hits.load(Ordering::Relaxed),
+            misses: c.misses.load(Ordering::Relaxed),
+            bytes_in: c.bytes_in.load(Ordering::Relaxed),
+            bytes_out: c.bytes_out.load(Ordering::Relaxed),
+            connections: c.connections.load(Ordering::Relaxed),
+            frame_errors: c.frame_errors.load(Ordering::Relaxed),
+            stage_computes: crate::artifact::Stage::all()
+                .into_iter()
+                .map(|s| (s.name().to_string(), cache.stage(s).misses))
+                .collect(),
+            tier_totals: self
+                .session
+                .tier_totals()
+                .into_iter()
+                .map(|(name, totals)| (name.to_string(), totals))
+                .collect(),
+        }
+    }
+
+    /// Serve a `get` probe from the resident stack, top tier down. A
+    /// miss everywhere stays a miss — the client computes.
+    fn lookup(&self, stage: crate::artifact::Stage, key: u64) -> Option<Vec<u8>> {
+        for tier in self.session.tier_stack().tiers() {
+            if let TierRead::Hit(payload) = tier.get(stage, key) {
+                self.add(&self.counters.hits, 1);
+                return Some(payload);
+            }
+        }
+        self.add(&self.counters.misses, 1);
+        None
+    }
+
+    fn handle(&self, req: Request) -> Response {
+        self.add(&self.counters.requests, 1);
+        match req {
+            Request::Ping => {
+                self.add(&self.counters.pings, 1);
+                Response::Pong(ServerInfo {
+                    proto_version: PROTO_VERSION,
+                    format_version: FORMAT_VERSION,
+                    crate_version: env!("CARGO_PKG_VERSION").to_string(),
+                })
+            }
+            Request::Get { stage, key } => {
+                self.add(&self.counters.gets, 1);
+                Response::Value(self.lookup(stage, key))
+            }
+            Request::GetBatch { keys } => {
+                self.add(&self.counters.batch_keys, keys.len() as u64);
+                Response::Batch(
+                    keys.into_iter()
+                        .map(|(stage, key)| self.lookup(stage, key))
+                        .collect(),
+                )
+            }
+            Request::Put {
+                stage,
+                key,
+                payload,
+            } => {
+                self.add(&self.counters.puts, 1);
+                let mut landed = false;
+                for tier in self.session.tier_stack().tiers() {
+                    if tier.persistent() {
+                        landed |= tier.put(stage, key, &payload);
+                    }
+                }
+                Response::Done(landed)
+            }
+            Request::Contains { stage, key } => {
+                self.add(&self.counters.contains, 1);
+                let has = self
+                    .session
+                    .tier_stack()
+                    .tiers()
+                    .iter()
+                    .any(|t| t.contains(stage, key));
+                Response::Has(has)
+            }
+            Request::Stats => Response::Stats(self.stats()),
+            Request::Shutdown => Response::Closing,
+        }
+    }
+}
+
+/// Serve one connection until the peer hangs up, the idle bound
+/// elapses, a frame is undecipherable, or shutdown is requested.
+fn serve_conn(shared: &Shared, mut conn: Box<dyn Conn>) {
+    let opts = shared.options;
+    let _ = conn.set_write_timeout(Some(opts.io_timeout));
+    let mut idle_since = Instant::now();
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // read the first header byte under the poll interval so the
+        // stop flag stays responsive on idle connections …
+        let _ = conn.set_read_timeout(Some(opts.poll_interval));
+        let mut first = [0u8; 1];
+        match conn.read(&mut first) {
+            Ok(0) => return, // peer closed
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if idle_since.elapsed() > opts.io_timeout {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        // … then bound the rest of the frame by the real I/O timeout
+        let _ = conn.set_read_timeout(Some(opts.io_timeout));
+        let frame = match read_frame_after(first[0], conn.as_mut()) {
+            Ok(frame) => frame,
+            Err(e) => {
+                // structural damage: count it, answer best-effort (the
+                // peer may already be gone), and drop the connection —
+                // after a bad frame the stream cannot be trusted to be
+                // on a frame boundary
+                shared.add(&shared.counters.frame_errors, 1);
+                let body = Response::Error(e.to_string()).encode_body();
+                let _ = write_frame(conn.as_mut(), crate::remote::proto::kind::ERROR, 0, &body);
+                return;
+            }
+        };
+        shared.add(&shared.counters.bytes_in, frame.wire_bytes);
+        let response = match Request::decode(frame.kind, &frame.body) {
+            Ok(req) => shared.handle(req),
+            Err(e) => {
+                shared.add(&shared.counters.frame_errors, 1);
+                Response::Error(e.to_string())
+            }
+        };
+        let closing = matches!(response, Response::Closing);
+        match write_frame(
+            conn.as_mut(),
+            response.kind(),
+            frame.request_id,
+            &response.encode_body(),
+        ) {
+            Ok(sent) => shared.add(&shared.counters.bytes_out, sent),
+            Err(_) => return,
+        }
+        if closing {
+            shared.stop.store(true, Ordering::SeqCst);
+            return;
+        }
+        idle_since = Instant::now();
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: Box<dyn Listener>) {
+    let poll = shared.options.poll_interval;
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.poll_accept(poll) {
+            Ok(Some(conn)) => {
+                shared.add(&shared.counters.connections, 1);
+                shared.active.fetch_add(1, Ordering::SeqCst);
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || {
+                    serve_conn(&shared, conn);
+                    shared.active.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+            Ok(None) => {}
+            Err(_) => std::thread::sleep(poll),
+        }
+    }
+    // drain: wait (bounded) for in-flight connections, then flush the
+    // manifest so a cold restart sees every entry written this run
+    let deadline = Instant::now() + DRAIN_BOUND;
+    while shared.active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+        std::thread::sleep(poll);
+    }
+    if let Some(store) = shared.session.store() {
+        store.gc(&StoreGcConfig::default());
+    }
+}
+
+/// A running [`serve`] daemon: its resolved endpoint, its counters and
+/// the handle to stop and join it.
+#[derive(Debug)]
+pub struct ServerHandle {
+    endpoint: Endpoint,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("stop", &self.stop.load(Ordering::SeqCst))
+            .field("active", &self.active.load(Ordering::SeqCst))
+            .field("options", &self.options)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerHandle {
+    /// The endpoint the daemon is actually bound to. For `host:0` TCP
+    /// binds this carries the kernel-assigned port — connect clients
+    /// to *this*, not the address passed to [`serve`].
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// The session the daemon serves from.
+    pub fn session(&self) -> &Arc<Explorer> {
+        &self.shared.session
+    }
+
+    /// Snapshot the daemon's statistics (same assembly as the wire
+    /// `stats` op, without a round trip).
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats()
+    }
+
+    /// Ask the daemon to stop. Returns immediately; the accept loop
+    /// notices within one poll interval, drains and flushes. Use
+    /// [`ServerHandle::join`] (or [`ServerHandle::shutdown`]) to wait.
+    pub fn request_shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the stop flag is set (by [`ServerHandle::request_shutdown`]
+    /// or a wire `shutdown` op).
+    pub fn is_stopped(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// Wait for the daemon to exit (after a stop was requested locally
+    /// or over the wire). Returns the final statistics snapshot.
+    pub fn join(mut self) -> ServeStats {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        self.shared.stats()
+    }
+
+    /// [`request_shutdown`](ServerHandle::request_shutdown) followed by
+    /// [`join`](ServerHandle::join).
+    pub fn shutdown(self) -> ServeStats {
+        self.request_shutdown();
+        self.join()
+    }
+}
+
+impl Drop for ServerHandle {
+    /// A dropped handle stops the daemon (best-effort, without
+    /// waiting): a forgotten `serve` in a test must not leak an accept
+    /// thread past the test body.
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Bind `endpoint` and serve `session`'s tier stack until shutdown.
+///
+/// The session is shared, not consumed: the caller may keep exploring
+/// on it (warming the very stack clients read) while the daemon runs.
+///
+/// # Errors
+///
+/// Any [`io::Error`] from binding the endpoint. Runtime failures on
+/// individual connections never surface here — they end that
+/// connection (and count a frame error when structural).
+pub fn serve(
+    session: Arc<Explorer>,
+    endpoint: &Endpoint,
+    options: ServeOptions,
+) -> io::Result<ServerHandle> {
+    let listener = endpoint.bind()?;
+    let resolved = listener.local_endpoint();
+    let shared = Arc::new(Shared {
+        session,
+        counters: ServeCounters::default(),
+        stop: AtomicBool::new(false),
+        active: AtomicUsize::new(0),
+        options,
+    });
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("asip-serve-accept".into())
+            .spawn(move || accept_loop(&shared, listener))?
+    };
+    Ok(ServerHandle {
+        endpoint: resolved,
+        shared,
+        accept: Some(accept),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::remote::client::{RemoteTier, RetryPolicy};
+    use crate::tier::ArtifactTier;
+    use crate::Explorer;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "asip-serve-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn loopback() -> Endpoint {
+        Endpoint::Tcp("127.0.0.1:0".into())
+    }
+
+    #[test]
+    fn daemon_serves_ping_put_get_contains_and_stats() {
+        let dir = temp_dir("basic");
+        let session = Arc::new(Explorer::new().with_store(&dir));
+        let handle = serve(session, &loopback(), ServeOptions::default()).expect("binds");
+        let tier = RemoteTier::new(handle.endpoint().clone(), RetryPolicy::default());
+
+        let info = tier.ping().expect("ping answered");
+        assert_eq!(info.proto_version, PROTO_VERSION);
+        assert_eq!(info.format_version, FORMAT_VERSION);
+        assert_eq!(info.crate_version, env!("CARGO_PKG_VERSION"));
+
+        use crate::artifact::Stage;
+        use crate::tier::TierRead;
+        assert!(matches!(tier.get(Stage::Compile, 7), TierRead::Miss));
+        assert!(!tier.contains(Stage::Compile, 7));
+        assert!(tier.put(Stage::Compile, 7, b"payload"));
+        assert!(tier.contains(Stage::Compile, 7));
+        match tier.get(Stage::Compile, 7) {
+            TierRead::Hit(p) => assert_eq!(p, b"payload"),
+            other => panic!("expected hit, got {other:?}"),
+        }
+
+        let stats = tier.server_stats().expect("stats answered");
+        assert_eq!(stats.pings, 1);
+        assert_eq!(stats.puts, 1);
+        assert_eq!(stats.gets, 2);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.connections, 1, "requests reuse one pooled conn");
+        assert!(stats.bytes_in > 0 && stats.bytes_out > 0);
+
+        tier.shutdown_server().expect("closing acknowledged");
+        let final_stats = handle.join();
+        assert!(final_stats.requests >= stats.requests);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_round_trip_hits_and_misses_in_request_order() {
+        let dir = temp_dir("batch");
+        let session = Arc::new(Explorer::new().with_store(&dir));
+        let handle = serve(session, &loopback(), ServeOptions::default()).expect("binds");
+        let tier = RemoteTier::new(handle.endpoint().clone(), RetryPolicy::default());
+
+        use crate::artifact::Stage;
+        use crate::tier::TierRead;
+        assert!(tier.put(Stage::Profile, 1, b"one"));
+        assert!(tier.put(Stage::Profile, 3, b"three"));
+        let reads = tier.get_batch(&[
+            (Stage::Profile, 1),
+            (Stage::Profile, 2),
+            (Stage::Profile, 3),
+        ]);
+        assert!(matches!(&reads[0], TierRead::Hit(p) if p == b"one"));
+        assert!(matches!(&reads[1], TierRead::Miss));
+        assert!(matches!(&reads[2], TierRead::Hit(p) if p == b"three"));
+
+        let stats = handle.shutdown();
+        assert_eq!(stats.batch_keys, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dropped_handle_stops_the_daemon() {
+        let dir = temp_dir("drop");
+        let session = Arc::new(Explorer::new().with_store(&dir));
+        let handle = serve(session, &loopback(), ServeOptions::default()).expect("binds");
+        let endpoint = handle.endpoint().clone();
+        drop(handle);
+        // the listener is gone: a fail-fast client sees a dead server
+        let tier = RemoteTier::new(endpoint, RetryPolicy::fail_fast());
+        assert!(tier.ping().is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

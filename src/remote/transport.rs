@@ -1,0 +1,361 @@
+//! Transport abstraction under the wire protocol: byte streams the
+//! frames travel over.
+//!
+//! The offline build has no HTTP stack, so the shipping transports are
+//! `std::net` TCP and (on Unix) `std::os::unix::net` domain sockets.
+//! Everything above this module — framing, retry, the tier, the daemon
+//! — talks to the [`Conn`]/[`Listener`] traits only, so a future
+//! HTTP/object-store backend is a transport swap, not a protocol
+//! rewrite.
+//!
+//! [`Endpoint`] is the one user-facing address type: `host:port` (an
+//! optional `tcp:` prefix is accepted) or `unix:/path/to.sock`,
+//! round-tripping through `Display`/`FromStr` so addresses travel
+//! through CLI flags and environment variables unchanged.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::str::FromStr;
+use std::time::Duration;
+
+/// One bidirectional byte stream carrying protocol frames. Implemented
+/// by [`TcpStream`] and [`UnixStream`]; every read and write is bounded
+/// by the timeouts set here (the retry policy's timeout on the client,
+/// the poll/io timeouts on the server), so no frame operation can stall
+/// an endpoint indefinitely.
+pub trait Conn: Read + Write + Send + fmt::Debug {
+    /// Bound every subsequent read; `None` removes the bound.
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()>;
+    /// Bound every subsequent write; `None` removes the bound.
+    fn set_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()>;
+}
+
+impl Conn for TcpStream {
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_read_timeout(self, timeout)
+    }
+    fn set_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_write_timeout(self, timeout)
+    }
+}
+
+#[cfg(unix)]
+impl Conn for UnixStream {
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        UnixStream::set_read_timeout(self, timeout)
+    }
+    fn set_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        UnixStream::set_write_timeout(self, timeout)
+    }
+}
+
+/// A bound, non-blocking server socket. [`Listener::poll_accept`]
+/// returns instead of blocking so the accept loop can observe the
+/// shutdown flag between polls.
+pub trait Listener: Send + fmt::Debug {
+    /// Accept one pending connection if any, otherwise sleep at most
+    /// `wait` and return `None`. Accepted connections are switched back
+    /// to blocking mode (their reads are bounded by explicit timeouts).
+    ///
+    /// # Errors
+    ///
+    /// Fatal socket errors (the caller backs off and retries).
+    fn poll_accept(&self, wait: Duration) -> io::Result<Option<Box<dyn Conn>>>;
+
+    /// The endpoint this listener is actually bound to — for TCP with
+    /// port 0 this carries the kernel-assigned port, so in-process
+    /// servers (tests, benches) can tell clients where to connect.
+    fn local_endpoint(&self) -> Endpoint;
+}
+
+#[derive(Debug)]
+struct TcpTransportListener {
+    inner: TcpListener,
+    local: SocketAddr,
+}
+
+impl Listener for TcpTransportListener {
+    fn poll_accept(&self, wait: Duration) -> io::Result<Option<Box<dyn Conn>>> {
+        match self.inner.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                Ok(Some(Box::new(stream)))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(wait);
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn local_endpoint(&self) -> Endpoint {
+        Endpoint::Tcp(self.local.to_string())
+    }
+}
+
+#[cfg(unix)]
+#[derive(Debug)]
+struct UnixTransportListener {
+    inner: UnixListener,
+    path: PathBuf,
+}
+
+#[cfg(unix)]
+impl Listener for UnixTransportListener {
+    fn poll_accept(&self, wait: Duration) -> io::Result<Option<Box<dyn Conn>>> {
+        match self.inner.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                Ok(Some(Box::new(stream)))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(wait);
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn local_endpoint(&self) -> Endpoint {
+        Endpoint::Unix(self.path.clone())
+    }
+}
+
+#[cfg(unix)]
+impl Drop for UnixTransportListener {
+    fn drop(&mut self) {
+        // remove the socket file so the address is immediately
+        // re-bindable; a stale file would otherwise refuse the next bind
+        std::fs::remove_file(&self.path).ok();
+    }
+}
+
+/// A remote server address: TCP (`host:port`, optionally prefixed
+/// `tcp:`) or a Unix domain socket (`unix:/path/to.sock`).
+///
+/// ```
+/// use asip_explorer::remote::Endpoint;
+///
+/// let tcp: Endpoint = "127.0.0.1:9317".parse()?;
+/// assert_eq!(tcp.to_string(), "127.0.0.1:9317");
+/// let unix: Endpoint = "unix:/tmp/asip.sock".parse()?;
+/// assert_eq!(unix.to_string(), "unix:/tmp/asip.sock");
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A TCP address in `host:port` form.
+    Tcp(String),
+    /// A Unix domain socket path. Parsed everywhere; connect/bind fail
+    /// with an unsupported-transport error on non-Unix platforms.
+    Unix(PathBuf),
+}
+
+impl Endpoint {
+    /// Parse an endpoint string (see the type docs for the grammar).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of why the address is malformed.
+    pub fn parse(s: &str) -> Result<Endpoint, String> {
+        if let Some(path) = s.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err("empty unix socket path".into());
+            }
+            return Ok(Endpoint::Unix(PathBuf::from(path)));
+        }
+        let addr = s.strip_prefix("tcp:").unwrap_or(s);
+        if addr.is_empty() {
+            return Err("empty address".into());
+        }
+        match addr.rsplit_once(':') {
+            Some((host, port)) if !host.is_empty() && port.parse::<u16>().is_ok() => {
+                Ok(Endpoint::Tcp(addr.to_string()))
+            }
+            _ => Err(format!(
+                "`{addr}` is not host:port (or unix:/path for a domain socket)"
+            )),
+        }
+    }
+
+    /// Open a connection with a bounded connect time. Read/write
+    /// timeouts are the caller's to set ([`Conn`]).
+    ///
+    /// # Errors
+    ///
+    /// Connection refusal, resolution failure, connect timeout, or an
+    /// unsupported transport on this platform.
+    pub fn connect(&self, timeout: Duration) -> io::Result<Box<dyn Conn>> {
+        match self {
+            Endpoint::Tcp(addr) => {
+                let resolved = addr.to_socket_addrs()?.next().ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::AddrNotAvailable,
+                        format!("`{addr}` resolved to no address"),
+                    )
+                })?;
+                let stream = TcpStream::connect_timeout(&resolved, timeout)?;
+                stream.set_nodelay(true).ok();
+                Ok(Box::new(stream))
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                // no connect_timeout in std for unix sockets; connects
+                // are local and either succeed or fail immediately
+                let stream = UnixStream::connect(path)?;
+                Ok(Box::new(stream))
+            }
+            #[cfg(not(unix))]
+            Endpoint::Unix(_) => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix domain sockets are not available on this platform",
+            )),
+        }
+    }
+
+    /// Bind a non-blocking listener on this endpoint. A TCP port of 0
+    /// binds an ephemeral port (read it back via
+    /// [`Listener::local_endpoint`]); a Unix bind replaces a stale
+    /// socket file left by a dead server, refusing only when a live
+    /// server still answers on it.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures (address in use by a live server, permissions) or
+    /// an unsupported transport on this platform.
+    pub fn bind(&self) -> io::Result<Box<dyn Listener>> {
+        match self {
+            Endpoint::Tcp(addr) => {
+                let inner = TcpListener::bind(addr.as_str())?;
+                inner.set_nonblocking(true)?;
+                let local = inner.local_addr()?;
+                Ok(Box::new(TcpTransportListener { inner, local }))
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                let inner = match UnixListener::bind(path) {
+                    Ok(l) => l,
+                    Err(e) if e.kind() == io::ErrorKind::AddrInUse => {
+                        if UnixStream::connect(path).is_ok() {
+                            return Err(e); // a live server owns it
+                        }
+                        std::fs::remove_file(path)?;
+                        UnixListener::bind(path)?
+                    }
+                    Err(e) => return Err(e),
+                };
+                inner.set_nonblocking(true)?;
+                Ok(Box::new(UnixTransportListener {
+                    inner,
+                    path: path.clone(),
+                }))
+            }
+            #[cfg(not(unix))]
+            Endpoint::Unix(_) => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix domain sockets are not available on this platform",
+            )),
+        }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    /// The inverse of [`Endpoint::parse`], so addresses round-trip
+    /// through CLI flags and environment variables unchanged.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "{addr}"),
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+impl FromStr for Endpoint {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Endpoint::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_grammar_round_trips() {
+        for (input, display) in [
+            ("127.0.0.1:9317", "127.0.0.1:9317"),
+            ("tcp:localhost:80", "localhost:80"),
+            ("unix:/tmp/asip.sock", "unix:/tmp/asip.sock"),
+        ] {
+            let e = Endpoint::parse(input).expect(input);
+            assert_eq!(e.to_string(), display);
+            assert_eq!(display.parse::<Endpoint>().expect(display), e);
+        }
+    }
+
+    #[test]
+    fn malformed_endpoints_are_rejected() {
+        for bad in ["", "unix:", "tcp:", "justahost", "host:notaport", ":80"] {
+            assert!(Endpoint::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn tcp_loopback_connect_and_accept() {
+        let listener = Endpoint::parse("127.0.0.1:0")
+            .unwrap()
+            .bind()
+            .expect("binds ephemeral port");
+        let endpoint = listener.local_endpoint();
+        assert!(!endpoint.to_string().ends_with(":0"), "real port resolved");
+        assert!(listener
+            .poll_accept(Duration::from_millis(1))
+            .expect("polls")
+            .is_none());
+        let mut client = endpoint.connect(Duration::from_secs(1)).expect("connects");
+        let mut server = loop {
+            if let Some(conn) = listener.poll_accept(Duration::from_millis(5)).unwrap() {
+                break conn;
+            }
+        };
+        client.write_all(b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        server.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_socket_binds_and_reclaims_stale_files() {
+        let path = std::env::temp_dir().join(format!("asip-transport-{}.sock", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let endpoint = Endpoint::Unix(path.clone());
+        {
+            let listener = endpoint.bind().expect("binds");
+            let mut client = endpoint.connect(Duration::from_secs(1)).expect("connects");
+            let mut server = loop {
+                if let Some(conn) = listener.poll_accept(Duration::from_millis(5)).unwrap() {
+                    break conn;
+                }
+            };
+            client.write_all(b"hi").unwrap();
+            let mut buf = [0u8; 2];
+            server.read_exact(&mut buf).unwrap();
+            assert_eq!(&buf, b"hi");
+        }
+        assert!(!path.exists(), "socket file removed on drop");
+        // a crashed server leaves its socket file behind (std's
+        // UnixListener does not clean up); the next bind must reclaim it
+        drop(UnixListener::bind(&path).expect("raw bind"));
+        assert!(path.exists(), "stale socket file left behind");
+        let listener = endpoint.bind().expect("stale socket file reclaimed");
+        drop(listener);
+        assert!(!path.exists(), "socket file removed on drop again");
+    }
+}

@@ -64,6 +64,7 @@ use crate::artifact::{
 };
 use crate::cache::{LruCache, MemoryTier};
 use crate::error::ExplorerError;
+use crate::remote::{Endpoint, RemoteTier, RemoteTotals, RetryPolicy};
 use crate::store::{ArtifactStore, StableHasher, StoreGcConfig};
 use crate::tier::{lock, ArtifactTier, StageCache, TierStack, TierStats};
 use asip_benchmarks::{Benchmark, DataSpec, Registry, DEFAULT_SEED};
@@ -124,6 +125,18 @@ pub struct StageStats {
     /// Store entries this session's [`ArtifactStore::gc`] passes
     /// evicted for this stage.
     pub gc_evictions: u64,
+    /// Requests served by the remote tier ([`Explorer::with_remote`]) —
+    /// the server had the artifact, no local recompute.
+    pub remote_hits: u64,
+    /// Remote probes that missed: the server had no entry, or the
+    /// request degraded on a network failure (see
+    /// [`CacheStats::remote`] for the wire-level split).
+    pub remote_misses: u64,
+    /// Artifacts written through to the remote tier.
+    pub remote_writes: u64,
+    /// Remote payloads that arrived intact (frame checksum) but failed
+    /// typed decoding; the recompute's write-through replaces them.
+    pub remote_corrupt: u64,
 }
 
 /// A snapshot of the session's per-stage cache counters.
@@ -145,6 +158,11 @@ pub struct CacheStats {
     pub design_suite: StageStats,
     /// Suite-evaluate-stage counters.
     pub evaluate_suite: StageStats,
+    /// Wire-level counters of the remote tier
+    /// ([`Explorer::with_remote`]): requests, errors, retries,
+    /// unhealthy-skips and bytes over the wire. All zero for a session
+    /// without a remote tier.
+    pub remote: RemoteTotals,
 }
 
 impl CacheStats {
@@ -234,6 +252,41 @@ impl CacheStats {
     pub fn total_disk_bytes(&self) -> u64 {
         Stage::all().iter().map(|s| self.stage(*s).disk_bytes).sum()
     }
+
+    /// Total remote-tier hits across stages (artifacts served by the
+    /// daemon instead of recomputed).
+    pub fn total_remote_hits(&self) -> u64 {
+        Stage::all()
+            .iter()
+            .map(|s| self.stage(*s).remote_hits)
+            .sum()
+    }
+
+    /// Total remote-tier misses across stages (server had no entry, or
+    /// the request degraded on a network failure).
+    pub fn total_remote_misses(&self) -> u64 {
+        Stage::all()
+            .iter()
+            .map(|s| self.stage(*s).remote_misses)
+            .sum()
+    }
+
+    /// Total artifacts written through to the remote tier across
+    /// stages.
+    pub fn total_remote_writes(&self) -> u64 {
+        Stage::all()
+            .iter()
+            .map(|s| self.stage(*s).remote_writes)
+            .sum()
+    }
+
+    /// Total remote payloads rejected by typed decoding across stages.
+    pub fn total_remote_corrupt(&self) -> u64 {
+        Stage::all()
+            .iter()
+            .map(|s| self.stage(*s).remote_corrupt)
+            .sum()
+    }
 }
 
 impl fmt::Display for CacheStats {
@@ -258,6 +311,22 @@ impl fmt::Display for CacheStats {
             write!(f, "  disk: {dh}h/{dm}m/{dw}w")?;
             if dc > 0 {
                 write!(f, "/{dc}corrupt")?;
+            }
+        }
+        let (rh, rm, rw, rc) = (
+            self.total_remote_hits(),
+            self.total_remote_misses(),
+            self.total_remote_writes(),
+            self.total_remote_corrupt(),
+        );
+        if rh + rm + rw + rc > 0 || self.remote != RemoteTotals::default() {
+            write!(f, "  remote: {rh}h/{rm}m/{rw}w")?;
+            if rc > 0 {
+                write!(f, "/{rc}corrupt")?;
+            }
+            let r = self.remote;
+            if r.errors + r.retries + r.skipped > 0 {
+                write!(f, " ({}err/{}retry/{}skip)", r.errors, r.retries, r.skipped)?;
             }
         }
         let pf = self.total_prefetch_hits();
@@ -426,6 +495,7 @@ pub struct Explorer {
     threads: usize,
     cache_capacity: Option<usize>,
     store: Option<Arc<ArtifactStore>>,
+    remote: Option<Arc<RemoteTier>>,
     extra_tiers: Vec<Arc<dyn ArtifactTier>>,
     staging: Option<Arc<MemoryTier>>,
     tiers: TierStack,
@@ -451,6 +521,7 @@ impl Default for Explorer {
                 .unwrap_or(1),
             cache_capacity: None,
             store: None,
+            remote: None,
             extra_tiers: Vec::new(),
             staging: None,
             tiers: TierStack::new(),
@@ -581,12 +652,42 @@ impl Explorer {
         session
     }
 
+    /// Attach a [`RemoteTier`] speaking to a running `serve` daemon at
+    /// `addr` (`host:port` or `unix:/path` — see [`Endpoint::parse`]),
+    /// inserted *between* the staging tier and the disk store: a warm
+    /// server answers before any local disk read, and a storeless
+    /// client (`staging → remote`) runs entirely off the fleet-shared
+    /// stack. Computed artifacts are written through, so every client
+    /// populates the server for the others.
+    ///
+    /// Server failures are never session errors: each one degrades to
+    /// a counted miss under `policy`'s retry/timeout/backoff bounds,
+    /// and an unhealthy server is skipped (one probe per second) until
+    /// it answers again. The per-stage `remote_*` counters and the
+    /// wire-level [`CacheStats::remote`] totals make every degradation
+    /// observable.
+    ///
+    /// # Errors
+    ///
+    /// [`ExplorerError::InvalidEndpoint`] when `addr` does not parse —
+    /// a malformed address is a configuration bug worth failing
+    /// loudly, unlike runtime server failures.
+    pub fn with_remote(mut self, addr: &str, policy: RetryPolicy) -> Result<Self, ExplorerError> {
+        let endpoint = Endpoint::parse(addr).map_err(|detail| ExplorerError::InvalidEndpoint {
+            addr: addr.into(),
+            detail,
+        })?;
+        self.remote = Some(Arc::new(RemoteTier::new(endpoint, policy)));
+        self.rebuild_tiers();
+        Ok(self)
+    }
+
     /// Plug an additional [`ArtifactTier`] into the bottom of the tier
-    /// stack (probed after the staging tier and the disk store, written
-    /// through like any persistent tier). This is the extension point
-    /// for a shared remote tier — an HTTP or object-store cache CI and
-    /// teammates populate together — which needs nothing beyond the
-    /// trait's five methods.
+    /// stack (probed after the staging tier, the remote tier and the
+    /// disk store, written through like any persistent tier). This is
+    /// the extension point for custom shared caches — anything beyond
+    /// the built-in disk store and [`Explorer::with_remote`] daemon —
+    /// which need nothing beyond the trait's five methods.
     pub fn with_tier(mut self, tier: Arc<dyn ArtifactTier>) -> Self {
         self.extra_tiers.push(tier);
         self.rebuild_tiers();
@@ -594,14 +695,17 @@ impl Explorer {
     }
 
     /// Reassemble the tier stack from its parts: a fresh staging byte
-    /// tier on top (prefetch target), then the disk store, then any
-    /// custom tiers in registration order.
+    /// tier on top (prefetch target), then the remote tier, then the
+    /// disk store, then any custom tiers in registration order.
     fn rebuild_tiers(&mut self) {
         let mut stack = TierStack::new();
-        if self.store.is_some() || !self.extra_tiers.is_empty() {
+        if self.store.is_some() || self.remote.is_some() || !self.extra_tiers.is_empty() {
             let staging = Arc::new(MemoryTier::new());
             self.staging = Some(Arc::clone(&staging));
             stack.push(staging);
+            if let Some(remote) = &self.remote {
+                stack.push(Arc::clone(remote) as Arc<dyn ArtifactTier>);
+            }
             if let Some(store) = &self.store {
                 stack.push(Arc::clone(store) as Arc<dyn ArtifactTier>);
             }
@@ -657,6 +761,14 @@ impl Explorer {
         self.store.as_deref()
     }
 
+    /// The attached remote tier, if [`Explorer::with_remote`] was
+    /// called — for wire-level totals ([`RemoteTier::remote_totals`]),
+    /// health probes ([`RemoteTier::ping`]) and server statistics
+    /// ([`RemoteTier::server_stats`]).
+    pub fn remote(&self) -> Option<&RemoteTier> {
+        self.remote.as_deref()
+    }
+
     /// The session's tier stack (empty for a storeless session). Useful
     /// for inspecting per-tier [`TierStats`] beyond the per-stage
     /// aggregation in [`CacheStats`].
@@ -707,6 +819,11 @@ impl Explorer {
                 .as_ref()
                 .map(|store| (store.as_ref().stats(s), store.gc_evictions(s)))
                 .unwrap_or_default();
+            let remote = self
+                .remote
+                .as_ref()
+                .map(|tier| ArtifactTier::stats(tier.as_ref(), s))
+                .unwrap_or_default();
             StageStats {
                 hits: front.hits,
                 misses: front.misses,
@@ -719,6 +836,10 @@ impl Explorer {
                 disk_corrupt: disk.corrupt,
                 disk_bytes: disk.bytes,
                 gc_evictions,
+                remote_hits: remote.hits,
+                remote_misses: remote.misses,
+                remote_writes: remote.writes,
+                remote_corrupt: remote.corrupt,
             }
         };
         CacheStats {
@@ -730,6 +851,11 @@ impl Explorer {
             evaluate: get(Stage::Evaluate),
             design_suite: get(Stage::DesignSuite),
             evaluate_suite: get(Stage::EvaluateSuite),
+            remote: self
+                .remote
+                .as_ref()
+                .map(|tier| tier.remote_totals())
+                .unwrap_or_default(),
         }
     }
 
@@ -1524,6 +1650,12 @@ impl Explorer {
         }
         keys.sort_unstable();
         keys.dedup();
+        // a batched tier (the remote tier) turns the whole warm-up into
+        // one round trip instead of one request per key; the stack
+        // walks persistent tiers in order either way
+        if self.tiers.has_batched() {
+            return self.tiers.stage_in_batch(&keys);
+        }
         let staged = AtomicUsize::new(0);
         let result: Result<Vec<()>, ExplorerError> = self.map_slice(&keys, |&(stage, key)| {
             if self.tiers.stage_in(stage, key) {

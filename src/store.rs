@@ -877,7 +877,7 @@ fn unique_tmp(path: &Path) -> PathBuf {
 
 /// FNV-1a 64 over the payload (the same algorithm as [`StableHasher`],
 /// kept separate so the checksum is independent of key derivation).
-fn checksum(payload: &[u8]) -> u64 {
+pub(crate) fn checksum(payload: &[u8]) -> u64 {
     let mut h = StableHasher::new();
     h.write(payload);
     h.finish()

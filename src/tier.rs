@@ -127,6 +127,26 @@ pub trait ArtifactTier: Send + Sync + fmt::Debug {
     /// exactly one of hit/miss/corrupt.
     fn get(&self, stage: Stage, key: u64) -> TierRead;
 
+    /// Probe many entries at once, returning one [`TierRead`] per key
+    /// in order. The default loops [`ArtifactTier::get`]; tiers with a
+    /// cheaper bulk path (one network round trip for the whole
+    /// prefetch set) override it and report
+    /// [`batched`](ArtifactTier::batched).
+    fn get_batch(&self, keys: &[(Stage, u64)]) -> Vec<TierRead> {
+        keys.iter()
+            .map(|&(stage, key)| self.get(stage, key))
+            .collect()
+    }
+
+    /// Whether [`get_batch`](ArtifactTier::get_batch) is genuinely
+    /// cheaper than per-key [`get`](ArtifactTier::get)s (e.g. it
+    /// collapses a prefetch sweep into one network round trip). The
+    /// stack uses this to pick between the parallel per-key staging
+    /// path and [`TierStack::stage_in_batch`].
+    fn batched(&self) -> bool {
+        false
+    }
+
     /// Store a payload under `(stage, key)`, replacing any previous
     /// entry. Returns whether the write landed; failures are swallowed
     /// (a tier is an optimization, never a correctness requirement).
@@ -426,6 +446,56 @@ impl TierStack {
             Some((_, payload)) => staging.put(stage, key, &payload),
             None => false,
         }
+    }
+
+    /// Whether any tier offers a genuine bulk read
+    /// ([`ArtifactTier::batched`]), making
+    /// [`TierStack::stage_in_batch`] worthwhile.
+    pub fn has_batched(&self) -> bool {
+        self.tiers.iter().any(|t| t.batched())
+    }
+
+    /// Prefetch a whole key set: probe the persistent tiers top-down
+    /// with one [`ArtifactTier::get_batch`] per tier (keys a higher
+    /// tier already served are not probed again below) and stage every
+    /// payload found in the topmost non-persistent tier. The batched
+    /// sibling of [`TierStack::stage_in`], used when a tier offers a
+    /// bulk path — one network round trip covers the whole warm-suite
+    /// prefetch instead of one request per artifact. Returns how many
+    /// entries were staged.
+    pub fn stage_in_batch(&self, keys: &[(Stage, u64)]) -> usize {
+        let Some(staging_idx) = self.tiers.iter().position(|t| !t.persistent()) else {
+            return 0;
+        };
+        let staging = &self.tiers[staging_idx];
+        let mut pending: Vec<(Stage, u64)> = keys
+            .iter()
+            .copied()
+            .filter(|&(stage, key)| !staging.contains(stage, key))
+            .collect();
+        let mut staged = 0;
+        for tier in &self.tiers[staging_idx + 1..] {
+            if pending.is_empty() {
+                break;
+            }
+            if !tier.persistent() {
+                continue;
+            }
+            let reads = tier.get_batch(&pending);
+            let mut rest = Vec::new();
+            for ((stage, key), read) in pending.into_iter().zip(reads) {
+                match read {
+                    TierRead::Hit(payload) => {
+                        if staging.put(stage, key, &payload) {
+                            staged += 1;
+                        }
+                    }
+                    TierRead::Miss | TierRead::Corrupt => rest.push((stage, key)),
+                }
+            }
+            pending = rest;
+        }
+        staged
     }
 
     /// Memoize one stage computation through the full tier hierarchy
