@@ -19,6 +19,11 @@
 //!   path taken), and a *remote-warm* storeless session served by an
 //!   in-process `serve` daemon on loopback over that same store (the
 //!   batched prefetch turns the warm-up into one round trip);
+//! - **design-space sweep** — a 256-config pareto-frontier sweep
+//!   (8 area budgets × 4 clocks × 4 extension caps × 2 levels) over
+//!   the whole suite on the warm session, counter-asserted to perform
+//!   zero optimizer runs; plus the normalized `warm_over_cold_ratio`
+//!   (store-warm replay cost as a fraction of the cold run);
 //! - **simulator throughput** — dynamic ops interpreted per second by
 //!   the pre-decoded engine on the largest Table-1 benchmark (largest
 //!   by profiled dynamic op count, resolved at run time from the warm
@@ -78,6 +83,42 @@ fn main() {
     rows.push(("cold_explore_all_ms".into(), cold_ms));
     rows.push(("warm_explore_all_ms".into(), warm_ms));
 
+    // -- design-space sweep on the warm session ------------------------
+    // 8 area budgets × 4 clocks × 4 extension caps × 2 levels = 256
+    // configs; the frontier search shares coverage reports and unit
+    // costs across the whole grid, and the warm session already holds
+    // every schedule, so the sweep performs zero optimizer runs.
+    {
+        use asip_explorer::opt::OptLevel;
+        use asip_explorer::synth::DesignConstraints;
+        let mut grid = Vec::with_capacity(256);
+        for &opt_level in &[OptLevel::Pipelined, OptLevel::PipelinedRenamed] {
+            for budget_step in 0..8u32 {
+                for clock_step in 0..4u32 {
+                    for ext_cap in 1..=4usize {
+                        grid.push(DesignConstraints {
+                            area_budget: 750.0 * f64::from(budget_step + 1),
+                            clock_ns: 25.0 + 10.0 * f64::from(clock_step),
+                            max_extensions: ext_cap,
+                            opt_level,
+                        });
+                    }
+                }
+            }
+        }
+        assert_eq!(grid.len(), 256);
+        let schedule_runs = session.cache_stats().schedule.misses;
+        let (space, sweep_ms) = time_ms(|| session.design_space(&grid).expect("sweep runs"));
+        assert_eq!(space.space.len(), 256);
+        assert_eq!(
+            session.cache_stats().schedule.misses,
+            schedule_runs,
+            "a warm design-space sweep performs zero optimizer runs"
+        );
+        println!("bench design_space/sweep-256                         {sweep_ms:>12.1} ms");
+        rows.push(("design_space_sweep_ms".into(), sweep_ms));
+    }
+
     // -- store-warm explore_all (parallel prefetch from disk) ----------
     let dir = std::env::temp_dir().join(format!("asip-bench-explore-{}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
@@ -93,6 +134,10 @@ fn main() {
     println!("bench explore_all/warm-store                         {disk_ms:>12.1} ms");
     rows.push(("store_warm_explore_all_ms".into(), disk_ms));
     rows.push(("store_warm_prefetch_hits".into(), prefetch_hits as f64));
+    // normalized persistence payoff: how much of a cold run a
+    // store-warm replay still costs (ROADMAP item 4 — lower is better,
+    // gated with an absolute noise floor; see `perf::RATIO_NOISE_FLOOR`)
+    rows.push(("warm_over_cold_ratio".into(), disk_ms / cold_ms));
 
     // -- remote-warm explore_all (loopback daemon over the same store) -
     {

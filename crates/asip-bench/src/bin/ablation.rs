@@ -3,17 +3,21 @@
 //! - chaining window `W ∈ {0,1,2,3}` vs detected coverage;
 //! - pipelining unroll factor vs `add-multiply` exposure;
 //! - issue width vs schedule length (weighted cycles);
-//! - branch-and-bound prune floor vs surviving occurrence count.
+//! - branch-and-bound prune floor vs surviving occurrence count;
+//! - area budget vs the design-space stage's pareto frontier.
 //!
 //! Every sweep runs on one `Explorer` session, so each benchmark is
-//! compiled and simulated exactly once across all four studies — the
-//! cache counters printed at the end prove it.
+//! compiled and simulated exactly once across all five studies — the
+//! cache counters printed at the end prove it, and the design-space
+//! sweep is counter-asserted to run the optimizer at most once per
+//! distinct `(benchmark, level)` pair, never once per config.
 //!
 //! `cargo run --release -p asip-bench --bin ablation`
 
 use asip_chains::{CoverageAnalyzer, DetectorConfig, SequenceDetector, Signature};
 use asip_explorer::Explorer;
 use asip_opt::{OptConfig, OptLevel};
+use asip_synth::DesignConstraints;
 
 fn main() {
     let session = asip_bench::with_shared_store(Explorer::new());
@@ -108,6 +112,63 @@ fn main() {
     }
 
     println!();
+    println!("== area budget vs pareto frontier (design-space stage) ==");
+    let schedule_runs = session.cache_stats().schedule.misses;
+    let budgets = [500.0, 1000.0, 2000.0, 4000.0];
+    let grid: Vec<DesignConstraints> = budgets
+        .iter()
+        .map(|&area_budget| DesignConstraints {
+            area_budget,
+            ..DesignConstraints::default()
+        })
+        .collect();
+    let spaced = session
+        .design_space_with(&["sewha", "edge"], &grid, DetectorConfig::default())
+        .expect("built-ins sweep");
+    let defaults = DesignConstraints::default();
+    for point in spaced
+        .space
+        .frontier_at(defaults.opt_level, defaults.clock_ns)
+    {
+        println!(
+            "  frontier: area {:>7.0}, {} extensions, benefit {:6.2}%",
+            point.area, point.extensions, point.benefit
+        );
+    }
+    for (cons, design) in &spaced.space.configs {
+        println!(
+            "  budget {:>5.0}: {} extensions, area {:>7.0}",
+            cons.area_budget,
+            design.len(),
+            design.extension_area
+        );
+    }
+    // the sweep shares one schedule per distinct (benchmark, level)
+    // pair across all four budgets — never one run per config
+    let added = session.cache_stats().schedule.misses - schedule_runs;
+    assert!(
+        added <= 2,
+        "a 4-budget sweep over 2 benchmarks runs the optimizer at most \
+         once per distinct (benchmark, level) pair, ran {added} extra"
+    );
+    // a wider grid re-evaluates incrementally: the distinct pairs are
+    // already cached, so zero further optimizer runs
+    let wider: Vec<DesignConstraints> = (1..=8)
+        .map(|step| DesignConstraints {
+            area_budget: 500.0 * f64::from(step),
+            ..DesignConstraints::default()
+        })
+        .collect();
+    session
+        .design_space_with(&["sewha", "edge"], &wider, DetectorConfig::default())
+        .expect("built-ins sweep");
+    assert_eq!(
+        session.cache_stats().schedule.misses - schedule_runs,
+        added,
+        "widening the sweep adds no optimizer runs beyond the distinct pairs"
+    );
+
+    println!();
     println!("== design stage reuses the analyze-stage schedule ==");
     let schedule_runs = session.cache_stats().schedule.misses;
     let designed = session.design("sewha").expect("built-ins design");
@@ -127,7 +188,7 @@ fn main() {
     asip_bench::print_cache_report(&session);
     println!("(a second run serves compile/profile/schedule from disk)");
     // Each of the two benchmarks is compiled and simulated exactly once
-    // across all four studies: either this run computed it (a miss) or a
+    // across all five studies: either this run computed it (a miss) or a
     // previous bench binary's run left it in the shared store (a disk
     // hit) — never both, never twice.
     assert_eq!(

@@ -20,6 +20,9 @@ pub struct CoverageEntry {
     /// The dynamic frequency its non-overlapping occurrences cover, in
     /// percent of total execution.
     pub frequency: f64,
+    /// Number of non-overlapping static occurrences selected for this
+    /// signature during the study round that chose it.
+    pub occurrences: usize,
 }
 
 /// Result of a coverage study: the chosen sequences and the total
@@ -101,12 +104,14 @@ impl CoverageAnalyzer {
             if freq < self.significance_floor {
                 break;
             }
+            let occurrences = selected.len();
             for occ in &selected {
                 consumed.extend(occ.ops.iter().copied());
             }
             entries.push(CoverageEntry {
                 signature,
                 frequency: freq,
+                occurrences,
             });
         }
         CoverageReport {
@@ -250,6 +255,20 @@ mod tests {
             .with_max_sequences(2)
             .analyze(&g);
         assert!(capped.entries.len() <= 2);
+    }
+
+    #[test]
+    fn entries_record_selected_occurrences() {
+        let g = graph_for(FILTER_SRC, OptLevel::Pipelined);
+        let report = CoverageAnalyzer::new(DetectorConfig::default()).analyze(&g);
+        assert!(!report.entries.is_empty());
+        for e in &report.entries {
+            assert!(
+                e.occurrences > 0,
+                "a selected signature covers at least one occurrence: {}",
+                e.signature
+            );
+        }
     }
 
     #[test]

@@ -12,8 +12,13 @@
 //!
 //! 1. [`cost`] — a Gajski-style functional-unit area/delay model and the
 //!    [`ChainedUnit`] datapath estimate;
-//! 2. [`select`] — [`AsipDesigner`]: greedy benefit-per-area selection of
-//!    ISA extensions under [`DesignConstraints`];
+//! 2. [`select`] — [`AsipDesigner`]: selection of ISA extensions under
+//!    [`DesignConstraints`] (greedy benefit-per-area, improved by the
+//!    frontier search wherever it strictly wins) — and [`frontier`],
+//!    the incremental pareto-frontier design-space search: one
+//!    branch-and-bound per `(level, clock)` group answers every
+//!    `(area, opcode)` budget of a constraint grid at once
+//!    ([`AsipDesigner::explore_design_space`] → [`DesignSpace`]);
 //! 3. [`rewrite`] — a matcher that replaces fusable runs in the IR with
 //!    [`asip_ir::InstKind::Chained`] super-instructions (semantics
 //!    preserved; the simulator executes them in one cycle);
@@ -44,6 +49,7 @@
 pub mod cost;
 pub mod evaluate;
 pub mod extension;
+pub mod frontier;
 pub mod report;
 pub mod rewrite;
 pub mod select;
@@ -51,6 +57,7 @@ pub mod select;
 pub use cost::{fu_area, fu_delay_ns, ChainedUnit};
 pub use evaluate::{evaluate, evaluate_with_engine, Evaluation};
 pub use extension::{AsipDesign, IsaExtension};
+pub use frontier::{DesignSpace, LevelFeedback, ParetoPoint, SearchStats};
 pub use report::DesignReport;
 pub use rewrite::Rewriter;
 pub use select::{AsipDesigner, DesignConstraints};

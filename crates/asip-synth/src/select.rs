@@ -1,8 +1,8 @@
 //! Extension selection: the designer that turns compiler feedback into
 //! an instruction-set extension under hardware constraints.
 
-use crate::cost::ChainedUnit;
-use crate::extension::{AsipDesign, IsaExtension};
+use crate::extension::AsipDesign;
+use crate::frontier;
 use crate::rewrite;
 use asip_chains::{CoverageAnalyzer, DetectorConfig, SeqStats, SequenceReport};
 use asip_ir::Program;
@@ -90,9 +90,9 @@ impl AsipDesigner {
     }
 
     /// Run the iterative coverage study on one precomputed schedule and
-    /// aggregate it into a sequence report (frequencies only — the
-    /// coverage analysis consumes occurrence sets internally).
-    fn coverage_report(&self, graph: &ScheduleGraph) -> SequenceReport {
+    /// aggregate it into a sequence report, preserving both the dynamic
+    /// frequency and the selected occurrence count per signature.
+    pub(crate) fn coverage_report(&self, graph: &ScheduleGraph) -> SequenceReport {
         let coverage = CoverageAnalyzer::new(self.detector)
             .with_floor(1.0)
             .with_max_sequences(16)
@@ -107,7 +107,7 @@ impl AsipDesigner {
                         e.signature.clone(),
                         SeqStats {
                             frequency: e.frequency,
-                            occurrences: 0,
+                            occurrences: e.occurrences,
                         },
                     )
                 })
@@ -186,42 +186,37 @@ impl AsipDesigner {
     /// sequence report — the pure selection core.
     ///
     /// Candidates must be implementable by the rewriter (pure arithmetic
-    /// chains) and close timing; selection is greedy by
-    /// benefit-per-area until the budget, opcode space, or candidate
-    /// list runs out.
+    /// chains) and close timing. Selection runs the shared
+    /// [`crate::frontier`] search seeded with the historical
+    /// greedy benefit-per-area pick: the result is byte-identical to
+    /// the greedy design unless the frontier found a set with strictly
+    /// higher estimated benefit under the same constraints.
     pub fn design_from_report(&self, report: &SequenceReport) -> AsipDesign {
-        let mut candidates: Vec<(f64, f64, &asip_chains::Signature)> = report
-            .entries()
-            .iter()
-            .filter(|(sig, _)| rewrite::is_fusable_signature(sig))
-            .filter_map(|(sig, stats)| {
-                let unit = ChainedUnit::new(sig.classes().to_vec());
-                if !unit.fits_clock(self.constraints.clock_ns) {
-                    return None;
-                }
-                Some((stats.frequency, unit.area(), sig))
-            })
-            .collect();
-        // benefit per area, descending
-        candidates.sort_by(|a, b| (b.0 / b.1).partial_cmp(&(a.0 / a.1)).expect("finite costs"));
-
-        let mut design = AsipDesign::default();
-        for (benefit, area, sig) in candidates {
-            if design.len() >= self.constraints.max_extensions {
-                break;
+        let mut memo = frontier::MemoTable::default();
+        let candidates = frontier::build_candidates(report, self.constraints.clock_ns, &mut memo);
+        let greedy = frontier::greedy_indices(
+            &candidates,
+            self.constraints.area_budget,
+            self.constraints.max_extensions,
+        );
+        let search = frontier::search_group(
+            &candidates,
+            self.constraints.area_budget,
+            self.constraints.max_extensions,
+            [greedy.clone()],
+        );
+        let greedy_benefit = frontier::benefit_of(&candidates, &greedy);
+        let best = frontier::best_in(
+            &search.front,
+            self.constraints.area_budget,
+            self.constraints.max_extensions,
+        );
+        match best {
+            Some(p) if p.benefit > greedy_benefit + frontier::EPS => {
+                frontier::build_design(&candidates, &p.chosen)
             }
-            if design.extension_area + area > self.constraints.area_budget {
-                continue;
-            }
-            design.extensions.push(IsaExtension {
-                id: design.extensions.len() as u32,
-                signature: (*sig).clone(),
-                area,
-                expected_benefit: benefit,
-            });
-            design.extension_area += area;
+            _ => frontier::build_design(&candidates, &greedy),
         }
-        design
     }
 
     /// Alias for [`AsipDesigner::design_from_report`], kept for callers

@@ -44,6 +44,30 @@ fn main() -> Result<(), ExplorerError> {
         );
     }
 
+    // the same question, answered in one call: the design-space stage
+    // runs a single frontier search for the whole budget grid and
+    // caches the result as one artifact (see docs/design-space.md)
+    let grid: Vec<DesignConstraints> = [500.0, 1500.0, 3000.0, 6000.0, 12000.0]
+        .iter()
+        .map(|&area_budget| DesignConstraints {
+            area_budget,
+            ..DesignConstraints::default()
+        })
+        .collect();
+    let spaced = session.design_space_with(&["sewha"], &grid, detector)?;
+    println!();
+    println!("the pareto frontier behind that sweep (design-space stage):");
+    let defaults = DesignConstraints::default();
+    for point in spaced
+        .space
+        .frontier_at(defaults.opt_level, defaults.clock_ns)
+    {
+        println!(
+            "  area {:>7.0} → benefit {:5.2}% ({} extensions)",
+            point.area, point.benefit, point.extensions
+        );
+    }
+
     // full datapath report at the default budget
     let designed = session.design("sewha")?;
     println!();

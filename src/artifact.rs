@@ -38,11 +38,18 @@ pub enum Stage {
     DesignSuite,
     /// The suite design measured on every member.
     EvaluateSuite,
+    /// The pruned design-space frontier of a whole constraint grid
+    /// explored over a suite (per-config winners + pareto points).
+    DesignSpace,
 }
+
+/// Number of pipeline stages — the length of [`Stage::all`], and the
+/// size of every `Stage as usize`-indexed counter array.
+pub const STAGE_COUNT: usize = 9;
 
 impl Stage {
     /// All stages in pipeline order (suite stages last).
-    pub fn all() -> [Stage; 8] {
+    pub fn all() -> [Stage; STAGE_COUNT] {
         [
             Stage::Compile,
             Stage::Profile,
@@ -52,6 +59,7 @@ impl Stage {
             Stage::Evaluate,
             Stage::DesignSuite,
             Stage::EvaluateSuite,
+            Stage::DesignSpace,
         ]
     }
 
@@ -67,6 +75,7 @@ impl Stage {
             Stage::Evaluate => "evaluate",
             Stage::DesignSuite => "design-suite",
             Stage::EvaluateSuite => "evaluate-suite",
+            Stage::DesignSpace => "design-space",
         }
     }
 
@@ -169,6 +178,17 @@ pub struct EvaluatedSuite {
     pub evaluations: Arc<Vec<(String, Evaluation)>>,
 }
 
+/// Design-space-stage artifact: the pruned frontier of a whole
+/// constraint grid explored over a suite in one incremental search.
+#[derive(Debug, Clone)]
+pub struct DesignSpaced {
+    /// The member benchmark names, sorted and deduplicated.
+    pub benchmarks: Vec<String>,
+    /// Per-config winners and pareto points (shared with the session
+    /// cache like every other artifact payload).
+    pub space: Arc<asip_synth::DesignSpace>,
+}
+
 impl EvaluatedSuite {
     /// The measured speedup of one member, if it is in the suite.
     pub fn speedup_of(&self, name: &str) -> Option<f64> {
@@ -221,6 +241,8 @@ pub enum Artifact {
     DesignedSuite(DesignedSuite),
     /// Suite-evaluate-stage result.
     EvaluatedSuite(EvaluatedSuite),
+    /// Design-space-stage result.
+    DesignSpaced(DesignSpaced),
 }
 
 impl Artifact {
@@ -235,6 +257,7 @@ impl Artifact {
             Artifact::Evaluated(_) => Stage::Evaluate,
             Artifact::DesignedSuite(_) => Stage::DesignSuite,
             Artifact::EvaluatedSuite(_) => Stage::EvaluateSuite,
+            Artifact::DesignSpaced(_) => Stage::DesignSpace,
         }
     }
 
@@ -249,7 +272,9 @@ impl Artifact {
             Artifact::Analyzed(a) => Some(&a.benchmark),
             Artifact::Designed(a) => Some(&a.benchmark),
             Artifact::Evaluated(a) => Some(&a.benchmark),
-            Artifact::DesignedSuite(_) | Artifact::EvaluatedSuite(_) => None,
+            Artifact::DesignedSuite(_)
+            | Artifact::EvaluatedSuite(_)
+            | Artifact::DesignSpaced(_) => None,
         }
     }
 }
@@ -1169,6 +1194,103 @@ impl ArtifactCodec for AsipDesign {
     }
 }
 
+impl ArtifactCodec for OptLevel {
+    /// Levels persist by their stable paper number (0/1/2), the same
+    /// identity the session cache keys fold.
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(u64::from(self.number()));
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let n = dec.u64()?;
+        OptLevel::all()
+            .into_iter()
+            .find(|l| u64::from(l.number()) == n)
+            .ok_or_else(|| CodecError::Invalid {
+                detail: format!("unknown optimization level {n}"),
+            })
+    }
+}
+
+impl ArtifactCodec for asip_synth::DesignConstraints {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_f64(self.area_budget);
+        enc.put_f64(self.clock_ns);
+        enc.put_u64(self.max_extensions as u64);
+        self.opt_level.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(asip_synth::DesignConstraints {
+            area_budget: dec.f64()?,
+            clock_ns: dec.f64()?,
+            max_extensions: dec.usize()?,
+            opt_level: OptLevel::decode(dec)?,
+        })
+    }
+}
+
+impl ArtifactCodec for asip_synth::ParetoPoint {
+    fn encode(&self, enc: &mut Encoder) {
+        self.level.encode(enc);
+        enc.put_f64(self.clock_ns);
+        enc.put_f64(self.area);
+        enc.put_f64(self.benefit);
+        enc.put_u64(self.extensions as u64);
+        self.design.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(asip_synth::ParetoPoint {
+            level: OptLevel::decode(dec)?,
+            clock_ns: dec.f64()?,
+            area: dec.f64()?,
+            benefit: dec.f64()?,
+            extensions: dec.usize()?,
+            design: AsipDesign::decode(dec)?,
+        })
+    }
+}
+
+impl ArtifactCodec for asip_synth::SearchStats {
+    fn encode(&self, enc: &mut Encoder) {
+        for v in [
+            self.groups,
+            self.candidates,
+            self.eliminated,
+            self.expanded,
+            self.pruned,
+            self.memo_hits,
+            self.memo_misses,
+        ] {
+            enc.put_u64(v as u64);
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(asip_synth::SearchStats {
+            groups: dec.usize()?,
+            candidates: dec.usize()?,
+            eliminated: dec.usize()?,
+            expanded: dec.usize()?,
+            pruned: dec.usize()?,
+            memo_hits: dec.usize()?,
+            memo_misses: dec.usize()?,
+        })
+    }
+}
+
+impl ArtifactCodec for asip_synth::DesignSpace {
+    fn encode(&self, enc: &mut Encoder) {
+        self.configs.encode(enc);
+        self.frontier.encode(enc);
+        self.stats.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(asip_synth::DesignSpace {
+            configs: Vec::decode(dec)?,
+            frontier: Vec::decode(dec)?,
+            stats: asip_synth::SearchStats::decode(dec)?,
+        })
+    }
+}
+
 impl ArtifactCodec for Evaluation {
     fn encode(&self, enc: &mut Encoder) {
         enc.put_u64(self.base_cycles);
@@ -1195,12 +1317,14 @@ mod tests {
     #[test]
     fn stages_enumerate_in_pipeline_order() {
         let all = Stage::all();
-        assert_eq!(all.len(), 8);
+        assert_eq!(all.len(), 9);
         assert!(all.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(all[0].to_string(), "compile");
         assert_eq!(all[5].to_string(), "evaluate");
         assert_eq!(all[6].to_string(), "design-suite");
         assert_eq!(all[7].to_string(), "evaluate-suite");
+        assert_eq!(all[8].to_string(), "design-space");
+        assert_eq!(Stage::from_name("design-space"), Some(Stage::DesignSpace));
     }
 
     #[test]
@@ -1318,6 +1442,35 @@ mod tests {
             asip_synth::evaluate(&program, &design, &bench.dataset()).expect("evaluates");
         round_trip(&evaluation);
         round_trip(&vec![(String::from("sewha"), evaluation)]);
+    }
+
+    #[test]
+    fn design_space_payload_round_trips() {
+        use asip_synth::{AsipDesigner, DesignConstraints, LevelFeedback};
+        let bench = asip_benchmarks::registry();
+        let bench = bench.find("sewha").expect("built-in");
+        let program = bench.compile().expect("compiles");
+        let profile = bench.profile(&program).expect("profiles");
+        let graph = asip_opt::Optimizer::new(OptLevel::Pipelined).run(&program, &profile);
+        let feedback = [LevelFeedback {
+            level: OptLevel::Pipelined,
+            suite: vec![(&graph, &program)],
+        }];
+        let configs: Vec<DesignConstraints> = [500.0, 2000.0, 6000.0]
+            .into_iter()
+            .map(|area_budget| DesignConstraints {
+                area_budget,
+                ..DesignConstraints::default()
+            })
+            .collect();
+        let space = AsipDesigner::new(DesignConstraints::default())
+            .explore_design_space(&feedback, &configs);
+        assert_eq!(space.len(), configs.len());
+        round_trip(&space);
+        // and the pieces round-trip on their own
+        round_trip(&OptLevel::PipelinedRenamed);
+        round_trip(&configs);
+        round_trip(&space.stats);
     }
 
     #[test]

@@ -35,7 +35,7 @@
 //! assert_eq!(cache.len(), 2);
 //! ```
 
-use crate::artifact::Stage;
+use crate::artifact::{Stage, STAGE_COUNT};
 use crate::tier::{ArtifactTier, TierCounters, TierRead, TierStats};
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -177,8 +177,8 @@ pub const DEFAULT_STAGING_BUDGET: u64 = 64 << 20;
 struct MemoryState {
     lru: LruCache<(Stage, u64), Vec<u8>>,
     bytes: u64,
-    stage_entries: [u64; 8],
-    stage_bytes: [u64; 8],
+    stage_entries: [u64; STAGE_COUNT],
+    stage_bytes: [u64; STAGE_COUNT],
 }
 
 impl MemoryState {

@@ -19,6 +19,16 @@
 //! compiler feedback and extension selection can never silently
 //! diverge, and a design after an analyze costs zero optimizer runs.
 //!
+//! Beyond single configurations, [`Explorer::design_space`] runs an
+//! incremental pareto-frontier search over a whole grid of
+//! [`DesignConstraints`](synth::DesignConstraints) at once: candidate
+//! costs, coverage reports and rewrite-benefit estimates are shared
+//! across configs through a per-search memo table, so a 256-point
+//! sweep performs exactly one optimizer run per distinct
+//! `(benchmark, optimization level)` pair — and the whole grid is one
+//! cached [`DesignSpaced`] artifact that persists through the tier
+//! stack like any other stage (see `docs/design-space.md`).
+//!
 //! Sessions can also persist their artifacts *across* processes:
 //! [`Explorer::with_store`] layers a content-addressed on-disk
 //! [`ArtifactStore`] under the in-memory caches, so the eleven
@@ -121,8 +131,8 @@ pub mod store;
 pub mod tier;
 
 pub use artifact::{
-    geomean, Analyzed, Artifact, ArtifactCodec, Compiled, Designed, DesignedSuite, Evaluated,
-    EvaluatedSuite, Exploration, Profiled, Scheduled, Stage,
+    geomean, Analyzed, Artifact, ArtifactCodec, Compiled, DesignSpaced, Designed, DesignedSuite,
+    Evaluated, EvaluatedSuite, Exploration, Profiled, Scheduled, Stage, STAGE_COUNT,
 };
 pub use cache::MemoryTier;
 pub use error::{CodecError, ExplorerError, RemoteError};
@@ -134,8 +144,8 @@ pub use tier::{ArtifactTier, TierRead, TierStack, TierStats};
 /// Convenience re-exports for the common exploration flow.
 pub mod prelude {
     pub use crate::artifact::{
-        Analyzed, Artifact, Compiled, Designed, DesignedSuite, Evaluated, EvaluatedSuite,
-        Exploration, Profiled, Scheduled, Stage,
+        Analyzed, Artifact, Compiled, DesignSpaced, Designed, DesignedSuite, Evaluated,
+        EvaluatedSuite, Exploration, Profiled, Scheduled, Stage,
     };
     pub use crate::error::ExplorerError;
     pub use crate::remote::{RemoteTier, RemoteTotals, RetryPolicy};
@@ -149,5 +159,7 @@ pub mod prelude {
     pub use asip_ir::{OpClass, Program};
     pub use asip_opt::{OptConfig, OptLevel, Optimizer, ScheduleGraph};
     pub use asip_sim::{Profile, Simulator};
-    pub use asip_synth::{AsipDesigner, DesignConstraints};
+    pub use asip_synth::{
+        AsipDesigner, DesignConstraints, DesignSpace, LevelFeedback, ParetoPoint, SearchStats,
+    };
 }

@@ -17,6 +17,10 @@
 //!   don't flap;
 //! - `*_ops_per_sec` — higher is better; a regression is a current
 //!   value below `baseline * (1 - tolerance)`;
+//! - `*_ratio` — lower is better, with its own absolute noise floor
+//!   ([`RATIO_NOISE_FLOOR`]): ratios of two timed series (e.g.
+//!   `warm_over_cold_ratio`) compound both sides' jitter, so small
+//!   absolute wobble never gates;
 //! - everything else (`schema`, counters like `*_hits`, `*_ops`) is
 //!   informational and never gates.
 //!
@@ -42,6 +46,11 @@ use std::path::Path;
 /// series sit near 0.1 ms, where relative tolerances are meaningless).
 pub const MS_NOISE_FLOOR: f64 = 2.0;
 
+/// Ratio series (`*_ratio`) ignore absolute deltas below this. Ratios
+/// of two timed series compound both sides' jitter, so small absolute
+/// wobble around the baseline must not gate.
+pub const RATIO_NOISE_FLOOR: f64 = 0.05;
+
 /// The default regression tolerance, in percent.
 pub const DEFAULT_TOLERANCE_PCT: f64 = 25.0;
 
@@ -58,12 +67,22 @@ pub enum Direction {
 
 /// The gating direction of a series, by key suffix.
 pub fn direction_of(key: &str) -> Direction {
-    if key.ends_with("_ms") {
+    if key.ends_with("_ms") || key.ends_with("_ratio") {
         Direction::LowerIsBetter
     } else if key.ends_with("_ops_per_sec") {
         Direction::HigherIsBetter
     } else {
         Direction::Informational
+    }
+}
+
+/// The absolute noise floor a lower-is-better series must clear before
+/// a relative overshoot counts as a regression.
+fn noise_floor_of(key: &str) -> f64 {
+    if key.ends_with("_ratio") {
+        RATIO_NOISE_FLOOR
+    } else {
+        MS_NOISE_FLOOR
     }
 }
 
@@ -193,7 +212,7 @@ pub fn compare(
             // a tracked series must not silently disappear
             (_, None) => (None, true),
             (Direction::LowerIsBetter, Some(c)) => {
-                let over = c > base * (1.0 + tol) && (c - base) > MS_NOISE_FLOOR;
+                let over = c > base * (1.0 + tol) && (c - base) > noise_floor_of(key);
                 (change_pct(base, cur), over)
             }
             (Direction::HigherIsBetter, Some(c)) => (change_pct(base, cur), c < base * (1.0 - tol)),
@@ -316,6 +335,10 @@ mod tests {
             Direction::Informational
         );
         assert_eq!(direction_of("sim_dynamic_ops"), Direction::Informational);
+        assert_eq!(
+            direction_of("warm_over_cold_ratio"),
+            Direction::LowerIsBetter
+        );
     }
 
     #[test]
@@ -347,6 +370,18 @@ mod tests {
         // a real 100 ms → 300 ms blowup still gates
         let base = summary(&[("cold_ms", 100.0)]);
         let blowup = summary(&[("cold_ms", 300.0)]);
+        assert!(!compare(&base, &blowup, 25.0).is_pass());
+    }
+
+    #[test]
+    fn ratio_noise_floor_absorbs_small_absolute_wobble() {
+        // 0.004 → 0.04 is +900% but only 0.036 absolute: not a gate
+        let base = summary(&[("warm_over_cold_ratio", 0.004)]);
+        let wobble = summary(&[("warm_over_cold_ratio", 0.04)]);
+        assert!(compare(&base, &wobble, 25.0).is_pass());
+        // a ratio that grows past the floor AND the tolerance gates
+        let base = summary(&[("warm_over_cold_ratio", 0.2)]);
+        let blowup = summary(&[("warm_over_cold_ratio", 0.5)]);
         assert!(!compare(&base, &blowup, 25.0).is_pass());
     }
 

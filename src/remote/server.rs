@@ -39,16 +39,20 @@ pub struct ServeOptions {
     /// long an idle connection is kept open.
     pub io_timeout: Duration,
     /// How often the accept loop and idle connections re-check the
-    /// stop flag; the upper bound on shutdown latency per thread.
+    /// stop flag; also the worst-case wait before a new connection is
+    /// accepted, so it bounds per-request latency for short-lived
+    /// clients, and the upper bound on shutdown latency per thread.
     pub poll_interval: Duration,
 }
 
 impl Default for ServeOptions {
-    /// Ten-second I/O and idle bound, 50ms stop-flag poll.
+    /// Ten-second I/O and idle bound, 5ms stop-flag/accept poll (a
+    /// connection landing mid-sleep waits a full interval, so a coarse
+    /// poll is a per-connection latency floor).
     fn default() -> Self {
         ServeOptions {
             io_timeout: Duration::from_secs(10),
-            poll_interval: Duration::from_millis(50),
+            poll_interval: Duration::from_millis(5),
         }
     }
 }

@@ -83,6 +83,10 @@ impl Listener for TcpTransportListener {
         match self.inner.accept() {
             Ok((stream, _)) => {
                 stream.set_nonblocking(false)?;
+                // match the client side: batch replies are written as
+                // header + payload, and Nagle holding the short header
+                // for a delayed ACK costs ~40ms per response
+                stream.set_nodelay(true).ok();
                 Ok(Some(Box::new(stream)))
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {

@@ -59,8 +59,8 @@
 //! ```
 
 use crate::artifact::{
-    Analyzed, ArtifactCodec, Compiled, Designed, DesignedSuite, Evaluated, EvaluatedSuite,
-    Exploration, Profiled, Scheduled, Stage,
+    Analyzed, ArtifactCodec, Compiled, DesignSpaced, Designed, DesignedSuite, Evaluated,
+    EvaluatedSuite, Exploration, Profiled, Scheduled, Stage,
 };
 use crate::cache::{LruCache, MemoryTier};
 use crate::error::ExplorerError;
@@ -72,7 +72,9 @@ use asip_chains::{DetectorConfig, SequenceDetector, SequenceReport};
 use asip_ir::{OpClass, Program};
 use asip_opt::{OptConfig, OptLevel, Optimizer, ScheduleGraph};
 use asip_sim::{Engine, Profile};
-use asip_synth::{AsipDesign, AsipDesigner, DesignConstraints, Evaluation};
+use asip_synth::{
+    AsipDesign, AsipDesigner, DesignConstraints, DesignSpace, Evaluation, LevelFeedback,
+};
 use std::collections::BTreeSet;
 use std::fmt;
 use std::hash::Hash;
@@ -158,6 +160,8 @@ pub struct CacheStats {
     pub design_suite: StageStats,
     /// Suite-evaluate-stage counters.
     pub evaluate_suite: StageStats,
+    /// Design-space-stage counters.
+    pub design_space: StageStats,
     /// Wire-level counters of the remote tier
     /// ([`Explorer::with_remote`]): requests, errors, retries,
     /// unhealthy-skips and bytes over the wire. All zero for a session
@@ -177,6 +181,7 @@ impl CacheStats {
             Stage::Evaluate => self.evaluate,
             Stage::DesignSuite => self.design_suite,
             Stage::EvaluateSuite => self.evaluate_suite,
+            Stage::DesignSpace => self.design_space,
         }
     }
 
@@ -412,6 +417,11 @@ impl From<DesignConstraints> for ConsKey {
 /// member set plus every configuration that feeds the suite design.
 type SuiteKey = (Vec<String>, u64, ConsKey, DetKey, OptKey);
 
+/// Cache key of the design-space stage: the sorted member set plus the
+/// *canonicalized* (sorted, deduplicated) constraint grid and every
+/// configuration that feeds selection.
+type SpaceKey = (Vec<String>, u64, Vec<ConsKey>, DetKey, OptKey);
+
 // -- the session -------------------------------------------------------
 
 /// The typed front caches: one single-flighted, counter-carrying
@@ -427,11 +437,12 @@ struct Caches {
     evaluate: StageCache<(String, u64, ConsKey, DetKey, OptKey), Evaluation>,
     design_suite: StageCache<SuiteKey, AsipDesign>,
     evaluate_suite: StageCache<SuiteKey, Vec<(String, Evaluation)>>,
+    design_space: StageCache<SpaceKey, DesignSpace>,
 }
 
 impl Caches {
     /// Run `f` over every stage cache's counter-facing surface, in
-    /// stage order. The typed caches have eight distinct types, so
+    /// stage order. The typed caches have nine distinct types, so
     /// uniform access goes through this visitor instead of an array.
     fn for_each(&self, mut f: impl FnMut(Stage, &dyn StageCacheOps)) {
         f(Stage::Compile, &self.compile);
@@ -442,6 +453,7 @@ impl Caches {
         f(Stage::Evaluate, &self.evaluate);
         f(Stage::DesignSuite, &self.design_suite);
         f(Stage::EvaluateSuite, &self.evaluate_suite);
+        f(Stage::DesignSpace, &self.design_space);
     }
 }
 
@@ -808,7 +820,7 @@ impl Explorer {
     /// entry counts, joined with the disk tier's counters and byte
     /// totals when a store is attached.
     pub fn cache_stats(&self) -> CacheStats {
-        let mut fronts = [FrontStats::default(); 8];
+        let mut fronts = [FrontStats::default(); 9];
         self.caches.for_each(|stage, cache| {
             fronts[stage as usize] = cache.front_stats();
         });
@@ -851,6 +863,7 @@ impl Explorer {
             evaluate: get(Stage::Evaluate),
             design_suite: get(Stage::DesignSuite),
             evaluate_suite: get(Stage::EvaluateSuite),
+            design_space: get(Stage::DesignSpace),
             remote: self
                 .remote
                 .as_ref()
@@ -1252,6 +1265,141 @@ impl Explorer {
             design: designed.design,
             evaluations,
         })
+    }
+
+    /// Design-space stage over the whole registry: explore every config
+    /// of `configs` against the full suite in one incremental frontier
+    /// search (see [`AsipDesigner::explore_design_space`]), under the
+    /// session detector.
+    ///
+    /// # Errors
+    ///
+    /// As [`Explorer::design_space_with`].
+    pub fn design_space(
+        &self,
+        configs: &[DesignConstraints],
+    ) -> Result<DesignSpaced, ExplorerError> {
+        let names: Vec<&str> = self.registry.iter().map(|b| b.name).collect();
+        self.design_space_with(&names, configs, self.detector)
+    }
+
+    /// Design-space stage for an explicit member set and constraint
+    /// grid. The whole grid is one cached artifact: the configs are
+    /// canonicalized (sorted, deduplicated) so any ordering of the same
+    /// grid is the same cache key, and the search shares coverage
+    /// reports, unit-cost evaluations and static-match tests across
+    /// configs through one memo table. Member schedules are computed
+    /// once per *distinct feedback level in the grid* (each a cache hit
+    /// if already present), in parallel on the session pool — a
+    /// 256-config sweep performs no optimizer run beyond those, and a
+    /// warm store serves the whole artifact with zero recomputes.
+    ///
+    /// # Errors
+    ///
+    /// [`ExplorerError::EmptySuite`] when `names` or `configs` is
+    /// empty, [`ExplorerError::UnknownBenchmark`] for an unregistered
+    /// member, plus earlier-stage errors.
+    pub fn design_space_with(
+        &self,
+        names: &[&str],
+        configs: &[DesignConstraints],
+        detector: DetectorConfig,
+    ) -> Result<DesignSpaced, ExplorerError> {
+        let members = self.suite_members(names)?;
+        if configs.is_empty() {
+            return Err(ExplorerError::EmptySuite);
+        }
+        let configs = asip_synth::frontier::canonicalize_configs(configs);
+        let key = (
+            members.clone(),
+            self.seed,
+            configs
+                .iter()
+                .map(|&c| ConsKey::from(c))
+                .collect::<Vec<_>>(),
+            DetKey::from(detector),
+            OptKey::from(self.opt_config),
+        );
+        let opt = self.opt_config;
+        let disk = || {
+            self.disk_key(Stage::DesignSpace, |h| {
+                self.hash_design_space(h, &members, &configs, detector)
+            })
+        };
+        let space = self.cached(
+            Stage::DesignSpace,
+            &self.caches.design_space,
+            key,
+            disk,
+            || {
+                // the grid needs one schedule per (member, distinct
+                // feedback level); stage the persisted ones in parallel
+                let mut levels: Vec<OptLevel> = configs.iter().map(|c| c.opt_level).collect();
+                levels.sort_by_key(|l| l.number());
+                levels.dedup();
+                let mut keys = Vec::new();
+                for &level in &levels {
+                    keys.extend(self.member_stage_keys(&members, level, opt));
+                }
+                self.prefetch_keys(keys);
+                let work: Vec<(OptLevel, String)> = levels
+                    .iter()
+                    .flat_map(|&level| members.iter().map(move |m| (level, m.clone())))
+                    .collect();
+                let staged = self.map_slice(&work, |(level, name)| {
+                    let scheduled = self.schedule_with(name, *level, opt)?;
+                    let compiled = self.compile(name)?;
+                    Ok((*level, scheduled, compiled))
+                })?;
+                let feedback: Vec<LevelFeedback<'_>> = levels
+                    .iter()
+                    .map(|&level| LevelFeedback {
+                        level,
+                        suite: staged
+                            .iter()
+                            .filter(|(l, _, _)| *l == level)
+                            .map(|(_, s, c)| (s.graph.as_ref(), c.program.as_ref()))
+                            .collect(),
+                    })
+                    .collect();
+                // the designer's own constraints are not consulted by
+                // explore_design_space; any config seeds it
+                Ok(AsipDesigner::new(configs[0])
+                    .with_detector(detector)
+                    .explore_design_space(&feedback, &configs))
+            },
+        )?;
+        Ok(DesignSpaced {
+            benchmarks: members,
+            space,
+        })
+    }
+
+    /// The disk-tier key recipe of the design-space stage: member
+    /// content identities, the seed, the canonicalized constraint grid,
+    /// and every configuration that feeds selection.
+    fn hash_design_space(
+        &self,
+        h: &mut StableHasher,
+        members: &[String],
+        configs: &[DesignConstraints],
+        detector: DetectorConfig,
+    ) {
+        h.write_usize(members.len());
+        for name in members {
+            let bench = self
+                .registry
+                .find(name)
+                .expect("suite members are validated against the registry");
+            hash_benchmark(h, bench);
+        }
+        h.write_u64(self.seed);
+        h.write_usize(configs.len());
+        for &c in configs {
+            hash_constraints(h, c);
+        }
+        hash_detector(h, detector);
+        hash_opt_config(h, self.opt_config);
     }
 
     /// The one place a [`SuiteKey`] is built, so the design- and
@@ -1749,7 +1897,7 @@ mod tests {
         for (i, s) in Stage::all().into_iter().enumerate() {
             assert_eq!(s as usize, i);
         }
-        assert_eq!(Stage::all().len(), 8);
+        assert_eq!(Stage::all().len(), 9);
     }
 
     #[test]

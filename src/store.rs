@@ -86,7 +86,7 @@
 //! # std::fs::remove_dir_all(&dir).ok();
 //! ```
 
-use crate::artifact::{ArtifactCodec, Stage};
+use crate::artifact::{ArtifactCodec, Stage, STAGE_COUNT};
 use crate::tier::{ArtifactTier, TierCounters, TierRead, TierStats};
 use std::collections::HashMap;
 use std::fs;
@@ -107,7 +107,11 @@ use std::time::{Duration, SystemTime, UNIX_EPOCH};
 ///
 /// The manifest is *not* covered by this version: it is an index cache,
 /// rebuilt by scan whenever unreadable (it carries its own header line).
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// History: v2 — design-stage semantics changed (occurrence-aware
+/// coverage reports; selection may improve on the greedy pick via the
+/// frontier search) and the design-space stage was added.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Magic bytes opening every artifact file.
 const MAGIC: [u8; 8] = *b"ASIPART\n";
@@ -376,7 +380,7 @@ pub struct GcReport {
     /// Bytes they occupy.
     pub retained_bytes: u64,
     /// Evicted-entry counts per stage, indexed by `Stage as usize`.
-    pub evicted_per_stage: [u64; 8],
+    pub evicted_per_stage: [u64; STAGE_COUNT],
 }
 
 /// What an [`ArtifactStore::verify`] walk found.
@@ -389,9 +393,9 @@ pub struct VerifyReport {
     /// Bytes across every inspected entry.
     pub bytes: u64,
     /// Per-stage ok counts, indexed by `Stage as usize`.
-    pub ok_per_stage: [u64; 8],
+    pub ok_per_stage: [u64; STAGE_COUNT],
     /// Per-stage corrupt counts, indexed by `Stage as usize`.
-    pub corrupt_per_stage: [u64; 8],
+    pub corrupt_per_stage: [u64; STAGE_COUNT],
 }
 
 /// Session-local knowledge of one on-disk entry (size and precise write
@@ -415,7 +419,7 @@ struct EntryMeta {
 pub struct ArtifactStore {
     dir: PathBuf,
     counters: TierCounters,
-    gc_evicted: [AtomicU64; 8],
+    gc_evicted: [AtomicU64; STAGE_COUNT],
     /// Lazy session-local index of the directory (sizes + precise write
     /// times), populated by the first occupancy query and kept in sync
     /// by this session's saves and GC passes. Other processes' writes
@@ -925,6 +929,7 @@ fn decode_stage_payload(stage: Stage, payload: &[u8]) -> bool {
         Stage::EvaluateSuite => {
             Vec::<(String, asip_synth::Evaluation)>::from_bytes(payload).is_ok()
         }
+        Stage::DesignSpace => asip_synth::DesignSpace::from_bytes(payload).is_ok(),
     }
 }
 

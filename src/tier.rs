@@ -43,7 +43,7 @@
 //! Single-flighting wraps the whole sequence: concurrent requests for
 //! one missing key perform one tier walk and at most one computation.
 
-use crate::artifact::{ArtifactCodec, Stage};
+use crate::artifact::{ArtifactCodec, Stage, STAGE_COUNT};
 use crate::cache::LruCache;
 use crate::error::ExplorerError;
 use std::collections::HashSet;
@@ -191,10 +191,10 @@ pub trait ArtifactTier: Send + Sync + fmt::Debug {
 /// shared by tier implementations.
 #[derive(Debug, Default)]
 pub(crate) struct TierCounters {
-    hits: [AtomicU64; 8],
-    misses: [AtomicU64; 8],
-    writes: [AtomicU64; 8],
-    corrupt: [AtomicU64; 8],
+    hits: [AtomicU64; STAGE_COUNT],
+    misses: [AtomicU64; STAGE_COUNT],
+    writes: [AtomicU64; STAGE_COUNT],
+    corrupt: [AtomicU64; STAGE_COUNT],
 }
 
 impl TierCounters {
