@@ -30,7 +30,12 @@
 //!   session), decode amortized out by reusing one [`sim::Engine`];
 //! - **decode cost** — the one-time `Program` → `DecodedProgram`
 //!   lowering for the same benchmark, so the amortization story stays
-//!   measured.
+//!   measured;
+//! - **generated-suite scaling** — cold `explore` cost per corpus size
+//!   class (`gen_cold_explore_{small,mid,large}_ms`, 8 seeded programs
+//!   each) and engine throughput on the heaviest generated program
+//!   (`gen_sim_ops_per_sec`), so the pipeline's scaling with program
+//!   size is gated alongside the Table-1 series.
 //!
 //! The summary is written to `ASIP_BENCH_JSON` (default
 //! `target/asip-bench-explore.json`, workspace-relative) as a flat JSON
@@ -220,6 +225,65 @@ fn main() {
     rows.push(("sim_dynamic_ops".into(), total_ops as f64));
     rows.push(("sim_decode_ms".into(), decode_ms));
     rows.push(("sim_ops_per_sec".into(), ops_per_sec));
+
+    // -- generated-suite scaling series --------------------------------
+    // cold explore cost per corpus size class (8 programs each), so the
+    // pipeline's scaling with program size stays on the perf trajectory,
+    // plus engine throughput on the heaviest generated program (a
+    // workload shape the Table-1 suite does not cover)
+    {
+        use asip_explorer::benchmarks::{full_registry, generated_corpus_for, CorpusClass};
+        let gen_session = Explorer::new().with_registry(full_registry());
+        for class in CorpusClass::all() {
+            let fresh = Explorer::new().with_registry(full_registry());
+            let names: Vec<&str> = generated_corpus_for(class).map(|b| b.name).collect();
+            assert_eq!(names.len(), 8);
+            let (_, class_ms) = time_ms(|| {
+                for name in &names {
+                    fresh.explore(name).expect("corpus explores");
+                }
+            });
+            let label = match class {
+                CorpusClass::Small => "small",
+                CorpusClass::Mid => "mid",
+                CorpusClass::Large => "large",
+            };
+            println!(
+                "bench gen/cold-explore-{label:<5}                        {class_ms:>12.1} ms"
+            );
+            rows.push((format!("gen_cold_explore_{label}_ms"), class_ms));
+        }
+
+        let heaviest = asip_explorer::benchmarks::generated_corpus()
+            .iter()
+            .max_by_key(|b| {
+                gen_session
+                    .profile(b.name)
+                    .expect("corpus profiles")
+                    .profile
+                    .total_ops()
+            })
+            .expect("corpus is non-empty");
+        let program = gen_session.compile(heaviest.name).expect("cached").program;
+        let data = heaviest.dataset();
+        let gen_ops = gen_session
+            .profile(heaviest.name)
+            .expect("cached")
+            .profile
+            .total_ops();
+        let gen_engine = sim::Engine::new(Arc::clone(&program));
+        let gen_ms = (0..5)
+            .map(|_| time_ms(|| gen_engine.run(&data).expect("runs")).1)
+            .fold(f64::INFINITY, f64::min);
+        let gen_ops_per_sec = gen_ops as f64 / (gen_ms / 1e3);
+        println!(
+            "bench gen/simulator/{}: {gen_ops} dynamic ops, {:.2} Mops/s",
+            heaviest.name,
+            gen_ops_per_sec / 1e6
+        );
+        rows.push(("gen_sim_dynamic_ops".into(), gen_ops as f64));
+        rows.push(("gen_sim_ops_per_sec".into(), gen_ops_per_sec));
+    }
 
     // -- JSON summary --------------------------------------------------
     let mut json = String::from("{\n  \"schema\": 2");

@@ -1,0 +1,283 @@
+//! The curated **generated corpus**: a second benchmark suite produced
+//! by the seeded `asip-gen` workload generator.
+//!
+//! The corpus is a fixed grid over the generator's main axes — size
+//! (small/mid/large presets) × loop depth (shallow/deep) × type mix
+//! (int-only / float-heavy) × chainable-idiom density (low/high) —
+//! 3 × 2 × 2 × 2 = 24 programs. Every entry is pinned by its derived
+//! seed and [`asip_gen::GENERATOR_VERSION`]: the pinned-digest test
+//! below fails on any generator behavior change, and the fix is to bump
+//! `GENERATOR_VERSION` and re-bless the digests (never to silently
+//! accept drifted programs — cached exploration artifacts key on these
+//! bytes).
+//!
+//! Entries carry [`Suite::Generated`], which the explorer folds into
+//! persisted store keys, so corpus artifacts can never collide with
+//! Table-1 artifacts.
+
+use crate::{Benchmark, DataSpec, Registry, Suite};
+use asip_gen::{fnv1a_64, generate_named, GenConfig, GenTy, GENERATOR_VERSION};
+use std::sync::OnceLock;
+
+/// The corpus size classes (the generator's three presets). Benches use
+/// these to sweep a size series instead of one point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorpusClass {
+    /// `GenConfig::small()` shapes (~10k dynamic ops).
+    Small,
+    /// `GenConfig::mid()` shapes (~100k dynamic ops).
+    Mid,
+    /// `GenConfig::large()` shapes (~1M dynamic ops).
+    Large,
+}
+
+impl CorpusClass {
+    /// All classes, smallest first.
+    pub fn all() -> [CorpusClass; 3] {
+        [CorpusClass::Small, CorpusClass::Mid, CorpusClass::Large]
+    }
+
+    /// The short code used in corpus program names (`gen-<code>-...`).
+    pub fn code(self) -> &'static str {
+        match self {
+            CorpusClass::Small => "s",
+            CorpusClass::Mid => "m",
+            CorpusClass::Large => "l",
+        }
+    }
+
+    fn preset(self) -> GenConfig {
+        match self {
+            CorpusClass::Small => GenConfig::small(),
+            CorpusClass::Mid => GenConfig::mid(),
+            CorpusClass::Large => GenConfig::large(),
+        }
+    }
+}
+
+/// Grid axes beyond size: (name segment, loop depth), (segment,
+/// float share), (segment, chain density).
+const DEPTHS: [(&str, usize); 2] = [("d1", 1), ("d3", 3)];
+const MIXES: [(&str, u8); 2] = [("int", 0), ("fp", 45)];
+const CHAINS: [(&str, u8); 2] = [("lo", 10), ("hi", 60)];
+
+/// The 24-program generated corpus, built once and leaked: `Benchmark`
+/// is a `Copy` struct of `&'static` fields, so generated entries leak
+/// their strings exactly once per process.
+pub fn generated_corpus() -> &'static [Benchmark] {
+    static CORPUS: OnceLock<Vec<Benchmark>> = OnceLock::new();
+    CORPUS.get_or_init(build_corpus).as_slice()
+}
+
+/// The corpus entries of one size class, in grid order.
+pub fn generated_corpus_for(class: CorpusClass) -> impl Iterator<Item = &'static Benchmark> {
+    let prefix = format!("gen-{}-", class.code());
+    generated_corpus()
+        .iter()
+        .filter(move |b| b.name.starts_with(&prefix))
+}
+
+/// Table-1 plus the generated corpus in one registry — the registry the
+/// differential and scaling harnesses explore.
+pub fn full_registry() -> Registry {
+    let mut r = crate::registry();
+    for &b in generated_corpus() {
+        r.push(b);
+    }
+    r
+}
+
+fn build_corpus() -> Vec<Benchmark> {
+    let mut corpus = Vec::with_capacity(24);
+    for class in CorpusClass::all() {
+        for (dseg, depth) in DEPTHS {
+            for (mseg, float_share) in MIXES {
+                for (cseg, chain) in CHAINS {
+                    let name = format!("gen-{}-{dseg}-{mseg}-{cseg}", class.code());
+                    let preset = class.preset();
+                    let config = GenConfig {
+                        loop_depth: depth,
+                        float_share,
+                        float_arrays: if float_share == 0 {
+                            0
+                        } else {
+                            preset.float_arrays
+                        },
+                        chain_density: chain,
+                        ..preset
+                    };
+                    corpus.push(corpus_entry(name, &config));
+                }
+            }
+        }
+    }
+    corpus
+}
+
+/// Seed derivation: a stable function of the entry name and the
+/// generator version, so (a) every entry gets a distinct seed and (b) a
+/// version bump regenerates the whole corpus — new programs, new
+/// digests, new store keys — as the pinning policy requires.
+fn corpus_seed(name: &str) -> u64 {
+    fnv1a_64(name.as_bytes()) ^ u64::from(GENERATOR_VERSION)
+}
+
+fn corpus_entry(name: String, config: &GenConfig) -> Benchmark {
+    let seed = corpus_seed(&name);
+    let prog = generate_named(name, seed, config);
+    let cfg = prog.config;
+    let specs: Vec<DataSpec> = prog
+        .inputs
+        .iter()
+        .map(|input| {
+            let iname: &'static str = Box::leak(input.name.clone().into_boxed_str());
+            match input.ty {
+                GenTy::Int => DataSpec::Ints {
+                    name: iname,
+                    n: input.len,
+                },
+                GenTy::Float => DataSpec::Floats {
+                    name: iname,
+                    n: input.len,
+                },
+            }
+        })
+        .collect();
+    let data = if specs.len() == 1 {
+        specs[0]
+    } else {
+        DataSpec::Multi {
+            specs: Box::leak(specs.into_boxed_slice()),
+        }
+    };
+    let description = format!(
+        "generated workload (seed 0x{seed:016x}, gen v{GENERATOR_VERSION}): \
+         {} stmts, depth {}, {}% float, {}% chain idioms",
+        cfg.statements, cfg.loop_depth, cfg.float_share, cfg.chain_density
+    );
+    let data_description = format!(
+        "{} int + {} float random arrays of {}",
+        cfg.int_arrays, cfg.float_arrays, cfg.array_len
+    );
+    let paper_lines = prog.line_count();
+    Benchmark {
+        name: Box::leak(prog.name.into_boxed_str()),
+        description: Box::leak(description.into_boxed_str()),
+        paper_lines,
+        data_description: Box::leak(data_description.into_boxed_str()),
+        source: Box::leak(prog.source.into_boxed_str()),
+        data,
+        suite: Suite::Generated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_the_full_grid() {
+        let corpus = generated_corpus();
+        assert_eq!(corpus.len(), 24, "3 sizes x 2 depths x 2 mixes x 2 chains");
+        let mut names: Vec<_> = corpus.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 24, "corpus names are unique");
+        assert!(corpus.iter().all(|b| b.suite == Suite::Generated));
+        for class in CorpusClass::all() {
+            assert_eq!(generated_corpus_for(class).count(), 8);
+        }
+    }
+
+    #[test]
+    fn corpus_is_one_static_allocation() {
+        // the OnceLock means repeated calls hand out the same entries
+        // (and the leaked strings are paid for once)
+        assert!(std::ptr::eq(
+            generated_corpus().as_ptr(),
+            generated_corpus().as_ptr()
+        ));
+    }
+
+    #[test]
+    fn full_registry_extends_table1_without_collisions() {
+        let full = full_registry();
+        assert_eq!(full.len(), 12 + 24);
+        assert!(full.find("fir").is_some(), "Table-1 entries intact");
+        assert!(full.find("gen-s-d1-int-lo").is_some());
+        assert_eq!(
+            full.find("gen-l-d3-fp-hi").expect("registered").suite,
+            Suite::Generated
+        );
+    }
+
+    #[test]
+    fn corpus_entries_bind_their_declared_inputs() {
+        for b in generated_corpus() {
+            let program = b.compile().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let data = b.dataset();
+            // every input array the program declares is bound with the
+            // right length (otherwise simulation would fault)
+            for array in &program.arrays {
+                if array.kind == asip_ir::ArrayKind::Input {
+                    let bound = data
+                        .get(&array.name)
+                        .unwrap_or_else(|| panic!("{}: {} unbound", b.name, array.name));
+                    assert_eq!(bound.len(), array.len, "{}: {} length", b.name, array.name);
+                }
+            }
+        }
+    }
+
+    /// The corpus digests, pinned. If this fails the generator's output
+    /// changed: bump `asip_gen::GENERATOR_VERSION` and re-bless (the
+    /// printed table below is copy-pasteable) — never accept drift
+    /// silently, persisted exploration artifacts key on these bytes.
+    #[test]
+    fn corpus_digests_are_pinned() {
+        let pinned: [(&str, u64); 24] = PINNED_DIGESTS;
+        let corpus = generated_corpus();
+        let actual: Vec<(&str, u64)> = corpus
+            .iter()
+            .map(|b| (b.name, fnv1a_64(b.source.as_bytes())))
+            .collect();
+        if actual != pinned {
+            let mut table = String::new();
+            for (name, digest) in &actual {
+                table.push_str(&format!("    (\"{name}\", 0x{digest:016x}),\n"));
+            }
+            panic!(
+                "generated corpus drifted from its pinned digests.\n\
+                 If this is an intentional generator change, bump \
+                 GENERATOR_VERSION and re-bless:\n{table}"
+            );
+        }
+    }
+
+    const PINNED_DIGESTS: [(&str, u64); 24] = [
+        ("gen-s-d1-int-lo", 0x8b331ed6802bcfdf),
+        ("gen-s-d1-int-hi", 0xfd88d9e2e32a0a11),
+        ("gen-s-d1-fp-lo", 0x52dd222200fa57db),
+        ("gen-s-d1-fp-hi", 0xb594cb0d2347e098),
+        ("gen-s-d3-int-lo", 0xe9d1f1b0ce7de6b0),
+        ("gen-s-d3-int-hi", 0x69364d8cb50833a3),
+        ("gen-s-d3-fp-lo", 0x0929482190564393),
+        ("gen-s-d3-fp-hi", 0xa959ea19d3b82223),
+        ("gen-m-d1-int-lo", 0xa084c35de0fa4069),
+        ("gen-m-d1-int-hi", 0xfbbfa006ee6f2835),
+        ("gen-m-d1-fp-lo", 0x9a70db31f699d937),
+        ("gen-m-d1-fp-hi", 0x008307a53727d171),
+        ("gen-m-d3-int-lo", 0xa71ea63f2ee37262),
+        ("gen-m-d3-int-hi", 0xe9162251d12982f5),
+        ("gen-m-d3-fp-lo", 0x0285deedd29badf8),
+        ("gen-m-d3-fp-hi", 0xb84abfc9df74e721),
+        ("gen-l-d1-int-lo", 0x52b1c209f62b58f3),
+        ("gen-l-d1-int-hi", 0xc9b4b973b22bf2b2),
+        ("gen-l-d1-fp-lo", 0x6c9d8a4990d9d5e3),
+        ("gen-l-d1-fp-hi", 0xc06be7c402e358f2),
+        ("gen-l-d3-int-lo", 0x9466867598787da2),
+        ("gen-l-d3-int-hi", 0x839898c97f8c692f),
+        ("gen-l-d3-fp-lo", 0xd73a0014783954fa),
+        ("gen-l-d3-fp-hi", 0x156392876a97ae37),
+    ];
+}

@@ -35,11 +35,47 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod generated;
+mod regress;
+
+pub use generated::{full_registry, generated_corpus, generated_corpus_for, CorpusClass};
+pub use regress::{regress_corpus, regress_dir};
+
 use asip_ir::Program;
 use asip_sim::{DataGen, DataSet, Profile, Simulator};
 
 /// Default experiment seed (the publication year, for tradition).
 pub const DEFAULT_SEED: u64 = 1995;
+
+/// Which suite a benchmark belongs to. Suite membership is part of a
+/// benchmark's identity: the explorer folds the suite tag into persisted
+/// store keys so a generated program could never collide with a Table-1
+/// artifact even if it reused a name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// The paper's twelve Table-1 kernels.
+    Table1,
+    /// Programs from the seeded `asip-gen` generator (the curated
+    /// corpus, pinned by seed + `GENERATOR_VERSION`).
+    Generated,
+    /// Minimized regression cases from generator-found divergences.
+    Regress,
+    /// Ad-hoc user kernels registered at runtime.
+    User,
+}
+
+impl Suite {
+    /// A stable one-byte discriminant for store-key hashing. These
+    /// values are persisted-format contract: never renumber them.
+    pub fn tag(self) -> u8 {
+        match self {
+            Suite::Table1 => 0,
+            Suite::Generated => 1,
+            Suite::Regress => 2,
+            Suite::User => 3,
+        }
+    }
+}
 
 /// How a benchmark's input arrays are generated (Table 1's "Data Input").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +126,8 @@ pub struct Benchmark {
     pub source: &'static str,
     /// Input data specification.
     pub data: DataSpec,
+    /// Which suite the benchmark belongs to (folded into store keys).
+    pub suite: Suite,
 }
 
 impl Benchmark {
@@ -191,6 +229,7 @@ pub fn registry() -> Registry {
         benches: vec![
             Benchmark {
                 name: "fir",
+                suite: Suite::Table1,
                 description: "35-point lowpass fp FIR filter (cutoff 0.2)",
                 paper_lines: 85,
                 data_description: "Random array of 100 floating point values",
@@ -199,6 +238,7 @@ pub fn registry() -> Registry {
             },
             Benchmark {
                 name: "iir",
+                suite: Suite::Table1,
                 description: "IIR filter - 3-section, 1dB passband ripple",
                 paper_lines: 65,
                 data_description: "Random array of 100 floating point values",
@@ -207,6 +247,7 @@ pub fn registry() -> Registry {
             },
             Benchmark {
                 name: "pse",
+                suite: Suite::Table1,
                 description: "Power spectral estimation using FFT",
                 paper_lines: 220,
                 data_description: "Random array of 256 floating point values",
@@ -215,6 +256,7 @@ pub fn registry() -> Registry {
             },
             Benchmark {
                 name: "intfft",
+                suite: Suite::Table1,
                 description: "Interpolate 2:1 using FFT and inverse FFT",
                 paper_lines: 280,
                 data_description: "Random array of 100 floating point values",
@@ -223,6 +265,7 @@ pub fn registry() -> Registry {
             },
             Benchmark {
                 name: "compress",
+                suite: Suite::Table1,
                 description: "Discrete cosine transformation (4:1 comp)",
                 paper_lines: 190,
                 data_description: "24x24 8-bit image",
@@ -235,6 +278,7 @@ pub fn registry() -> Registry {
             },
             Benchmark {
                 name: "flatten",
+                suite: Suite::Table1,
                 description: "Histogram flattening (gray level mod.)",
                 paper_lines: 195,
                 data_description: "24x24 8-bit image",
@@ -247,6 +291,7 @@ pub fn registry() -> Registry {
             },
             Benchmark {
                 name: "smooth",
+                suite: Suite::Table1,
                 description: "3x3 Gaussian blur lowpass filter",
                 paper_lines: 130,
                 data_description: "24x24 8-bit image",
@@ -259,6 +304,7 @@ pub fn registry() -> Registry {
             },
             Benchmark {
                 name: "edge",
+                suite: Suite::Table1,
                 description: "Edge detection using 2D convolution",
                 paper_lines: 280,
                 data_description: "24x24 8-bit image",
@@ -271,6 +317,7 @@ pub fn registry() -> Registry {
             },
             Benchmark {
                 name: "sewha",
+                suite: Suite::Table1,
                 description: "Sewha's (FIR) filter",
                 paper_lines: 36,
                 data_description: "Stream of 100 random integer values",
@@ -279,6 +326,7 @@ pub fn registry() -> Registry {
             },
             Benchmark {
                 name: "dft",
+                suite: Suite::Table1,
                 description: "Discrete fast fourier transform",
                 paper_lines: 15,
                 data_description: "Stream of 256 random integer values",
@@ -287,6 +335,7 @@ pub fn registry() -> Registry {
             },
             Benchmark {
                 name: "bspline",
+                suite: Suite::Table1,
                 description: "B Spline (FIR) filter",
                 paper_lines: 30,
                 data_description: "Stream of 256 random integer values",
@@ -295,6 +344,7 @@ pub fn registry() -> Registry {
             },
             Benchmark {
                 name: "feowf",
+                suite: Suite::Table1,
                 description: "Fifth order elliptic wave filter",
                 paper_lines: 32,
                 data_description: "Stream of 256 random integer values",

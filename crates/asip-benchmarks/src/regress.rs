@@ -1,0 +1,105 @@
+//! Minimized regression cases from generator-found divergences.
+//!
+//! When the seeded differential sweep (`tests/generated_corpus.rs`, the
+//! CI `gen-differential` job) ever finds an `Engine` vs
+//! `ReferenceSimulator` divergence — or a front-end crash — the
+//! reproducer is minimized by hand, checked in under
+//! `src/programs/regress/`, and registered here so it runs forever as
+//! part of the ordinary test suite.
+//!
+//! The set is currently **empty**: the initial corpus + multi-thousand
+//! seed hunt found no divergence. The harness still lands now (the
+//! empty-set invariant below keeps the directory and this registry in
+//! lock-step), so the first real find is a two-line change: drop in the
+//! `.mc` file and add its entry.
+
+use crate::{Benchmark, Suite};
+use std::path::PathBuf;
+
+/// Checked-in minimized divergence reproducers. Add new entries with
+/// `suite: Suite::Regress`, an `include_str!` of the minimized source,
+/// and a `data_description` naming the sweep seed that found it.
+static REGRESS: [Benchmark; 0] = [];
+
+/// The regression set, in check-in order.
+pub fn regress_corpus() -> &'static [Benchmark] {
+    &REGRESS
+}
+
+/// On-disk directory holding the minimized `.mc` sources (resolved from
+/// the crate manifest, so tests can enforce the dir ↔ registry
+/// invariant from any working directory).
+pub fn regress_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("src/programs/regress")
+}
+
+// touch the suite type even while the set is empty so the registration
+// contract above is type-checked
+const _: fn(&Benchmark) -> bool = |b| matches!(b.suite, Suite::Regress);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The empty-set invariant: every `.mc` file under
+    /// `programs/regress/` is registered, and every registered case has
+    /// its source checked in. A divergence fix that lands only half of
+    /// the pair fails here.
+    #[test]
+    fn regress_dir_and_registry_are_in_lock_step() {
+        let dir = regress_dir();
+        assert!(
+            dir.is_dir(),
+            "regress directory must exist (holds README + minimized cases): {}",
+            dir.display()
+        );
+        let mut on_disk: Vec<String> = std::fs::read_dir(&dir)
+            .expect("readable")
+            .filter_map(|e| {
+                let path = e.expect("dir entry").path();
+                (path.extension().is_some_and(|x| x == "mc")).then(|| {
+                    path.file_stem()
+                        .expect("stem")
+                        .to_string_lossy()
+                        .into_owned()
+                })
+            })
+            .collect();
+        on_disk.sort_unstable();
+        let mut registered: Vec<String> = regress_corpus()
+            .iter()
+            .map(|b| b.name.to_string())
+            .collect();
+        registered.sort_unstable();
+        assert_eq!(
+            on_disk, registered,
+            "regress/*.mc files and regress_corpus() entries must match 1:1"
+        );
+    }
+
+    /// Every registered case stays green: compiles, validates, and both
+    /// simulators agree byte-for-byte (that is the whole point of a
+    /// minimized divergence case). Vacuous while the set is empty.
+    #[test]
+    fn regress_cases_stay_green() {
+        use asip_sim::{Engine, ReferenceSimulator};
+        use std::sync::Arc;
+        for b in regress_corpus() {
+            assert_eq!(b.suite, Suite::Regress, "{}", b.name);
+            let program = b.compile().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            program
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: invalid IR: {e}", b.name));
+            let data = b.dataset();
+            let reference = ReferenceSimulator::new(&program)
+                .run(&data)
+                .unwrap_or_else(|e| panic!("{}: reference: {e:?}", b.name));
+            let engine = Engine::new(Arc::new(program))
+                .run(&data)
+                .unwrap_or_else(|e| panic!("{}: engine: {e:?}", b.name));
+            assert_eq!(engine.profile, reference.profile, "{}", b.name);
+            assert_eq!(engine.memory, reference.memory, "{}", b.name);
+            assert_eq!(engine.result, reference.result, "{}", b.name);
+        }
+    }
+}

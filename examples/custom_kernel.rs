@@ -53,6 +53,7 @@ fn main() -> Result<(), ExplorerError> {
         data_description: "4 random arrays of 64 floating point values",
         source: SOURCE,
         data: MIXER_DATA,
+        suite: Suite::User,
     };
     let session = Explorer::new().with_benchmark(mixer).with_seed(7);
 

@@ -116,6 +116,7 @@
 pub use asip_benchmarks as benchmarks;
 pub use asip_chains as chains;
 pub use asip_frontend as frontend;
+pub use asip_gen as gen;
 pub use asip_ir as ir;
 pub use asip_opt as opt;
 pub use asip_sim as sim;
@@ -152,7 +153,9 @@ pub mod prelude {
     pub use crate::session::{CacheStats, Explorer, StageStats};
     pub use crate::store::{ArtifactStore, DiskStats, GcReport, StoreGcConfig};
     pub use crate::tier::{ArtifactTier, TierStats};
-    pub use asip_benchmarks::{registry, Benchmark, DataSpec};
+    pub use asip_benchmarks::{
+        full_registry, generated_corpus, registry, Benchmark, DataSpec, Suite,
+    };
     pub use asip_chains::{
         CoverageAnalyzer, DetectorConfig, SequenceDetector, SequenceReport, Signature,
     };

@@ -1816,10 +1816,12 @@ impl Explorer {
     }
 }
 
-/// Feed a benchmark's content identity: the name, the *source bytes*
-/// (so a replaced registry entry can never serve the old program) and
-/// the input-data specification.
+/// Feed a benchmark's content identity: the suite tag (so a generated
+/// program can never collide with a Table-1 artifact even under a reused
+/// name), the name, the *source bytes* (so a replaced registry entry can
+/// never serve the old program) and the input-data specification.
 fn hash_benchmark(h: &mut StableHasher, b: &Benchmark) {
+    h.write(&[b.suite.tag()]);
     h.write_str(b.name);
     h.write_str(b.source);
     hash_data_spec(h, b.data);

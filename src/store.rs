@@ -111,7 +111,11 @@ use std::time::{Duration, SystemTime, UNIX_EPOCH};
 /// History: v2 — design-stage semantics changed (occurrence-aware
 /// coverage reports; selection may improve on the greedy pick via the
 /// frontier search) and the design-space stage was added.
-pub const FORMAT_VERSION: u32 = 2;
+/// v3 — key derivation changed: the benchmark's suite tag
+/// ([`asip_benchmarks::Suite`]) is folded into every benchmark-keyed
+/// hash, so generated-corpus artifacts can never collide with Table-1
+/// names.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Magic bytes opening every artifact file.
 const MAGIC: [u8; 8] = *b"ASIPART\n";

@@ -132,6 +132,7 @@ fn explorer_error_converts_from_each_stage_error() {
     let broken = Benchmark {
         name: "broken",
         description: "does not parse",
+        suite: Suite::User,
         paper_lines: 1,
         data_description: "none",
         source: "void main() { $ }",
@@ -148,6 +149,7 @@ fn explorer_error_converts_from_each_stage_error() {
     let unbound = Benchmark {
         name: "unbound",
         description: "input array never bound",
+        suite: Suite::User,
         paper_lines: 1,
         data_description: "wrong binding",
         source: r#"
@@ -180,6 +182,7 @@ fn with_benchmark_replaces_name_collisions_and_invalidates_caches() {
     let replacement = Benchmark {
         name: "fir",
         description: "user kernel shadowing the built-in",
+        suite: Suite::User,
         paper_lines: 6,
         data_description: "4 random integers",
         source: r#"

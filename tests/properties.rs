@@ -1,174 +1,121 @@
-//! Property-based tests over randomly generated programs: the textual
-//! format round-trips, cleanup passes preserve observable behavior, and
-//! the optimizer conserves dynamic work.
+//! Property-based tests over `asip-gen` generated programs: the textual
+//! format round-trips, cleanup passes preserve observable behavior, the
+//! optimizer conserves dynamic work, both simulator back ends agree, and
+//! the detector/designer respect their selection contracts.
+//!
+//! Until PR 8 these properties ran on a hand-rolled op-recipe builder;
+//! they now draw from the same seeded generator as the curated corpus
+//! (`asip_benchmarks::generated_corpus`), so there is exactly one
+//! program-shape generator in the tree and every property exercises the
+//! full lexer→parser→sema→lower front end instead of a synthetic IR
+//! builder.
 
-use asip_explorer::ir::{parse_program, BinOp, Operand, Program, ProgramBuilder, Reg, Ty, UnOp};
+use asip_explorer::gen::{generate, GenConfig, GenTy, GeneratedProgram, OpMix};
+use asip_explorer::ir::{parse_program, Program};
 use asip_explorer::opt::{OptLevel, Optimizer};
-use asip_explorer::sim::{DataSet, Engine, ReferenceSimulator, Simulator};
+use asip_explorer::sim::{DataGen, DataSet, Engine, ReferenceSimulator, Simulator};
+use asip_explorer::synth::rewrite::is_fusable_signature;
+use asip_explorer::synth::{AsipDesigner, DesignConstraints, Rewriter};
 use proptest::prelude::*;
 use std::sync::Arc;
 
-/// Recipe for one random straight-line op.
-#[derive(Debug, Clone)]
-enum OpRecipe {
-    IntBin(u8, u8, u8), // op selector, two operand selectors
-    FloatBin(u8, u8, u8),
-    IntUn(u8, u8),
-    Load(u8),
-    Store(u8, u8),
+/// Keep property programs small: the suite compiles and simulates a few
+/// hundred of them, so cap the shape well below the corpus presets.
+fn gen_config() -> impl Strategy<Value = GenConfig> {
+    (
+        (1usize..24, 0usize..3, 1usize..3),
+        (1usize..3, 0usize..2, 3usize..6),
+        (0u8..101, 0u8..101, 0u8..3),
+    )
+        .prop_map(
+            |(
+                (statements, loop_depth, loop_count),
+                (int_arrays, float_arrays, len_log2),
+                (float_share, chain_density, mix_sel),
+            )| GenConfig {
+                statements,
+                loop_depth,
+                loop_count,
+                int_arrays,
+                float_arrays,
+                array_len: 1 << len_log2,
+                float_share,
+                chain_density,
+                mix: match mix_sel {
+                    0 => OpMix::default(),
+                    1 => OpMix::arith_heavy(),
+                    _ => OpMix::memory_heavy(),
+                },
+            },
+        )
 }
 
-fn op_recipe() -> impl Strategy<Value = OpRecipe> {
-    prop_oneof![
-        (0u8..10, any::<u8>(), any::<u8>()).prop_map(|(o, a, b)| OpRecipe::IntBin(o, a, b)),
-        (0u8..4, any::<u8>(), any::<u8>()).prop_map(|(o, a, b)| OpRecipe::FloatBin(o, a, b)),
-        (0u8..2, any::<u8>()).prop_map(|(o, a)| OpRecipe::IntUn(o, a)),
-        any::<u8>().prop_map(OpRecipe::Load),
-        (any::<u8>(), any::<u8>()).prop_map(|(i, v)| OpRecipe::Store(i, v)),
-    ]
+/// Deterministic input data matching a generated program's declared
+/// arrays (the corpus shapes: small ints, unit-interval floats).
+fn dataset(prog: &GeneratedProgram) -> DataSet {
+    let mut gen = DataGen::new(1995);
+    let mut data = DataSet::new();
+    for input in &prog.inputs {
+        match input.ty {
+            GenTy::Int => {
+                data.bind_ints(input.name.clone(), gen.ints(input.len, -128, 127));
+            }
+            GenTy::Float => {
+                data.bind_floats(input.name.clone(), gen.floats(input.len, -1.0, 1.0));
+            }
+        }
+    }
+    data
 }
 
-/// Build a valid program from recipes: a straight-line body over one
-/// int array, with every value eventually stored so DCE cannot remove
-/// everything. Optionally wrapped in a bounded counted loop.
-fn build_program(recipes: &[OpRecipe], with_loop: bool) -> Program {
-    const LEN: i64 = 8;
-    let mut b = ProgramBuilder::new("prop");
-    let arr = b.input_array("x", Ty::Int, LEN as usize);
-    let out = b.output_array("y", Ty::Int, LEN as usize);
-    let entry = b.entry_block();
-
-    let (body, exit, counter) = if with_loop {
-        let body = b.new_block();
-        let exit = b.new_block();
-        let i = b.new_reg(Ty::Int);
-        b.select_block(entry);
-        b.mov_to(i, Operand::imm_int(0));
-        let g = b.binary(BinOp::CmpLt, i.into(), Operand::imm_int(4));
-        b.branch(g.into(), body, exit);
-        b.select_block(body);
-        (Some(body), Some(exit), Some(i))
-    } else {
-        b.select_block(entry);
-        (None, None, None)
-    };
-
-    let mut ints: Vec<Reg> = Vec::new();
-    let mut floats: Vec<Reg> = Vec::new();
-    let int_operand = |ints: &Vec<Reg>, sel: u8| -> Operand {
-        if ints.is_empty() || sel.is_multiple_of(3) {
-            Operand::imm_int((sel % 7) as i64 + 1)
-        } else {
-            ints[sel as usize % ints.len()].into()
-        }
-    };
-    let float_operand = |floats: &Vec<Reg>, sel: u8| -> Operand {
-        if floats.is_empty() || sel.is_multiple_of(3) {
-            Operand::imm_float((sel % 5) as f64 * 0.5 + 0.5)
-        } else {
-            floats[sel as usize % floats.len()].into()
-        }
-    };
-
-    for r in recipes {
-        match r {
-            OpRecipe::IntBin(o, a, bsel) => {
-                let ops = [
-                    BinOp::Add,
-                    BinOp::Sub,
-                    BinOp::Mul,
-                    BinOp::Div,
-                    BinOp::Rem,
-                    BinOp::Shl,
-                    BinOp::Shr,
-                    BinOp::And,
-                    BinOp::Or,
-                    BinOp::CmpLt,
-                ];
-                let lhs = int_operand(&ints, *a);
-                let rhs = int_operand(&ints, *bsel);
-                ints.push(b.binary(ops[*o as usize % ops.len()], lhs, rhs));
-            }
-            OpRecipe::FloatBin(o, a, bsel) => {
-                let ops = [BinOp::FAdd, BinOp::FSub, BinOp::FMul, BinOp::FDiv];
-                let lhs = float_operand(&floats, *a);
-                let rhs = float_operand(&floats, *bsel);
-                floats.push(b.binary(ops[*o as usize % ops.len()], lhs, rhs));
-            }
-            OpRecipe::IntUn(o, a) => {
-                let src = int_operand(&ints, *a);
-                let op = if *o == 0 { UnOp::Neg } else { UnOp::Not };
-                ints.push(b.unary(op, src));
-            }
-            OpRecipe::Load(sel) => {
-                let idx = (*sel as i64) % LEN;
-                ints.push(b.load(arr, Operand::imm_int(idx)));
-            }
-            OpRecipe::Store(isel, vsel) => {
-                let idx = (*isel as i64) % LEN;
-                let v = int_operand(&ints, *vsel);
-                b.store(out, Operand::imm_int(idx), v);
-            }
-        }
-    }
-    // observe the last values so they stay live
-    if let Some(&last) = ints.last() {
-        b.store(out, Operand::imm_int(0), last.into());
-    }
-    if let Some(&lastf) = floats.last() {
-        let as_int = b.unary(UnOp::FloatToInt, lastf.into());
-        b.store(out, Operand::imm_int(1), as_int.into());
-    }
-
-    match (body, exit, counter) {
-        (Some(body), Some(exit), Some(i)) => {
-            b.binary_to(i, BinOp::Add, i.into(), Operand::imm_int(1));
-            let c = b.binary(BinOp::CmpLt, i.into(), Operand::imm_int(4));
-            b.branch(c.into(), body, exit);
-            b.select_block(exit);
-            b.ret(None);
-        }
-        _ => {
-            b.ret(None);
-        }
-    }
-    b.finish().expect("generated programs are valid")
-}
-
-fn dataset() -> DataSet {
-    let mut d = DataSet::new();
-    d.bind_ints("x", (1..=8).collect());
-    d
+fn compile(prog: &GeneratedProgram) -> Program {
+    asip_explorer::frontend::compile(&prog.name, &prog.source)
+        .unwrap_or_else(|e| panic!("generated program must compile: {e}\n{}", prog.source))
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
-    fn textual_format_round_trips(recipes in prop::collection::vec(op_recipe(), 1..40), with_loop in any::<bool>()) {
-        let p = build_program(&recipes, with_loop);
+    fn generated_programs_compile_validate_and_run(seed in any::<u64>(), config in gen_config()) {
+        // the generator's totality contract, over the whole knob space:
+        // arbitrary seeds compile through the front end, validate, and
+        // run to completion
+        let prog = generate(seed, &config);
+        let p = compile(&prog);
+        prop_assert!(p.validate().is_ok());
+        let exec = Simulator::new(&p).run(&dataset(&prog)).expect("runs");
+        prop_assert!(exec.profile.total_ops() > 0);
+    }
+
+    #[test]
+    fn textual_format_round_trips(seed in any::<u64>(), config in gen_config()) {
+        let p = compile(&generate(seed, &config));
         let text = p.to_string();
         let q = parse_program(&text).expect("printed programs parse");
         prop_assert_eq!(p, q);
     }
 
     #[test]
-    fn cleanup_preserves_observable_behavior(recipes in prop::collection::vec(op_recipe(), 1..40), with_loop in any::<bool>()) {
-        let p = build_program(&recipes, with_loop);
-        let before = Simulator::new(&p).run(&dataset()).expect("runs");
+    fn cleanup_preserves_observable_behavior(seed in any::<u64>(), config in gen_config()) {
+        let prog = generate(seed, &config);
+        let p = compile(&prog);
+        let data = dataset(&prog);
+        let before = Simulator::new(&p).run(&data).expect("runs");
         let mut q = p.clone();
         asip_explorer::ir::passes::cleanup(&mut q);
         q.validate().expect("cleanup keeps programs valid");
-        let after = Simulator::new(&q).run(&dataset()).expect("still runs");
+        let after = Simulator::new(&q).run(&data).expect("still runs");
         prop_assert_eq!(before.memory, after.memory);
         prop_assert_eq!(before.result, after.result);
         prop_assert!(q.inst_count() <= p.inst_count(), "cleanup never grows code");
     }
 
     #[test]
-    fn optimizer_invariants_hold_on_random_programs(recipes in prop::collection::vec(op_recipe(), 1..30), with_loop in any::<bool>()) {
-        let p = build_program(&recipes, with_loop);
-        let profile = Simulator::new(&p).run(&dataset()).expect("runs").profile;
+    fn optimizer_invariants_hold_on_generated_programs(seed in any::<u64>(), config in gen_config()) {
+        let prog = generate(seed, &config);
+        let p = compile(&prog);
+        let profile = Simulator::new(&p).run(&dataset(&prog)).expect("runs").profile;
         let g0 = Optimizer::new(OptLevel::None).run(&p, &profile);
         prop_assert!(g0.check_invariants().is_ok());
         let w0 = g0.chainable_weight();
@@ -188,34 +135,39 @@ proptest! {
     }
 
     #[test]
-    fn simulation_is_deterministic(recipes in prop::collection::vec(op_recipe(), 1..30), with_loop in any::<bool>()) {
-        let p = build_program(&recipes, with_loop);
-        let a = Simulator::new(&p).run(&dataset()).expect("runs");
-        let b = Simulator::new(&p).run(&dataset()).expect("runs");
+    fn simulation_is_deterministic(seed in any::<u64>(), config in gen_config()) {
+        let prog = generate(seed, &config);
+        let p = compile(&prog);
+        let a = Simulator::new(&p).run(&dataset(&prog)).expect("runs");
+        let b = Simulator::new(&p).run(&dataset(&prog)).expect("runs");
         prop_assert_eq!(a.profile, b.profile);
         prop_assert_eq!(a.memory, b.memory);
     }
 
     #[test]
-    fn decoded_engine_matches_the_reference_interpreter(recipes in prop::collection::vec(op_recipe(), 1..40), with_loop in any::<bool>()) {
+    fn decoded_engine_matches_the_reference_interpreter(seed in any::<u64>(), config in gen_config()) {
         // the differential property behind the engine rewrite: on any
         // generated program, the pre-decoded engine and the retained
         // reference interpreter are byte-identical
-        let p = build_program(&recipes, with_loop);
-        let reference = ReferenceSimulator::new(&p).run(&dataset()).expect("runs");
-        let engine = Engine::new(Arc::new(p)).run(&dataset()).expect("runs");
+        let prog = generate(seed, &config);
+        let p = compile(&prog);
+        let data = dataset(&prog);
+        let reference = ReferenceSimulator::new(&p).run(&data).expect("runs");
+        let engine = Engine::new(Arc::new(p)).run(&data).expect("runs");
         prop_assert_eq!(engine.profile, reference.profile);
         prop_assert_eq!(engine.memory, reference.memory);
         prop_assert_eq!(engine.result, reference.result);
     }
 
     #[test]
-    fn decoded_engine_step_limits_match_the_reference(recipes in prop::collection::vec(op_recipe(), 1..20), limit in 0u64..64) {
+    fn decoded_engine_step_limits_match_the_reference(seed in any::<u64>(), limit in 0u64..512) {
         // whatever the limit lands on (mid-block included), both
         // interpreters agree on success vs StepLimit and on the payload
-        let p = build_program(&recipes, true);
-        let reference = ReferenceSimulator::new(&p).with_step_limit(limit).run(&dataset());
-        let engine = Engine::new(Arc::new(p)).with_step_limit(limit).run(&dataset());
+        let prog = generate(seed, &GenConfig { array_len: 8, ..GenConfig::small() });
+        let p = compile(&prog);
+        let data = dataset(&prog);
+        let reference = ReferenceSimulator::new(&p).with_step_limit(limit).run(&data);
+        let engine = Engine::new(Arc::new(p)).with_step_limit(limit).run(&data);
         match (reference, engine) {
             (Ok(a), Ok(b)) => {
                 prop_assert_eq!(a.profile, b.profile);
@@ -224,5 +176,51 @@ proptest! {
             (Err(a), Err(b)) => prop_assert_eq!(a, b),
             (a, b) => prop_assert!(false, "diverged at limit {}: {:?} vs {:?}", limit, a, b),
         }
+    }
+
+    #[test]
+    fn designer_respects_constraints_and_static_matchability(
+        seed in any::<u64>(),
+        config in gen_config(),
+        area_sel in 0u8..4,
+        max_extensions in 0usize..5,
+        level_sel in 0u8..3,
+    ) {
+        // the detector/designer contract on arbitrary programs: a design
+        // never exceeds its hardware constraints, and every selected
+        // extension is fusable and statically present in the code it was
+        // selected for (no silicon for chains the rewriter can't fire)
+        let prog = generate(seed, &config);
+        let p = compile(&prog);
+        let data = dataset(&prog);
+        let profile = Simulator::new(&p).run(&data).expect("runs").profile;
+        let constraints = DesignConstraints {
+            area_budget: [0.0, 1500.0, 6000.0, 20_000.0][area_sel as usize],
+            max_extensions,
+            opt_level: OptLevel::all()[level_sel as usize],
+            ..DesignConstraints::default()
+        };
+        let design = AsipDesigner::new(constraints).design_for(&p, &profile);
+        prop_assert!(design.extensions.len() <= constraints.max_extensions,
+            "{} extensions exceed slot budget {}", design.extensions.len(), constraints.max_extensions);
+        prop_assert!(design.extension_area <= constraints.area_budget + 1e-9,
+            "area {} exceeds budget {}", design.extension_area, constraints.area_budget);
+        for ext in &design.extensions {
+            prop_assert!(is_fusable_signature(&ext.signature),
+                "selected unfusable signature {:?}", ext.signature);
+            prop_assert!(Rewriter::count_static_matches(&p, &ext.signature) > 0,
+                "selected signature {:?} never statically matches", ext.signature);
+        }
+
+        // and applying the design preserves observable behavior exactly
+        let original = ReferenceSimulator::new(&p).run(&data).expect("runs");
+        let mut rewritten = p.clone();
+        let stats = Rewriter::new(design.clone()).apply(&mut rewritten);
+        prop_assert!(rewritten.validate().is_ok());
+        prop_assert!(design.is_empty() || stats.fused_chains > 0,
+            "a non-empty design applied to its own program must fire at least once");
+        let after = ReferenceSimulator::new(&rewritten).run(&data).expect("runs");
+        prop_assert_eq!(original.memory, after.memory);
+        prop_assert_eq!(original.result, after.result);
     }
 }

@@ -80,6 +80,7 @@ fn suite_key_is_sensitive_to_registry_and_seed() {
     let replacement = Benchmark {
         name: "fir",
         description: "user kernel shadowing the built-in",
+        suite: Suite::User,
         paper_lines: 4,
         data_description: "4 random integers",
         source: r#"
