@@ -28,6 +28,12 @@
 //!   the pre-decoded engine on the largest Table-1 benchmark (largest
 //!   by profiled dynamic op count, resolved at run time from the warm
 //!   session), decode amortized out by reusing one [`sim::Engine`];
+//! - **batched execution** — `Engine::run_batch` throughput over
+//!   seed-varied datasets on the same benchmark
+//!   (`sim_batch_ops_per_sec`), its cost relative to sequential
+//!   single runs (`batch_over_single_ratio`, lower is better), and
+//!   the alloc-free sweep path — profile-only pooled runs over
+//!   pre-bound inputs (`ablation_alloc_free_ms`);
 //! - **decode cost** — the one-time `Program` → `DecodedProgram`
 //!   lowering for the same benchmark, so the amortization story stays
 //!   measured;
@@ -225,6 +231,62 @@ fn main() {
     rows.push(("sim_dynamic_ops".into(), total_ops as f64));
     rows.push(("sim_decode_ms".into(), decode_ms));
     rows.push(("sim_ops_per_sec".into(), ops_per_sec));
+
+    // -- batched execution over pooled run states ----------------------
+    {
+        const BATCH: usize = 16;
+        let datasets: Vec<_> = (1..=BATCH as u64)
+            .map(|s| largest.dataset_with_seed(s))
+            .collect();
+        let refs: Vec<&_> = datasets.iter().collect();
+        // sequential single runs: one pool checkout and one input
+        // binding per dataset
+        let single_ms = (0..5)
+            .map(|_| {
+                time_ms(|| {
+                    for data in &refs {
+                        engine.run(data).expect("runs");
+                    }
+                })
+                .1
+            })
+            .fold(f64::INFINITY, f64::min);
+        // the batch API: one run state across the whole sweep
+        let (batch, first_ms) = time_ms(|| engine.run_batch(&refs).expect("batch runs"));
+        let batch_ops: u64 = batch.iter().map(|e| e.profile.total_ops()).sum();
+        let batch_ms = (0..4)
+            .map(|_| time_ms(|| engine.run_batch(&refs).expect("batch runs")).1)
+            .fold(first_ms, f64::min);
+        let batch_ops_per_sec = batch_ops as f64 / (batch_ms / 1e3);
+        println!(
+            "bench simulator/batch-{BATCH}/{}: {:.2} Mops/s ({:.3}x sequential cost)",
+            largest.name,
+            batch_ops_per_sec / 1e6,
+            batch_ms / single_ms
+        );
+        rows.push(("sim_batch_ops_per_sec".into(), batch_ops_per_sec));
+        rows.push(("batch_over_single_ratio".into(), batch_ms / single_ms));
+
+        // the sweep shape design loops sit on: profile-only pooled runs
+        // over inputs bound once — no banks allocated, no outputs
+        // materialized
+        const SWEEP: usize = 64;
+        let inputs = engine.bind(&data).expect("binds");
+        let alloc_free_ms = (0..5)
+            .map(|_| {
+                time_ms(|| {
+                    for _ in 0..SWEEP {
+                        engine.run_pooled(&inputs).expect("pooled run");
+                    }
+                })
+                .1
+            })
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "bench simulator/alloc-free-sweep-{SWEEP}                  {alloc_free_ms:>12.1} ms"
+        );
+        rows.push(("ablation_alloc_free_ms".into(), alloc_free_ms));
+    }
 
     // -- generated-suite scaling series --------------------------------
     // cold explore cost per corpus size class (8 programs each), so the

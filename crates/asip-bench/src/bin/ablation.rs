@@ -4,7 +4,9 @@
 //! - pipelining unroll factor vs `add-multiply` exposure;
 //! - issue width vs schedule length (weighted cycles);
 //! - branch-and-bound prune floor vs surviving occurrence count;
-//! - area budget vs the design-space stage's pareto frontier.
+//! - area budget vs the design-space stage's pareto frontier;
+//! - pooled run-state reuse: a warm profile sweep is counter-asserted
+//!   to perform zero per-run bank allocations.
 //!
 //! Every sweep runs on one `Explorer` session, so each benchmark is
 //! compiled and simulated exactly once across all five studies — the
@@ -181,6 +183,30 @@ fn main() {
         session.cache_stats().schedule.misses,
         schedule_runs,
         "the design stage must pull the cached schedule, not re-run the optimizer"
+    );
+
+    println!();
+    println!("== pooled run states: warm sweeps allocate nothing ==");
+    let engine = session.engine("sewha").expect("built-ins engine");
+    let data = session
+        .benchmark("sewha")
+        .expect("registered")
+        .dataset_with_seed(1995);
+    engine.run_profile(&data).expect("warms the pool");
+    let warm = session.cache_stats().run_state;
+    const SWEEP: u64 = 256;
+    for _ in 0..SWEEP {
+        engine.run_profile(&data).expect("pooled profile run");
+    }
+    let swept = session.cache_stats().run_state;
+    println!(
+        "  {SWEEP} pooled profile runs: checkouts {} -> {}, bank allocations {} -> {}",
+        warm.checkouts, swept.checkouts, warm.creates, swept.creates
+    );
+    assert_eq!(swept.checkouts, warm.checkouts + SWEEP);
+    assert_eq!(
+        swept.creates, warm.creates,
+        "a warm profile sweep performs zero per-run bank allocations"
     );
 
     println!();

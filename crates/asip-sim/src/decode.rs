@@ -6,18 +6,17 @@
 //!
 //! - every instruction becomes one copy-only decoded entry in a
 //!   single `Vec`, grouped by block with per-block index ranges;
-//! - the register file is split into **typed banks**: one flat `i64`
-//!   array and one flat `f64` array, each holding the program's
-//!   registers of that type followed by a materialized constant pool.
-//!   Operand types are static in the IR (registers are typed,
-//!   validation pins operand types per op), so every operand resolves
-//!   at decode time to a bank slot and the hot loop does raw machine
-//!   arithmetic — no `Value` enum packing, unpacking or coercion;
-//! - likewise memory: each array becomes a raw `Vec<i64>` or
-//!   `Vec<f64>` in the matching bank, with bounds/base/element size
-//!   inlined into the load/store entries (and specialized
-//!   element-indexed variants for the default `base = 0,
-//!   elem_size = 1` layout that skip the address arithmetic);
+//! - all run-time data lives in two **typed arenas**: one flat `i64`
+//!   allocation and one flat `f64` allocation, each laid out
+//!   `[arrays][registers][constants]`. Operand types are static in
+//!   the IR (registers are typed, validation pins operand types per
+//!   op), so every operand resolves at decode time to an arena slot
+//!   and the hot loop does raw machine arithmetic — no `Value` enum
+//!   packing, unpacking or coercion;
+//! - array accesses carry their bounds/offset/element size inline
+//!   (with specialized element-indexed variants for the default
+//!   `base = 0, elem_size = 1` layout that skip the address
+//!   arithmetic);
 //! - branch targets are resolved to decoded block indices;
 //! - chained super-instructions are flattened into a side table and
 //!   evaluated in the generic [`Value`] domain (they are rare and
@@ -40,8 +39,19 @@
 //!   byte-identical to the reference interpreter's bump-per-instruction
 //!   profile.
 //!
+//! Per-run state lives in a reusable, arena-backed [`RunState`]: both
+//! typed arenas are single allocations sized once at decode time and
+//! **reset by `memcpy`** from the decoded init images at the start of
+//! every run. [`Engine`] pools states internally, so sweeps that run
+//! the same decoded program thousands of times (ablation, design-space
+//! search, batched profiling) perform zero per-run bank allocations —
+//! see [`Engine::run_batch`], [`Engine::run_pooled`] and
+//! [`Engine::bind`] (input validation hoisted out of the per-run
+//! path). Output memory is materialized lazily: profile-only runs
+//! never re-box arenas into `Vec<Value>`.
+//!
 //! Error paths allocate nothing until an error actually occurs: the
-//! decoded load/store entries carry only bank-local indices, and the
+//! decoded load/store entries carry only declaration indices, and the
 //! array name for an [`SimError::OutOfBounds`] message is rebuilt from
 //! the decode-time array plan at error time.
 //!
@@ -97,7 +107,8 @@ use crate::machine::{eval_binop, Execution};
 use crate::profile::Profile;
 use crate::trace::{TraceEvent, TraceSink};
 use asip_ir::{ArrayKind, BinOp, InstKind, Operand, Program, Ty, UnOp, Value};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// One pre-decoded instruction: a copy-only struct whose operands are
 /// slots into the typed register banks.
@@ -133,20 +144,22 @@ enum DecodedInst {
     IntToFloat { dst: u32, src: u32 },
     /// `ints[dst] = floats[src] as i64` (truncating, like C)
     FloatToInt { dst: u32, src: u32 },
-    /// Element-indexed load from an int array (`base = 0, elem = 1`).
-    LoadInt { dst: u32, arr: u32, index: u32 },
-    /// Int-array load through the general address layout.
+    /// Element-indexed load from an int array (`base = 0, elem = 1`);
+    /// `decl` indexes the `direct` arena-span table.
+    LoadInt { dst: u32, decl: u32, index: u32 },
+    /// Int-array load through the general address layout (`arr` is the
+    /// declaration index; the address plan lives there).
     LoadIntAddr { dst: u32, arr: u32, index: u32 },
     /// Element-indexed load from a float array.
-    LoadFloat { dst: u32, arr: u32, index: u32 },
+    LoadFloat { dst: u32, decl: u32, index: u32 },
     /// Float-array load through the general address layout.
     LoadFloatAddr { dst: u32, arr: u32, index: u32 },
     /// Element-indexed store to an int array.
-    StoreInt { arr: u32, index: u32, value: u32 },
+    StoreInt { decl: u32, index: u32, value: u32 },
     /// Int-array store through the general address layout.
     StoreIntAddr { arr: u32, index: u32, value: u32 },
     /// Element-indexed store to a float array.
-    StoreFloat { arr: u32, index: u32, value: u32 },
+    StoreFloat { decl: u32, index: u32, value: u32 },
     /// Float-array store through the general address layout.
     StoreFloatAddr { arr: u32, index: u32, value: u32 },
     /// Conditional branch on a non-zero integer condition.
@@ -171,6 +184,44 @@ enum DecodedInst {
         rhs: u32,
         then_b: u32,
         else_b: u32,
+    },
+    /// Mov-chain collapse: an integer binary op whose result the next
+    /// instruction `mov`s into a second register (`v = op(lhs, rhs);
+    /// dst = v; dst2 = v` — the accumulator-update idiom). Two steps.
+    IntBinMov {
+        op: BinOp,
+        dst: u32,
+        dst2: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    /// Mov-chain collapse of a float binary op feeding a float `mov`.
+    FloatBinMov {
+        op: BinOp,
+        dst: u32,
+        dst2: u32,
+        lhs: u32,
+        rhs: u32,
+    },
+    /// Address-arithmetic fusion: an integer binary op whose result
+    /// immediately indexes a direct-layout int array load
+    /// (`v = op(lhs, rhs); dst = v; ld = array[v]`). Two steps.
+    IntBinLoadInt {
+        op: BinOp,
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        ld: u32,
+        decl: u32,
+    },
+    /// Address-arithmetic fusion feeding a direct float-array load.
+    IntBinLoadFloat {
+        op: BinOp,
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        ld: u32,
+        decl: u32,
     },
     /// Unconditional jump to a decoded block index.
     Jump { target: u32 },
@@ -199,7 +250,7 @@ struct BlockPlan {
     steps: u32,
 }
 
-/// Decode-time metadata for one declared array: its bank assignment,
+/// Decode-time metadata for one declared array: its arena placement,
 /// address layout, and the binding/error context (name, kind).
 #[derive(Debug, Clone)]
 struct ArrayPlan {
@@ -209,8 +260,9 @@ struct ArrayPlan {
     kind: ArrayKind,
     base: i64,
     elem_size: i64,
-    /// Index into the matching typed memory bank.
-    bank: u32,
+    /// Element offset of this array's span in the matching typed
+    /// arena.
+    offset: u32,
 }
 
 /// The hot-path address plan for one declared array: a compact copy of
@@ -226,9 +278,18 @@ struct AddrPlan {
     /// `elem - 1` when `pow2`.
     mask: i64,
     len: usize,
-    /// Index into the matching typed memory bank.
-    bank: u32,
+    /// Element offset of the array's span in the matching typed arena.
+    offset: u32,
     pow2: bool,
+}
+
+/// The arena span of one declared array, for direct-layout accesses
+/// and input binding: element offset into the matching typed arena,
+/// and length. Indexed by declaration order, like `arrays`.
+#[derive(Debug, Clone, Copy)]
+struct Direct {
+    off: u32,
+    len: u32,
 }
 
 impl AddrPlan {
@@ -294,12 +355,67 @@ enum Step {
     },
 }
 
-/// The mutable run state: typed register banks and typed memory banks.
-struct Machine {
+/// A reusable, arena-backed run state: one flat `i64` arena and one
+/// flat `f64` arena (each laid out `[arrays][registers][constants]`)
+/// plus the per-block entry counters. Created by [`Engine::new_state`]
+/// or checked out of the engine's internal pool by the pooled run
+/// APIs; every [`Engine::run_into`] resets it by `memcpy` from the
+/// decoded init images before executing, so a faulted or interrupted
+/// run can never leak state into the next one.
+#[derive(Debug)]
+pub struct RunState {
     ints: Vec<i64>,
     floats: Vec<f64>,
-    int_mem: Vec<Vec<i64>>,
-    float_mem: Vec<Vec<f64>>,
+    block_counts: Vec<u64>,
+}
+
+/// Input bindings validated and converted once per `(program,
+/// dataset)` pair: the typed values of every input array plus the
+/// arena offsets they are copied to at the start of each run.
+/// Re-validating and re-collecting bindings per run is the other half
+/// of the per-run allocation storm [`RunState`] removes — prepare once
+/// with [`Engine::bind`], reuse across a whole batch or sweep.
+#[derive(Debug, Clone)]
+pub struct BoundInputs {
+    ints: Vec<(u32, Vec<i64>)>,
+    floats: Vec<(u32, Vec<f64>)>,
+    /// Arena-size stamps: a `BoundInputs` only fits the program whose
+    /// arenas have exactly these sizes (checked on every run).
+    int_arena: usize,
+    float_arena: usize,
+}
+
+/// What a profile-only run produces: everything an [`Execution`]
+/// carries except the materialized output memory (see
+/// [`Engine::run_profile`]; pair with [`Engine::materialize_memory`]
+/// when the outputs are actually needed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// The derived execution profile.
+    pub profile: Profile,
+    /// The program's `ret` value, if any.
+    pub result: Option<Value>,
+}
+
+/// Run-state pool counters (see [`Engine::run_state_stats`]): how many
+/// runs checked a state out, and how many of those had to allocate a
+/// fresh one. `creates` staying flat while `checkouts` grows is the
+/// "zero per-run bank allocations" property the ablation bench
+/// asserts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStateStats {
+    /// Runs that acquired a run state (pooled or freshly allocated).
+    pub checkouts: u64,
+    /// Checkouts that had to allocate a fresh state.
+    pub creates: u64,
+}
+
+impl RunStateStats {
+    /// Fold another engine's counters into this aggregate.
+    pub fn absorb(&mut self, other: RunStateStats) {
+        self.checkouts += other.checkouts;
+        self.creates += other.creates;
+    }
 }
 
 /// A program lowered to the dense decoded form. Decode once with
@@ -321,26 +437,33 @@ pub struct DecodedProgram {
     arrays: Vec<ArrayPlan>,
     /// Hot-path address plans, parallel to `arrays`.
     addr_plans: Vec<AddrPlan>,
+    /// Arena spans per declared array, parallel to `arrays`.
+    direct: Vec<Direct>,
     chains: Vec<ChainPlan>,
-    /// Initial int bank: int registers (zeroed) then the int constant
-    /// pool.
-    init_ints: Vec<i64>,
-    /// Initial float bank: float registers (zeroed) then the float
-    /// constant pool.
-    init_floats: Vec<f64>,
+    /// Init image of the int arena, laid out
+    /// `[arrays][registers][constants]` (arrays and registers zeroed,
+    /// constants materialized). A [`RunState`] is reset by copying
+    /// these images over its arenas.
+    image_ints: Vec<i64>,
+    /// Init image of the float arena, same layout.
+    image_floats: Vec<f64>,
     entry: u32,
     /// `Profile` sizing (the program's `next_inst_id`).
     inst_slots: usize,
     /// Working-count sizing: `max(inst_slots, max decoded id + 1)`.
     count_slots: usize,
+    /// Per-decoded-index dispatch handlers (the `tail-dispatch`
+    /// experiment), parallel to `insts`.
+    #[cfg(feature = "tail-dispatch")]
+    handlers: Vec<Handler>,
 }
 
-/// Decode-time register/constant slot assignment for one bank.
+/// Decode-time register/constant slot assignment for one arena.
 struct Bank {
-    /// Zero-initialized register slots, then constants.
     consts_i: Vec<i64>,
     consts_f: Vec<f64>,
-    regs: u32,
+    /// First constant slot: arrays and registers precede the pool.
+    const_base: u32,
     is_float: bool,
 }
 
@@ -354,7 +477,7 @@ impl Bank {
                 self.consts_i.len() - 1
             }
         };
-        self.regs + idx as u32
+        self.const_base + idx as u32
     }
 
     fn const_slot_f(&mut self, v: f64) -> u32 {
@@ -370,7 +493,7 @@ impl Bank {
                 self.consts_f.len() - 1
             }
         };
-        self.regs + idx as u32
+        self.const_base + idx as u32
     }
 }
 
@@ -442,50 +565,25 @@ impl DecodedProgram {
     /// rejects. Programs built through [`asip_ir::ProgramBuilder`], the
     /// parser, or the synthesis rewriter are always valid.
     pub fn decode(program: &Program) -> Self {
-        // -- bank assignment ------------------------------------------
-        let mut reg_slots = Vec::with_capacity(program.reg_types.len());
-        let mut reg_float = Vec::with_capacity(program.reg_types.len());
-        let (mut n_int, mut n_float) = (0u32, 0u32);
-        for &ty in &program.reg_types {
-            if ty == Ty::Float {
-                reg_slots.push(n_float);
-                reg_float.push(true);
-                n_float += 1;
-            } else {
-                reg_slots.push(n_int);
-                reg_float.push(false);
-                n_int += 1;
-            }
-        }
-        let mut lower = Lowering {
-            reg_slots,
-            reg_float,
-            int_bank: Bank {
-                consts_i: Vec::new(),
-                consts_f: Vec::new(),
-                regs: n_int,
-                is_float: false,
-            },
-            float_bank: Bank {
-                consts_i: Vec::new(),
-                consts_f: Vec::new(),
-                regs: n_float,
-                is_float: true,
-            },
-        };
-
-        let (mut int_arrays, mut float_arrays) = (0u32, 0u32);
+        // -- arena layout ---------------------------------------------
+        // per-type arenas laid out `[arrays][registers][constants]`:
+        // array offsets must be known while lowering loads and stores,
+        // and the constant pools only finish growing during lowering,
+        // so arrays come first and constants last. Constant slots
+        // therefore always compare greater than register slots, which
+        // the fusion peepholes below rely on.
+        let (mut int_off, mut float_off) = (0u32, 0u32);
         let arrays: Vec<ArrayPlan> = program
             .arrays
             .iter()
             .map(|a| {
-                let bank = if a.ty == Ty::Float {
-                    float_arrays += 1;
-                    float_arrays - 1
+                let cursor = if a.ty == Ty::Float {
+                    &mut float_off
                 } else {
-                    int_arrays += 1;
-                    int_arrays - 1
+                    &mut int_off
                 };
+                let offset = *cursor;
+                *cursor += a.len as u32;
                 ArrayPlan {
                     name: a.name.clone(),
                     ty: a.ty,
@@ -493,7 +591,7 @@ impl DecodedProgram {
                     kind: a.kind,
                     base: a.base,
                     elem_size: a.elem_size,
-                    bank,
+                    offset,
                 }
             })
             .collect();
@@ -511,11 +609,49 @@ impl DecodedProgram {
                     },
                     mask: if pow2 { p.elem_size - 1 } else { 0 },
                     len: p.len,
-                    bank: p.bank,
+                    offset: p.offset,
                     pow2,
                 }
             })
             .collect();
+        let direct: Vec<Direct> = arrays
+            .iter()
+            .map(|p| Direct {
+                off: p.offset,
+                len: p.len as u32,
+            })
+            .collect();
+
+        let mut reg_slots = Vec::with_capacity(program.reg_types.len());
+        let mut reg_float = Vec::with_capacity(program.reg_types.len());
+        let (mut n_int, mut n_float) = (0u32, 0u32);
+        for &ty in &program.reg_types {
+            if ty == Ty::Float {
+                reg_slots.push(float_off + n_float);
+                reg_float.push(true);
+                n_float += 1;
+            } else {
+                reg_slots.push(int_off + n_int);
+                reg_float.push(false);
+                n_int += 1;
+            }
+        }
+        let mut lower = Lowering {
+            reg_slots,
+            reg_float,
+            int_bank: Bank {
+                consts_i: Vec::new(),
+                consts_f: Vec::new(),
+                const_base: int_off + n_int,
+                is_float: false,
+            },
+            float_bank: Bank {
+                consts_i: Vec::new(),
+                consts_f: Vec::new(),
+                const_base: float_off + n_float,
+                is_float: true,
+            },
+        };
         let array_plan = |a: asip_ir::ArrayId| -> &ArrayPlan {
             assert!(a.index() < arrays.len(), "decode: dangling array {a}");
             &arrays[a.index()]
@@ -612,29 +748,33 @@ impl DecodedProgram {
                     InstKind::Load { dst, array, index } => {
                         let plan = array_plan(*array);
                         let direct = plan.base == 0 && plan.elem_size == 1;
-                        // direct variants carry the bank-local index;
-                        // general variants carry the *declaration*
-                        // index (the address plan lives there)
-                        let arr = if direct {
-                            plan.bank
-                        } else {
-                            array.index() as u32
-                        };
+                        // every variant carries the *declaration*
+                        // index: the direct span table and the address
+                        // plans are both declaration-ordered
+                        let decl = array.index() as u32;
                         let is_float = plan.ty == Ty::Float;
                         let index = lower.slot(index, Ty::Int);
                         if is_float {
                             let dst = lower.dst(*dst, Ty::Float);
                             if direct {
-                                DecodedInst::LoadFloat { dst, arr, index }
+                                DecodedInst::LoadFloat { dst, decl, index }
                             } else {
-                                DecodedInst::LoadFloatAddr { dst, arr, index }
+                                DecodedInst::LoadFloatAddr {
+                                    dst,
+                                    arr: decl,
+                                    index,
+                                }
                             }
                         } else {
                             let dst = lower.dst(*dst, Ty::Int);
                             if direct {
-                                DecodedInst::LoadInt { dst, arr, index }
+                                DecodedInst::LoadInt { dst, decl, index }
                             } else {
-                                DecodedInst::LoadIntAddr { dst, arr, index }
+                                DecodedInst::LoadIntAddr {
+                                    dst,
+                                    arr: decl,
+                                    index,
+                                }
                             }
                         }
                     }
@@ -645,19 +785,23 @@ impl DecodedProgram {
                     } => {
                         let plan = array_plan(*array);
                         let direct = plan.base == 0 && plan.elem_size == 1;
-                        let arr = if direct {
-                            plan.bank
-                        } else {
-                            array.index() as u32
-                        };
+                        let decl = array.index() as u32;
                         let is_float = plan.ty == Ty::Float;
                         let index = lower.slot(index, Ty::Int);
                         let value = lower.slot(value, plan.ty);
                         match (is_float, direct) {
-                            (false, true) => DecodedInst::StoreInt { arr, index, value },
-                            (false, false) => DecodedInst::StoreIntAddr { arr, index, value },
-                            (true, true) => DecodedInst::StoreFloat { arr, index, value },
-                            (true, false) => DecodedInst::StoreFloatAddr { arr, index, value },
+                            (false, true) => DecodedInst::StoreInt { decl, index, value },
+                            (false, false) => DecodedInst::StoreIntAddr {
+                                arr: decl,
+                                index,
+                                value,
+                            },
+                            (true, true) => DecodedInst::StoreFloat { decl, index, value },
+                            (true, false) => DecodedInst::StoreFloatAddr {
+                                arr: decl,
+                                index,
+                                value,
+                            },
                         }
                     }
                     InstKind::Branch {
@@ -717,9 +861,16 @@ impl DecodedProgram {
                         }
                     }
                 };
-                // peephole: a branch whose condition is the register
-                // the immediately preceding int-bin or float-cmp wrote
-                // fuses into one dispatch (the loop back-edge pattern)
+                // peepholes: fuse a producer into the consumer that
+                // immediately follows it in the same block when the
+                // consumer reads exactly the register the producer
+                // wrote — the loop back-edge compare+branch, the
+                // accumulator mov chain, and address arithmetic
+                // feeding a direct load. A consumer operand that is a
+                // constant slot can never alias a produced register
+                // (constants sit above all registers in the arena),
+                // and fused variants are never matched as producers,
+                // so fusion is single-level by construction.
                 let decoded = match decoded {
                     DecodedInst::Branch {
                         cond,
@@ -754,13 +905,112 @@ impl DecodedProgram {
                             else_b,
                         },
                     },
+                    DecodedInst::IntUn {
+                        op: UnOp::Mov,
+                        dst,
+                        src,
+                    } if insts.len() as u32 > start => match insts.last() {
+                        Some(&DecodedInst::IntBin {
+                            op,
+                            dst: d,
+                            lhs,
+                            rhs,
+                        }) if d == src => {
+                            insts.pop();
+                            DecodedInst::IntBinMov {
+                                op,
+                                dst: d,
+                                dst2: dst,
+                                lhs,
+                                rhs,
+                            }
+                        }
+                        _ => DecodedInst::IntUn {
+                            op: UnOp::Mov,
+                            dst,
+                            src,
+                        },
+                    },
+                    DecodedInst::FloatUn {
+                        op: UnOp::Mov,
+                        dst,
+                        src,
+                    } if insts.len() as u32 > start => match insts.last() {
+                        Some(&DecodedInst::FloatBin {
+                            op,
+                            dst: d,
+                            lhs,
+                            rhs,
+                        }) if d == src => {
+                            insts.pop();
+                            DecodedInst::FloatBinMov {
+                                op,
+                                dst: d,
+                                dst2: dst,
+                                lhs,
+                                rhs,
+                            }
+                        }
+                        _ => DecodedInst::FloatUn {
+                            op: UnOp::Mov,
+                            dst,
+                            src,
+                        },
+                    },
+                    DecodedInst::LoadInt { dst, decl, index } if insts.len() as u32 > start => {
+                        match insts.last() {
+                            Some(&DecodedInst::IntBin {
+                                op,
+                                dst: d,
+                                lhs,
+                                rhs,
+                            }) if d == index => {
+                                insts.pop();
+                                DecodedInst::IntBinLoadInt {
+                                    op,
+                                    dst: d,
+                                    lhs,
+                                    rhs,
+                                    ld: dst,
+                                    decl,
+                                }
+                            }
+                            _ => DecodedInst::LoadInt { dst, decl, index },
+                        }
+                    }
+                    DecodedInst::LoadFloat { dst, decl, index } if insts.len() as u32 > start => {
+                        match insts.last() {
+                            Some(&DecodedInst::IntBin {
+                                op,
+                                dst: d,
+                                lhs,
+                                rhs,
+                            }) if d == index => {
+                                insts.pop();
+                                DecodedInst::IntBinLoadFloat {
+                                    op,
+                                    dst: d,
+                                    lhs,
+                                    rhs,
+                                    ld: dst,
+                                    decl,
+                                }
+                            }
+                            _ => DecodedInst::LoadFloat { dst, decl, index },
+                        }
+                    }
                     other => other,
                 };
-                // the fused pair keeps the *producer's* origin so the
+                // a fused pair keeps the *producer's* origin so the
                 // trace loop can re-derive both source instructions
                 if matches!(
                     decoded,
-                    DecodedInst::IntBinBranch { .. } | DecodedInst::FloatCmpBranch { .. }
+                    DecodedInst::IntBinBranch { .. }
+                        | DecodedInst::FloatCmpBranch { .. }
+                        | DecodedInst::IntBinMov { .. }
+                        | DecodedInst::FloatBinMov { .. }
+                        | DecodedInst::IntBinLoadInt { .. }
+                        | DecodedInst::IntBinLoadFloat { .. }
                 ) {
                     origins.pop();
                     origins.push((bi as u32, pos as u32 - 1));
@@ -788,10 +1038,13 @@ impl DecodedProgram {
             profile_ranges.push((pstart, profile_slots.len() as u32));
         }
 
-        let mut init_ints = vec![0i64; n_int as usize];
-        init_ints.extend(&lower.int_bank.consts_i);
-        let mut init_floats = vec![0f64; n_float as usize];
-        init_floats.extend(&lower.float_bank.consts_f);
+        let mut image_ints = vec![0i64; (int_off + n_int) as usize];
+        image_ints.extend(&lower.int_bank.consts_i);
+        let mut image_floats = vec![0f64; (float_off + n_float) as usize];
+        image_floats.extend(&lower.float_bank.consts_f);
+
+        #[cfg(feature = "tail-dispatch")]
+        let handlers = insts.iter().map(handler_for).collect();
 
         DecodedProgram {
             insts,
@@ -801,12 +1054,15 @@ impl DecodedProgram {
             profile_ranges,
             arrays,
             addr_plans,
+            direct,
             chains,
-            init_ints,
-            init_floats,
+            image_ints,
+            image_floats,
             entry: program.entry.0,
             inst_slots: program.next_inst_id as usize,
             count_slots: (program.next_inst_id as usize).max(max_id),
+            #[cfg(feature = "tail-dispatch")]
+            handlers,
         }
     }
 
@@ -820,68 +1076,95 @@ impl DecodedProgram {
         self.insts.is_empty()
     }
 
-    /// Bind input data and build the initial machine state — the same
-    /// checks, in the same order, as the reference interpreter.
-    fn init_machine(&self, data: &DataSet) -> Result<Machine> {
-        let mut int_mem: Vec<Vec<i64>> = Vec::new();
-        let mut float_mem: Vec<Vec<f64>> = Vec::new();
+    /// Allocate a fresh, reset [`RunState`] sized for this program's
+    /// arenas.
+    pub(crate) fn new_state(&self) -> RunState {
+        RunState {
+            ints: self.image_ints.clone(),
+            floats: self.image_floats.clone(),
+            block_counts: vec![0u64; self.blocks.len()],
+        }
+    }
+
+    /// Validate and convert input bindings — the same checks, in the
+    /// same declaration order, as the reference interpreter — into
+    /// arena spans ready to copy in at the start of each run.
+    pub(crate) fn bind(&self, data: &DataSet) -> Result<BoundInputs> {
+        let mut ints = Vec::new();
+        let mut floats = Vec::new();
         for plan in &self.arrays {
-            match plan.kind {
-                ArrayKind::Input => {
-                    let bound = data.get(&plan.name).ok_or_else(|| SimError::UnboundInput {
-                        name: plan.name.clone(),
-                    })?;
-                    if bound.len() != plan.len {
-                        return Err(SimError::WrongLength {
-                            name: plan.name.clone(),
-                            expected: plan.len,
-                            got: bound.len(),
-                        });
-                    }
-                    if bound.iter().any(|v| v.ty() != plan.ty) {
-                        return Err(SimError::WrongType {
-                            name: plan.name.clone(),
-                        });
-                    }
-                    if plan.ty == Ty::Float {
-                        float_mem.push(bound.iter().map(Value::as_float).collect());
-                    } else {
-                        int_mem.push(bound.iter().map(Value::as_int).collect());
-                    }
-                }
-                ArrayKind::Output | ArrayKind::Internal => {
-                    if plan.ty == Ty::Float {
-                        float_mem.push(vec![0.0; plan.len]);
-                    } else {
-                        int_mem.push(vec![0; plan.len]);
-                    }
-                }
+            if plan.kind != ArrayKind::Input {
+                continue;
+            }
+            let bound = data.get(&plan.name).ok_or_else(|| SimError::UnboundInput {
+                name: plan.name.clone(),
+            })?;
+            if bound.len() != plan.len {
+                return Err(SimError::WrongLength {
+                    name: plan.name.clone(),
+                    expected: plan.len,
+                    got: bound.len(),
+                });
+            }
+            if bound.iter().any(|v| v.ty() != plan.ty) {
+                return Err(SimError::WrongType {
+                    name: plan.name.clone(),
+                });
+            }
+            if plan.ty == Ty::Float {
+                floats.push((plan.offset, bound.iter().map(Value::as_float).collect()));
+            } else {
+                ints.push((plan.offset, bound.iter().map(Value::as_int).collect()));
             }
         }
-        Ok(Machine {
-            ints: self.init_ints.clone(),
-            floats: self.init_floats.clone(),
-            int_mem,
-            float_mem,
+        Ok(BoundInputs {
+            ints,
+            floats,
+            int_arena: self.image_ints.len(),
+            float_arena: self.image_floats.len(),
         })
     }
 
-    /// Repackage the typed memory banks into the declaration-ordered
-    /// [`Value`] arrays of an [`Execution`].
-    fn finish_memory(&self, m: Machine) -> Vec<Vec<Value>> {
+    /// Reset `state` to the decoded init images and copy the bound
+    /// inputs in: two arena `memcpy`s plus one span copy per input
+    /// array — no allocation. This runs at the *start* of every run,
+    /// so a state that carries a faulted run's partial writes is
+    /// scrubbed before it is ever read again.
+    fn reset_into(&self, state: &mut RunState, inputs: &BoundInputs) {
+        assert!(
+            inputs.int_arena == self.image_ints.len()
+                && inputs.float_arena == self.image_floats.len()
+                && state.ints.len() == self.image_ints.len()
+                && state.floats.len() == self.image_floats.len()
+                && state.block_counts.len() == self.blocks.len(),
+            "run state / bound inputs do not fit this program's arenas"
+        );
+        state.ints.copy_from_slice(&self.image_ints);
+        state.floats.copy_from_slice(&self.image_floats);
+        state.block_counts.fill(0);
+        for (off, vals) in &inputs.ints {
+            state.ints[*off as usize..*off as usize + vals.len()].copy_from_slice(vals);
+        }
+        for (off, vals) in &inputs.floats {
+            state.floats[*off as usize..*off as usize + vals.len()].copy_from_slice(vals);
+        }
+    }
+
+    /// Repackage the arena's array spans into the declaration-ordered
+    /// [`Value`] arrays of an [`Execution`] — the lazy half of the old
+    /// eager `finish_memory`: profile-only runs never call this.
+    pub(crate) fn materialize_memory(&self, state: &RunState) -> Vec<Vec<Value>> {
         self.arrays
             .iter()
             .map(|plan| {
+                let span = plan.offset as usize..plan.offset as usize + plan.len;
                 if plan.ty == Ty::Float {
-                    m.float_mem[plan.bank as usize]
+                    state.floats[span]
                         .iter()
                         .map(|&v| Value::Float(v))
                         .collect()
                 } else {
-                    m.int_mem[plan.bank as usize]
-                        .iter()
-                        .map(|&v| Value::Int(v))
-                        .collect()
+                    state.ints[span].iter().map(|&v| Value::Int(v)).collect()
                 }
             })
             .collect()
@@ -899,18 +1182,196 @@ impl DecodedProgram {
         }
     }
 
-    /// The declaration index of a bank-local array (error paths only).
-    fn decl_of(&self, bank: u32, is_float: bool) -> u32 {
-        self.arrays
-            .iter()
-            .position(|p| p.bank == bank && (p.ty == Ty::Float) == is_float)
-            .expect("bank indices are decode-assigned") as u32
+    /// Direct-layout int load: the shared body of the `LoadInt` arm
+    /// and its dispatch handler.
+    #[inline(always)]
+    fn direct_load_int(&self, dst: u32, decl: u32, index: u32, m: &mut RunState) -> Step {
+        let addr = m.ints[index as usize];
+        let d = self.direct[decl as usize];
+        // a negative address wraps to a huge u64 and misses
+        if (addr as u64) < d.len as u64 {
+            m.ints[dst as usize] = m.ints[d.off as usize + addr as usize];
+            Step::Next
+        } else {
+            Step::Oob { decl, addr }
+        }
+    }
+
+    /// Direct-layout float load.
+    #[inline(always)]
+    fn direct_load_float(&self, dst: u32, decl: u32, index: u32, m: &mut RunState) -> Step {
+        let addr = m.ints[index as usize];
+        let d = self.direct[decl as usize];
+        if (addr as u64) < d.len as u64 {
+            m.floats[dst as usize] = m.floats[d.off as usize + addr as usize];
+            Step::Next
+        } else {
+            Step::Oob { decl, addr }
+        }
+    }
+
+    /// Direct-layout int store.
+    #[inline(always)]
+    fn direct_store_int(&self, decl: u32, index: u32, value: u32, m: &mut RunState) -> Step {
+        let addr = m.ints[index as usize];
+        let d = self.direct[decl as usize];
+        if (addr as u64) < d.len as u64 {
+            m.ints[d.off as usize + addr as usize] = m.ints[value as usize];
+            Step::Next
+        } else {
+            Step::Oob { decl, addr }
+        }
+    }
+
+    /// Direct-layout float store.
+    #[inline(always)]
+    fn direct_store_float(&self, decl: u32, index: u32, value: u32, m: &mut RunState) -> Step {
+        let addr = m.ints[index as usize];
+        let d = self.direct[decl as usize];
+        if (addr as u64) < d.len as u64 {
+            m.floats[d.off as usize + addr as usize] = m.floats[value as usize];
+            Step::Next
+        } else {
+            Step::Oob { decl, addr }
+        }
+    }
+
+    /// General-layout int load.
+    #[inline(always)]
+    fn addr_load_int(&self, dst: u32, arr: u32, index: u32, m: &mut RunState) -> Step {
+        let addr = m.ints[index as usize];
+        let plan = &self.addr_plans[arr as usize];
+        match plan.element_of(addr) {
+            Some(slot) => {
+                m.ints[dst as usize] = m.ints[plan.offset as usize + slot];
+                Step::Next
+            }
+            None => Step::Oob { decl: arr, addr },
+        }
+    }
+
+    /// General-layout float load.
+    #[inline(always)]
+    fn addr_load_float(&self, dst: u32, arr: u32, index: u32, m: &mut RunState) -> Step {
+        let addr = m.ints[index as usize];
+        let plan = &self.addr_plans[arr as usize];
+        match plan.element_of(addr) {
+            Some(slot) => {
+                m.floats[dst as usize] = m.floats[plan.offset as usize + slot];
+                Step::Next
+            }
+            None => Step::Oob { decl: arr, addr },
+        }
+    }
+
+    /// General-layout int store.
+    #[inline(always)]
+    fn addr_store_int(&self, arr: u32, index: u32, value: u32, m: &mut RunState) -> Step {
+        let addr = m.ints[index as usize];
+        let plan = &self.addr_plans[arr as usize];
+        match plan.element_of(addr) {
+            Some(slot) => {
+                m.ints[plan.offset as usize + slot] = m.ints[value as usize];
+                Step::Next
+            }
+            None => Step::Oob { decl: arr, addr },
+        }
+    }
+
+    /// General-layout float store.
+    #[inline(always)]
+    fn addr_store_float(&self, arr: u32, index: u32, value: u32, m: &mut RunState) -> Step {
+        let addr = m.ints[index as usize];
+        let plan = &self.addr_plans[arr as usize];
+        match plan.element_of(addr) {
+            Some(slot) => {
+                m.floats[plan.offset as usize + slot] = m.floats[value as usize];
+                Step::Next
+            }
+            None => Step::Oob { decl: arr, addr },
+        }
+    }
+
+    /// Fused address-arith + direct int load: the produced value is
+    /// written to `dst` *and* used directly as the load address.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)] // mirrors the fused variant's fields
+    fn int_bin_load_int(
+        &self,
+        op: BinOp,
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        ld: u32,
+        decl: u32,
+        m: &mut RunState,
+    ) -> Step {
+        let v = eval_int_bin(op, m.ints[lhs as usize], m.ints[rhs as usize]);
+        m.ints[dst as usize] = v;
+        let d = self.direct[decl as usize];
+        if (v as u64) < d.len as u64 {
+            m.ints[ld as usize] = m.ints[d.off as usize + v as usize];
+            Step::Next
+        } else {
+            Step::Oob { decl, addr: v }
+        }
+    }
+
+    /// Fused address-arith + direct float load.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)] // mirrors the fused variant's fields
+    fn int_bin_load_float(
+        &self,
+        op: BinOp,
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
+        ld: u32,
+        decl: u32,
+        m: &mut RunState,
+    ) -> Step {
+        let v = eval_int_bin(op, m.ints[lhs as usize], m.ints[rhs as usize]);
+        m.ints[dst as usize] = v;
+        let d = self.direct[decl as usize];
+        if (v as u64) < d.len as u64 {
+            m.floats[ld as usize] = m.floats[d.off as usize + v as usize];
+            Step::Next
+        } else {
+            Step::Oob { decl, addr: v }
+        }
+    }
+
+    /// Evaluate a chained super-instruction in the generic [`Value`]
+    /// domain.
+    #[inline(always)]
+    fn run_chain(&self, dst: u32, plan: u32, m: &mut RunState) -> Step {
+        let chain = &self.chains[plan as usize];
+        let read = |s: TSlot| -> Value {
+            match s {
+                TSlot::I(i) => Value::Int(m.ints[i as usize]),
+                TSlot::F(i) => Value::Float(m.floats[i as usize]),
+            }
+        };
+        let a = read(chain.lhs);
+        let mut acc = match chain.head {
+            Some(op) => eval_binop(op, a, read(chain.rhs)),
+            None => a,
+        };
+        for &(op, slot) in &chain.tail {
+            acc = eval_binop(op, acc, read(slot));
+        }
+        if chain.dst_float {
+            m.floats[dst as usize] = acc.as_float();
+        } else {
+            m.ints[dst as usize] = acc.as_int();
+        }
+        Step::Next
     }
 
     /// Execute one decoded instruction. Shared by the fast block loop,
     /// the careful near-limit loop and the trace loop.
     #[inline(always)]
-    fn exec(&self, inst: &DecodedInst, m: &mut Machine) -> Step {
+    fn exec(&self, inst: &DecodedInst, m: &mut RunState) -> Step {
         match *inst {
             DecodedInst::IntBin { op, dst, lhs, rhs } => {
                 m.ints[dst as usize] = eval_int_bin(op, m.ints[lhs as usize], m.ints[rhs as usize]);
@@ -954,105 +1415,66 @@ impl DecodedProgram {
                 m.ints[dst as usize] = m.floats[src as usize] as i64;
                 Step::Next
             }
-            DecodedInst::LoadInt { dst, arr, index } => {
-                let addr = m.ints[index as usize];
-                match m.int_mem[arr as usize].get(addr as usize) {
-                    // a negative address wraps to a huge index and misses
-                    Some(&v) => {
-                        m.ints[dst as usize] = v;
-                        Step::Next
-                    }
-                    None => Step::Oob {
-                        decl: self.decl_of(arr, false),
-                        addr,
-                    },
-                }
+            DecodedInst::LoadInt { dst, decl, index } => self.direct_load_int(dst, decl, index, m),
+            DecodedInst::LoadFloat { dst, decl, index } => {
+                self.direct_load_float(dst, decl, index, m)
             }
-            DecodedInst::LoadFloat { dst, arr, index } => {
-                let addr = m.ints[index as usize];
-                match m.float_mem[arr as usize].get(addr as usize) {
-                    Some(&v) => {
-                        m.floats[dst as usize] = v;
-                        Step::Next
-                    }
-                    None => Step::Oob {
-                        decl: self.decl_of(arr, true),
-                        addr,
-                    },
-                }
-            }
-            DecodedInst::LoadIntAddr { dst, arr, index } => {
-                let addr = m.ints[index as usize];
-                let plan = &self.addr_plans[arr as usize];
-                match plan.element_of(addr) {
-                    Some(slot) => {
-                        m.ints[dst as usize] = m.int_mem[plan.bank as usize][slot];
-                        Step::Next
-                    }
-                    None => Step::Oob { decl: arr, addr },
-                }
-            }
+            DecodedInst::LoadIntAddr { dst, arr, index } => self.addr_load_int(dst, arr, index, m),
             DecodedInst::LoadFloatAddr { dst, arr, index } => {
-                let addr = m.ints[index as usize];
-                let plan = &self.addr_plans[arr as usize];
-                match plan.element_of(addr) {
-                    Some(slot) => {
-                        m.floats[dst as usize] = m.float_mem[plan.bank as usize][slot];
-                        Step::Next
-                    }
-                    None => Step::Oob { decl: arr, addr },
-                }
+                self.addr_load_float(dst, arr, index, m)
             }
-            DecodedInst::StoreInt { arr, index, value } => {
-                let addr = m.ints[index as usize];
-                let v = m.ints[value as usize];
-                match m.int_mem[arr as usize].get_mut(addr as usize) {
-                    Some(slot) => {
-                        *slot = v;
-                        Step::Next
-                    }
-                    None => Step::Oob {
-                        decl: self.decl_of(arr, false),
-                        addr,
-                    },
-                }
+            DecodedInst::StoreInt { decl, index, value } => {
+                self.direct_store_int(decl, index, value, m)
             }
-            DecodedInst::StoreFloat { arr, index, value } => {
-                let addr = m.ints[index as usize];
-                let v = m.floats[value as usize];
-                match m.float_mem[arr as usize].get_mut(addr as usize) {
-                    Some(slot) => {
-                        *slot = v;
-                        Step::Next
-                    }
-                    None => Step::Oob {
-                        decl: self.decl_of(arr, true),
-                        addr,
-                    },
-                }
+            DecodedInst::StoreFloat { decl, index, value } => {
+                self.direct_store_float(decl, index, value, m)
             }
             DecodedInst::StoreIntAddr { arr, index, value } => {
-                let addr = m.ints[index as usize];
-                let plan = &self.addr_plans[arr as usize];
-                match plan.element_of(addr) {
-                    Some(slot) => {
-                        m.int_mem[plan.bank as usize][slot] = m.ints[value as usize];
-                        Step::Next
-                    }
-                    None => Step::Oob { decl: arr, addr },
-                }
+                self.addr_store_int(arr, index, value, m)
             }
             DecodedInst::StoreFloatAddr { arr, index, value } => {
-                let addr = m.ints[index as usize];
-                let plan = &self.addr_plans[arr as usize];
-                match plan.element_of(addr) {
-                    Some(slot) => {
-                        m.float_mem[plan.bank as usize][slot] = m.floats[value as usize];
-                        Step::Next
-                    }
-                    None => Step::Oob { decl: arr, addr },
-                }
+                self.addr_store_float(arr, index, value, m)
             }
+            DecodedInst::IntBinMov {
+                op,
+                dst,
+                dst2,
+                lhs,
+                rhs,
+            } => {
+                let v = eval_int_bin(op, m.ints[lhs as usize], m.ints[rhs as usize]);
+                m.ints[dst as usize] = v;
+                m.ints[dst2 as usize] = v;
+                Step::Next
+            }
+            DecodedInst::FloatBinMov {
+                op,
+                dst,
+                dst2,
+                lhs,
+                rhs,
+            } => {
+                let v = eval_float_bin(op, m.floats[lhs as usize], m.floats[rhs as usize]);
+                m.floats[dst as usize] = v;
+                m.floats[dst2 as usize] = v;
+                Step::Next
+            }
+            DecodedInst::IntBinLoadInt {
+                op,
+                dst,
+                lhs,
+                rhs,
+                ld,
+                decl,
+            } => self.int_bin_load_int(op, dst, lhs, rhs, ld, decl, m),
+            DecodedInst::IntBinLoadFloat {
+                op,
+                dst,
+                lhs,
+                rhs,
+                ld,
+                decl,
+            } => self.int_bin_load_float(op, dst, lhs, rhs, ld, decl, m),
             DecodedInst::Branch {
                 cond,
                 then_b,
@@ -1090,29 +1512,7 @@ impl DecodedProgram {
             DecodedInst::RetNone => Step::Halt(None),
             DecodedInst::RetInt { src } => Step::Halt(Some(Value::Int(m.ints[src as usize]))),
             DecodedInst::RetFloat { src } => Step::Halt(Some(Value::Float(m.floats[src as usize]))),
-            DecodedInst::Chained { dst, plan } => {
-                let chain = &self.chains[plan as usize];
-                let read = |s: TSlot| -> Value {
-                    match s {
-                        TSlot::I(i) => Value::Int(m.ints[i as usize]),
-                        TSlot::F(i) => Value::Float(m.floats[i as usize]),
-                    }
-                };
-                let a = read(chain.lhs);
-                let mut acc = match chain.head {
-                    Some(op) => eval_binop(op, a, read(chain.rhs)),
-                    None => a,
-                };
-                for &(op, slot) in &chain.tail {
-                    acc = eval_binop(op, acc, read(slot));
-                }
-                if chain.dst_float {
-                    m.floats[dst as usize] = acc.as_float();
-                } else {
-                    m.ints[dst as usize] = acc.as_int();
-                }
-                Step::Next
-            }
+            DecodedInst::Chained { dst, plan } => self.run_chain(dst, plan, m),
             DecodedInst::Unterminated => {
                 unreachable!("block fell through without terminator")
             }
@@ -1120,8 +1520,9 @@ impl DecodedProgram {
     }
 
     /// The value an instruction wrote to its destination register, if
-    /// any (trace events only).
-    fn wrote(&self, inst: &DecodedInst, m: &Machine) -> Option<Value> {
+    /// any (trace events only; the fused non-branch variants write two
+    /// registers and are re-expanded inline by the trace loop instead).
+    fn wrote(&self, inst: &DecodedInst, m: &RunState) -> Option<Value> {
         match *inst {
             DecodedInst::IntBin { dst, .. }
             | DecodedInst::FloatCmp { dst, .. }
@@ -1148,7 +1549,7 @@ impl DecodedProgram {
     /// Derive the per-instruction profile from the block entry counters
     /// (every instruction in a block runs once per entry), reproducing
     /// the reference interpreter's on-demand slot growth exactly.
-    fn derive_profile(&self, block_counts: Vec<u64>, total_ops: u64) -> Profile {
+    fn derive_profile(&self, block_counts: &[u64], total_ops: u64) -> Profile {
         let mut inst_counts = vec![0u64; self.count_slots];
         for (b, &(pstart, pend)) in self.profile_ranges.iter().enumerate() {
             let entries = block_counts[b];
@@ -1169,18 +1570,24 @@ impl DecodedProgram {
             }
         }
         inst_counts.truncate(len);
-        Profile::from_parts(inst_counts, block_counts, total_ops)
+        Profile::from_parts(inst_counts, block_counts.to_vec(), total_ops)
     }
 
-    /// Run to completion without tracing: the hot path.
-    pub(crate) fn execute(&self, data: &DataSet, limit: u64) -> Result<Execution> {
-        let mut m = self.init_machine(data)?;
-        let mut block_counts = vec![0u64; self.blocks.len()];
+    /// Reset `state` from the init images, copy `inputs` in, and run
+    /// to completion — the allocation-free hot path under every run
+    /// API (only the outcome's derived profile allocates).
+    pub(crate) fn run_into(
+        &self,
+        state: &mut RunState,
+        inputs: &BoundInputs,
+        limit: u64,
+    ) -> Result<RunOutcome> {
+        self.reset_into(state, inputs);
         let mut steps: u64 = 0;
         let mut block = self.entry as usize;
 
         'outer: loop {
-            block_counts[block] += 1;
+            state.block_counts[block] += 1;
             let plan = self.blocks[block];
             let n = plan.steps as u64;
             if steps + n > limit {
@@ -1196,16 +1603,15 @@ impl DecodedProgram {
                         // state) is the same either way
                         return Err(SimError::StepLimit { limit });
                     }
-                    match self.exec(inst, &mut m) {
+                    match self.exec(inst, state) {
                         Step::Next => {}
                         Step::Goto(b) => {
                             block = b as usize;
                             continue 'outer;
                         }
                         Step::Halt(result) => {
-                            return Ok(Execution {
-                                profile: self.derive_profile(block_counts, steps),
-                                memory: self.finish_memory(m),
+                            return Ok(RunOutcome {
+                                profile: self.derive_profile(&state.block_counts, steps),
                                 result,
                             })
                         }
@@ -1214,17 +1620,27 @@ impl DecodedProgram {
                 }
             } else {
                 steps += n;
-                for inst in &self.insts[plan.start as usize..plan.end as usize] {
-                    match self.exec(inst, &mut m) {
+                let (lo, hi) = (plan.start as usize, plan.end as usize);
+                // iterate the block as a slice so the per-instruction
+                // bounds check is hoisted to one check per block
+                #[cfg(feature = "tail-dispatch")]
+                let handlers = &self.handlers[lo..hi];
+                for (pc, inst) in self.insts[lo..hi].iter().enumerate() {
+                    #[cfg(not(feature = "tail-dispatch"))]
+                    let _ = pc;
+                    #[cfg(not(feature = "tail-dispatch"))]
+                    let step = self.exec(inst, state);
+                    #[cfg(feature = "tail-dispatch")]
+                    let step = (handlers[pc])(self, inst, state);
+                    match step {
                         Step::Next => {}
                         Step::Goto(b) => {
                             block = b as usize;
                             continue 'outer;
                         }
                         Step::Halt(result) => {
-                            return Ok(Execution {
-                                profile: self.derive_profile(block_counts, steps),
-                                memory: self.finish_memory(m),
+                            return Ok(RunOutcome {
+                                profile: self.derive_profile(&state.block_counts, steps),
                                 result,
                             })
                         }
@@ -1238,6 +1654,20 @@ impl DecodedProgram {
         }
     }
 
+    /// One-shot convenience: bind, allocate a fresh state, run, and
+    /// materialize the outputs (the borrowing [`crate::Simulator`]
+    /// facade path; [`Engine`] pools states instead).
+    pub(crate) fn execute(&self, data: &DataSet, limit: u64) -> Result<Execution> {
+        let inputs = self.bind(data)?;
+        let mut state = self.new_state();
+        let out = self.run_into(&mut state, &inputs, limit)?;
+        Ok(Execution {
+            profile: out.profile,
+            memory: self.materialize_memory(&state),
+            result: out.result,
+        })
+    }
+
     /// Run with a per-step trace observer: the specialized slow loop.
     /// `program` must be the program this decode was built from (the
     /// trace borrows its instructions).
@@ -1248,68 +1678,208 @@ impl DecodedProgram {
         limit: u64,
         sink: &mut dyn TraceSink,
     ) -> Result<Execution> {
-        let mut m = self.init_machine(data)?;
-        let mut block_counts = vec![0u64; self.blocks.len()];
+        let inputs = self.bind(data)?;
+        let mut m = self.new_state();
+        self.reset_into(&mut m, &inputs);
         let mut steps: u64 = 0;
         let mut block = self.entry as usize;
 
         'outer: loop {
-            block_counts[block] += 1;
+            m.block_counts[block] += 1;
             let plan = self.blocks[block];
             for pc in plan.start as usize..plan.end as usize {
                 let inst = &self.insts[pc];
                 let (ob, opos) = self.origins[pc];
-                let fused = matches!(
-                    inst,
-                    DecodedInst::IntBinBranch { .. } | DecodedInst::FloatCmpBranch { .. }
-                );
-                let step = if fused {
-                    // re-expand the fused pair into its two source
-                    // events, with the reference's exact limit
-                    // ordering: no event if the producer crosses, the
-                    // producer's event but not the branch's if the
-                    // branch crosses
-                    steps += 1;
-                    if steps > limit {
-                        return Err(SimError::StepLimit { limit });
+                // every fused variant re-expands into its two source
+                // events, with the reference's exact limit ordering:
+                // no event if the producer's step crosses the limit,
+                // the producer's event but not the consumer's if the
+                // consumer's step crosses
+                let step = match *inst {
+                    DecodedInst::IntBinBranch { .. } | DecodedInst::FloatCmpBranch { .. } => {
+                        steps += 1;
+                        if steps > limit {
+                            return Err(SimError::StepLimit { limit });
+                        }
+                        let step = self.exec(inst, &mut m);
+                        let producer = &program.blocks[ob as usize].insts[opos as usize];
+                        sink.event(&TraceEvent {
+                            step: steps,
+                            block: asip_ir::BlockId(ob),
+                            inst: producer,
+                            wrote: self.wrote(inst, &m),
+                        });
+                        steps += 1;
+                        if steps > limit {
+                            return Err(SimError::StepLimit { limit });
+                        }
+                        let branch = &program.blocks[ob as usize].insts[opos as usize + 1];
+                        sink.event(&TraceEvent {
+                            step: steps,
+                            block: asip_ir::BlockId(ob),
+                            inst: branch,
+                            wrote: None,
+                        });
+                        step
                     }
-                    let step = self.exec(inst, &mut m);
-                    let producer = &program.blocks[ob as usize].insts[opos as usize];
-                    sink.event(&TraceEvent {
-                        step: steps,
-                        block: asip_ir::BlockId(ob),
-                        inst: producer,
-                        wrote: self.wrote(inst, &m),
-                    });
-                    steps += 1;
-                    if steps > limit {
-                        return Err(SimError::StepLimit { limit });
+                    DecodedInst::IntBinMov {
+                        op,
+                        dst,
+                        dst2,
+                        lhs,
+                        rhs,
+                    } => {
+                        steps += 1;
+                        if steps > limit {
+                            return Err(SimError::StepLimit { limit });
+                        }
+                        let v = eval_int_bin(op, m.ints[lhs as usize], m.ints[rhs as usize]);
+                        m.ints[dst as usize] = v;
+                        sink.event(&TraceEvent {
+                            step: steps,
+                            block: asip_ir::BlockId(ob),
+                            inst: &program.blocks[ob as usize].insts[opos as usize],
+                            wrote: Some(Value::Int(v)),
+                        });
+                        steps += 1;
+                        if steps > limit {
+                            return Err(SimError::StepLimit { limit });
+                        }
+                        m.ints[dst2 as usize] = v;
+                        sink.event(&TraceEvent {
+                            step: steps,
+                            block: asip_ir::BlockId(ob),
+                            inst: &program.blocks[ob as usize].insts[opos as usize + 1],
+                            wrote: Some(Value::Int(v)),
+                        });
+                        Step::Next
                     }
-                    let branch = &program.blocks[ob as usize].insts[opos as usize + 1];
-                    sink.event(&TraceEvent {
-                        step: steps,
-                        block: asip_ir::BlockId(ob),
-                        inst: branch,
-                        wrote: None,
-                    });
-                    step
-                } else {
-                    steps += step_weight(inst);
-                    if steps > limit {
-                        return Err(SimError::StepLimit { limit });
+                    DecodedInst::FloatBinMov {
+                        op,
+                        dst,
+                        dst2,
+                        lhs,
+                        rhs,
+                    } => {
+                        steps += 1;
+                        if steps > limit {
+                            return Err(SimError::StepLimit { limit });
+                        }
+                        let v = eval_float_bin(op, m.floats[lhs as usize], m.floats[rhs as usize]);
+                        m.floats[dst as usize] = v;
+                        sink.event(&TraceEvent {
+                            step: steps,
+                            block: asip_ir::BlockId(ob),
+                            inst: &program.blocks[ob as usize].insts[opos as usize],
+                            wrote: Some(Value::Float(v)),
+                        });
+                        steps += 1;
+                        if steps > limit {
+                            return Err(SimError::StepLimit { limit });
+                        }
+                        m.floats[dst2 as usize] = v;
+                        sink.event(&TraceEvent {
+                            step: steps,
+                            block: asip_ir::BlockId(ob),
+                            inst: &program.blocks[ob as usize].insts[opos as usize + 1],
+                            wrote: Some(Value::Float(v)),
+                        });
+                        Step::Next
                     }
-                    let step = self.exec(inst, &mut m);
-                    if let Step::Oob { decl, addr } = step {
-                        return Err(self.oob(decl, addr));
+                    DecodedInst::IntBinLoadInt {
+                        op,
+                        dst,
+                        lhs,
+                        rhs,
+                        ld,
+                        decl,
+                    } => {
+                        steps += 1;
+                        if steps > limit {
+                            return Err(SimError::StepLimit { limit });
+                        }
+                        let v = eval_int_bin(op, m.ints[lhs as usize], m.ints[rhs as usize]);
+                        m.ints[dst as usize] = v;
+                        sink.event(&TraceEvent {
+                            step: steps,
+                            block: asip_ir::BlockId(ob),
+                            inst: &program.blocks[ob as usize].insts[opos as usize],
+                            wrote: Some(Value::Int(v)),
+                        });
+                        steps += 1;
+                        if steps > limit {
+                            return Err(SimError::StepLimit { limit });
+                        }
+                        let d = self.direct[decl as usize];
+                        if (v as u64) >= d.len as u64 {
+                            return Err(self.oob(decl, v));
+                        }
+                        let loaded = m.ints[d.off as usize + v as usize];
+                        m.ints[ld as usize] = loaded;
+                        sink.event(&TraceEvent {
+                            step: steps,
+                            block: asip_ir::BlockId(ob),
+                            inst: &program.blocks[ob as usize].insts[opos as usize + 1],
+                            wrote: Some(Value::Int(loaded)),
+                        });
+                        Step::Next
                     }
-                    let source = &program.blocks[ob as usize].insts[opos as usize];
-                    sink.event(&TraceEvent {
-                        step: steps,
-                        block: asip_ir::BlockId(ob),
-                        inst: source,
-                        wrote: self.wrote(inst, &m),
-                    });
-                    step
+                    DecodedInst::IntBinLoadFloat {
+                        op,
+                        dst,
+                        lhs,
+                        rhs,
+                        ld,
+                        decl,
+                    } => {
+                        steps += 1;
+                        if steps > limit {
+                            return Err(SimError::StepLimit { limit });
+                        }
+                        let v = eval_int_bin(op, m.ints[lhs as usize], m.ints[rhs as usize]);
+                        m.ints[dst as usize] = v;
+                        sink.event(&TraceEvent {
+                            step: steps,
+                            block: asip_ir::BlockId(ob),
+                            inst: &program.blocks[ob as usize].insts[opos as usize],
+                            wrote: Some(Value::Int(v)),
+                        });
+                        steps += 1;
+                        if steps > limit {
+                            return Err(SimError::StepLimit { limit });
+                        }
+                        let d = self.direct[decl as usize];
+                        if (v as u64) >= d.len as u64 {
+                            return Err(self.oob(decl, v));
+                        }
+                        let loaded = m.floats[d.off as usize + v as usize];
+                        m.floats[ld as usize] = loaded;
+                        sink.event(&TraceEvent {
+                            step: steps,
+                            block: asip_ir::BlockId(ob),
+                            inst: &program.blocks[ob as usize].insts[opos as usize + 1],
+                            wrote: Some(Value::Float(loaded)),
+                        });
+                        Step::Next
+                    }
+                    _ => {
+                        steps += step_weight(inst);
+                        if steps > limit {
+                            return Err(SimError::StepLimit { limit });
+                        }
+                        let step = self.exec(inst, &mut m);
+                        if let Step::Oob { decl, addr } = step {
+                            return Err(self.oob(decl, addr));
+                        }
+                        let source = &program.blocks[ob as usize].insts[opos as usize];
+                        sink.event(&TraceEvent {
+                            step: steps,
+                            block: asip_ir::BlockId(ob),
+                            inst: source,
+                            wrote: self.wrote(inst, &m),
+                        });
+                        step
+                    }
                 };
                 match step {
                     Step::Next => {}
@@ -1319,8 +1889,8 @@ impl DecodedProgram {
                     }
                     Step::Halt(result) => {
                         return Ok(Execution {
-                            profile: self.derive_profile(block_counts, steps),
-                            memory: self.finish_memory(m),
+                            profile: self.derive_profile(&m.block_counts, steps),
+                            memory: self.materialize_memory(&m),
                             result,
                         })
                     }
@@ -1337,7 +1907,12 @@ impl DecodedProgram {
 #[inline(always)]
 fn step_weight(inst: &DecodedInst) -> u64 {
     match inst {
-        DecodedInst::IntBinBranch { .. } | DecodedInst::FloatCmpBranch { .. } => 2,
+        DecodedInst::IntBinBranch { .. }
+        | DecodedInst::FloatCmpBranch { .. }
+        | DecodedInst::IntBinMov { .. }
+        | DecodedInst::FloatBinMov { .. }
+        | DecodedInst::IntBinLoadInt { .. }
+        | DecodedInst::IntBinLoadFloat { .. } => 2,
         DecodedInst::Unterminated => 0,
         _ => 1,
     }
@@ -1409,10 +1984,359 @@ fn eval_float_cmp(op: BinOp, a: f64, b: f64) -> i64 {
     }
 }
 
+/// The `tail-dispatch` experiment: one pre-resolved function pointer
+/// per decoded instruction, so the hot loop makes an indirect call per
+/// instruction instead of evaluating a `match` — the closest safe Rust
+/// gets to a computed-goto/threaded interpreter
+/// (`#![forbid(unsafe_code)]` rules out real tail-threading). The
+/// table is built at decode time, parallel to `insts`; the match loop
+/// stays the default and the two are benched against each other in
+/// `docs/perf.md`.
+#[cfg(feature = "tail-dispatch")]
+type Handler = fn(&DecodedProgram, &DecodedInst, &mut RunState) -> Step;
+
+/// Resolve the handler for one decoded instruction.
+#[cfg(feature = "tail-dispatch")]
+fn handler_for(inst: &DecodedInst) -> Handler {
+    use handlers::*;
+    match inst {
+        DecodedInst::IntBin { .. } => int_bin,
+        DecodedInst::FloatBin { .. } => float_bin,
+        DecodedInst::FloatCmp { .. } => float_cmp,
+        DecodedInst::IntUn { .. } => int_un,
+        DecodedInst::FloatUn { .. } => float_un,
+        DecodedInst::IntToFloat { .. } => int_to_float,
+        DecodedInst::FloatToInt { .. } => float_to_int,
+        DecodedInst::LoadInt { .. } => load_int,
+        DecodedInst::LoadFloat { .. } => load_float,
+        DecodedInst::LoadIntAddr { .. } => load_int_addr,
+        DecodedInst::LoadFloatAddr { .. } => load_float_addr,
+        DecodedInst::StoreInt { .. } => store_int,
+        DecodedInst::StoreFloat { .. } => store_float,
+        DecodedInst::StoreIntAddr { .. } => store_int_addr,
+        DecodedInst::StoreFloatAddr { .. } => store_float_addr,
+        DecodedInst::Branch { .. } => branch,
+        DecodedInst::IntBinBranch { .. } => int_bin_branch,
+        DecodedInst::FloatCmpBranch { .. } => float_cmp_branch,
+        DecodedInst::IntBinMov { .. } => int_bin_mov,
+        DecodedInst::FloatBinMov { .. } => float_bin_mov,
+        DecodedInst::IntBinLoadInt { .. } => int_bin_load_int,
+        DecodedInst::IntBinLoadFloat { .. } => int_bin_load_float,
+        DecodedInst::Jump { .. } => jump,
+        DecodedInst::RetNone => ret_none,
+        DecodedInst::RetInt { .. } => ret_int,
+        DecodedInst::RetFloat { .. } => ret_float,
+        DecodedInst::Chained { .. } => chained,
+        DecodedInst::Unterminated => unterminated,
+    }
+}
+
+/// Per-variant dispatch handlers. Each destructures the variant it was
+/// resolved for (`handler_for` guarantees the match) and either
+/// inlines the trivial arithmetic or delegates to the same
+/// `#[inline(always)]` helper the match loop's arm uses, so the two
+/// dispatch strategies cannot drift semantically.
+#[cfg(feature = "tail-dispatch")]
+mod handlers {
+    use super::*;
+
+    pub(super) fn int_bin(_p: &DecodedProgram, i: &DecodedInst, m: &mut RunState) -> Step {
+        let DecodedInst::IntBin { op, dst, lhs, rhs } = *i else {
+            unreachable!()
+        };
+        m.ints[dst as usize] = eval_int_bin(op, m.ints[lhs as usize], m.ints[rhs as usize]);
+        Step::Next
+    }
+
+    pub(super) fn float_bin(_p: &DecodedProgram, i: &DecodedInst, m: &mut RunState) -> Step {
+        let DecodedInst::FloatBin { op, dst, lhs, rhs } = *i else {
+            unreachable!()
+        };
+        m.floats[dst as usize] = eval_float_bin(op, m.floats[lhs as usize], m.floats[rhs as usize]);
+        Step::Next
+    }
+
+    pub(super) fn float_cmp(_p: &DecodedProgram, i: &DecodedInst, m: &mut RunState) -> Step {
+        let DecodedInst::FloatCmp { op, dst, lhs, rhs } = *i else {
+            unreachable!()
+        };
+        m.ints[dst as usize] = eval_float_cmp(op, m.floats[lhs as usize], m.floats[rhs as usize]);
+        Step::Next
+    }
+
+    pub(super) fn int_un(_p: &DecodedProgram, i: &DecodedInst, m: &mut RunState) -> Step {
+        let DecodedInst::IntUn { op, dst, src } = *i else {
+            unreachable!()
+        };
+        let v = m.ints[src as usize];
+        m.ints[dst as usize] = match op {
+            UnOp::Neg => v.wrapping_neg(),
+            UnOp::Not => !v,
+            UnOp::Mov => v,
+            _ => unreachable!("decode put a non-int unary in IntUn"),
+        };
+        Step::Next
+    }
+
+    pub(super) fn float_un(_p: &DecodedProgram, i: &DecodedInst, m: &mut RunState) -> Step {
+        let DecodedInst::FloatUn { op, dst, src } = *i else {
+            unreachable!()
+        };
+        let v = m.floats[src as usize];
+        m.floats[dst as usize] = match op {
+            UnOp::FNeg => -v,
+            UnOp::Mov => v,
+            UnOp::Math(f) => f.eval(v),
+            _ => unreachable!("decode put a non-float unary in FloatUn"),
+        };
+        Step::Next
+    }
+
+    pub(super) fn int_to_float(_p: &DecodedProgram, i: &DecodedInst, m: &mut RunState) -> Step {
+        let DecodedInst::IntToFloat { dst, src } = *i else {
+            unreachable!()
+        };
+        m.floats[dst as usize] = m.ints[src as usize] as f64;
+        Step::Next
+    }
+
+    pub(super) fn float_to_int(_p: &DecodedProgram, i: &DecodedInst, m: &mut RunState) -> Step {
+        let DecodedInst::FloatToInt { dst, src } = *i else {
+            unreachable!()
+        };
+        m.ints[dst as usize] = m.floats[src as usize] as i64;
+        Step::Next
+    }
+
+    pub(super) fn load_int(p: &DecodedProgram, i: &DecodedInst, m: &mut RunState) -> Step {
+        let DecodedInst::LoadInt { dst, decl, index } = *i else {
+            unreachable!()
+        };
+        p.direct_load_int(dst, decl, index, m)
+    }
+
+    pub(super) fn load_float(p: &DecodedProgram, i: &DecodedInst, m: &mut RunState) -> Step {
+        let DecodedInst::LoadFloat { dst, decl, index } = *i else {
+            unreachable!()
+        };
+        p.direct_load_float(dst, decl, index, m)
+    }
+
+    pub(super) fn load_int_addr(p: &DecodedProgram, i: &DecodedInst, m: &mut RunState) -> Step {
+        let DecodedInst::LoadIntAddr { dst, arr, index } = *i else {
+            unreachable!()
+        };
+        p.addr_load_int(dst, arr, index, m)
+    }
+
+    pub(super) fn load_float_addr(p: &DecodedProgram, i: &DecodedInst, m: &mut RunState) -> Step {
+        let DecodedInst::LoadFloatAddr { dst, arr, index } = *i else {
+            unreachable!()
+        };
+        p.addr_load_float(dst, arr, index, m)
+    }
+
+    pub(super) fn store_int(p: &DecodedProgram, i: &DecodedInst, m: &mut RunState) -> Step {
+        let DecodedInst::StoreInt { decl, index, value } = *i else {
+            unreachable!()
+        };
+        p.direct_store_int(decl, index, value, m)
+    }
+
+    pub(super) fn store_float(p: &DecodedProgram, i: &DecodedInst, m: &mut RunState) -> Step {
+        let DecodedInst::StoreFloat { decl, index, value } = *i else {
+            unreachable!()
+        };
+        p.direct_store_float(decl, index, value, m)
+    }
+
+    pub(super) fn store_int_addr(p: &DecodedProgram, i: &DecodedInst, m: &mut RunState) -> Step {
+        let DecodedInst::StoreIntAddr { arr, index, value } = *i else {
+            unreachable!()
+        };
+        p.addr_store_int(arr, index, value, m)
+    }
+
+    pub(super) fn store_float_addr(p: &DecodedProgram, i: &DecodedInst, m: &mut RunState) -> Step {
+        let DecodedInst::StoreFloatAddr { arr, index, value } = *i else {
+            unreachable!()
+        };
+        p.addr_store_float(arr, index, value, m)
+    }
+
+    pub(super) fn branch(_p: &DecodedProgram, i: &DecodedInst, m: &mut RunState) -> Step {
+        let DecodedInst::Branch {
+            cond,
+            then_b,
+            else_b,
+        } = *i
+        else {
+            unreachable!()
+        };
+        Step::Goto(if m.ints[cond as usize] != 0 {
+            then_b
+        } else {
+            else_b
+        })
+    }
+
+    pub(super) fn int_bin_branch(_p: &DecodedProgram, i: &DecodedInst, m: &mut RunState) -> Step {
+        let DecodedInst::IntBinBranch {
+            op,
+            dst,
+            lhs,
+            rhs,
+            then_b,
+            else_b,
+        } = *i
+        else {
+            unreachable!()
+        };
+        let v = eval_int_bin(op, m.ints[lhs as usize], m.ints[rhs as usize]);
+        m.ints[dst as usize] = v;
+        Step::Goto(if v != 0 { then_b } else { else_b })
+    }
+
+    pub(super) fn float_cmp_branch(_p: &DecodedProgram, i: &DecodedInst, m: &mut RunState) -> Step {
+        let DecodedInst::FloatCmpBranch {
+            op,
+            dst,
+            lhs,
+            rhs,
+            then_b,
+            else_b,
+        } = *i
+        else {
+            unreachable!()
+        };
+        let v = eval_float_cmp(op, m.floats[lhs as usize], m.floats[rhs as usize]);
+        m.ints[dst as usize] = v;
+        Step::Goto(if v != 0 { then_b } else { else_b })
+    }
+
+    pub(super) fn int_bin_mov(_p: &DecodedProgram, i: &DecodedInst, m: &mut RunState) -> Step {
+        let DecodedInst::IntBinMov {
+            op,
+            dst,
+            dst2,
+            lhs,
+            rhs,
+        } = *i
+        else {
+            unreachable!()
+        };
+        let v = eval_int_bin(op, m.ints[lhs as usize], m.ints[rhs as usize]);
+        m.ints[dst as usize] = v;
+        m.ints[dst2 as usize] = v;
+        Step::Next
+    }
+
+    pub(super) fn float_bin_mov(_p: &DecodedProgram, i: &DecodedInst, m: &mut RunState) -> Step {
+        let DecodedInst::FloatBinMov {
+            op,
+            dst,
+            dst2,
+            lhs,
+            rhs,
+        } = *i
+        else {
+            unreachable!()
+        };
+        let v = eval_float_bin(op, m.floats[lhs as usize], m.floats[rhs as usize]);
+        m.floats[dst as usize] = v;
+        m.floats[dst2 as usize] = v;
+        Step::Next
+    }
+
+    pub(super) fn int_bin_load_int(p: &DecodedProgram, i: &DecodedInst, m: &mut RunState) -> Step {
+        let DecodedInst::IntBinLoadInt {
+            op,
+            dst,
+            lhs,
+            rhs,
+            ld,
+            decl,
+        } = *i
+        else {
+            unreachable!()
+        };
+        p.int_bin_load_int(op, dst, lhs, rhs, ld, decl, m)
+    }
+
+    pub(super) fn int_bin_load_float(
+        p: &DecodedProgram,
+        i: &DecodedInst,
+        m: &mut RunState,
+    ) -> Step {
+        let DecodedInst::IntBinLoadFloat {
+            op,
+            dst,
+            lhs,
+            rhs,
+            ld,
+            decl,
+        } = *i
+        else {
+            unreachable!()
+        };
+        p.int_bin_load_float(op, dst, lhs, rhs, ld, decl, m)
+    }
+
+    pub(super) fn jump(_p: &DecodedProgram, i: &DecodedInst, _m: &mut RunState) -> Step {
+        let DecodedInst::Jump { target } = *i else {
+            unreachable!()
+        };
+        Step::Goto(target)
+    }
+
+    pub(super) fn ret_none(_p: &DecodedProgram, _i: &DecodedInst, _m: &mut RunState) -> Step {
+        Step::Halt(None)
+    }
+
+    pub(super) fn ret_int(_p: &DecodedProgram, i: &DecodedInst, m: &mut RunState) -> Step {
+        let DecodedInst::RetInt { src } = *i else {
+            unreachable!()
+        };
+        Step::Halt(Some(Value::Int(m.ints[src as usize])))
+    }
+
+    pub(super) fn ret_float(_p: &DecodedProgram, i: &DecodedInst, m: &mut RunState) -> Step {
+        let DecodedInst::RetFloat { src } = *i else {
+            unreachable!()
+        };
+        Step::Halt(Some(Value::Float(m.floats[src as usize])))
+    }
+
+    pub(super) fn chained(p: &DecodedProgram, i: &DecodedInst, m: &mut RunState) -> Step {
+        let DecodedInst::Chained { dst, plan } = *i else {
+            unreachable!()
+        };
+        p.run_chain(dst, plan, m)
+    }
+
+    pub(super) fn unterminated(_p: &DecodedProgram, _i: &DecodedInst, _m: &mut RunState) -> Step {
+        unreachable!("block fell through without terminator")
+    }
+}
+
+/// Upper bound on pooled run states per engine. One state per worker
+/// thread is the steady state; 64 comfortably covers any session pool
+/// while bounding what an anomalous burst can pin.
+const POOL_CAP: usize = 64;
+
 /// A reusable execution engine: one program, decoded once, run many
 /// times. This is what sessions cache so that repeated profiles of the
 /// same program (three opt levels, suite sweeps, evaluate re-runs)
 /// never pay the decode again.
+///
+/// The engine also pools [`RunState`]s internally: [`Engine::run`],
+/// [`Engine::run_profile`], [`Engine::run_pooled`] and
+/// [`Engine::run_batch`] check a state out, run (reset is a `memcpy`
+/// from the decoded init images), and return it — after warm-up, a
+/// sweep of thousands of runs performs zero per-run bank allocations
+/// ([`Engine::run_state_stats`] counts both sides). Callers that want
+/// explicit control use [`Engine::new_state`] + [`Engine::bind`] +
+/// [`Engine::run_into`] directly.
 ///
 /// [`crate::Simulator`] is the borrowing one-shot facade over the same
 /// execution paths; `Engine` owns its program via `Arc` so it can
@@ -1422,6 +2346,10 @@ pub struct Engine {
     program: Arc<Program>,
     code: DecodedProgram,
     step_limit: u64,
+    /// Reusable run states, checked out per run (or once per batch).
+    pool: Mutex<Vec<RunState>>,
+    checkouts: AtomicU64,
+    creates: AtomicU64,
 }
 
 impl Engine {
@@ -1438,6 +2366,9 @@ impl Engine {
             program,
             code,
             step_limit: crate::machine::DEFAULT_STEP_LIMIT,
+            pool: Mutex::new(Vec::new()),
+            checkouts: AtomicU64::new(0),
+            creates: AtomicU64::new(0),
         }
     }
 
@@ -1457,6 +2388,75 @@ impl Engine {
         &self.code
     }
 
+    /// Take a run state from the pool, or allocate a fresh one. A
+    /// poisoned pool lock is survivable: states are reset before every
+    /// run, so whatever a panicking thread left behind is scrubbed.
+    fn checkout(&self) -> RunState {
+        self.checkouts.fetch_add(1, Ordering::Relaxed);
+        let pooled = self
+            .pool
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop();
+        pooled.unwrap_or_else(|| {
+            self.creates.fetch_add(1, Ordering::Relaxed);
+            self.code.new_state()
+        })
+    }
+
+    /// Return a state to the pool (dropped if the pool is full). Even
+    /// a state a faulted run wrote partial results into goes back:
+    /// the pre-run reset makes reuse safe.
+    fn checkin(&self, state: RunState) {
+        let mut pool = self.pool.lock().unwrap_or_else(PoisonError::into_inner);
+        if pool.len() < POOL_CAP {
+            pool.push(state);
+        }
+    }
+
+    /// Validate and convert `data`'s input bindings once, for reuse
+    /// across any number of [`Engine::run_into`] /
+    /// [`Engine::run_pooled`] calls on this engine.
+    ///
+    /// # Errors
+    ///
+    /// The binding half of [`Engine::run`]'s errors: unbound inputs,
+    /// wrong lengths, wrong types.
+    pub fn bind(&self, data: &DataSet) -> Result<BoundInputs> {
+        self.code.bind(data)
+    }
+
+    /// Allocate a fresh [`RunState`] sized for this program's arenas,
+    /// for callers that manage their own states (the pooled run APIs
+    /// use the engine's internal pool instead).
+    pub fn new_state(&self) -> RunState {
+        self.code.new_state()
+    }
+
+    /// Run into a caller-managed state: reset by `memcpy`, copy the
+    /// bound inputs in, execute. Allocates nothing but the outcome's
+    /// profile.
+    ///
+    /// # Errors
+    ///
+    /// Bad array accesses and the step limit (binding errors were
+    /// already surfaced by [`Engine::bind`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` or `inputs` were built by an engine for a
+    /// different program (arena sizes differ).
+    pub fn run_into(&self, state: &mut RunState, inputs: &BoundInputs) -> Result<RunOutcome> {
+        self.code.run_into(state, inputs, self.step_limit)
+    }
+
+    /// Materialize the declaration-ordered `Vec<Value>` output arrays
+    /// from a state this engine just ran — the lazy half of a full
+    /// [`Execution`], for when the outputs are actually needed.
+    pub fn materialize_memory(&self, state: &RunState) -> Vec<Vec<Value>> {
+        self.code.materialize_memory(state)
+    }
+
     /// Run the program on the given input data.
     ///
     /// # Errors
@@ -1464,10 +2464,81 @@ impl Engine {
     /// As [`crate::Simulator::run`]: data-binding mismatches, bad array
     /// accesses, and the step limit.
     pub fn run(&self, data: &DataSet) -> Result<Execution> {
-        self.code.execute(data, self.step_limit)
+        let inputs = self.code.bind(data)?;
+        let mut state = self.checkout();
+        let finished = self
+            .code
+            .run_into(&mut state, &inputs, self.step_limit)
+            .map(|out| Execution {
+                profile: out.profile,
+                memory: self.code.materialize_memory(&state),
+                result: out.result,
+            });
+        self.checkin(state);
+        finished
+    }
+
+    /// Profile-only pooled run: binds, runs, and returns the profile
+    /// and result without ever materializing `Vec<Value>` output
+    /// arrays (the profile stage's path).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Engine::run`].
+    pub fn run_profile(&self, data: &DataSet) -> Result<RunOutcome> {
+        let inputs = self.code.bind(data)?;
+        self.run_pooled(&inputs)
+    }
+
+    /// Pooled run over inputs prepared by [`Engine::bind`], skipping
+    /// per-run re-validation and output materialization.
+    ///
+    /// # Errors
+    ///
+    /// Bad array accesses and the step limit.
+    pub fn run_pooled(&self, inputs: &BoundInputs) -> Result<RunOutcome> {
+        let mut state = self.checkout();
+        let outcome = self.code.run_into(&mut state, inputs, self.step_limit);
+        self.checkin(state);
+        outcome
+    }
+
+    /// Run a batch of datasets through **one** pooled run state,
+    /// binding each dataset once: the sweep-shaped API. Results are
+    /// byte-identical to sequential [`Engine::run`] calls.
+    ///
+    /// # Errors
+    ///
+    /// Fail-fast: the first dataset that errors (binding, bad access,
+    /// step limit) aborts the batch and returns its error.
+    pub fn run_batch(&self, datasets: &[&DataSet]) -> Result<Vec<Execution>> {
+        let mut state = self.checkout();
+        let mut results = Vec::with_capacity(datasets.len());
+        for data in datasets {
+            let one = self.code.bind(data).and_then(|inputs| {
+                self.code
+                    .run_into(&mut state, &inputs, self.step_limit)
+                    .map(|out| Execution {
+                        profile: out.profile,
+                        memory: self.code.materialize_memory(&state),
+                        result: out.result,
+                    })
+            });
+            match one {
+                Ok(exec) => results.push(exec),
+                Err(e) => {
+                    self.checkin(state);
+                    return Err(e);
+                }
+            }
+        }
+        self.checkin(state);
+        Ok(results)
     }
 
     /// Run with an execution-trace observer (see [`crate::trace`]).
+    /// Tracing is the diagnostic slow path: it uses a fresh state, not
+    /// the pool.
     ///
     /// # Errors
     ///
@@ -1475,6 +2546,15 @@ impl Engine {
     pub fn run_traced(&self, data: &DataSet, sink: &mut dyn TraceSink) -> Result<Execution> {
         self.code
             .execute_traced(&self.program, data, self.step_limit, sink)
+    }
+
+    /// This engine's run-state pool counters (sessions aggregate them
+    /// into their cache stats).
+    pub fn run_state_stats(&self) -> RunStateStats {
+        RunStateStats {
+            checkouts: self.checkouts.load(Ordering::Relaxed),
+            creates: self.creates.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -1646,10 +2726,167 @@ mod tests {
             .iter()
             .filter(|&&t| t == Ty::Int)
             .count();
-        let consts = engine.code.init_ints.len() - int_regs;
+        let int_array_elems: usize = engine
+            .program()
+            .arrays
+            .iter()
+            .filter(|a| a.ty == Ty::Int)
+            .map(|a| a.len)
+            .sum();
+        // arena layout is [arrays][registers][constants]
+        let consts = engine.code.image_ints.len() - int_array_elems - int_regs;
         assert!(consts >= 2, "int constant pool materialized ({consts})");
         let a = engine.run(&data()).expect("runs");
         let b = engine.run(&data()).expect("runs");
         assert_eq!(a.result, b.result, "pool state survives reuse");
+    }
+
+    #[test]
+    fn pooled_run_states_are_reused() {
+        let engine = Engine::new(Arc::new(sum_loop_program(4)));
+        let d = data();
+        let inputs = engine.bind(&d).expect("binds");
+        let mut last = None;
+        for _ in 0..8 {
+            last = Some(engine.run_pooled(&inputs).expect("runs"));
+        }
+        let full = engine.run(&d).expect("runs");
+        let out = last.expect("ran");
+        assert_eq!(out.profile, full.profile);
+        assert_eq!(out.result, full.result);
+        let stats = engine.run_state_stats();
+        assert_eq!(stats.checkouts, 9);
+        assert_eq!(stats.creates, 1, "one allocation serves the whole sweep");
+    }
+
+    #[test]
+    fn run_batch_matches_sequential_runs() {
+        let engine = Engine::new(Arc::new(sum_loop_program(4)));
+        let d1 = data();
+        let mut d2 = DataSet::new();
+        d2.bind_ints("x", vec![4, 3, 2, 1]);
+        let batch = engine.run_batch(&[&d1, &d2]).expect("runs");
+        assert_eq!(batch.len(), 2);
+        for (b, d) in batch.iter().zip([&d1, &d2]) {
+            let s = engine.run(d).expect("runs");
+            assert_eq!(b.profile, s.profile);
+            assert_eq!(b.memory, s.memory);
+            assert_eq!(b.result, s.result);
+        }
+    }
+
+    #[test]
+    fn faulted_state_does_not_leak_into_the_next_run() {
+        // an OOB mid-run leaves partial writes in the pooled state; the
+        // next run of the same engine must be byte-identical to a
+        // fresh engine's (reset-by-memcpy scrubs everything)
+        let mut b = ProgramBuilder::new("poison");
+        let x = b.input_array("x", Ty::Int, 2);
+        let y = b.output_array("y", Ty::Int, 1);
+        let entry = b.entry_block();
+        b.select_block(entry);
+        let i = b.load(x, Operand::imm_int(0));
+        b.store(y, Operand::imm_int(0), Operand::imm_int(7));
+        let v = b.load(x, i.into());
+        b.ret(Some(v.into()));
+        let p = b.finish().expect("valid");
+        let mut bad = DataSet::new();
+        bad.bind_ints("x", vec![5, 0]);
+        let mut good = DataSet::new();
+        good.bind_ints("x", vec![1, 9]);
+        let engine = Engine::new(Arc::new(p.clone()));
+        assert!(matches!(
+            engine.run(&bad),
+            Err(SimError::OutOfBounds { index: 5, .. })
+        ));
+        let reused = engine.run(&good).expect("runs");
+        let fresh = Engine::new(Arc::new(p)).run(&good).expect("runs");
+        assert_eq!(reused.profile, fresh.profile);
+        assert_eq!(reused.memory, fresh.memory);
+        assert_eq!(reused.result, fresh.result);
+    }
+
+    #[test]
+    fn addr_arith_and_mov_fusion_match_the_reference() {
+        // an add feeding a direct load fuses (IntBinLoadInt /
+        // IntBinLoadFloat), as does a bin-op result mov'd onward
+        // (IntBinMov / FloatBinMov); everything observable must stay
+        // byte-identical to the reference interpreter
+        let mut b = ProgramBuilder::new("fused");
+        let x = b.input_array("x", Ty::Int, 4);
+        let f = b.input_array("f", Ty::Float, 4);
+        let y = b.output_array("y", Ty::Int, 1);
+        let entry = b.entry_block();
+        b.select_block(entry);
+        let i = b.binary(BinOp::Add, Operand::imm_int(1), Operand::imm_int(2));
+        let v = b.load(x, i.into()); // fuses: add + int load
+        let j = b.binary(BinOp::Sub, i.into(), Operand::imm_int(3));
+        let w = b.load(f, j.into()); // fuses: sub + float load
+        let s = b.binary(BinOp::Mul, v.into(), Operand::imm_int(2));
+        let t = b.new_reg(Ty::Int);
+        b.mov_to(t, s.into()); // fuses: mul + mov
+        let g = b.binary(BinOp::FAdd, w.into(), w.into());
+        let h = b.new_reg(Ty::Float);
+        b.mov_to(h, g.into()); // fuses: fadd + mov
+        let k = b.unary(UnOp::FloatToInt, h.into());
+        let sum = b.binary(BinOp::Add, t.into(), k.into());
+        b.store(y, Operand::imm_int(0), sum.into());
+        b.ret(Some(sum.into()));
+        let p = b.finish().expect("valid");
+        let mut d = DataSet::new();
+        d.bind_ints("x", vec![10, 20, 30, 40]);
+        d.bind_floats("f", vec![0.5, 1.5, 2.5, 3.5]);
+        let engine = Engine::new(Arc::new(p.clone()));
+        // all four fusion kinds fired: four pairs collapsed
+        assert_eq!(engine.decoded().len(), p.inst_count() - 4);
+        let decoded = engine.run(&d).expect("runs");
+        let reference = crate::reference::ReferenceSimulator::new(&p)
+            .run(&d)
+            .expect("runs");
+        assert_eq!(decoded.profile, reference.profile);
+        assert_eq!(decoded.memory, reference.memory);
+        assert_eq!(decoded.result, reference.result);
+        // and step-limit parity holds across every fused boundary
+        let total = decoded.profile.total_ops();
+        for limit in 0..=total {
+            let r = crate::reference::ReferenceSimulator::new(&p)
+                .with_step_limit(limit)
+                .run(&d);
+            let e = Engine::new(Arc::new(p.clone()))
+                .with_step_limit(limit)
+                .run(&d);
+            match (r, e) {
+                (Ok(a), Ok(b)) => assert_eq!(a.profile, b.profile),
+                (Err(a), Err(b)) => assert_eq!(a, b, "at limit {limit}"),
+                (a, b) => panic!("diverged at limit {limit}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fused_oob_reports_the_reference_error() {
+        // the fused address-arith+load bounds check must surface the
+        // same OOB payload as the unfused reference path
+        let mut b = ProgramBuilder::new("fused-oob");
+        let x = b.input_array("x", Ty::Int, 2);
+        let entry = b.entry_block();
+        b.select_block(entry);
+        let i = b.binary(BinOp::Add, Operand::imm_int(1), Operand::imm_int(4));
+        let v = b.load(x, i.into()); // fuses, address 5 misses
+        b.ret(Some(v.into()));
+        let p = b.finish().expect("valid");
+        let mut d = DataSet::new();
+        d.bind_ints("x", vec![1, 2]);
+        let reference = crate::reference::ReferenceSimulator::new(&p).run(&d);
+        let engine = Engine::new(Arc::new(p)).run(&d);
+        assert_eq!(reference, engine);
+        assert!(matches!(
+            engine,
+            Err(SimError::OutOfBounds {
+                index: 5,
+                len: 2,
+                ..
+            })
+        ));
     }
 }

@@ -11,11 +11,15 @@
 //! Execution goes through the pre-decoded engine in [`decode`]: the
 //! program is lowered once into a dense slot-indexed instruction array
 //! and the hot loop runs over copy-only structs with block-granular
-//! step accounting and profiles derived from block entry counts.
-//! [`Simulator`] is the borrowing one-shot facade; [`Engine`] owns its
-//! program and amortizes the decode over many runs; the original
-//! walk-the-IR interpreter is retained in [`mod@reference`] as the
-//! executable specification the differential tests compare against.
+//! step accounting and profiles derived from block entry counts. All
+//! per-run data lives in an arena-backed, pooled [`RunState`] that is
+//! reset by `memcpy` — batch and sweep callers ([`Engine::run_batch`],
+//! [`Engine::run_pooled`], [`Engine::bind`]) pay zero per-run
+//! allocations. [`Simulator`] is the borrowing one-shot facade;
+//! [`Engine`] owns its program and amortizes the decode over many
+//! runs; the original walk-the-IR interpreter is retained in
+//! [`mod@reference`] as the executable specification the differential
+//! tests compare against.
 //!
 //! ## Example
 //!
@@ -55,7 +59,7 @@ pub mod reference;
 pub mod trace;
 
 pub use data::{DataGen, DataSet};
-pub use decode::{DecodedProgram, Engine};
+pub use decode::{BoundInputs, DecodedProgram, Engine, RunOutcome, RunState, RunStateStats};
 pub use error::{Result, SimError};
 pub use machine::{Execution, Simulator};
 pub use profile::Profile;

@@ -22,9 +22,94 @@ pub struct Evaluation {
     pub extension_area: f64,
 }
 
+/// A design applied to a program and decoded, once: the rewritten
+/// program's [`Engine`] plus the static rewrite stats, ready to be
+/// measured against any number of datasets or baseline engines.
+///
+/// Rewriting and decoding a candidate design is the expensive half of
+/// an evaluation; design sweeps re-measure the same `(program,
+/// design)` pair across datasets and constraint grids, so sessions
+/// cache `PreparedDesign`s keyed by design (see the session's
+/// rewritten-engine cache) instead of re-deriving one per candidate.
+#[derive(Debug)]
+pub struct PreparedDesign {
+    engine: Engine,
+    stats: RewriteStats,
+    area: f64,
+}
+
+impl PreparedDesign {
+    /// The decoded engine for the rewritten program.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Static chains the rewriter fused.
+    pub fn fused_chains(&self) -> usize {
+        self.stats.fused_chains
+    }
+
+    /// Extension area of the design this was prepared from.
+    pub fn extension_area(&self) -> f64 {
+        self.area
+    }
+}
+
+/// Rewrite a copy of `program` with `design` and decode the result
+/// into a reusable [`PreparedDesign`].
+///
+/// # Panics
+///
+/// As [`Engine::new`]: panics if the rewriter produced a structurally
+/// invalid program (a rewriter bug, not an input error).
+pub fn prepare(program: &Program, design: &AsipDesign) -> PreparedDesign {
+    let mut rewritten = program.clone();
+    let stats: RewriteStats = Rewriter::new(design.clone()).apply(&mut rewritten);
+    PreparedDesign {
+        engine: Engine::new(Arc::new(rewritten)),
+        stats,
+        area: design.extension_area,
+    }
+}
+
+/// Measure a prepared design against the baseline engine on `data`:
+/// both runs go through the pooled engines, and the outputs of the two
+/// runs are compared, so a rewriter bug can never masquerade as a
+/// speedup.
+///
+/// # Errors
+///
+/// Propagates simulator errors from either run.
+///
+/// # Panics
+///
+/// Panics if the rewritten program computes different outputs — that
+/// would be a semantics bug in the rewriter, not an input error.
+pub fn evaluate_prepared(
+    base_engine: &Engine,
+    prepared: &PreparedDesign,
+    data: &DataSet,
+) -> Result<Evaluation, SimError> {
+    let base = base_engine.run(data)?;
+    let after = prepared.engine.run(data)?;
+    assert_eq!(
+        base.memory, after.memory,
+        "rewritten program must compute identical outputs"
+    );
+    let base_cycles = base.profile.total_ops();
+    let asip_cycles = after.profile.total_ops();
+    Ok(Evaluation {
+        base_cycles,
+        asip_cycles,
+        speedup: base_cycles as f64 / asip_cycles.max(1) as f64,
+        fused_chains: prepared.stats.fused_chains,
+        extension_area: prepared.area,
+    })
+}
+
 /// Rewrite a copy of `program` with `design` and measure both versions
-/// on `data`. The outputs of the two runs are compared, so a rewriter
-/// bug can never masquerade as a speedup.
+/// on `data` (one-shot convenience over [`prepare`] +
+/// [`evaluate_prepared`]).
 ///
 /// # Errors
 ///
@@ -40,14 +125,26 @@ pub fn evaluate(
     data: &DataSet,
 ) -> Result<Evaluation, SimError> {
     let base = Simulator::new(program).run(data)?;
-    finish_evaluation(program, base, design, data)
+    let prepared = prepare(program, design);
+    let after = prepared.engine.run(data)?;
+    assert_eq!(
+        base.memory, after.memory,
+        "rewritten program must compute identical outputs"
+    );
+    let base_cycles = base.profile.total_ops();
+    let asip_cycles = after.profile.total_ops();
+    Ok(Evaluation {
+        base_cycles,
+        asip_cycles,
+        speedup: base_cycles as f64 / asip_cycles.max(1) as f64,
+        fused_chains: prepared.stats.fused_chains,
+        extension_area: prepared.area,
+    })
 }
 
 /// As [`evaluate`], but the baseline run reuses an already-decoded
-/// [`Engine`] for the program — the path the `Explorer` session takes,
-/// where the same base program is profiled and re-measured many times
-/// (three opt levels, suite sweeps, evaluate re-runs) and should decode
-/// exactly once.
+/// [`Engine`] for the program — the path sessions take when no cached
+/// [`PreparedDesign`] exists yet.
 ///
 /// # Errors
 ///
@@ -62,34 +159,8 @@ pub fn evaluate_with_engine(
     design: &AsipDesign,
     data: &DataSet,
 ) -> Result<Evaluation, SimError> {
-    let base = base_engine.run(data)?;
-    finish_evaluation(base_engine.program(), base, design, data)
-}
-
-/// The shared tail of [`evaluate`]/[`evaluate_with_engine`]: rewrite,
-/// measure the rewritten program, compare outputs.
-fn finish_evaluation(
-    program: &Program,
-    base: asip_sim::Execution,
-    design: &AsipDesign,
-    data: &DataSet,
-) -> Result<Evaluation, SimError> {
-    let mut rewritten = program.clone();
-    let stats: RewriteStats = Rewriter::new(design.clone()).apply(&mut rewritten);
-    let after = Engine::new(Arc::new(rewritten)).run(data)?;
-    assert_eq!(
-        base.memory, after.memory,
-        "rewritten program must compute identical outputs"
-    );
-    let base_cycles = base.profile.total_ops();
-    let asip_cycles = after.profile.total_ops();
-    Ok(Evaluation {
-        base_cycles,
-        asip_cycles,
-        speedup: base_cycles as f64 / asip_cycles.max(1) as f64,
-        fused_chains: stats.fused_chains,
-        extension_area: design.extension_area,
-    })
+    let prepared = prepare(base_engine.program(), design);
+    evaluate_prepared(base_engine, &prepared, data)
 }
 
 #[cfg(test)]

@@ -55,7 +55,9 @@ pub mod rewrite;
 pub mod select;
 
 pub use cost::{fu_area, fu_delay_ns, ChainedUnit};
-pub use evaluate::{evaluate, evaluate_with_engine, Evaluation};
+pub use evaluate::{
+    evaluate, evaluate_prepared, evaluate_with_engine, prepare, Evaluation, PreparedDesign,
+};
 pub use extension::{AsipDesign, IsaExtension};
 pub use frontier::{DesignSpace, LevelFeedback, ParetoPoint, SearchStats};
 pub use report::DesignReport;

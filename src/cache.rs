@@ -147,6 +147,16 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.map.remove(key).map(|e| e.value)
     }
 
+    /// Visit every cached value without touching recency, in no
+    /// particular order. Used by the session to aggregate per-engine
+    /// counters (e.g. run-state pool stats) into its [`CacheStats`]
+    /// snapshot.
+    ///
+    /// [`CacheStats`]: crate::CacheStats
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.map.values().map(|e| &e.value)
+    }
+
     /// Remove and return the least-recently-used entry, or `None` when
     /// empty. This is the primitive byte-budgeted callers
     /// ([`MemoryTier`]) build on: they need the evicted *value* back to

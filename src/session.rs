@@ -71,9 +71,10 @@ use asip_benchmarks::{Benchmark, DataSpec, Registry, DEFAULT_SEED};
 use asip_chains::{DetectorConfig, SequenceDetector, SequenceReport};
 use asip_ir::{OpClass, Program};
 use asip_opt::{OptConfig, OptLevel, Optimizer, ScheduleGraph};
-use asip_sim::{Engine, Profile};
+use asip_sim::{Engine, Profile, RunStateStats};
 use asip_synth::{
     AsipDesign, AsipDesigner, DesignConstraints, DesignSpace, Evaluation, LevelFeedback,
+    PreparedDesign,
 };
 use std::collections::BTreeSet;
 use std::fmt;
@@ -167,6 +168,13 @@ pub struct CacheStats {
     /// unhealthy-skips and bytes over the wire. All zero for a session
     /// without a remote tier.
     pub remote: RemoteTotals,
+    /// Aggregated run-state pool counters of every live engine the
+    /// session holds (baseline engines and rewritten-design engines):
+    /// `checkouts` counts simulator runs served through the pools,
+    /// `creates` counts actual bank allocations. A store-warm sweep
+    /// should show `creates` frozen while `checkouts` grows — zero
+    /// per-run bank allocations.
+    pub run_state: RunStateStats,
 }
 
 impl CacheStats {
@@ -342,6 +350,13 @@ impl fmt::Display for CacheStats {
         if gc > 0 {
             write!(f, "  gc: {gc}ev")?;
         }
+        if self.run_state != RunStateStats::default() {
+            write!(
+                f,
+                "  run-state: {}co/{}alloc",
+                self.run_state.checkouts, self.run_state.creates
+            )?;
+        }
         Ok(())
     }
 }
@@ -421,6 +436,24 @@ type SuiteKey = (Vec<String>, u64, ConsKey, DetKey, OptKey);
 /// *canonicalized* (sorted, deduplicated) constraint grid and every
 /// configuration that feeds selection.
 type SpaceKey = (Vec<String>, u64, Vec<ConsKey>, DetKey, OptKey);
+
+/// Stable digest of an [`AsipDesign`]'s full identity — every field
+/// that affects the rewrite (extension ids, signatures, areas,
+/// benefits, total area), in order. Two designs with the same digest
+/// rewrite a program identically, so the digest keys the session's
+/// rewritten-engine cache.
+fn design_digest(design: &AsipDesign) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_usize(design.extensions.len());
+    for ext in &design.extensions {
+        h.write_u64(ext.id as u64);
+        h.write_str(&ext.signature.to_string());
+        h.write_f64(ext.area);
+        h.write_f64(ext.expected_benefit);
+    }
+    h.write_f64(design.extension_area);
+    h.finish()
+}
 
 // -- the session -------------------------------------------------------
 
@@ -517,6 +550,12 @@ pub struct Explorer {
     /// profile and evaluate stages share so one session decodes each
     /// program exactly once.
     engines: Mutex<LruCache<String, Arc<Engine>>>,
+    /// Rewritten-design engines, keyed by `(benchmark, design digest)`.
+    /// Design sweeps re-measure the same `(program, design)` pair
+    /// across datasets and constraint grids; caching the
+    /// [`PreparedDesign`] here means each pair is rewritten and decoded
+    /// exactly once per session instead of once per evaluation.
+    rewritten: Mutex<LruCache<(String, u64), Arc<PreparedDesign>>>,
 }
 
 impl Default for Explorer {
@@ -539,6 +578,7 @@ impl Default for Explorer {
             tiers: TierStack::new(),
             caches: Caches::default(),
             engines: Mutex::new(LruCache::default()),
+            rewritten: Mutex::new(LruCache::default()),
         }
     }
 }
@@ -624,6 +664,7 @@ impl Explorer {
             cache.set_capacity(cap);
         });
         lock(&self.engines).set_capacity(cap);
+        lock(&self.rewritten).set_capacity(cap);
         self
     }
 
@@ -810,6 +851,7 @@ impl Explorer {
     pub fn reset(&self) {
         self.caches.for_each(|_, cache| cache.reset());
         lock(&self.engines).clear();
+        lock(&self.rewritten).clear();
         if let Some(staging) = &self.staging {
             staging.clear();
         }
@@ -869,7 +911,24 @@ impl Explorer {
                 .as_ref()
                 .map(|tier| tier.remote_totals())
                 .unwrap_or_default(),
+            run_state: self.run_state_stats(),
         }
+    }
+
+    /// Aggregated run-state pool counters across every live engine the
+    /// session holds — the baseline engines plus the rewritten-design
+    /// engines. The counters live on the engines themselves, so
+    /// [`Explorer::reset`] (which drops the engines) zeroes them along
+    /// with everything else ephemeral.
+    fn run_state_stats(&self) -> RunStateStats {
+        let mut stats = RunStateStats::default();
+        for engine in lock(&self.engines).values() {
+            stats.absorb(engine.run_state_stats());
+        }
+        for prepared in lock(&self.rewritten).values() {
+            stats.absorb(prepared.engine().run_state_stats());
+        }
+        stats
     }
 
     // -- stage methods -------------------------------------------------
@@ -927,6 +986,34 @@ impl Explorer {
         Ok(engine)
     }
 
+    /// The session's rewritten-and-decoded engine for a `(benchmark,
+    /// design)` pair (see [`asip_synth::prepare`]), cached by a stable
+    /// digest of the design so sweeps that re-measure the same design
+    /// across datasets and constraint grids rewrite and decode it once.
+    /// Like the baseline engine cache, this is derived state: dropped
+    /// by [`Explorer::reset`], bounded by
+    /// [`Explorer::with_cache_capacity`].
+    ///
+    /// # Errors
+    ///
+    /// Compile-stage errors.
+    pub fn prepared(
+        &self,
+        name: &str,
+        design: &AsipDesign,
+    ) -> Result<Arc<PreparedDesign>, ExplorerError> {
+        let key = (name.to_string(), design_digest(design));
+        if let Some(prepared) = lock(&self.rewritten).get(&key) {
+            return Ok(Arc::clone(prepared));
+        }
+        let compiled = self.compile(name)?;
+        let prepared = Arc::new(asip_synth::prepare(&compiled.program, design));
+        // as with the baseline engines: a concurrent prepare of the
+        // same pair is benign (pure, milliseconds); last writer wins
+        lock(&self.rewritten).insert(key, Arc::clone(&prepared));
+        Ok(prepared)
+    }
+
     /// Profile stage: run the benchmark on its seeded Table-1 input
     /// data and collect per-instruction dynamic counts.
     ///
@@ -944,7 +1031,9 @@ impl Explorer {
             disk,
             || {
                 let data = compiled.benchmark.dataset_with_seed(seed);
-                Ok(self.engine(name)?.run(&data)?.profile)
+                // profile-only pooled run: no Vec<Value> output banks
+                // are ever materialized on this path
+                Ok(self.engine(name)?.run_profile(&data)?.profile)
             },
         )?;
         Ok(Profiled {
@@ -1115,7 +1204,8 @@ impl Explorer {
         let disk = || self.key_design(Stage::Evaluate, &compiled.benchmark, constraints, detector);
         let evaluation = self.cached(Stage::Evaluate, &self.caches.evaluate, key, disk, || {
             let data = compiled.benchmark.dataset_with_seed(self.seed);
-            asip_synth::evaluate_with_engine(&*self.engine(name)?, &designed.design, &data)
+            let prepared = self.prepared(name, &designed.design)?;
+            asip_synth::evaluate_prepared(&*self.engine(name)?, &prepared, &data)
                 .map_err(ExplorerError::Eval)
         })?;
         Ok(Evaluated {
@@ -1253,8 +1343,9 @@ impl Explorer {
                 self.map_slice(&designed.benchmarks, |name| {
                     let compiled = self.compile(name)?;
                     let data = compiled.benchmark.dataset_with_seed(self.seed);
+                    let prepared = self.prepared(name, &design)?;
                     let evaluation =
-                        asip_synth::evaluate_with_engine(&*self.engine(name)?, &design, &data)
+                        asip_synth::evaluate_prepared(&*self.engine(name)?, &prepared, &data)
                             .map_err(ExplorerError::Eval)?;
                     Ok((name.clone(), evaluation))
                 })
@@ -1920,6 +2011,39 @@ mod tests {
         assert_eq!(session.levels(), &[OptLevel::Pipelined]);
         session.profile("sewha").expect("profiles again");
         assert_eq!(session.cache_stats().profile.misses, 1);
+    }
+
+    #[test]
+    fn warm_sweeps_reuse_pooled_run_states_and_prepared_designs() {
+        let session = Explorer::new().with_levels([OptLevel::Pipelined]);
+        session.evaluate("sewha").expect("evaluates");
+        let warm = session.cache_stats().run_state;
+        assert!(warm.checkouts >= warm.creates);
+        assert!(warm.creates > 0, "the first runs had to allocate");
+
+        // the same design on fresh data: the prepared engine is served
+        // from the rewritten cache, no re-prepare
+        let design = session.evaluate("sewha").expect("cached").design;
+        let a = session.prepared("sewha", &design).expect("prepares");
+        let b = session.prepared("sewha", &design).expect("cached");
+        assert!(Arc::ptr_eq(&a, &b), "same design digest, same engine");
+
+        // store-warm sweep: more pooled runs, zero new bank allocations
+        let data = session
+            .benchmark("sewha")
+            .expect("registered")
+            .dataset_with_seed(7);
+        for _ in 0..4 {
+            a.engine().run_profile(&data).expect("runs");
+            session
+                .engine("sewha")
+                .expect("cached")
+                .run_profile(&data)
+                .expect("runs");
+        }
+        let after = session.cache_stats().run_state;
+        assert_eq!(after.creates, warm.creates, "warm sweeps allocate nothing");
+        assert_eq!(after.checkouts, warm.checkouts + 8);
     }
 
     #[test]

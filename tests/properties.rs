@@ -160,6 +160,35 @@ proptest! {
     }
 
     #[test]
+    fn pooled_and_fresh_run_states_agree(seed in any::<u64>(), config in gen_config()) {
+        // the RunState pooling property: repeated pooled runs (reused,
+        // memcpy-reset banks) and a one-shot fresh-state run are
+        // byte-identical on any generated program
+        let prog = generate(seed, &config);
+        let p = compile(&prog);
+        let data = dataset(&prog);
+        let engine = Engine::new(Arc::new(p));
+        let fresh = engine.run(&data).expect("first run");
+        let inputs = engine.bind(&data).expect("binds");
+        for _ in 0..3 {
+            let pooled = engine.run_pooled(&inputs).expect("pooled run");
+            prop_assert_eq!(&pooled.profile, &fresh.profile);
+            prop_assert_eq!(&pooled.result, &fresh.result);
+        }
+        // batch over the same dataset thrice: still identical, and the
+        // lazy memory materialization matches the one-shot run's
+        let batch = engine.run_batch(&[&data, &data, &data]).expect("batch runs");
+        for exec in &batch {
+            prop_assert_eq!(&exec.profile, &fresh.profile);
+            prop_assert_eq!(&exec.memory, &fresh.memory);
+            prop_assert_eq!(&exec.result, &fresh.result);
+        }
+        let stats = engine.run_state_stats();
+        prop_assert_eq!(stats.creates, 1, "one state serves every run");
+        prop_assert_eq!(stats.checkouts, 5);
+    }
+
+    #[test]
     fn decoded_engine_step_limits_match_the_reference(seed in any::<u64>(), limit in 0u64..512) {
         // whatever the limit lands on (mid-block included), both
         // interpreters agree on success vs StepLimit and on the payload
