@@ -25,9 +25,18 @@
 //!
 //! **Stop mode** (`--stop ADDR`) asks the daemon to shut down cleanly;
 //! exit code 2 when no daemon answers.
+//!
+//! **Chaos hooks** (CI's robustness smoke): `--chaos-panic` mounts a
+//! [`FaultTier`] panic probe at the bottom of the daemon's stack, so a
+//! `get` of the reserved probe key panics inside the request handler;
+//! `--panic-probe ADDR` fires that key from a client and requires the
+//! daemon to answer it with a typed error, keep serving, and report the
+//! panic in its `stats` counters. Exit code 4 when isolation fails.
 
 use asip_explorer::remote::{serve, Endpoint, RemoteTier, RetryPolicy, ServeOptions};
-use asip_explorer::Explorer;
+use asip_explorer::{
+    ArtifactTier, Explorer, FaultTier, MemoryTier, Stage, TierRead, PANIC_PROBE_KEY,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -37,7 +46,7 @@ const DEFAULT_ADDR: &str = "127.0.0.1:4995";
 
 fn usage() -> ! {
     eprintln!(
-        "usage: serve [--addr ADDR] [--store PATH] [--no-warm]\n       serve --check ADDR\n       serve --stop ADDR"
+        "usage: serve [--addr ADDR] [--store PATH] [--no-warm] [--chaos-panic]\n       serve --check ADDR\n       serve --panic-probe ADDR\n       serve --stop ADDR"
     );
     std::process::exit(1)
 }
@@ -47,11 +56,21 @@ fn main() -> ExitCode {
     let mut addr = DEFAULT_ADDR.to_string();
     let mut store: Option<PathBuf> = None;
     let mut warm = true;
+    let mut chaos_panic = false;
     let mut check: Option<String> = None;
+    let mut panic_probe: Option<String> = None;
     let mut stop: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--chaos-panic" => {
+                chaos_panic = true;
+                i += 1;
+            }
+            "--panic-probe" => {
+                panic_probe = Some(args.get(i + 1).unwrap_or_else(|| usage()).clone());
+                i += 2;
+            }
             "--addr" => {
                 addr = args.get(i + 1).unwrap_or_else(|| usage()).clone();
                 i += 2;
@@ -78,13 +97,16 @@ fn main() -> ExitCode {
     if let Some(addr) = check {
         return run_check(&addr);
     }
+    if let Some(addr) = panic_probe {
+        return run_panic_probe(&addr);
+    }
     if let Some(addr) = stop {
         return run_stop(&addr);
     }
-    run_daemon(&addr, store, warm)
+    run_daemon(&addr, store, warm, chaos_panic)
 }
 
-fn run_daemon(addr: &str, store: Option<PathBuf>, warm: bool) -> ExitCode {
+fn run_daemon(addr: &str, store: Option<PathBuf>, warm: bool, chaos_panic: bool) -> ExitCode {
     let endpoint = match Endpoint::parse(addr) {
         Ok(e) => e,
         Err(detail) => {
@@ -98,7 +120,17 @@ fn run_daemon(addr: &str, store: Option<PathBuf>, warm: bool) -> ExitCode {
         eprintln!("       (a storeless daemon has no persistent tier to serve from)");
         return ExitCode::from(1);
     };
-    let session = Arc::new(Explorer::new().with_store(&dir));
+    let mut session = Explorer::new().with_store(&dir);
+    if chaos_panic {
+        // a panic probe at the bottom of the stack: Get(Compile,
+        // PANIC_PROBE_KEY) panics inside the request handler, which the
+        // daemon must survive (see `--panic-probe`)
+        session = session.with_tier(Arc::new(FaultTier::panic_probe(
+            Arc::new(MemoryTier::new()),
+        )));
+        println!("chaos: panic probe armed on key {PANIC_PROBE_KEY:#x}");
+    }
+    let session = Arc::new(session);
     println!("store: {}", dir.display());
     if warm {
         print!("warming the stack with explore_all … ");
@@ -132,6 +164,12 @@ fn run_daemon(addr: &str, store: Option<PathBuf>, warm: bool) -> ExitCode {
         asip_bench::human_bytes(stats.bytes_out),
         stats.frame_errors,
     );
+    if stats.overloaded + stats.panics + stats.deadline_truncated + stats.idle_reaped > 0 {
+        println!(
+            "hardening: {} shed, {} panics isolated, {} batch keys past deadline, {} idle conns reaped",
+            stats.overloaded, stats.panics, stats.deadline_truncated, stats.idle_reaped,
+        );
+    }
     asip_bench::print_cache_report(&session);
     ExitCode::SUCCESS
 }
@@ -183,6 +221,54 @@ fn run_check(addr: &str) -> ExitCode {
     }
     println!("check OK: 0 recomputes, {remote_hits} remote hits, no wire errors");
     ExitCode::SUCCESS
+}
+
+/// Fire the reserved panic key at a daemon started with
+/// `--chaos-panic` and require panic isolation to hold: the probe
+/// degrades to a client-side miss, the daemon answers a follow-up ping,
+/// and its `stats` counters report the panic.
+fn run_panic_probe(addr: &str) -> ExitCode {
+    let endpoint = match Endpoint::parse(addr) {
+        Ok(e) => e,
+        Err(detail) => {
+            eprintln!("serve: invalid address `{addr}`: {detail}");
+            return ExitCode::from(1);
+        }
+    };
+    let tier = RemoteTier::new(endpoint, RetryPolicy::fail_fast())
+        .with_probe_interval(std::time::Duration::ZERO);
+    println!("firing panic probe key {PANIC_PROBE_KEY:#x} …");
+    match tier.get(Stage::Compile, PANIC_PROBE_KEY) {
+        TierRead::Miss => {}
+        other => {
+            eprintln!("serve: panic probe FAILED: expected a degraded miss, got {other:?}");
+            return ExitCode::from(4);
+        }
+    }
+    if let Err(e) = tier.ping() {
+        eprintln!("serve: panic probe FAILED: daemon did not survive the panic: {e}");
+        return ExitCode::from(4);
+    }
+    match tier.server_stats() {
+        Ok(stats) if stats.panics >= 1 => {
+            println!(
+                "panic probe OK: daemon isolated {} panic(s) and kept serving",
+                stats.panics
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(stats) => {
+            eprintln!(
+                "serve: panic probe FAILED: daemon reports {} panics (want >= 1 — was it started with --chaos-panic?)",
+                stats.panics
+            );
+            ExitCode::from(4)
+        }
+        Err(e) => {
+            eprintln!("serve: panic probe FAILED: stats unavailable after the panic: {e}");
+            ExitCode::from(4)
+        }
+    }
 }
 
 fn run_stop(addr: &str) -> ExitCode {

@@ -109,6 +109,11 @@ pub enum RemoteError {
     /// The request was not attempted: the server is marked unhealthy
     /// and the re-probe interval has not elapsed.
     Unavailable,
+    /// The server shed the request at its in-flight bound
+    /// ([`Response::Overloaded`](crate::remote::Response::Overloaded)).
+    /// Retryable — and proof the server is alive, so it never marks the
+    /// tier unhealthy.
+    Overloaded,
     /// The peer answered with a well-formed frame that violates the
     /// protocol (wrong response kind, mismatched request id) or an
     /// explicit error response.
@@ -129,6 +134,12 @@ impl fmt::Display for RemoteError {
             }
             RemoteError::Unavailable => {
                 write!(f, "remote server marked unhealthy (re-probe pending)")
+            }
+            RemoteError::Overloaded => {
+                write!(
+                    f,
+                    "remote server overloaded (request shed at the in-flight bound)"
+                )
             }
             RemoteError::Protocol { detail } => {
                 write!(f, "remote protocol violation: {detail}")

@@ -125,6 +125,7 @@ pub use asip_synth as synth;
 pub mod artifact;
 pub mod cache;
 pub mod error;
+pub mod fault;
 pub mod perf;
 pub mod remote;
 pub mod session;
@@ -137,6 +138,7 @@ pub use artifact::{
 };
 pub use cache::MemoryTier;
 pub use error::{CodecError, ExplorerError, RemoteError};
+pub use fault::{FaultConfig, FaultCounts, FaultPlan, FaultSite, FaultTier, PANIC_PROBE_KEY};
 pub use remote::{serve, Endpoint, RemoteTier, RemoteTotals, RetryPolicy, ServeOptions};
 pub use session::{CacheStats, Explorer, StageStats};
 pub use store::{ArtifactStore, DiskStats, GcReport, Manifest, StoreGcConfig, VerifyReport};

@@ -12,35 +12,45 @@
 
 use crate::artifact::Stage;
 use crate::error::RemoteError;
+use crate::fault::{FaultPlan, FaultRng, FaultSite};
 use crate::remote::proto::{read_frame, write_frame, Request, Response, ServeStats, ServerInfo};
-use crate::remote::transport::{Conn, Endpoint};
+use crate::remote::transport::{self, Conn, Endpoint};
 use crate::tier::{lock, ArtifactTier, TierCounters, TierRead, TierStats};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Retry discipline for one remote request: how many attempts, how long
 /// each socket operation may take, and how long to back off between
-/// attempts (doubling per retry, capped at one second). The first
-/// attempt may reuse a pooled connection; every retry opens a fresh
-/// one, so a pool full of stale sockets cannot exhaust the budget.
+/// attempts (doubling per retry, capped at one second, with a ±50%
+/// deterministic jitter so a fleet recovering from the same daemon
+/// restart doesn't retry in lockstep). The first attempt may reuse a
+/// pooled connection; every retry opens a fresh one, so a pool full of
+/// stale sockets cannot exhaust the budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total attempts per request (minimum 1).
     pub attempts: u32,
     /// Bound on each connect, read and write.
     pub timeout: Duration,
-    /// Base sleep between attempts (doubled per retry, capped at 1s).
+    /// Base sleep between attempts (doubled per retry, capped at 1s,
+    /// then jittered to 50–150%).
     pub backoff: Duration,
+    /// Seed for the backoff jitter stream. `None` derives a per-tier
+    /// seed (pid + a process-wide counter), so concurrent clients
+    /// desynchronize; `Some` pins the stream for deterministic tests.
+    pub jitter_seed: Option<u64>,
 }
 
 impl Default for RetryPolicy {
-    /// Three attempts, two-second operation timeout, 25ms base backoff.
+    /// Three attempts, two-second operation timeout, 25ms base backoff,
+    /// per-tier jitter.
     fn default() -> Self {
         RetryPolicy {
             attempts: 3,
             timeout: Duration::from_secs(2),
             backoff: Duration::from_millis(25),
+            jitter_seed: None,
         }
     }
 }
@@ -53,11 +63,25 @@ impl RetryPolicy {
             attempts: 1,
             timeout: Duration::from_millis(250),
             backoff: Duration::ZERO,
+            jitter_seed: None,
         }
+    }
+
+    /// Pin the backoff jitter stream to `seed` (deterministic sleeps).
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = Some(seed);
+        self
     }
 }
 
 const MAX_BACKOFF: Duration = Duration::from_secs(1);
+
+/// Scale `base` to 50–150% in 1/1024 steps, driven by one jitter draw.
+fn jittered(base: Duration, draw: u64) -> Duration {
+    let scale = 512 + (draw % 1025); // 512..=1536 of 1024
+    let nanos = (base.as_nanos() as u64).saturating_mul(scale) / 1024;
+    Duration::from_nanos(nanos)
+}
 
 /// Wire-level counters of one [`RemoteTier`], complementing the
 /// per-stage hit/miss [`TierStats`]: how often the network path was
@@ -74,6 +98,9 @@ pub struct RemoteTotals {
     /// Requests declined locally because the server was marked
     /// unhealthy and the re-probe interval had not elapsed.
     pub skipped: u64,
+    /// `Overloaded` responses received (the server shed the request at
+    /// its in-flight bound; retried with backoff, then degraded).
+    pub overloaded: u64,
     /// Connections opened (first use and every replacement).
     pub connects: u64,
     /// Frame bytes written to the wire.
@@ -88,6 +115,7 @@ struct TotalCells {
     errors: AtomicU64,
     retries: AtomicU64,
     skipped: AtomicU64,
+    overloaded: AtomicU64,
     connects: AtomicU64,
     bytes_sent: AtomicU64,
     bytes_received: AtomicU64,
@@ -100,6 +128,7 @@ impl TotalCells {
             errors: self.errors.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             skipped: self.skipped.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
             connects: self.connects.load(Ordering::Relaxed),
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             bytes_received: self.bytes_received.load(Ordering::Relaxed),
@@ -110,6 +139,7 @@ impl TotalCells {
         self.errors.store(0, Ordering::Relaxed);
         self.retries.store(0, Ordering::Relaxed);
         self.skipped.store(0, Ordering::Relaxed);
+        self.overloaded.store(0, Ordering::Relaxed);
         self.connects.store(0, Ordering::Relaxed);
         self.bytes_sent.store(0, Ordering::Relaxed);
         self.bytes_received.store(0, Ordering::Relaxed);
@@ -142,12 +172,25 @@ pub struct RemoteTier {
     counters: TierCounters,
     totals: TotalCells,
     next_id: AtomicU64,
+    jitter: Mutex<FaultRng>,
+    /// Fast-path guard for the fault-injection seam (see
+    /// [`crate::fault`]): one relaxed load per connection open when no
+    /// plan is armed.
+    faults_armed: AtomicBool,
+    faults: Mutex<Option<Arc<FaultPlan>>>,
 }
 
 impl RemoteTier {
     /// A tier speaking to `endpoint` under `policy`, with a one-second
     /// unhealthy re-probe interval.
     pub fn new(endpoint: Endpoint, policy: RetryPolicy) -> Self {
+        let jitter_seed = policy.jitter_seed.unwrap_or_else(|| {
+            // Desynchronize unpinned tiers across threads and processes:
+            // two clients recovering from the same daemon restart must
+            // not sleep in lockstep.
+            static TIER_SEQ: AtomicU64 = AtomicU64::new(0);
+            (u64::from(std::process::id()) << 32) ^ TIER_SEQ.fetch_add(1, Ordering::Relaxed)
+        });
         RemoteTier {
             endpoint,
             policy,
@@ -158,7 +201,33 @@ impl RemoteTier {
             counters: TierCounters::default(),
             totals: TotalCells::default(),
             next_id: AtomicU64::new(1),
+            jitter: Mutex::new(FaultRng::new(jitter_seed)),
+            faults_armed: AtomicBool::new(false),
+            faults: Mutex::new(None),
         }
+    }
+
+    /// Arm a [`FaultPlan`]: subsequent connections may be refused and
+    /// live streams may drop, stall, garble or tamper frames (see
+    /// [`crate::fault`]). Chaos-testing seam — never armed in
+    /// production.
+    pub fn arm_faults(&self, plan: Arc<FaultPlan>) {
+        *lock(&self.faults) = Some(plan);
+        self.faults_armed.store(true, Ordering::Release);
+    }
+
+    /// Remove any armed [`FaultPlan`]; the tier returns to normal
+    /// operation.
+    pub fn disarm_faults(&self) {
+        self.faults_armed.store(false, Ordering::Release);
+        *lock(&self.faults) = None;
+    }
+
+    fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        if !self.faults_armed.load(Ordering::Acquire) {
+            return None;
+        }
+        lock(&self.faults).clone()
     }
 
     /// Override how long the tier declines requests after marking the
@@ -269,7 +338,8 @@ impl RemoteTier {
             if attempt > 0 {
                 self.totals.retries.fetch_add(1, Ordering::Relaxed);
                 if !backoff.is_zero() {
-                    std::thread::sleep(backoff.min(MAX_BACKOFF));
+                    let draw = lock(&self.jitter).next_u64();
+                    std::thread::sleep(jittered(backoff.min(MAX_BACKOFF), draw));
                     backoff = backoff.saturating_mul(2);
                 }
             }
@@ -284,7 +354,11 @@ impl RemoteTier {
             }
         }
         self.totals.errors.fetch_add(1, Ordering::Relaxed);
-        self.mark_unhealthy();
+        // An Overloaded reply is proof the server is alive: degrade this
+        // request, but don't gate the fleet behind the health probe.
+        if !matches!(last, RemoteError::Overloaded) {
+            self.mark_unhealthy();
+        }
         Err(last)
     }
 
@@ -311,6 +385,10 @@ impl RemoteTier {
         if !matches!(resp, Response::Closing) {
             self.checkin(conn);
         }
+        if let Response::Overloaded = resp {
+            self.totals.overloaded.fetch_add(1, Ordering::Relaxed);
+            return Err(RemoteError::Overloaded);
+        }
         if let Response::Error(detail) = resp {
             return Err(RemoteError::Protocol { detail });
         }
@@ -329,11 +407,22 @@ impl RemoteTier {
     }
 
     fn open(&self) -> Result<Box<dyn Conn>, RemoteError> {
+        let plan = self.fault_plan();
+        if let Some(plan) = &plan {
+            if plan.roll(FaultSite::ConnectRefused) {
+                return Err(RemoteError::Io {
+                    detail: "injected fault: connection refused".into(),
+                });
+            }
+        }
         let conn = self.endpoint.connect(self.policy.timeout)?;
         conn.set_read_timeout(Some(self.policy.timeout))?;
         conn.set_write_timeout(Some(self.policy.timeout))?;
         self.totals.connects.fetch_add(1, Ordering::Relaxed);
-        Ok(conn)
+        Ok(match plan {
+            Some(plan) => transport::faulty(conn, plan),
+            None => conn,
+        })
     }
 }
 
@@ -466,6 +555,7 @@ mod tests {
                 attempts: 2,
                 timeout: Duration::from_millis(200),
                 backoff: Duration::from_millis(1),
+                ..RetryPolicy::default()
             },
         );
         assert!(matches!(tier.get(Stage::Compile, 1), TierRead::Miss));
@@ -492,6 +582,36 @@ mod tests {
         let totals = tier.remote_totals();
         assert_eq!(totals.errors, 1, "one request, one error");
         assert_eq!(tier.totals().misses, 2, "but every key counted a miss");
+    }
+
+    #[test]
+    fn backoff_jitter_is_bounded_and_deterministic() {
+        let base = Duration::from_millis(100);
+        let mut rng_a = FaultRng::new(99);
+        let mut rng_b = FaultRng::new(99);
+        for _ in 0..1000 {
+            let a = jittered(base, rng_a.next_u64());
+            let b = jittered(base, rng_b.next_u64());
+            assert_eq!(a, b, "same seed, same sleep schedule");
+            assert!(a >= base / 2, "never below 50%: {a:?}");
+            assert!(a <= base * 3 / 2, "never above 150%: {a:?}");
+        }
+        // different seeds desynchronize (some draw must differ)
+        let mut rng_c = FaultRng::new(100);
+        let mut rng_d = FaultRng::new(99);
+        let diverged =
+            (0..100).any(|_| jittered(base, rng_c.next_u64()) != jittered(base, rng_d.next_u64()));
+        assert!(diverged);
+        // zero base stays zero; the cap applies before jitter
+        assert_eq!(jittered(Duration::ZERO, 7), Duration::ZERO);
+    }
+
+    #[test]
+    fn jitter_seed_round_trips_through_the_policy() {
+        let policy = RetryPolicy::default().with_jitter_seed(1234);
+        assert_eq!(policy.jitter_seed, Some(1234));
+        let tier = RemoteTier::new(dead_endpoint(), policy);
+        assert_eq!(tier.policy().jitter_seed, Some(1234));
     }
 
     #[test]

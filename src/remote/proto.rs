@@ -39,7 +39,15 @@ pub const PROTO_MAGIC: [u8; 8] = *b"ASIPRPC\n";
 /// Protocol version. Bump on *any* change to the frame layout or to an
 /// existing message's body encoding; peers reject mismatches outright
 /// (no negotiation), mirroring the store's `FORMAT_VERSION` policy.
-pub const PROTO_VERSION: u32 = 1;
+/// Adding a *new* message kind alone does not require a bump — an old
+/// server answers an unknown kind with [`Response::Error`], which
+/// clients degrade to a miss.
+///
+/// History: v2 — the [`Response::Overloaded`] kind was added (new kinds
+/// alone are bump-free) *and* the `STATS` body grew the daemon
+/// hardening counters (overloaded/panics/deadline/idle-reap), which
+/// changes an existing body encoding and forces the bump.
+pub const PROTO_VERSION: u32 = 2;
 
 /// Upper bound on one frame's body. Generous (the largest suite
 /// artifact is a few hundred KiB; a full prefetch batch is a few MiB)
@@ -80,6 +88,9 @@ pub mod kind {
     pub const STATS_REPLY: u8 = 0x86;
     /// Reply to `SHUTDOWN` ([`Response::Closing`](super::Response::Closing)).
     pub const CLOSING: u8 = 0x87;
+    /// Load-shed reply to any data request
+    /// ([`Response::Overloaded`](super::Response::Overloaded)).
+    pub const OVERLOADED: u8 = 0x88;
     /// Error reply ([`Response::Error`](super::Response::Error)).
     pub const ERROR: u8 = 0xFF;
 }
@@ -145,6 +156,12 @@ pub enum Response {
     Stats(ServeStats),
     /// The daemon acknowledged [`Request::Shutdown`] and is draining.
     Closing,
+    /// The daemon is at its in-flight request bound and shed this
+    /// request. Retryable: clients back off (with jitter) and retry
+    /// within their policy, then degrade to a miss — overload never
+    /// marks the server unhealthy, because an `Overloaded` reply proves
+    /// the daemon is alive.
+    Overloaded,
     /// The request was understood but could not be served.
     Error(String),
 }
@@ -191,6 +208,17 @@ pub struct ServeStats {
     pub connections: u64,
     /// Frames rejected as structurally invalid.
     pub frame_errors: u64,
+    /// Requests shed with [`Response::Overloaded`] at the in-flight
+    /// bound.
+    pub overloaded: u64,
+    /// Request handlers that panicked (isolated per connection by
+    /// `catch_unwind`; each answered with [`Response::Error`]).
+    pub panics: u64,
+    /// Batch keys left unserved because a request ran past its
+    /// deadline (each answered as a miss).
+    pub deadline_truncated: u64,
+    /// Connections reaped after sitting idle past the idle timeout.
+    pub idle_reaped: u64,
     /// Per-stage computation counts from the server session's own
     /// cache stats (`misses` == times the stage actually ran on the
     /// server) — the observable for single-flight assertions.
@@ -361,6 +389,7 @@ impl Response {
             Response::Has(_) => kind::HAS,
             Response::Stats(_) => kind::STATS_REPLY,
             Response::Closing => kind::CLOSING,
+            Response::Overloaded => kind::OVERLOADED,
             Response::Error(_) => kind::ERROR,
         }
     }
@@ -369,7 +398,7 @@ impl Response {
     pub fn encode_body(&self) -> Vec<u8> {
         let mut enc = Encoder::new();
         match self {
-            Response::Closing => {}
+            Response::Closing | Response::Overloaded => {}
             Response::Pong(info) => {
                 enc.put_u64(u64::from(info.proto_version));
                 enc.put_u64(u64::from(info.format_version));
@@ -398,6 +427,10 @@ impl Response {
                 enc.put_u64(s.bytes_out);
                 enc.put_u64(s.connections);
                 enc.put_u64(s.frame_errors);
+                enc.put_u64(s.overloaded);
+                enc.put_u64(s.panics);
+                enc.put_u64(s.deadline_truncated);
+                enc.put_u64(s.idle_reaped);
                 enc.put_seq(s.stage_computes.len());
                 for (name, n) in &s.stage_computes {
                     enc.put_str(name);
@@ -418,6 +451,7 @@ impl Response {
         let mut dec = Decoder::new(body);
         let resp = match kind_byte {
             kind::CLOSING => Response::Closing,
+            kind::OVERLOADED => Response::Overloaded,
             kind::PONG => {
                 let proto_version = dec.u32().map_err(body_err)?;
                 let format_version = dec.u32().map_err(body_err)?;
@@ -454,6 +488,10 @@ impl Response {
                     bytes_out: dec.u64().map_err(body_err)?,
                     connections: dec.u64().map_err(body_err)?,
                     frame_errors: dec.u64().map_err(body_err)?,
+                    overloaded: dec.u64().map_err(body_err)?,
+                    panics: dec.u64().map_err(body_err)?,
+                    deadline_truncated: dec.u64().map_err(body_err)?,
+                    idle_reaped: dec.u64().map_err(body_err)?,
                     stage_computes: Vec::new(),
                     tier_totals: Vec::new(),
                 };
@@ -664,12 +702,17 @@ mod tests {
         round_trip_response(Response::Batch(vec![Some(vec![5]), None, Some(vec![])]));
         round_trip_response(Response::Done(true));
         round_trip_response(Response::Has(false));
+        round_trip_response(Response::Overloaded);
         round_trip_response(Response::Error("nope".into()));
         round_trip_response(Response::Stats(ServeStats {
             requests: 10,
             gets: 4,
             hits: 3,
             misses: 1,
+            overloaded: 2,
+            panics: 1,
+            deadline_truncated: 7,
+            idle_reaped: 3,
             stage_computes: vec![("compile".into(), 12), ("profile".into(), 12)],
             tier_totals: vec![(
                 "disk".into(),

@@ -35,24 +35,47 @@ use std::time::{Duration, Instant};
 /// Tunables of a [`serve`] daemon.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeOptions {
-    /// Bound on each read/write once a frame has started, and on how
-    /// long an idle connection is kept open.
+    /// Bound on each read/write once a frame has started. A slow
+    /// client that stalls mid-frame (or stops draining responses) is
+    /// cut loose after this long rather than pinning its thread.
     pub io_timeout: Duration,
     /// How often the accept loop and idle connections re-check the
     /// stop flag; also the worst-case wait before a new connection is
     /// accepted, so it bounds per-request latency for short-lived
     /// clients, and the upper bound on shutdown latency per thread.
     pub poll_interval: Duration,
+    /// Bound on *data* requests (`get`/`get_batch`/`put`/`contains`)
+    /// being served at once, across all connections. A request landing
+    /// at the bound is shed with [`Response::Overloaded`] — a typed,
+    /// retryable answer, not an error — so a client stampede degrades
+    /// to client-side recompute instead of queueing without bound.
+    /// Control ops (`ping`/`stats`/`shutdown`) are exempt: health
+    /// probes and drain must work precisely when the daemon is busiest.
+    pub max_inflight: usize,
+    /// Budget for answering one request. Only `get_batch` can run long
+    /// enough to matter: once the deadline passes, remaining keys in
+    /// the batch are answered `None` (each counted as
+    /// `deadline_truncated`), which the client treats as misses and
+    /// recomputes — degraded, never wrong.
+    pub request_deadline: Duration,
+    /// How long a connection may sit idle (no frame started) before the
+    /// daemon reaps it to bound thread count against clients that
+    /// connect and forget. Reaps are counted as `idle_reaped`.
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServeOptions {
-    /// Ten-second I/O and idle bound, 5ms stop-flag/accept poll (a
-    /// connection landing mid-sleep waits a full interval, so a coarse
-    /// poll is a per-connection latency floor).
+    /// Ten-second I/O bound, 5ms stop-flag/accept poll (a connection
+    /// landing mid-sleep waits a full interval, so a coarse poll is a
+    /// per-connection latency floor), 64 in-flight data requests,
+    /// thirty-second request deadline, sixty-second idle reap.
     fn default() -> Self {
         ServeOptions {
             io_timeout: Duration::from_secs(10),
             poll_interval: Duration::from_millis(5),
+            max_inflight: 64,
+            request_deadline: Duration::from_secs(30),
+            idle_timeout: Duration::from_secs(60),
         }
     }
 }
@@ -76,6 +99,10 @@ struct ServeCounters {
     bytes_out: AtomicU64,
     connections: AtomicU64,
     frame_errors: AtomicU64,
+    overloaded: AtomicU64,
+    panics: AtomicU64,
+    deadline_truncated: AtomicU64,
+    idle_reaped: AtomicU64,
 }
 
 struct Shared {
@@ -83,12 +110,50 @@ struct Shared {
     counters: ServeCounters,
     stop: AtomicBool,
     active: AtomicUsize,
+    inflight: AtomicUsize,
     options: ServeOptions,
+}
+
+/// RAII claim on one of the daemon's [`ServeOptions::max_inflight`]
+/// data-request slots; releases on drop, panic or not.
+struct InflightSlot<'a> {
+    shared: &'a Shared,
+}
+
+impl Drop for InflightSlot<'_> {
+    fn drop(&mut self) {
+        self.shared.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Whether a request occupies an in-flight slot. Control ops are
+/// exempt so probes and shutdown work under overload.
+fn is_data_op(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::Get { .. }
+            | Request::GetBatch { .. }
+            | Request::Put { .. }
+            | Request::Contains { .. }
+    )
 }
 
 impl Shared {
     fn add(&self, cell: &AtomicU64, n: u64) {
         cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Claim an in-flight slot, or `None` at the bound. Optimistic
+    /// add-then-check keeps the claim a single atomic in the common
+    /// case; the transient overshoot only ever sheds harder, never
+    /// admits past the bound.
+    fn try_acquire_slot(&self) -> Option<InflightSlot<'_>> {
+        let prev = self.inflight.fetch_add(1, Ordering::SeqCst);
+        if prev >= self.options.max_inflight {
+            self.inflight.fetch_sub(1, Ordering::SeqCst);
+            return None;
+        }
+        Some(InflightSlot { shared: self })
     }
 
     /// Assemble the stats reply: wire counters from the daemon,
@@ -109,6 +174,10 @@ impl Shared {
             bytes_out: c.bytes_out.load(Ordering::Relaxed),
             connections: c.connections.load(Ordering::Relaxed),
             frame_errors: c.frame_errors.load(Ordering::Relaxed),
+            overloaded: c.overloaded.load(Ordering::Relaxed),
+            panics: c.panics.load(Ordering::Relaxed),
+            deadline_truncated: c.deadline_truncated.load(Ordering::Relaxed),
+            idle_reaped: c.idle_reaped.load(Ordering::Relaxed),
             stage_computes: crate::artifact::Stage::all()
                 .into_iter()
                 .map(|s| (s.name().to_string(), cache.stage(s).misses))
@@ -135,8 +204,10 @@ impl Shared {
         None
     }
 
-    fn handle(&self, req: Request) -> Response {
-        self.add(&self.counters.requests, 1);
+    /// Answer one decoded request. `deadline` bounds the work: only
+    /// `get_batch` iterates long enough to check it, truncating the
+    /// remaining keys to `None` once it passes.
+    fn handle(&self, req: Request, deadline: Instant) -> Response {
         match req {
             Request::Ping => {
                 self.add(&self.counters.pings, 1);
@@ -152,11 +223,18 @@ impl Shared {
             }
             Request::GetBatch { keys } => {
                 self.add(&self.counters.batch_keys, keys.len() as u64);
-                Response::Batch(
-                    keys.into_iter()
-                        .map(|(stage, key)| self.lookup(stage, key))
-                        .collect(),
-                )
+                let mut reads = Vec::with_capacity(keys.len());
+                for (stage, key) in keys {
+                    if Instant::now() >= deadline {
+                        // a truncated slot is a miss to the client:
+                        // it recomputes — degraded, never wrong
+                        self.add(&self.counters.deadline_truncated, 1);
+                        reads.push(None);
+                        continue;
+                    }
+                    reads.push(self.lookup(stage, key));
+                }
+                Response::Batch(reads)
             }
             Request::Put {
                 stage,
@@ -186,6 +264,49 @@ impl Shared {
             Request::Shutdown => Response::Closing,
         }
     }
+
+    /// Admission control plus panic isolation around [`Shared::handle`].
+    ///
+    /// Data ops are shed with [`Response::Overloaded`] at the in-flight
+    /// bound. A panic while handling (a poisoned artifact, a bug in a
+    /// tier) is caught here: the panicking request gets a typed error
+    /// response, the counter ticks, and the daemon — and every other
+    /// connection — keeps serving.
+    fn dispatch(&self, req: Request) -> Response {
+        self.add(&self.counters.requests, 1);
+        let _slot = if is_data_op(&req) {
+            match self.try_acquire_slot() {
+                Some(slot) => slot,
+                None => {
+                    self.add(&self.counters.overloaded, 1);
+                    return Response::Overloaded;
+                }
+            }
+        } else {
+            // control ops bypass the bound; claim nothing
+            return self.handle_isolated(req);
+        };
+        self.handle_isolated(req)
+    }
+
+    fn handle_isolated(&self, req: Request) -> Response {
+        let deadline = Instant::now() + self.options.request_deadline;
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.handle(req, deadline)))
+        {
+            Ok(response) => response,
+            Err(payload) => {
+                self.add(&self.counters.panics, 1);
+                let detail = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                Response::Error(format!("request handler panicked: {detail}"))
+            }
+        }
+    }
 }
 
 /// Serve one connection until the peer hangs up, the idle bound
@@ -211,7 +332,8 @@ fn serve_conn(shared: &Shared, mut conn: Box<dyn Conn>) {
                     io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
                 ) =>
             {
-                if idle_since.elapsed() > opts.io_timeout {
+                if idle_since.elapsed() > opts.idle_timeout {
+                    shared.add(&shared.counters.idle_reaped, 1);
                     return;
                 }
                 continue;
@@ -235,7 +357,7 @@ fn serve_conn(shared: &Shared, mut conn: Box<dyn Conn>) {
         };
         shared.add(&shared.counters.bytes_in, frame.wire_bytes);
         let response = match Request::decode(frame.kind, &frame.body) {
-            Ok(req) => shared.handle(req),
+            Ok(req) => shared.dispatch(req),
             Err(e) => {
                 shared.add(&shared.counters.frame_errors, 1);
                 Response::Error(e.to_string())
@@ -389,6 +511,7 @@ pub fn serve(
         counters: ServeCounters::default(),
         stop: AtomicBool::new(false),
         active: AtomicUsize::new(0),
+        inflight: AtomicUsize::new(0),
         options,
     });
     let accept = {
@@ -486,6 +609,97 @@ mod tests {
 
         let stats = handle.shutdown();
         assert_eq!(stats.batch_keys, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overload_sheds_data_ops_but_answers_control_ops() {
+        let dir = temp_dir("overload");
+        let session = Arc::new(Explorer::new().with_store(&dir));
+        let options = ServeOptions {
+            max_inflight: 0,
+            ..ServeOptions::default()
+        };
+        let handle = serve(session, &loopback(), options).expect("binds");
+        let tier = RemoteTier::new(handle.endpoint().clone(), RetryPolicy::fail_fast());
+
+        use crate::artifact::Stage;
+        use crate::tier::TierRead;
+        // every data op is shed server-side and degrades client-side
+        assert!(matches!(tier.get(Stage::Compile, 1), TierRead::Miss));
+        assert!(!tier.put(Stage::Compile, 1, b"payload"));
+        assert!(!tier.contains(Stage::Compile, 1));
+        // control ops bypass the bound: the daemon is saturated, not dead
+        assert!(tier.ping().is_ok());
+        let stats = tier.server_stats().expect("stats answered under overload");
+        assert_eq!(stats.overloaded, 3);
+        assert_eq!(
+            stats.hits + stats.misses,
+            0,
+            "shed ops never touch the stack"
+        );
+
+        let totals = tier.remote_totals();
+        assert_eq!(totals.overloaded, 3);
+        assert_eq!(
+            totals.skipped, 0,
+            "overload is proof of life — it must not trip the health gate"
+        );
+        let _ = handle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_panicking_request_is_isolated_and_counted() {
+        use crate::cache::MemoryTier;
+        use crate::fault::{FaultTier, PANIC_PROBE_KEY};
+        let dir = temp_dir("panic");
+        let probe = Arc::new(FaultTier::panic_probe(Arc::new(MemoryTier::new())));
+        let session = Arc::new(Explorer::new().with_store(&dir).with_tier(probe));
+        let handle = serve(session, &loopback(), ServeOptions::default()).expect("binds");
+        let tier = RemoteTier::new(handle.endpoint().clone(), RetryPolicy::fail_fast())
+            .with_probe_interval(Duration::ZERO);
+
+        use crate::artifact::Stage;
+        use crate::tier::TierRead;
+        // the poisoned key panics in the handler; the client sees a
+        // typed error response and degrades to a miss
+        assert!(matches!(
+            tier.get(Stage::Compile, PANIC_PROBE_KEY),
+            TierRead::Miss
+        ));
+        // the daemon — and every later request — keeps serving
+        assert!(tier.put(Stage::Compile, 7, b"payload"));
+        assert!(matches!(
+            tier.get(Stage::Compile, 7),
+            TierRead::Hit(p) if p == b"payload"
+        ));
+        let stats = handle.shutdown();
+        assert_eq!(stats.panics, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn idle_connections_are_reaped_and_counted() {
+        let dir = temp_dir("idle");
+        let session = Arc::new(Explorer::new().with_store(&dir));
+        let options = ServeOptions {
+            idle_timeout: Duration::from_millis(30),
+            ..ServeOptions::default()
+        };
+        let handle = serve(session, &loopback(), options).expect("binds");
+        // dial raw and never send a frame
+        let conn = handle
+            .endpoint()
+            .connect(Duration::from_secs(1))
+            .expect("dials");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while handle.stats().idle_reaped == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(handle.stats().idle_reaped, 1);
+        drop(conn);
+        let _ = handle.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -107,6 +107,17 @@ impl Listener for TcpTransportListener {
 struct UnixTransportListener {
     inner: UnixListener,
     path: PathBuf,
+    /// `(dev, ino)` of the socket file *this* listener created. Drop
+    /// removes the file only while it is still this inode: a listener
+    /// whose file was already replaced (stale-reclaim by a newer bind on
+    /// the same path) must not delete the newer listener's live socket.
+    owner: Option<(u64, u64)>,
+}
+
+#[cfg(unix)]
+fn socket_file_id(path: &std::path::Path) -> Option<(u64, u64)> {
+    use std::os::unix::fs::MetadataExt;
+    std::fs::metadata(path).ok().map(|m| (m.dev(), m.ino()))
 }
 
 #[cfg(unix)]
@@ -133,9 +144,115 @@ impl Listener for UnixTransportListener {
 #[cfg(unix)]
 impl Drop for UnixTransportListener {
     fn drop(&mut self) {
-        // remove the socket file so the address is immediately
-        // re-bindable; a stale file would otherwise refuse the next bind
-        std::fs::remove_file(&self.path).ok();
+        // Remove the socket file so the address is immediately
+        // re-bindable — but only while it is still *our* file. If a
+        // newer listener already reclaimed the path (this listener was
+        // stale), deleting unconditionally would tear down the live
+        // server's endpoint.
+        if self.owner.is_some() && socket_file_id(&self.path) == self.owner {
+            std::fs::remove_file(&self.path).ok();
+        }
+    }
+}
+
+/// Wrap a connection so it consults a [`FaultPlan`] on every read and
+/// write — the transport half of the fault-injection seam (the
+/// [`RemoteTier`](crate::remote::RemoteTier) wraps every connection it
+/// opens while a plan is armed). At most one fault fires per
+/// connection: a faulted stream is doomed anyway (the client drops it
+/// and retries on a fresh dial), and firing once keeps the plan's
+/// counts reconcilable — one injected transport fault equals exactly
+/// one failed request attempt.
+pub(crate) fn faulty(
+    inner: Box<dyn Conn>,
+    plan: std::sync::Arc<crate::fault::FaultPlan>,
+) -> Box<dyn Conn> {
+    Box::new(FaultConn {
+        inner,
+        plan,
+        fired: false,
+    })
+}
+
+#[derive(Debug)]
+struct FaultConn {
+    inner: Box<dyn Conn>,
+    plan: std::sync::Arc<crate::fault::FaultPlan>,
+    fired: bool,
+}
+
+impl Read for FaultConn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        use crate::fault::FaultSite;
+        if !self.fired {
+            if self.plan.roll(FaultSite::Timeout) {
+                self.fired = true;
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "injected fault: read timeout",
+                ));
+            }
+            if self.plan.roll(FaultSite::DropMidFrame) {
+                // EOF in the middle of a frame: read_exact sees
+                // UnexpectedEof exactly as it would on a died peer.
+                self.fired = true;
+                return Ok(0);
+            }
+            if self.plan.roll(FaultSite::GarbageFrame) {
+                self.fired = true;
+                let n = self.inner.read(buf)?;
+                if n > 0 {
+                    let i = self.plan.draw(FaultSite::GarbageFrame, n as u64) as usize;
+                    buf[i] ^= 0xFF;
+                }
+                return Ok(n);
+            }
+        }
+        self.inner.read(buf)
+    }
+}
+
+impl Write for FaultConn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        use crate::fault::FaultSite;
+        if !self.fired && !buf.is_empty() {
+            if self.plan.roll(FaultSite::ChecksumTamper) {
+                // Flip one byte on the way out: the peer's frame
+                // checksum (or magic/length) check must reject it.
+                self.fired = true;
+                let mut tampered = buf.to_vec();
+                let i = self.plan.draw(FaultSite::ChecksumTamper, buf.len() as u64) as usize;
+                tampered[i] ^= 0xFF;
+                self.inner.write_all(&tampered)?;
+                return Ok(buf.len());
+            }
+            if self.plan.roll(FaultSite::DropMidFrame) {
+                // Half the bytes land, then the connection dies.
+                self.fired = true;
+                let half = buf.len() / 2;
+                if half > 0 {
+                    self.inner.write_all(&buf[..half]).ok();
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "injected fault: connection dropped mid-frame",
+                ));
+            }
+        }
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl Conn for FaultConn {
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.inner.set_read_timeout(timeout)
+    }
+    fn set_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.inner.set_write_timeout(timeout)
     }
 }
 
@@ -254,9 +371,11 @@ impl Endpoint {
                     Err(e) => return Err(e),
                 };
                 inner.set_nonblocking(true)?;
+                let owner = socket_file_id(path);
                 Ok(Box::new(UnixTransportListener {
                     inner,
                     path: path.clone(),
+                    owner,
                 }))
             }
             #[cfg(not(unix))]
@@ -361,5 +480,43 @@ mod tests {
         let listener = endpoint.bind().expect("stale socket file reclaimed");
         drop(listener);
         assert!(!path.exists(), "socket file removed on drop again");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn stale_listener_drop_does_not_remove_a_reclaimed_socket() {
+        // The race: listener A's socket file is replaced on the same
+        // path by listener B (stale-reclaim), then A is dropped late. A
+        // must not delete B's live socket out from under it.
+        let path =
+            std::env::temp_dir().join(format!("asip-transport-race-{}.sock", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let endpoint = Endpoint::Unix(path.clone());
+
+        let stale = endpoint.bind().expect("first bind");
+        // Simulate the crashed-daemon cleanup path: the file is removed
+        // externally and a second listener binds the same path afresh.
+        std::fs::remove_file(&path).expect("external cleanup");
+        let live = endpoint.bind().expect("second bind on the same path");
+
+        drop(stale);
+        assert!(
+            path.exists(),
+            "stale listener's late drop must not delete the live socket"
+        );
+        // The live listener still accepts.
+        let mut client = endpoint.connect(Duration::from_secs(1)).expect("connects");
+        let mut server = loop {
+            if let Some(conn) = live.poll_accept(Duration::from_millis(5)).unwrap() {
+                break conn;
+            }
+        };
+        client.write_all(b"ok").unwrap();
+        let mut buf = [0u8; 2];
+        server.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ok");
+
+        drop(live);
+        assert!(!path.exists(), "owner removes its own socket on drop");
     }
 }

@@ -341,6 +341,9 @@ impl fmt::Display for CacheStats {
             if r.errors + r.retries + r.skipped > 0 {
                 write!(f, " ({}err/{}retry/{}skip)", r.errors, r.retries, r.skipped)?;
             }
+            if r.overloaded > 0 {
+                write!(f, " ({}shed)", r.overloaded)?;
+            }
         }
         let pf = self.total_prefetch_hits();
         if pf > 0 {

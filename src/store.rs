@@ -87,12 +87,13 @@
 //! ```
 
 use crate::artifact::{ArtifactCodec, Stage, STAGE_COUNT};
+use crate::fault::{FaultPlan, FaultSite};
 use crate::tier::{ArtifactTier, TierCounters, TierRead, TierStats};
 use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 /// Version of the on-disk artifact format. Bump on **any** change to the
@@ -122,6 +123,12 @@ const MAGIC: [u8; 8] = *b"ASIPART\n";
 
 /// Header line opening every manifest file.
 const MANIFEST_HEADER: &str = "asip-manifest v1";
+
+/// Temp files older than this are assumed orphaned by a crashed writer
+/// and are swept by [`ArtifactStore::gc`]. Generous: a live writer holds
+/// its temp file for the instant between `write` and `rename`, never an
+/// hour, so the sweep can never race a healthy put.
+const STALE_TMP_MAX_AGE: Duration = Duration::from_secs(3600);
 
 /// A stable (cross-process, cross-platform) FNV-1a 64-bit hasher for
 /// deriving store keys.
@@ -385,6 +392,8 @@ pub struct GcReport {
     pub retained_bytes: u64,
     /// Evicted-entry counts per stage, indexed by `Stage as usize`.
     pub evicted_per_stage: [u64; STAGE_COUNT],
+    /// Orphaned temp files (crashed writers) swept by this pass.
+    pub swept_tmp_files: u64,
 }
 
 /// What an [`ArtifactStore::verify`] walk found.
@@ -429,6 +438,11 @@ pub struct ArtifactStore {
     /// by this session's saves and GC passes. Other processes' writes
     /// only appear after the next [`ArtifactStore::snapshot`].
     index: Mutex<Option<HashMap<(Stage, u64), EntryMeta>>>,
+    /// Fast-path guard for the fault-injection seam: checked with one
+    /// relaxed load before touching the plan mutex, so an unarmed store
+    /// pays a single predictable branch per operation.
+    faults_armed: AtomicBool,
+    faults: Mutex<Option<Arc<FaultPlan>>>,
 }
 
 impl ArtifactStore {
@@ -441,7 +455,32 @@ impl ArtifactStore {
             counters: TierCounters::default(),
             gc_evicted: Default::default(),
             index: Mutex::new(None),
+            faults_armed: AtomicBool::new(false),
+            faults: Mutex::new(None),
         }
+    }
+
+    /// Arm a [`FaultPlan`]: subsequent reads, writes and manifest
+    /// flushes consult the plan and may fail deliberately (see
+    /// [`crate::fault`]). Chaos-testing seam — never armed in
+    /// production.
+    pub fn arm_faults(&self, plan: Arc<FaultPlan>) {
+        *crate::tier::lock(&self.faults) = Some(plan);
+        self.faults_armed.store(true, Ordering::Release);
+    }
+
+    /// Remove any armed [`FaultPlan`]; the store returns to normal
+    /// operation.
+    pub fn disarm_faults(&self) {
+        self.faults_armed.store(false, Ordering::Release);
+        *crate::tier::lock(&self.faults) = None;
+    }
+
+    fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        if !self.faults_armed.load(Ordering::Acquire) {
+            return None;
+        }
+        crate::tier::lock(&self.faults).clone()
     }
 
     /// The store's root directory.
@@ -606,6 +645,22 @@ impl ArtifactStore {
         if fs::create_dir_all(&self.dir).is_err() {
             return false;
         }
+        if let Some(plan) = self.fault_plan() {
+            // An injected manifest corruption writes a torn + scribbled
+            // rendering; the next reader must reject it wholesale and
+            // rebuild by scan.
+            if plan.roll(FaultSite::ManifestCorrupt) {
+                let mut text = manifest.render().into_bytes();
+                let cut = plan.draw(FaultSite::ManifestCorrupt, text.len() as u64 + 1) as usize;
+                text.truncate(cut);
+                text.extend_from_slice(b"\xff\xfegarbage\tnot a manifest line");
+                let tmp = unique_tmp(&path);
+                if fs::write(&tmp, &text).is_err() || fs::rename(&tmp, &path).is_err() {
+                    fs::remove_file(&tmp).ok();
+                }
+                return false;
+            }
+        }
         let tmp = unique_tmp(&path);
         if fs::write(&tmp, manifest.render()).is_err() {
             fs::remove_file(&tmp).ok();
@@ -665,6 +720,7 @@ impl ArtifactStore {
         retained.canonicalize();
         report.retained_entries = retained.len() as u64;
         report.retained_bytes = retained.total_bytes();
+        report.swept_tmp_files = self.sweep_stale_tmp_files(now_ns);
         self.write_manifest(&retained);
         // Reconcile the session-local index by *removing* the evicted
         // keys rather than replacing it wholesale — a save landing on
@@ -683,6 +739,47 @@ impl ArtifactStore {
             }
         }
         report
+    }
+
+    /// Remove temp files orphaned by crashed writers. Live writers hold
+    /// their temp file only for the instant between write and rename, so
+    /// anything older than [`STALE_TMP_MAX_AGE`] is a leftover from a
+    /// process that died mid-put; without this sweep a crash-looping
+    /// writer leaks unreferenced files forever (they are invisible to
+    /// [`ArtifactStore::snapshot`], which only indexes `.art` files).
+    fn sweep_stale_tmp_files(&self, now_ns: u128) -> u64 {
+        let mut swept = 0;
+        let mut dirs: Vec<PathBuf> = Stage::all()
+            .into_iter()
+            .map(|s| self.dir.join(s.name()))
+            .collect();
+        dirs.push(self.dir.clone());
+        for dir in dirs {
+            let Ok(entries) = fs::read_dir(&dir) else {
+                continue;
+            };
+            for file in entries.flatten() {
+                let path = file.path();
+                let is_tmp = path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.contains(".tmp."));
+                if !is_tmp {
+                    continue;
+                }
+                let age_ns = file
+                    .metadata()
+                    .ok()
+                    .and_then(|m| m.modified().ok())
+                    .and_then(|t| t.duration_since(UNIX_EPOCH).ok())
+                    .map(|d| now_ns.saturating_sub(d.as_nanos()))
+                    .unwrap_or(0);
+                if age_ns > STALE_TMP_MAX_AGE.as_nanos() && fs::remove_file(&path).is_ok() {
+                    swept += 1;
+                }
+            }
+        }
+        swept
     }
 
     fn evict_entry(&self, e: &ManifestEntry) -> bool {
@@ -788,6 +885,14 @@ impl ArtifactTier for ArtifactStore {
     }
 
     fn get(&self, stage: Stage, key: u64) -> TierRead {
+        if let Some(plan) = self.fault_plan() {
+            // An injected read I/O error degrades exactly like a real
+            // one below: a counted miss.
+            if plan.roll(FaultSite::DiskRead) {
+                self.counters.count_miss(stage);
+                return TierRead::Miss;
+            }
+        }
         let bytes = match fs::read(self.entry_path(stage, key)) {
             Ok(bytes) => bytes,
             Err(_) => {
@@ -824,6 +929,24 @@ impl ArtifactTier for ArtifactStore {
         bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
         bytes.extend_from_slice(&checksum(payload).to_le_bytes());
         bytes.extend_from_slice(payload);
+
+        if let Some(plan) = self.fault_plan() {
+            // An injected write error fails before any byte lands.
+            if plan.roll(FaultSite::DiskWrite) {
+                return false;
+            }
+            // A torn write lands a truncated prefix of the entry at the
+            // final path — the on-disk state a crash mid-write leaves
+            // behind. Readers must reject it (checksum/length) and heal.
+            if plan.roll(FaultSite::TornWrite) {
+                let cut = plan.draw(FaultSite::TornWrite, bytes.len() as u64) as usize;
+                let tmp = unique_tmp(&path);
+                if fs::write(&tmp, &bytes[..cut]).is_err() || fs::rename(&tmp, &path).is_err() {
+                    fs::remove_file(&tmp).ok();
+                }
+                return false;
+            }
+        }
 
         let tmp = unique_tmp(&path);
         if fs::write(&tmp, &bytes).is_err() {

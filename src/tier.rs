@@ -230,7 +230,7 @@ impl TierCounters {
         }
     }
     pub(crate) fn reset(&self) {
-        for i in 0..8 {
+        for i in 0..STAGE_COUNT {
             self.hits[i].store(0, Ordering::Relaxed);
             self.misses[i].store(0, Ordering::Relaxed);
             self.writes[i].store(0, Ordering::Relaxed);

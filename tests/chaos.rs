@@ -1,0 +1,452 @@
+//! Seeded chaos sweeps: many deterministic [`FaultPlan`]s driven
+//! through full `explore_all` sessions — store-backed, remote-backed,
+//! and multi-client against one serve daemon — plus a simulated-crash
+//! truncation sweep over every on-disk artifact.
+//!
+//! The invariants are absolute, not statistical:
+//!
+//! - **byte identity** — a faulted session's results must equal a
+//!   fault-free baseline exactly (torn bytes are never served);
+//! - **zero escaped panics** — every injected fault degrades inside the
+//!   tier contract (the tests passing at all proves this);
+//! - **reconciliation** — every injected fault is visible as exactly
+//!   one counted degradation in `CacheStats` / `RemoteTotals`.
+//!
+//! Volume scales with `ASIP_CHAOS_SEEDS` (the CI `chaos` job raises it;
+//! the tier-1 default keeps local runs quick), mirroring the
+//! `ASIP_GEN_SWEEP_SEEDS` convention of the generator sweep.
+
+use asip_explorer::remote::{serve, Endpoint, RetryPolicy, ServeOptions};
+use asip_explorer::{
+    Exploration, Explorer, FaultConfig, FaultPlan, FaultTier, MemoryTier, StoreGcConfig,
+};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+use std::{fs, thread};
+
+/// Seeds per sweep. The CI chaos job sets `ASIP_CHAOS_SEEDS=100`, so
+/// the two `explore_all` sweeps alone push 200 distinct plans.
+fn seed_count() -> u64 {
+    std::env::var("ASIP_CHAOS_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6)
+}
+
+fn store_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("asip-chaos-{tag}-{}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn loopback() -> Endpoint {
+    Endpoint::Tcp("127.0.0.1:0".into())
+}
+
+/// A retry policy tight enough for fault sweeps: real backoff (so the
+/// jittered path runs) but millisecond-scale, seeded so the whole
+/// session — workload *and* fault schedule *and* retry schedule — is
+/// reproducible from one number.
+fn chaos_policy(seed: u64) -> RetryPolicy {
+    // the generous timeout is deliberate: injected Timeout faults fail
+    // immediately regardless, and a *real* timeout on a loaded CI
+    // machine would break the exact faults == failed-attempts
+    // reconciliation below
+    RetryPolicy {
+        attempts: 3,
+        timeout: Duration::from_secs(2),
+        backoff: Duration::from_millis(1),
+        ..RetryPolicy::default()
+    }
+    .with_jitter_seed(seed)
+}
+
+/// Daemon options for chaos runs: short I/O timeout so connections a
+/// fault plan kills mid-frame are cut loose quickly.
+fn chaos_serve_options() -> ServeOptions {
+    ServeOptions {
+        io_timeout: Duration::from_millis(500),
+        ..ServeOptions::default()
+    }
+}
+
+fn digest(explorations: &[Exploration]) -> String {
+    format!("{explorations:?}")
+}
+
+/// The fault-free reference: one storeless `explore_all`, computed
+/// once. Every faulted sweep below must reproduce it byte for byte.
+fn baseline() -> &'static str {
+    static BASELINE: OnceLock<String> = OnceLock::new();
+    BASELINE.get_or_init(|| {
+        let session = Explorer::new();
+        digest(&session.explore_all().expect("baseline explores"))
+    })
+}
+
+// -- store-backed sweep ------------------------------------------------
+
+#[test]
+fn disk_fault_sweep_is_byte_identical_and_reconciles() {
+    let expected = baseline();
+    for i in 0..seed_count() {
+        let seed = 0xD15Cu64.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let dir = store_dir(&format!("disk-{i}"));
+        let plan = Arc::new(FaultPlan::new(seed, FaultConfig::disk(20)));
+
+        // session 1 computes everything under injected read errors,
+        // dropped writes, torn writes and manifest corruption
+        {
+            let session = Explorer::new().with_store(&dir);
+            let store = session.store().expect("store attached");
+            store.arm_faults(Arc::clone(&plan));
+            let explorations = session.explore_all().expect("faulted session completes");
+            assert_eq!(digest(&explorations), expected, "disk seed {seed:#x}");
+            // flush the manifest under fault: ManifestCorrupt may tear
+            // it; the next open must rebuild by scan
+            store.gc(&StoreGcConfig::default());
+            store.disarm_faults();
+        }
+
+        // session 2, fault-free, over the survivors: every injected
+        // write fault must resurface as exactly one recompute, every
+        // torn write as exactly one rejected (then healed) entry
+        let counts = plan.counts();
+        let clean = Explorer::new().with_store(&dir);
+        let explorations = clean.explore_all().expect("clean session completes");
+        assert_eq!(digest(&explorations), expected, "disk seed {seed:#x}");
+        let stats = clean.cache_stats();
+        assert_eq!(
+            stats.total_misses(),
+            counts.disk_write_errors + counts.torn_writes,
+            "disk seed {seed:#x}: dropped/torn writes vs recomputes: {stats} vs {counts:?}"
+        );
+        // every torn entry is rejected as corrupt on read — once via
+        // the prefetch batch probe and once again on the direct get
+        // before the recompute, so the count lands in [torn, 2*torn];
+        // and corrupt reads come from *nowhere else*
+        let corrupt = stats.total_disk_corrupt();
+        assert!(
+            corrupt >= counts.torn_writes && corrupt <= 2 * counts.torn_writes,
+            "disk seed {seed:#x}: torn writes vs corrupt reads: {stats} vs {counts:?}"
+        );
+        // the healed store verifies clean
+        let report = clean.store().expect("store attached").verify();
+        assert_eq!(report.corrupt, 0, "disk seed {seed:#x}: store heals");
+        fs::remove_dir_all(&dir).ok();
+    }
+}
+
+// -- remote-backed sweep -----------------------------------------------
+
+#[test]
+fn remote_fault_sweep_is_byte_identical_and_reconciles() {
+    let expected = baseline();
+    let dir = store_dir("remote-daemon");
+    let server_session = Arc::new(Explorer::new().with_store(&dir));
+    let handle = serve(server_session, &loopback(), chaos_serve_options()).expect("binds");
+    let addr = handle.endpoint().to_string();
+
+    for i in 0..seed_count() {
+        let seed = 0x7E40u64.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let plan = Arc::new(FaultPlan::new(seed, FaultConfig::remote(15)));
+        let session = Explorer::new()
+            .with_remote(&addr, chaos_policy(seed))
+            .expect("daemon endpoint parses");
+        session
+            .remote()
+            .expect("remote attached")
+            .arm_faults(Arc::clone(&plan));
+        let explorations = session.explore_all().expect("faulted client completes");
+        assert_eq!(digest(&explorations), expected, "remote seed {seed:#x}");
+
+        // each injected wire fault killed exactly one attempt, and
+        // every killed attempt was either retried or degraded
+        let totals = session.cache_stats().remote;
+        let counts = plan.counts();
+        assert_eq!(
+            totals.retries + totals.errors,
+            counts.remote_total(),
+            "remote seed {seed:#x}: injected faults vs failed attempts: {totals:?} vs {counts:?}"
+        );
+    }
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.panics, 0, "no injected fault may panic the daemon");
+    fs::remove_dir_all(&dir).ok();
+}
+
+// -- multi-client serve session ----------------------------------------
+
+#[test]
+fn concurrent_faulted_clients_stay_byte_identical() {
+    let expected = baseline().to_string();
+    let dir = store_dir("multi-client");
+    let server_session = Arc::new(Explorer::new().with_store(&dir));
+    let handle = serve(server_session, &loopback(), chaos_serve_options()).expect("binds");
+    let addr = handle.endpoint().to_string();
+
+    let clients: Vec<_> = (0..3u64)
+        .map(|t| {
+            let addr = addr.clone();
+            let expected = expected.clone();
+            thread::spawn(move || {
+                let seed = 0xC11E_0000u64 + t;
+                let plan = Arc::new(FaultPlan::new(seed, FaultConfig::remote(10)));
+                let session = Explorer::new()
+                    .with_remote(&addr, chaos_policy(seed))
+                    .expect("daemon endpoint parses");
+                session
+                    .remote()
+                    .expect("remote attached")
+                    .arm_faults(Arc::clone(&plan));
+                let explorations = session.explore_all().expect("client completes");
+                assert_eq!(digest(&explorations), expected, "client {t}");
+                let totals = session.cache_stats().remote;
+                let counts = plan.counts();
+                assert_eq!(
+                    totals.retries + totals.errors,
+                    counts.remote_total(),
+                    "client {t}: injected faults vs failed attempts"
+                );
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("client thread must not panic");
+    }
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.panics, 0);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn overloaded_daemon_sheds_typed_and_clients_degrade_correctly() {
+    let expected = baseline().to_string();
+    let dir = store_dir("overload");
+    // a deliberately slow bottom tier (every get sleeps) plus an
+    // in-flight bound of 1 forces concurrent clients into the shed path
+    let slow = Arc::new(
+        FaultTier::new(Arc::new(MemoryTier::new())).with_get_delay(Duration::from_millis(2)),
+    );
+    let server_session = Arc::new(Explorer::new().with_store(&dir).with_tier(slow));
+    let options = ServeOptions {
+        max_inflight: 1,
+        ..chaos_serve_options()
+    };
+    let handle = serve(server_session, &loopback(), options).expect("binds");
+    let addr = handle.endpoint().to_string();
+
+    let clients: Vec<_> = (0..3u64)
+        .map(|t| {
+            let addr = addr.clone();
+            let expected = expected.clone();
+            thread::spawn(move || {
+                let session = Explorer::new()
+                    .with_remote(&addr, chaos_policy(0xBEEF + t))
+                    .expect("daemon endpoint parses");
+                let explorations = session.explore_all().expect("client completes");
+                assert_eq!(digest(&explorations), expected, "client {t}");
+                let totals = session.cache_stats().remote;
+                assert_eq!(
+                    totals.skipped, 0,
+                    "client {t}: overload must never trip the health gate"
+                );
+                totals.overloaded
+            })
+        })
+        .collect();
+    let client_sheds: u64 = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread must not panic"))
+        .sum();
+
+    let stats = handle.shutdown();
+    assert!(
+        stats.overloaded > 0,
+        "three clients against max_inflight=1 must shed"
+    );
+    assert_eq!(
+        stats.overloaded, client_sheds,
+        "every shed answered by the server was observed by a client"
+    );
+    assert_eq!(stats.panics, 0);
+    fs::remove_dir_all(&dir).ok();
+}
+
+// -- simulated-crash consistency sweep ---------------------------------
+
+fn copy_dir(src: &Path, dst: &Path) {
+    fs::create_dir_all(dst).expect("scratch dir");
+    for entry in fs::read_dir(src).expect("readable").flatten() {
+        let from = entry.path();
+        let to = dst.join(entry.file_name());
+        if from.is_dir() {
+            copy_dir(&from, &to);
+        } else {
+            fs::copy(&from, &to).expect("copies");
+        }
+    }
+}
+
+/// Every `.art` entry file in the store, at any stage.
+fn entry_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let Ok(stages) = fs::read_dir(dir) else {
+        return files;
+    };
+    for stage in stages.flatten() {
+        let Ok(entries) = fs::read_dir(stage.path()) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            if entry.path().extension().is_some_and(|e| e == "art") {
+                files.push(entry.path());
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// The offsets worth tearing a file at: both edges, the store-entry
+/// header boundaries, and the middle.
+fn interesting_offsets(len: usize) -> Vec<usize> {
+    let mut offsets: Vec<usize> = [0, 1, 8, 12, 13, 21, 29, 37, len / 2, len.saturating_sub(1)]
+        .into_iter()
+        .filter(|&o| o < len)
+        .collect();
+    offsets.sort_unstable();
+    offsets.dedup();
+    offsets
+}
+
+#[test]
+fn crash_truncation_sweep_always_recovers_and_heals() {
+    // seed a pristine single-benchmark store with a flushed manifest
+    let pristine = store_dir("crash-pristine");
+    let expected = {
+        let session = Explorer::new().with_store(&pristine);
+        let run = session.explore("fir").expect("seeds the store");
+        session
+            .store()
+            .expect("store")
+            .gc(&StoreGcConfig::default());
+        format!("{run:?}")
+    };
+    let entries = entry_files(&pristine);
+    assert!(entries.len() >= 6, "fir writes every stage: {entries:?}");
+
+    let scratch = store_dir("crash-scratch");
+    let mut cases = 0u32;
+    for file in &entries {
+        let pristine_bytes = fs::read(file).expect("entry readable");
+        let rel = file.strip_prefix(&pristine).expect("under store");
+        for offset in interesting_offsets(pristine_bytes.len()) {
+            // crash mid-write: a strict prefix landed at the final path
+            fs::remove_dir_all(&scratch).ok();
+            copy_dir(&pristine, &scratch);
+            fs::write(scratch.join(rel), &pristine_bytes[..offset]).expect("tears");
+            let session = Explorer::new().with_store(&scratch);
+            let run = session.explore("fir").expect("recovers from torn entry");
+            assert_eq!(
+                format!("{run:?}"),
+                expected,
+                "torn {} at {offset}",
+                rel.display()
+            );
+            // the recompute healed the entry in place
+            let report = session.store().expect("store").verify();
+            assert_eq!(report.corrupt, 0, "torn {} at {offset}", rel.display());
+            cases += 1;
+
+            // bit rot: the same offset flipped instead of truncated
+            let mut flipped = pristine_bytes.clone();
+            flipped[offset] ^= 0xFF;
+            fs::write(scratch.join(rel), &flipped).expect("flips");
+            let session = Explorer::new().with_store(&scratch);
+            let run = session.explore("fir").expect("recovers from bit rot");
+            assert_eq!(
+                format!("{run:?}"),
+                expected,
+                "flipped {} at {offset}",
+                rel.display()
+            );
+            cases += 1;
+        }
+    }
+    assert!(
+        cases >= 60,
+        "the sweep must cover many crash points: {cases}"
+    );
+    fs::remove_dir_all(&scratch).ok();
+    fs::remove_dir_all(&pristine).ok();
+}
+
+#[test]
+fn crash_torn_manifest_always_recovers_and_is_rewritten_valid() {
+    let pristine = store_dir("crash-manifest");
+    let expected = {
+        let session = Explorer::new().with_store(&pristine);
+        let run = session.explore("fir").expect("seeds the store");
+        session
+            .store()
+            .expect("store")
+            .gc(&StoreGcConfig::default());
+        format!("{run:?}")
+    };
+    let manifest_path = {
+        let session = Explorer::new().with_store(&pristine);
+        session.store().expect("store").manifest_path()
+    };
+    let pristine_manifest = fs::read(&manifest_path).expect("manifest flushed");
+
+    let scratch = store_dir("crash-manifest-scratch");
+    let mut mutations: Vec<Vec<u8>> = interesting_offsets(pristine_manifest.len())
+        .into_iter()
+        .map(|o| pristine_manifest[..o].to_vec())
+        .collect();
+    // scribbled tail, wrong header, binary garbage
+    let mut scribbled = pristine_manifest.clone();
+    scribbled.extend_from_slice(b"\xff\xfegarbage\tnot a manifest line\n");
+    mutations.push(scribbled);
+    mutations.push(b"not-a-manifest v999\n".to_vec());
+    mutations.push(vec![0xFF; 64]);
+
+    for (i, bytes) in mutations.iter().enumerate() {
+        fs::remove_dir_all(&scratch).ok();
+        copy_dir(&pristine, &scratch);
+        let target = {
+            let session = Explorer::new().with_store(&scratch);
+            session.store().expect("store").manifest_path()
+        };
+        fs::write(&target, bytes).expect("damages manifest");
+
+        // a damaged manifest must degrade to rebuild-by-scan: full
+        // disk reuse, identical results, zero recomputes
+        let session = Explorer::new().with_store(&scratch);
+        let run = session.explore("fir").expect("recovers from torn manifest");
+        assert_eq!(format!("{run:?}"), expected, "manifest mutation {i}");
+        let stats = session.cache_stats();
+        assert_eq!(
+            stats.total_misses(),
+            0,
+            "manifest damage must not cost recomputes: {stats}"
+        );
+
+        // the next flush rewrites a parseable manifest
+        session
+            .store()
+            .expect("store")
+            .gc(&StoreGcConfig::default());
+        let rewritten = fs::read_to_string(&target).expect("manifest rewritten");
+        assert!(
+            rewritten.starts_with("asip-manifest v1"),
+            "manifest mutation {i}: flush must restore a valid manifest"
+        );
+    }
+    fs::remove_dir_all(&scratch).ok();
+    fs::remove_dir_all(&pristine).ok();
+}

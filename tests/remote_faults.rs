@@ -21,6 +21,7 @@ fn fast_policy() -> RetryPolicy {
         attempts: 2,
         timeout: Duration::from_millis(300),
         backoff: Duration::from_millis(1),
+        ..RetryPolicy::default()
     }
 }
 
@@ -114,6 +115,7 @@ fn server_killed_mid_request_is_a_counted_miss() {
             attempts: 1,
             timeout: Duration::from_millis(300),
             backoff: Duration::ZERO,
+            ..RetryPolicy::default()
         },
     );
     assert!(matches!(
@@ -139,6 +141,7 @@ fn corrupt_response_frame_is_rejected_and_counted() {
             attempts: 1,
             timeout: Duration::from_millis(300),
             backoff: Duration::ZERO,
+            ..RetryPolicy::default()
         },
     );
     assert!(matches!(
@@ -174,6 +177,7 @@ fn protocol_version_skew_is_detected_not_misread() {
             attempts: 1,
             timeout: Duration::from_millis(500),
             backoff: Duration::ZERO,
+            ..RetryPolicy::default()
         },
     );
     // surfaced precisely through the typed API …
@@ -201,6 +205,7 @@ fn silent_server_times_out_within_policy_bounds() {
         attempts: 1,
         timeout: Duration::from_millis(200),
         backoff: Duration::ZERO,
+        ..RetryPolicy::default()
     };
     let tier = RemoteTier::new(Endpoint::parse(&addr).expect("valid"), policy);
     let start = Instant::now();

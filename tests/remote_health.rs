@@ -1,0 +1,144 @@
+//! Health-gate behaviour of the remote tier: an unhealthy server is
+//! probed at most once per probe interval (everything else is declined
+//! locally), a recovered daemon is re-admitted within one probe, and
+//! the `requests`/`skipped` counters always reconcile with the number
+//! of operations issued.
+
+use asip_explorer::remote::{serve, Endpoint, RemoteTier, RetryPolicy, ServeOptions};
+use asip_explorer::{ArtifactTier, Explorer, Stage, TierRead};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn store_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("asip-health-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn unhealthy_server_is_probed_once_per_interval_and_counters_reconcile() {
+    // nothing listens here: the first request fails and marks the
+    // server unhealthy; after that only probe-slot claimants may try
+    let tier = RemoteTier::new(
+        Endpoint::Tcp("127.0.0.1:1".into()),
+        RetryPolicy::fail_fast(),
+    )
+    .with_probe_interval(Duration::from_millis(200));
+
+    let issued: u64 = 40;
+    let start = Instant::now();
+    for _ in 0..issued {
+        assert!(matches!(tier.get(Stage::Compile, 1), TierRead::Miss));
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let elapsed = start.elapsed();
+
+    let totals = tier.remote_totals();
+    assert_eq!(
+        totals.requests + totals.skipped,
+        issued,
+        "every issued op is either attempted or declined: {totals:?}"
+    );
+    assert_eq!(
+        totals.errors, totals.requests,
+        "with no server, every attempted request fails: {totals:?}"
+    );
+    // the initial failure plus at most one probe per elapsed interval
+    // (+1 slack for the boundary)
+    let probe_budget = 1 + (elapsed.as_millis() / 200) as u64 + 1;
+    assert!(
+        totals.requests <= probe_budget,
+        "the gate must hold attempts to one probe per interval: \
+         {} attempted, budget {probe_budget} over {elapsed:?}",
+        totals.requests
+    );
+    assert!(
+        totals.skipped >= issued - probe_budget,
+        "everything else is declined without touching the wire: {totals:?}"
+    );
+}
+
+#[test]
+fn restarted_daemon_is_readmitted_within_one_probe() {
+    let dir = store_dir("recovery");
+    let sock =
+        std::env::temp_dir().join(format!("asip-health-recovery-{}.sock", std::process::id()));
+    std::fs::remove_file(&sock).ok();
+    let endpoint = Endpoint::Unix(sock.clone());
+    let interval = Duration::from_millis(100);
+    let tier =
+        RemoteTier::new(endpoint.clone(), RetryPolicy::fail_fast()).with_probe_interval(interval);
+    let mut issued: u64 = 0;
+
+    // daemon 1 up: the tier is healthy and serves round trips
+    let first = serve(
+        Arc::new(Explorer::new().with_store(&dir)),
+        &endpoint,
+        ServeOptions::default(),
+    )
+    .expect("binds the socket");
+    assert!(tier.put(Stage::Compile, 7, b"payload"));
+    issued += 1;
+    assert!(matches!(tier.get(Stage::Compile, 7), TierRead::Hit(p) if p == b"payload"));
+    issued += 1;
+    first.shutdown();
+
+    // daemon down: ops degrade to misses, and after the first failure
+    // the gate declines locally (at most one probe per interval)
+    for _ in 0..10 {
+        assert!(matches!(tier.get(Stage::Compile, 7), TierRead::Miss));
+        issued += 1;
+    }
+    let down = tier.remote_totals();
+    assert!(
+        down.skipped > 0,
+        "the gate must decline while down: {down:?}"
+    );
+
+    // daemon 2 on the same socket, same store: within one probe
+    // interval (plus scheduling slack) the tier must be re-admitted
+    let second = serve(
+        Arc::new(Explorer::new().with_store(&dir)),
+        &endpoint,
+        ServeOptions::default(),
+    )
+    .expect("rebinds the socket");
+    let restart = Instant::now();
+    let deadline = restart + Duration::from_secs(5);
+    let mut recovered_after = None;
+    while Instant::now() < deadline {
+        issued += 1;
+        if matches!(tier.get(Stage::Compile, 7), TierRead::Hit(p) if p == b"payload") {
+            recovered_after = Some(restart.elapsed());
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let recovered_after = recovered_after.expect("tier re-admits the recovered daemon");
+    assert!(
+        recovered_after < interval + Duration::from_secs(1),
+        "re-admission must take at most one probe interval plus slack, took {recovered_after:?}"
+    );
+
+    // once healthy again, requests flow without further declines
+    let before = tier.remote_totals();
+    assert!(matches!(tier.get(Stage::Compile, 7), TierRead::Hit(_)));
+    issued += 1;
+    let after = tier.remote_totals();
+    assert_eq!(
+        after.skipped, before.skipped,
+        "a healthy tier declines nothing: {after:?}"
+    );
+
+    // full reconciliation: every op issued in this test was either
+    // attempted on the wire or declined by the gate — none vanished
+    assert_eq!(
+        after.requests + after.skipped,
+        issued,
+        "issued ops vs requests+skipped: {after:?}"
+    );
+
+    second.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -166,6 +166,7 @@ fn wire_shutdown_op_stops_and_drains_the_daemon() {
             attempts: 1,
             timeout: Duration::from_millis(200),
             backoff: Duration::ZERO,
+            ..RetryPolicy::default()
         },
     );
     assert!(probe.ping().is_err(), "daemon no longer answers");
